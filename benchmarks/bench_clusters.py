@@ -1,0 +1,49 @@
+"""§5 clustering statistic — corpus variety validation.
+
+The paper clustered the descriptions of each intent "based on the orders of
+the column names/values and word similarity" and found 37.7 distinct
+clusters per intent on average.  This bench regenerates the statistic over
+the synthetic corpus — it is the direct validation that the corpus
+substitution preserves the variety axis the translation algorithm is
+evaluated against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import build_sheet, generate_descriptions, all_tasks
+from repro.evalkit import PAPER_CLUSTERS_PER_INTENT, run_clusters
+from repro.evalkit.clusters import cluster_descriptions
+from repro.translate.context import SheetContext
+
+
+@pytest.fixture(scope="module")
+def report(corpus):
+    return run_clusters(corpus)
+
+
+def test_print_clusters(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(
+        f"clusters per intent: {report.average:.1f} measured "
+        f"vs {PAPER_CLUSTERS_PER_INTENT} paper"
+    )
+
+
+def test_average_near_paper(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert abs(report.average - PAPER_CLUSTERS_PER_INTENT) <= 8.0
+
+
+def test_every_intent_has_variety(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert min(report.per_task.values()) >= 10
+
+
+def test_clustering_latency(benchmark):
+    task = all_tasks()[0]
+    descriptions = generate_descriptions(task, 89)
+    ctx = SheetContext(build_sheet(task.sheet_id))
+    benchmark(cluster_descriptions, descriptions, ctx)

@@ -1,0 +1,66 @@
+"""§5 latency claim — translation speed across description shapes.
+
+The paper reports 0.007–0.019 s per translation in C# ("fast enough to
+support a real-time search style UI").  The pure-Python reproduction pays a
+constant interpreter factor (~10x); these benches document per-shape
+latency so the relative shape (short keyword queries fastest, long
+compositional ones slowest) can be compared against the paper's per-sheet
+spread.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import build_sheet
+from repro.translate import Translator
+
+_CASES = {
+    "keyword_short": ("payroll", "sum hours capitol hill baristas"),
+    "explicit_medium": (
+        "payroll", "sum the totalpay where the location is capitol hill"
+    ),
+    "verbose_long": (
+        "payroll",
+        "computer please compute the total sum of the hours for the people "
+        "who are baristas and work at the capitol hill location",
+    ),
+    "nested_reduce": (
+        "countries",
+        "which countries have a gdp per capita larger than the average",
+    ),
+    "join_map": (
+        "payroll",
+        "for each employee lookup the payrate and multiply by hours",
+    ),
+    "formatting": (
+        "payroll", "get the rows with othours bigger than 0 and color them red"
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def translators():
+    sheets = {sheet for sheet, _ in _CASES.values()}
+    return {s: Translator(build_sheet(s)) for s in sheets}
+
+
+@pytest.mark.parametrize("case", sorted(_CASES))
+def test_latency(benchmark, translators, case):
+    sheet, text = _CASES[case]
+    translator = translators[sheet]
+    result = benchmark(translator.translate, text)
+    assert result  # every shape must produce candidates
+
+
+def test_all_shapes_under_interactive_budget(benchmark, translators):
+    """Soft real-time bound: every shape stays within one second (the
+    pure-Python tax on the longest verbose composition is ~0.5 s; the
+    bound leaves headroom for shared-machine noise)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    import time
+
+    for sheet, text in _CASES.values():
+        start = time.perf_counter()
+        translators[sheet].translate(text)
+        assert time.perf_counter() - start < 1.0, text

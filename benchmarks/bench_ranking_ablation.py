@@ -1,0 +1,53 @@
+"""Ranking-factor ablation (beyond the paper's Table 3).
+
+Table 3 ablates the whole ranking; DESIGN.md additionally calls out the two
+multiplicative factors — CoverSc and MixSc — as separate design choices.
+This bench disables each factor individually and verifies both contribute
+top-1 precision (CoverSc is the dominant one, which is exactly why the
+paper's formulation weights ignored words quadratically).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalkit.harness import run_table3
+
+
+@pytest.fixture(scope="module")
+def factor_ablation(corpus, sample_size):
+    sample = None if sample_size is None else max(sample_size // 2, 60)
+    return run_table3(
+        corpus, sample=sample, modes=("complete", "no_cover", "no_mix")
+    )
+
+
+def test_print_factor_ablation(benchmark, factor_ablation):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    for mode, board in factor_ablation.per_mode.items():
+        print(
+            f"  {mode:<10} top1={board.top1_rate:.1%} "
+            f"top3={board.top3_rate:.1%} all={board.recall:.1%}"
+        )
+
+
+def test_cover_score_is_the_big_lever(benchmark, factor_ablation):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    complete = factor_ablation.per_mode["complete"]
+    no_cover = factor_ablation.per_mode["no_cover"]
+    assert complete.top1_rate >= no_cover.top1_rate + 0.1
+
+
+def test_mix_score_never_hurts(benchmark, factor_ablation):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    complete = factor_ablation.per_mode["complete"]
+    no_mix = factor_ablation.per_mode["no_mix"]
+    assert complete.top1_rate >= no_mix.top1_rate - 0.02
+
+
+def test_recall_untouched_by_ranking(benchmark, factor_ablation):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    boards = list(factor_ablation.per_mode.values())
+    recalls = [b.recall for b in boards]
+    assert max(recalls) - min(recalls) <= 0.02

@@ -1,0 +1,73 @@
+"""Rule-set size scaling (design-choice ablation).
+
+The paper attributes precision to the pattern rules and recall to
+synthesis.  A direct corollary worth measuring: top-1 accuracy should grow
+monotonically-ish with the fraction of the rule set available, while recall
+stays high even with few rules (synthesis compensates).  This bench slices
+the base rule set and measures both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalkit import evaluate_batch
+from repro.rules import builtin_rules
+from repro.translate import RuleSet, Translator
+
+_FRACTIONS = (0.25, 0.5, 1.0)
+
+
+def _sliced_rules(fraction: float) -> RuleSet:
+    rules = list(builtin_rules())
+    keep = max(1, int(len(rules) * fraction))
+    # deterministic spread across rule families rather than a prefix
+    step = len(rules) / keep
+    return RuleSet([rules[int(k * step)] for k in range(keep)])
+
+
+@pytest.fixture(scope="module")
+def by_fraction(corpus, oracle):
+    sample = corpus.test[:60]
+    out = {}
+    for fraction in _FRACTIONS:
+        rules = _sliced_rules(fraction)
+        translators = {
+            s: Translator(oracle.workbook(s), rules=rules)
+            for s in oracle.workbooks
+        }
+        out[fraction] = evaluate_batch(
+            sample, oracle=oracle, translators=translators
+        )
+    return out
+
+
+def test_print_rule_scaling(benchmark, by_fraction):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    for fraction, board in by_fraction.items():
+        print(
+            f"  {fraction:>4.0%} of rules: top1={board.top1_rate:.1%} "
+            f"all={board.recall:.1%}"
+        )
+
+
+def test_precision_grows_with_rules(benchmark, by_fraction):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert by_fraction[1.0].top1_rate >= by_fraction[0.25].top1_rate
+
+
+def test_synthesis_keeps_recall_with_few_rules(benchmark, by_fraction):
+    """Even at a quarter of the rule set, synthesis + seeds must keep
+    recall within striking distance of the full system."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert by_fraction[0.25].recall >= by_fraction[1.0].recall - 0.25
+
+
+def test_quarter_ruleset_latency(benchmark, oracle):
+    translator = Translator(
+        oracle.workbook("payroll"), rules=_sliced_rules(0.25)
+    )
+    benchmark(
+        translator.translate, "sum the totalpay for the capitol hill baristas"
+    )

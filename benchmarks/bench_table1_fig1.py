@@ -1,0 +1,55 @@
+"""Table 1 and Fig. 1 — the qualitative exhibits.
+
+Table 1 shows the per-intent phrasing variety and the task variety; Fig. 1
+shows the annotated candidate list for the running example.  These benches
+regenerate both (printed) and benchmark the pipelines that produce them:
+the description generator and the interactive ask.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import all_tasks, build_sheet, generate_descriptions
+from repro.evalkit import format_table1, run_fig1, run_table1
+from repro.session import NLyzeSession
+
+
+def test_print_table1(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(format_table1(run_table1()))
+
+
+def test_print_fig1(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(run_fig1())
+
+
+def test_fig1_matches_paper_layout(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    figure = run_fig1()
+    # the paper's UI: annotated input, SUMIFS formula, three candidates
+    assert "SUMIFS" in figure
+    assert "[totalpay]" in figure
+    assert "~" in figure  # strikethrough on lower candidates
+    assert figure.count("“") >= 3  # a paraphrase per candidate
+
+
+def test_table1_has_keyword_and_verbose_styles(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    data = run_table1(variants_per_task=12)
+    lengths = [len(t.split()) for t in data["variations"]]
+    assert min(lengths) <= 6, "keyword style missing"
+    assert max(lengths) >= 9, "verbose style missing"
+
+
+def test_generator_throughput(benchmark):
+    task = all_tasks()[0]
+    benchmark(generate_descriptions, task, 89)
+
+
+def test_interactive_ask_latency(benchmark):
+    session = NLyzeSession(build_sheet("payroll"))
+    benchmark(session.ask, "sum the totalpay for the capitol hill baristas")

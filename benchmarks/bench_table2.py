@@ -1,0 +1,71 @@
+"""Table 2 — overall performance: per-sheet accuracy and latency.
+
+Regenerates the paper's Table 2 rows (Avg. Time / Top Rank / Top 3 / All
+per sheet and cumulatively) on a sample of the test split, and benchmarks
+the translation latency that feeds the Avg. Time column.
+
+Paper:  all sheets — 0.011 s, 94.1% top-1, 97.1% top-3, 98.2% all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import SHEET_ORDER
+from repro.evalkit import PAPER_TABLE2, evaluate_batch, format_table2
+from repro.evalkit.harness import Table2Result
+from repro.translate import Translator
+
+_SHAPE_TOLERANCE = 0.08  # measured rates may beat the paper, not trail far
+
+
+@pytest.fixture(scope="module")
+def table2(corpus, oracle, sample_size):
+    per_sheet_limit = None if sample_size is None else sample_size // 4
+    result = Table2Result()
+    translators = {}
+    for sheet_id in SHEET_ORDER:
+        descriptions = corpus.by_sheet(sheet_id, subset="test")
+        if per_sheet_limit is not None:
+            descriptions = descriptions[:per_sheet_limit]
+        board = evaluate_batch(
+            descriptions, oracle=oracle, translators=translators
+        )
+        result.per_sheet[sheet_id] = board
+        result.overall.outcomes.extend(board.outcomes)
+    return result
+
+
+def test_print_table2(benchmark, table2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Table 2 (measured, test-split sample)")
+    print(format_table2(table2))
+    print()
+    print("Table 2 (paper)")
+    for sheet, (t, a, b, c) in PAPER_TABLE2.items():
+        print(f"  {sheet:<12} {t:>9.3f}s {a:>8.1%} {b:>6.1%} {c:>6.1%}")
+
+
+def test_overall_rates_match_paper_shape(benchmark, table2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    overall = table2.overall
+    paper_time, paper_top1, paper_top3, paper_all = PAPER_TABLE2["all"]
+    assert overall.top1_rate >= paper_top1 - _SHAPE_TOLERANCE
+    assert overall.top3_rate >= paper_top3 - _SHAPE_TOLERANCE
+    assert overall.recall >= paper_all - _SHAPE_TOLERANCE
+    assert overall.top1_rate <= overall.top3_rate <= overall.recall
+
+
+def test_every_sheet_above_ninety_top3(benchmark, table2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for sheet_id, board in table2.per_sheet.items():
+        assert board.top3_rate >= 0.9, sheet_id
+
+
+@pytest.mark.parametrize("sheet_id", SHEET_ORDER)
+def test_translation_latency(benchmark, corpus, oracle, sheet_id):
+    """The Avg. Time column: one representative description per sheet."""
+    description = corpus.by_sheet(sheet_id, subset="test")[0]
+    translator = Translator(oracle.workbook(sheet_id))
+    benchmark(translator.translate, description.text)

@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+The benchmarks double as the experiment regeneration harness: each bench
+computes one paper table/figure on a corpus sample (sized to keep the suite
+in minutes; the CLI ``python -m repro.evalkit <exp>`` runs the full split)
+and prints the measured rows next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import Corpus
+from repro.evalkit import TaskOracle
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-eval", action="store_true", default=False,
+        help="run benchmark accuracy tables on the full test split",
+    )
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return Corpus.default()
+
+
+@pytest.fixture(scope="session")
+def oracle():
+    return TaskOracle()
+
+
+@pytest.fixture(scope="session")
+def sample_size(request):
+    return None if request.config.getoption("--full-eval") else 160

@@ -1,0 +1,70 @@
+"""Bring your own data: CSV in, NL analysis, reusable script out.
+
+Writes a small project-tracking CSV (with a date column), loads it as a
+workbook, runs a few natural-language steps against it, and saves the
+accepted program sequence as a script that re-applies to next month's file.
+
+Run:  python examples/bring_your_own_csv.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.session import NLyzeSession, Script
+from repro.sheet.io import load_workbook
+
+_THIS_MONTH = """\
+project,owner,stage,deadline,budget
+apollo,alice,build,2014-03-01,$1200
+borealis,bob,design,2014-06-15,$2500
+comet,carol,build,2014-09-30,$800
+draco,dana,review,2014-05-20,$1500
+europa,erik,design,2014-04-02,$600
+"""
+
+_NEXT_MONTH = """\
+project,owner,stage,deadline,budget
+fenrir,fay,build,2014-07-11,$900
+gaia,gus,design,2014-08-01,$3100
+hydra,hana,build,2014-07-25,$450
+"""
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="nlyze-csv-"))
+    current = workdir / "projects.csv"
+    current.write_text(_THIS_MONTH)
+
+    workbook = load_workbook([current])
+    print(workbook.default_table.render())
+    print()
+
+    session = NLyzeSession(workbook)
+    for description in (
+        "sum the budget for the build projects",
+        "count projects with deadline before 2014-06-01",
+        "what is the average budget",
+    ):
+        result = session.run(description)
+        print(f"> {description}\n  -> {result.display()}")
+
+    # Save the step sequence and re-apply it to a "similar spreadsheet".
+    script = Script.from_session(session)
+    script_path = workdir / "monthly_report.nlyze"
+    script_path.write_text(script.dumps())
+    print(f"\nsaved script to {script_path}:")
+    print(script.dumps())
+
+    following = workdir / "projects_next.csv"
+    following.write_text(_NEXT_MONTH)
+    next_workbook = load_workbook([following])
+    results = Script.loads(script_path.read_text()).apply(next_workbook)
+    print("re-applied to next month's file:")
+    for program, result in zip(script.programs, results):
+        print(f"  {program}  ->  {result.display()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Country-facts analysis: the Tab. 1 composition examples.
+
+Exercises nested reductions ("larger than the average"), superlatives
+("which country has the largest gdp per capita"), negation ("not in
+europe", "do not use the euro"), and a column map (gdp / population) on the
+country-facts sheet.
+
+Run:  python examples/country_facts.py
+"""
+
+from repro import NLyzeSession
+from repro.dataset import build_sheet
+
+
+QUERIES = [
+    "which country has the largest gdp per capita",
+    "which countries have a gdp per capita larger than the average",
+    "sum the gdp for all countries that are not in europe",
+    "how many countries are in europe but do not use the euro",
+    "what is the average population for the countries in asia",
+    "how many countries are in europe",
+]
+
+
+def main() -> None:
+    workbook = build_sheet("countries")
+    print(workbook.default_table.render(max_rows=8))
+    print()
+    session = NLyzeSession(workbook)
+
+    for query in QUERIES:
+        step = session.ask(query)
+        result = session.accept(step)
+        top = step.views[0]
+        print(f"> {query}")
+        print(f"  {top.excel}")
+        if result.kind == "selection":
+            table = workbook.table(result.table)
+            names = [
+                table.cell(i, 0).display() for i in result.rows
+            ]
+            print(f"  -> selected: {', '.join(names)}")
+        else:
+            print(f"  -> {result.display()}")
+        print()
+
+    # A column map placed next to the table: gdp per person, recomputed.
+    workbook.set_cursor("H2")
+    result = session.run("gdp divided by population")
+    print("> gdp divided by population (vector placed at H2):")
+    print("  ->", ", ".join(v.display() for v in result.values[:6]), "...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""PBE + NL interop: the paper's "first author" scenario (§4).
+
+The NLyze DSL cannot express "how many papers have Gulwani as the first
+author" over a column of comma-separated author lists.  The paper's answer:
+Flash Fill a first-author column from one example, then finish with natural
+language.  This example runs that exact pipeline with the bundled
+mini-Flash-Fill learner.
+
+Run:  python examples/flashfill_interop.py
+"""
+
+from repro import NLyzeSession, Table, Workbook
+from repro.pbe import fill_column
+
+
+def make_papers_workbook() -> Workbook:
+    workbook = Workbook()
+    workbook.add_table(
+        Table.from_data(
+            "Papers",
+            ["title", "authors", "year"],
+            [
+                ["flash fill", "gulwani", 2011],
+                ["spreadsheet transforms", "harris, gulwani", 2011],
+                ["nlyze", "gulwani, marron", 2014],
+                ["smartsynth", "le, gulwani, su", 2013],
+                ["semantic strings", "singh, gulwani", 2012],
+                ["number transforms", "singh, gulwani", 2012],
+            ],
+        )
+    )
+    workbook.set_cursor("E2")
+    return workbook
+
+
+def main() -> None:
+    workbook = make_papers_workbook()
+    papers = workbook.table("Papers")
+
+    # Step 1 (PBE): one example teaches the first-author extraction.
+    program = fill_column(
+        papers,
+        source_column="authors",
+        new_column="firstauthor",
+        examples=[("harris, gulwani", "harris")],
+    )
+    print(f"Flash Fill learned: {program.describe()}")
+    print(papers.render())
+    print()
+
+    # Step 2 (NL): finish the task in natural language over the new column.
+    session = NLyzeSession(workbook)
+    step = session.ask("how many papers have a firstauthor of gulwani")
+    result = session.accept(step)
+    print(step.views[0].render())
+    print(f"-> {result.display()} papers have gulwani as first author")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Inventory reorder report: conditional formatting and column comparisons.
+
+Uses the inventory sheet to build a small reorder report with NL steps:
+flag the items below their reorder level (a column-to-column comparison),
+count them, and total the stock value at risk.
+
+Run:  python examples/inventory_reorder.py
+"""
+
+from repro import NLyzeSession
+from repro.dataset import build_sheet
+
+
+def main() -> None:
+    workbook = build_sheet("inventory")
+    inventory = workbook.default_table
+    print(inventory.render(max_rows=6))
+    print()
+
+    session = NLyzeSession(workbook)
+
+    # 1. flag the at-risk rows
+    step = session.ask("color the rows where quantity is below reorder yellow")
+    session.accept(step)
+    print(f"> {step.description}")
+    print(f"  {step.views[0].excel}")
+    flagged = [
+        inventory.cell(i, 0).display()
+        for i in range(inventory.n_rows)
+        if inventory.cell(i, 0).format.color.value == "yellow"
+    ]
+    print(f"  -> flagged: {', '.join(flagged)}")
+    print()
+
+    # 2. count them
+    result = session.run("how many items have quantity less than reorder")
+    print(f"> how many items have quantity less than reorder -> {result.display()}")
+
+    # 3. total the value at risk, straight off the yellow view
+    result = session.run("sum the yellow stockvalue cells")
+    print(f"> sum the yellow stockvalue cells -> {result.display()}")
+
+    # 4. a regular conditional reduction for comparison
+    result = session.run("sum the stockvalue for the coffee items")
+    print(f"> sum the stockvalue for the coffee items -> {result.display()}")
+
+
+if __name__ == "__main__":
+    main()

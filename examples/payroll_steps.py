@@ -1,0 +1,57 @@
+"""Programming in steps (paper §4).
+
+A sophisticated payroll task performed as a sequence of small NL steps that
+communicate through spreadsheet state:
+
+1. highlighting — select rows and reduce over the *selection* (the
+   anonymous view read back by GetActive);
+2. emphasis — color cells and reduce over the *red cells* (the named view
+   read back by GetFormat), extending the view across steps;
+3. live replay — change an input value and re-execute the accepted program
+   sequence.
+
+Run:  python examples/payroll_steps.py
+"""
+
+from repro import CellValue, NLyzeSession
+from repro.dataset import build_sheet
+
+
+def main() -> None:
+    workbook = build_sheet("payroll")
+    session = NLyzeSession(workbook)
+
+    # -- Step pattern 1: highlight, then reduce over the selection --------
+    print("== selection as an anonymous view ==")
+    step = session.ask("select the rows for the capitol hill baristas")
+    print(step.views[0].render())
+    session.accept(step)
+
+    result = session.run("sum the totalpay from the selected rows")
+    print(f"sum over the selection: {result.display()}")
+    print()
+
+    # -- Step pattern 2: emphasis as a named, extensible view --------------
+    print("== formatting as a named view ==")
+    session.run("color the chef totalpay red")
+    session.run("color the totalpay for the baristas red")
+    result = session.run("add up the red totalpay cells")
+    print(f"sum over the red cells (chefs + baristas): {result.display()}")
+    print()
+
+    # -- Step pattern 3: live replay after an input edit --------------------
+    print("== live replay ==")
+    employees = workbook.table("Employees")
+    # alice gets a raise: her totalpay cell changes
+    employees.cell(0, 7).value = CellValue.currency(500)
+    results = session.replay()
+    print(f"after editing alice's totalpay, replayed {len(results)} steps;")
+    print(f"new red-cell sum: {results[-1].display()}")
+
+    print()
+    print("Full transcript:")
+    print(session.transcript())
+
+
+if __name__ == "__main__":
+    main()

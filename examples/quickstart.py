@@ -1,0 +1,39 @@
+"""Quickstart: the paper's Fig. 1 running example.
+
+Loads the coffee-shop payroll sheet, asks NLyze to "sum the totalpay for
+the capitol hill baristas", shows the annotated candidate list (word
+highlighting, strikethrough for ignored words, Excel formulas, structured-
+English paraphrases), then executes the top candidate, placing the result
+at the active cursor (J2).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import NLyzeSession
+from repro.dataset import build_sheet
+
+
+def main() -> None:
+    workbook = build_sheet("payroll")
+    print("The payroll sheet:")
+    print(workbook.default_table.render(max_rows=6))
+    print()
+
+    session = NLyzeSession(workbook)
+    step = session.ask("sum the totalpay for the capitol hill baristas")
+    print(step.render())
+    print()
+
+    result = session.accept(step)  # execute the top-ranked candidate
+    landed = ", ".join(a.to_a1() for a in result.addresses)
+    print(f"Accepted candidate #1 -> {result.display()} placed at {landed}")
+
+    # The result is ordinary sheet state: follow up with another step that
+    # references it ("what fraction of the overall payroll is that?").
+    session.run("column H total")  # total payroll into the next cursor cell
+    fraction = session.run("divide J2 by J3")
+    print(f"Fraction of total payroll: {fraction.display()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Interactive NLyze REPL.
+
+A terminal stand-in for the Excel add-in's task pane: type descriptions,
+inspect the annotated candidates, accept one by number (or Enter for the
+top one), and watch the sheet update.
+
+Run:  python examples/repl.py [payroll|inventory|countries|invoices]
+
+Commands inside the REPL:
+    :sheet          print the current table
+    :script         print the accepted program sequence (DSL syntax)
+    :replay         re-execute the accepted sequence
+    :quit           exit
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.dataset import SHEET_ORDER, build_sheet
+from repro.errors import ReproError
+from repro.session import NLyzeSession, Script
+
+
+def main() -> None:
+    sheet_id = sys.argv[1] if len(sys.argv) > 1 else "payroll"
+    if sheet_id not in SHEET_ORDER:
+        raise SystemExit(f"unknown sheet {sheet_id!r}; one of {SHEET_ORDER}")
+    workbook = build_sheet(sheet_id)
+    session = NLyzeSession(workbook)
+    print(workbook.default_table.render(max_rows=8))
+    print("\nDescribe a task in English (:quit to exit).\n")
+
+    while True:
+        try:
+            line = input("nlyze> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        if not line:
+            continue
+        if line in (":quit", ":q", "exit"):
+            break
+        if line == ":sheet":
+            print(workbook.default_table.render())
+            continue
+        if line == ":script":
+            print(Script.from_session(session).dumps())
+            continue
+        if line == ":replay":
+            for result in session.replay():
+                print(f"  -> {result.display()}")
+            continue
+        try:
+            step = session.ask(line)
+        except ReproError as exc:
+            print(f"  error: {exc}")
+            continue
+        print(step.render())
+        if not step.views:
+            continue
+        choice = input("accept which? [1] ").strip()
+        if choice.lower() in ("n", "no", "none", "skip"):
+            continue
+        index = int(choice) - 1 if choice.isdigit() else 0
+        try:
+            result = session.accept(step, choice=index)
+        except ReproError as exc:
+            print(f"  error: {exc}")
+            continue
+        print(f"  -> {result.display()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and has no ``wheel`` package, so PEP
+660 editable installs cannot build.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on older pips) use the classic ``setup.py develop``
+path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""NLyze reproduction: natural-language programming for spreadsheets.
+
+Reimplementation of Gulwani & Marron, "NLyze: Interactive Programming by
+Natural Language for SpreadSheet Data Analysis and Manipulation" (SIGMOD
+2014).  See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results.
+
+Quickstart::
+
+    from repro import NLyzeSession
+    from repro.dataset import build_sheet
+
+    session = NLyzeSession(build_sheet("payroll"))
+    step = session.ask("sum the totalpay for the capitol hill baristas")
+    print(step.render())            # annotated candidates + Excel formulas
+    result = session.accept(step)   # execute the top candidate
+    print(result.display())
+"""
+
+from .dsl import Evaluator, ExcelEmitter, TypeChecker, paraphrase
+from .errors import ReproError
+from .session import NLyzeSession
+from .sheet import CellValue, Table, ValueType, Workbook
+from .translate import Candidate, Translator, TranslatorConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Candidate",
+    "CellValue",
+    "Evaluator",
+    "ExcelEmitter",
+    "NLyzeSession",
+    "ReproError",
+    "Table",
+    "Translator",
+    "TranslatorConfig",
+    "TypeChecker",
+    "ValueType",
+    "Workbook",
+    "paraphrase",
+    "__version__",
+]

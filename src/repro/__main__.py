@@ -1,0 +1,139 @@
+"""Package CLI.
+
+Usage::
+
+    python -m repro translate "sum the hours" --sheet payroll [--top 3]
+    python -m repro translate "total the amount" --csv data.csv [...]
+    python -m repro repl [--sheet payroll] [--csv data.csv ...]
+    python -m repro corpus --dump out.txt [--seed 2014]
+    python -m repro rules [--learned]
+
+Experiments live under ``python -m repro.evalkit`` (see README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .dataset import SHEET_ORDER, build_sheet
+from .session import NLyzeSession
+from .sheet import Workbook
+
+
+def _workbook(args: argparse.Namespace) -> Workbook:
+    if getattr(args, "csv", None):
+        from .sheet.io import load_workbook
+
+        return load_workbook(args.csv)
+    return build_sheet(args.sheet)
+
+
+def _cmd_translate(args: argparse.Namespace) -> None:
+    workbook = _workbook(args)
+    session = NLyzeSession(workbook)
+    step = session.ask(args.description)
+    print(step.render())
+    if args.execute and step.views:
+        result = session.accept(step)
+        print(f"-> {result.display()}")
+
+
+def _cmd_repl(args: argparse.Namespace) -> None:
+    workbook = _workbook(args)
+    print(workbook.default_table.render(max_rows=10))
+    session = NLyzeSession(workbook)
+    print("\nDescribe a task (:quit to exit).")
+    while True:
+        try:
+            line = input("nlyze> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if not line:
+            continue
+        if line in (":quit", ":q"):
+            break
+        try:
+            step = session.ask(line)
+        except Exception as exc:  # surface, keep the loop alive
+            print(f"error: {exc}")
+            continue
+        print(step.render())
+        if step.views:
+            result = session.accept(step)
+            print(f"-> {result.display()}")
+
+
+def _cmd_corpus(args: argparse.Namespace) -> None:
+    from .dataset import Corpus
+
+    corpus = Corpus.default(seed=args.seed)
+    lines = [
+        f"{d.task_id}\t{d.sheet_id}\t{d.text}" for d in corpus.descriptions
+    ]
+    if args.dump:
+        with open(args.dump, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"wrote {len(lines)} descriptions to {args.dump}")
+    else:
+        print("\n".join(lines[: args.head]))
+
+
+def _cmd_rules(args: argparse.Namespace) -> None:
+    if args.learned:
+        from .dataset import Corpus, all_tasks
+        from .learning import TrainingExample, learn_rules
+
+        corpus = Corpus.default()
+        tasks = {t.task_id: t for t in all_tasks()}
+        workbooks = {}
+        examples = []
+        for d in corpus.train[:400]:
+            wb = workbooks.setdefault(d.sheet_id, build_sheet(d.sheet_id))
+            examples.append(TrainingExample(
+                text=d.text, program=tasks[d.task_id].gold(wb), workbook=wb
+            ))
+        rules = learn_rules(examples)
+    else:
+        from .rules import builtin_rules
+
+        rules = builtin_rules()
+    for rule in rules:
+        print(rule.render())
+    print(f"({len(rules)} rules)", file=sys.stderr)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("translate", help="translate one description")
+    p.add_argument("description")
+    p.add_argument("--sheet", choices=SHEET_ORDER, default="payroll")
+    p.add_argument("--csv", nargs="*", help="CSV files instead of a demo sheet")
+    p.add_argument("--execute", action="store_true",
+                   help="execute the top candidate")
+    p.set_defaults(func=_cmd_translate)
+
+    p = sub.add_parser("repl", help="interactive session")
+    p.add_argument("--sheet", choices=SHEET_ORDER, default="payroll")
+    p.add_argument("--csv", nargs="*")
+    p.set_defaults(func=_cmd_repl)
+
+    p = sub.add_parser("corpus", help="print or dump the evaluation corpus")
+    p.add_argument("--seed", type=int, default=2014)
+    p.add_argument("--dump", help="write the corpus to a file")
+    p.add_argument("--head", type=int, default=20)
+    p.set_defaults(func=_cmd_corpus)
+
+    p = sub.add_parser("rules", help="print the rule set")
+    p.add_argument("--learned", action="store_true",
+                   help="learn rules from the training split first")
+    p.set_defaults(func=_cmd_rules)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""The evaluation dataset: the four sheets, the 40 tasks, and the
+deterministic description generator recreating the paper's 3570-description
+corpus (see DESIGN.md for the substitution rationale)."""
+
+from .corpus import Corpus, user_study_descriptions
+from .generator import (
+    CORPUS_SIZE,
+    DEFAULT_SEED,
+    Description,
+    generate_corpus,
+    generate_descriptions,
+    generate_user_study,
+)
+from .intents import Filter, Intent, build_gold
+from .sheets import SHEET_ORDER, build_sheet
+from .tasks import Task, all_tasks, tasks_for_sheet, validate_tasks
+
+__all__ = [
+    "CORPUS_SIZE",
+    "Corpus",
+    "DEFAULT_SEED",
+    "Description",
+    "Filter",
+    "Intent",
+    "SHEET_ORDER",
+    "Task",
+    "all_tasks",
+    "build_gold",
+    "build_sheet",
+    "generate_corpus",
+    "generate_descriptions",
+    "generate_user_study",
+    "tasks_for_sheet",
+    "user_study_descriptions",
+    "validate_tasks",
+]

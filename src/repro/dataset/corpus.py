@@ -1,0 +1,75 @@
+"""Corpus container with deterministic train/test splitting.
+
+"To construct the rules we performed a random 70/30 split of collected
+natural language descriptions and used the 70% split to build a set of 105
+rules" (paper §5).  The split here is seeded, so every experiment sees the
+same train and test sets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .generator import (
+    CORPUS_SIZE,
+    DEFAULT_SEED,
+    Description,
+    generate_corpus,
+    generate_user_study,
+)
+from .tasks import Task, all_tasks
+
+
+@dataclass
+class Corpus:
+    """The evaluation corpus plus its split."""
+
+    descriptions: list[Description]
+    seed: int = DEFAULT_SEED
+    train: list[Description] = field(default_factory=list)
+    test: list[Description] = field(default_factory=list)
+
+    @staticmethod
+    def default(seed: int = DEFAULT_SEED, total: int = CORPUS_SIZE) -> "Corpus":
+        """The versioned default corpus: same seed, same 3570 strings."""
+        corpus = Corpus(generate_corpus(seed=seed, total=total), seed=seed)
+        corpus.split()
+        return corpus
+
+    def split(self, train_fraction: float = 0.7) -> None:
+        """Seeded random 70/30 split, stratified implicitly by shuffling the
+        whole corpus (every task contributes to both sides with high
+        probability at this corpus size)."""
+        rng = random.Random(self.seed * 31 + 7)
+        shuffled = list(self.descriptions)
+        rng.shuffle(shuffled)
+        cut = int(len(shuffled) * train_fraction)
+        self.train = shuffled[:cut]
+        self.test = shuffled[cut:]
+
+    def __len__(self) -> int:
+        return len(self.descriptions)
+
+    def by_sheet(self, sheet_id: str, subset: str = "test") -> list[Description]:
+        pool = {"train": self.train, "test": self.test, "all": self.descriptions}[
+            subset
+        ]
+        return [d for d in pool if d.sheet_id == sheet_id]
+
+    def by_task(self, task_id: str, subset: str = "all") -> list[Description]:
+        pool = {"train": self.train, "test": self.test, "all": self.descriptions}[
+            subset
+        ]
+        return [d for d in pool if d.task_id == task_id]
+
+    def task_of(self, description: Description) -> Task:
+        for task in all_tasks():
+            if task.task_id == description.task_id:
+                return task
+        raise KeyError(description.task_id)
+
+
+def user_study_descriptions(seed: int = DEFAULT_SEED) -> list[Description]:
+    """The 62 hard-mode descriptions of the §5.2 analog."""
+    return generate_user_study(seed=seed)

@@ -1,0 +1,654 @@
+"""The description generator: recreating the 3570-description corpus.
+
+The paper's corpus of 3570 crowd-sourced English descriptions is not
+published, so we regenerate it synthetically.  Table 1 and §5 characterise
+the corpus along these axes, all of which the generator reproduces:
+
+* minimal keyword style ("sum hours capitol hill baristas") through verbose
+  polite style ("computer please sum the hours for the capitol hill
+  location baristas"),
+* implicit references and linguistic idioms ("capitol hill baristas"
+  instead of an explicit conjunction; "in europe" instead of "continent
+  equals europe"),
+* reordering (filter-first vs. reduction-first),
+* misspellings (the UI underlines them in red),
+* column-letter references ("sum column H where column C is barista"),
+* multi-word renderings of squashed column headers ("gdp per capita" for
+  the ``gdppercapita`` column),
+* an average of roughly 37.7 distinct word/order clusters per intent.
+
+Generation is deterministic given the seed, so the corpus is versioned and
+every experiment row is reproducible.  *Hard mode* recreates the §5.2
+end-user study: vocabulary outside the rule set and heavier composition.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..sheet import Workbook
+from .intents import Filter
+from .sheets import build_sheet
+from .tasks import Task, all_tasks
+
+DEFAULT_SEED = 2014
+CORPUS_SIZE = 3570
+
+
+@dataclass(frozen=True)
+class Description:
+    """One natural-language description of a task."""
+
+    text: str
+    task_id: str
+    sheet_id: str
+    hard: bool = False
+
+
+# -- shared vocabulary -------------------------------------------------------
+
+_PREFIXES = [
+    "please ", "computer please ", "can you ", "i want to ",
+    "i need to ", "now ", "go ahead and ",
+]
+
+_REDUCE_VERBS = {
+    "sum": ["sum", "sum up", "add up", "total", "total up", "compute the sum of",
+            "find the sum of", "get the total of", "calculate the sum of"],
+    "avg": ["average", "get the average of", "compute the average of",
+            "find the average of", "take the mean of", "calculate the average of"],
+    "min": ["find the minimum of", "get the minimum of", "find the smallest",
+            "get the lowest", "compute the min of"],
+    "max": ["find the maximum of", "get the maximum of", "find the largest",
+            "get the highest", "compute the max of"],
+}
+_REDUCE_QUESTION = {
+    "sum": ["what is the sum of", "what is the total of"],
+    "avg": ["what is the average", "what are the average"],
+    "min": ["what is the smallest", "what is the minimum"],
+    "max": ["what is the largest", "what is the maximum"],
+}
+_HARD_REDUCE_VERBS = {
+    "sum": ["tally", "tot up", "aggregate", "roll up"],
+    "avg": ["work out the typical", "figure out the mean of"],
+    "min": ["figure out the smallest", "work out the least"],
+    "max": ["figure out the biggest", "work out the top"],
+}
+
+_COUNT_VERBS = ["count", "count up", "count the number of", "get the number of",
+                "how many", "give me the count of"]
+_HARD_COUNT_VERBS = ["enumerate", "tell me how many", "figure out how many"]
+
+_SELECT_VERBS = ["select", "highlight", "select the rows for", "get the rows with",
+                 "show me", "pick out", "grab"]
+_FORMAT_VERBS = ["color", "make", "paint", "turn", "mark"]
+
+# row nouns used in counting / selecting ("how many employees ...")
+_ROW_NOUNS = {
+    "payroll": ["employees", "people", "workers", "rows"],
+    "inventory": ["items", "products", "rows"],
+    "countries": ["countries", "rows"],
+    "invoices": ["invoices", "orders", "rows"],
+}
+
+# columns that read naturally with a locative preposition
+_LOCATIVE_COLUMNS = {"location", "region", "warehouse", "continent"}
+# columns whose values name kinds of rows ("barista", "widget", "coffee")
+_KIND_COLUMNS = {"title", "category", "product", "status", "currency", "customer",
+                 "supplier"}
+
+# multi-word surface forms of squashed column headers
+_COLUMN_SURFACES = {
+    "totalpay": ["totalpay", "total pay"],
+    "basepay": ["basepay", "base pay"],
+    "otpay": ["otpay", "ot pay"],
+    "othours": ["othours", "ot hours"],
+    "gdppercapita": ["gdppercapita", "gdp per capita"],
+    "unitprice": ["unitprice", "unit price"],
+    "stockvalue": ["stockvalue", "stock value"],
+    "payrate": ["payrate", "pay rate"],
+}
+# hard mode adds out-of-vocabulary column phrasings (§5.2)
+_HARD_COLUMN_SURFACES = {
+    "othours": ["overtime hours", "overtime"],
+    "totalpay": ["overall pay"],
+    "gdppercapita": ["per capita gdp"],
+    "unitprice": ["price per unit"],
+}
+
+
+def _plural(word: str) -> str:
+    if word.endswith("s"):
+        return word
+    return word + "s"
+
+
+class Realizer:
+    """Renders one task intent into many natural-language descriptions."""
+
+    def __init__(
+        self, task: Task, workbook: Workbook, rng: random.Random, hard: bool = False
+    ) -> None:
+        self.task = task
+        self.intent = task.intent
+        self.workbook = workbook
+        self.table = workbook.default_table
+        self.rng = rng
+        self.hard = hard
+
+    # -- public -------------------------------------------------------------
+
+    def generate(self, n: int) -> list[str]:
+        """``n`` descriptions (dedup-sampled; slightly fewer only if the
+        variation space is genuinely exhausted)."""
+        seen: set[str] = set()
+        out: list[str] = []
+        attempts = 0
+        while len(out) < n and attempts < n * 60:
+            attempts += 1
+            text = self._decorate(self._render())
+            if text not in seen:
+                seen.add(text)
+                out.append(text)
+        return out
+
+    # -- decoration ------------------------------------------------------------
+
+    def _decorate(self, text: str) -> str:
+        r = self.rng
+        question = text.startswith(("how many", "what is", "what are", "which"))
+        if not question and r.random() < (0.30 if not self.hard else 0.20):
+            text = r.choice(_PREFIXES) + text
+        if r.random() < 0.07:
+            text = self._typo(text)
+        return " ".join(text.lower().split())
+
+    def _typo(self, text: str) -> str:
+        """Corrupt one content word the way hurried typists do."""
+        words = text.split()
+        candidates = [i for i, w in enumerate(words) if len(w) >= 5 and w.isalpha()]
+        if not candidates:
+            return text
+        i = self.rng.choice(candidates)
+        w = words[i]
+        j = self.rng.randrange(len(w) - 1)
+        mode = self.rng.random()
+        if mode < 0.4:  # transpose
+            w = w[:j] + w[j + 1] + w[j] + w[j + 2:]
+        elif mode < 0.7:  # drop
+            w = w[:j] + w[j + 1:]
+        else:  # double
+            w = w[:j] + w[j] + w[j:]
+        words[i] = w
+        return " ".join(words)
+
+    # -- shared pieces -----------------------------------------------------------
+
+    def _col(self, name: str) -> str:
+        """A surface form of a column header."""
+        surfaces = list(_COLUMN_SURFACES.get(name, [name]))
+        if self.hard:
+            surfaces += _HARD_COLUMN_SURFACES.get(name, [])
+        return self.rng.choice(surfaces)
+
+    def _col_letter(self, name: str) -> str:
+        from ..sheet.address import column_index_to_letter
+
+        j = self.table.column_index(name)
+        return column_index_to_letter(self.table.origin.col + j)
+
+    def _row_noun(self) -> str:
+        return self.rng.choice(_ROW_NOUNS[self.task.sheet_id])
+
+    def _verb(self, table: dict, hard_table: dict | None, key: str) -> str:
+        options = list(table[key])
+        if self.hard and hard_table:
+            options += hard_table.get(key, [])
+        return self.rng.choice(options)
+
+    # -- filter phrases ------------------------------------------------------------
+
+    def _filter_clause(self, f: Filter) -> str:
+        """An explicit relative-clause rendering of one filter."""
+        r = self.rng
+        col = self._col(f.column)
+        if f.op == "eq":
+            val = str(f.value)
+            options = [
+                f"where the {col} is {val}",
+                f"where {col} is {val}",
+                f"where {col} equals {val}",
+                f"whose {col} is {val}",
+                f"with a {col} of {val}",
+                f"where column {self._col_letter(f.column)} is {val}",
+            ]
+            if f.column in _LOCATIVE_COLUMNS:
+                options += [f"in {val}", f"at {val}", f"located in {val}",
+                            f"who work at {val}"]
+            if f.column in _KIND_COLUMNS:
+                options += [f"that are {_plural(val)}", f"for the {_plural(val)}"]
+            return r.choice(options)
+        if f.op == "neq":
+            val = str(f.value)
+            options = [
+                f"where the {col} is not {val}",
+                f"where {col} is not {val}",
+                f"whose {col} isn't {val}",
+                f"excluding {val}",
+            ]
+            if f.column in _LOCATIVE_COLUMNS:
+                options += [f"that are not in {val}", f"not in {val}"]
+            if f.column == "currency":
+                options += [f"that do not use the {val}", f"which don't use the {val}"]
+            return r.choice(options)
+        if f.op in ("lt", "gt"):
+            n = f.value
+            more = ["greater than", "more than", "over", "above", "bigger than",
+                    "larger than", ">"]
+            less = ["less than", "under", "below", "smaller than", "<"]
+            word = r.choice(more if f.op == "gt" else less)
+            options = [
+                f"where {col} is {word} {n}",
+                f"with {col} {word} {n}",
+                f"where the {col} is {word} {n}",
+                f"with {word} {n} {col}",
+            ]
+            if f.op == "gt" and f.value == 0:
+                options += [f"with nonzero {col}", f"where {col} is not 0"]
+            return r.choice(options)
+        if f.op in ("gt_avg", "lt_avg"):
+            word = "larger than" if f.op == "gt_avg" else "smaller than"
+            word = self.rng.choice(
+                [word, "more than" if f.op == "gt_avg" else "less than",
+                 "above" if f.op == "gt_avg" else "below"]
+            )
+            return self.rng.choice(
+                [
+                    f"with a {col} {word} the average",
+                    f"where {col} is {word} the average",
+                    f"where the {col} is {word} the average {col}",
+                    f"with {word} average {col}",
+                ]
+            )
+        # column-to-column comparison
+        other = self._col(f.other_column)
+        word = r.choice(
+            ["less than", "under", "below", "smaller than"]
+            if f.op == "lt_col"
+            else ["greater than", "over", "above", "more than"]
+        )
+        return r.choice(
+            [
+                f"where {col} is {word} {other}",
+                f"with {col} {word} the {other}",
+                f"where the {col} is {word} the {other}",
+            ]
+        )
+
+    def _filters_explicit(self, filters: tuple[Filter, ...]) -> str:
+        clauses = [self._filter_clause(f) for f in filters]
+        joiner = " or " if self.intent.disjunctive else " and "
+        parts = [clauses[0]]
+        for clause in clauses[1:]:
+            # Users sometimes repeat the connective ("... and where ...") and
+            # sometimes elide it ("... and title is barista").
+            parts.append(
+                _strip_where(clause) if self.rng.random() < 0.5 else clause
+            )
+        return joiner.join(parts)
+
+    def _implicit_np(self) -> str | None:
+        """An implicit noun phrase like "the capitol hill baristas" when the
+        filters are all text equalities; None otherwise."""
+        filters = self.intent.filters
+        if self.intent.disjunctive or not filters:
+            return None
+        if not all(f.op == "eq" and isinstance(f.value, str) for f in filters):
+            return None
+        heads = [f for f in filters if f.column in _KIND_COLUMNS]
+        mods = [f for f in filters if f.column not in _KIND_COLUMNS]
+        if heads:
+            head = _plural(str(heads[0].value))
+            extra_heads = [str(f.value) for f in heads[1:]]
+            mod = " ".join(str(f.value) for f in mods)
+            np = " ".join(x for x in [mod, " ".join(extra_heads), head] if x)
+            return f"the {np}"
+        if mods and all(f.column in _LOCATIVE_COLUMNS for f in mods):
+            noun = self._row_noun()
+            place = " ".join(str(f.value) for f in mods)
+            return self.rng.choice(
+                [f"the {place} {noun}", f"the {noun} in {place}",
+                 f"the {noun} at {place}"]
+            )
+        return None
+
+    def _keyword_filters(self) -> str:
+        """Bare keyword rendering: values and numbers only."""
+        parts = []
+        for f in self.intent.filters:
+            if f.op == "eq":
+                parts.append(str(f.value))
+            elif f.op in ("lt", "gt"):
+                sym = "under" if f.op == "lt" else "over"
+                parts.append(f"{self._col(f.column)} {sym} {f.value}")
+            elif f.op == "neq":
+                parts.append(f"not {f.value}")
+            elif f.op in ("gt_avg", "lt_avg"):
+                parts.append(f"{self._col(f.column)} above average")
+            else:
+                parts.append(
+                    f"{self._col(f.column)} under {self._col(f.other_column)}"
+                )
+        self.rng.shuffle(parts)
+        return " ".join(parts)
+
+    # -- renderers per intent kind --------------------------------------------------
+
+    def _render(self) -> str:
+        kind = self.intent.kind
+        render = getattr(self, f"_render_{kind}")
+        return render()
+
+    def _render_reduce(self) -> str:
+        it = self.intent
+        r = self.rng
+        col = self._col(it.column)
+        verb = self._verb(_REDUCE_VERBS, _HARD_REDUCE_VERBS, it.reduce_op)
+        if not it.filters:
+            return r.choice(
+                [
+                    f"{verb} the {col}",
+                    f"{verb} {col}",
+                    f"{verb} the {col} column",
+                    f"{self._verb(_REDUCE_QUESTION, None, it.reduce_op)} {col}",
+                    f"{verb} column {self._col_letter(it.column)}",
+                ]
+            )
+        np = self._implicit_np()
+        explicit = self._filters_explicit(it.filters)
+        frames = [
+            f"{verb} the {col} {explicit}",
+            f"{verb} {col} {explicit}",
+            f"{explicit} {verb} the {col}".replace("where ", "for all ", 1)
+            if explicit.startswith("where ") else f"{verb} the {col} {explicit}",
+            f"{self._verb(_REDUCE_QUESTION, None, it.reduce_op)} {col} {explicit}",
+            f"get the rows {explicit} and {verb} the {col}",
+        ]
+        if np is not None:
+            frames += [
+                f"{verb} the {col} for {np}",
+                f"{verb} the {np} {col}",
+                f"{verb} {col} for {np}",
+                f"get {np} and {verb} the {col}",
+                f"{self._verb(_REDUCE_QUESTION, None, it.reduce_op)} {col} for {np}",
+                f"{verb} the {col} of {np}",
+            ]
+            # pure keyword style
+            keyword_verb = {"sum": "sum", "avg": "average",
+                            "min": "min", "max": "max"}[it.reduce_op]
+            frames.append(f"{keyword_verb} {col} {self._keyword_filters()}")
+        # column-letter style
+        letter_filters = " and ".join(
+            f"column {self._col_letter(f.column)} is {f.value}"
+            for f in it.filters
+            if f.op == "eq"
+        )
+        if letter_filters:
+            frames.append(
+                f"{verb} column {self._col_letter(it.column)} where {letter_filters}"
+            )
+        return r.choice(frames)
+
+    def _render_count(self) -> str:
+        it = self.intent
+        r = self.rng
+        noun = self._row_noun()
+        verb = self._verb(
+            {"c": _COUNT_VERBS}, {"c": _HARD_COUNT_VERBS} if self.hard else None, "c"
+        )
+        if not it.filters:
+            return r.choice([f"{verb} the {noun}", f"{verb} {noun}"])
+        np = self._implicit_np()
+        explicit = self._filters_explicit(it.filters)
+        frames = [
+            f"{verb} the {noun} {explicit}",
+            f"{verb} {noun} {explicit}",
+            f"how many {noun} are there {explicit}",
+            f"count how many {noun} {explicit}".replace("where", "have", 1)
+            if explicit.startswith("where") else f"{verb} the {noun} {explicit}",
+        ]
+        if np is not None:
+            counting = verb if not verb.startswith("how many") else "count"
+            frames += [
+                f"{counting} {np}",
+                f"how many {noun} are {np.replace('the ', '', 1)}",
+                f"{counting} the number of {np.replace('the ', '', 1)}",
+            ]
+        # the Tab. 1 idiom: "how many countries are in europe but do not use the euro"
+        if len(it.filters) == 2 and not it.disjunctive:
+            first = self._filter_clause(it.filters[0])
+            second = self._filter_clause(it.filters[1])
+            frames.append(
+                f"how many {noun} {_strip_where(first)} but {_strip_where(second)}"
+            )
+            frames.append(f"{verb} {noun} {first} and {second}")
+        return r.choice(frames)
+
+    def _render_select(self) -> str:
+        it = self.intent
+        r = self.rng
+        noun = self._row_noun()
+        verb = r.choice(_SELECT_VERBS)
+        np = self._implicit_np()
+        explicit = self._filters_explicit(it.filters)
+        frames = [
+            f"{verb} the rows {explicit}",
+            f"{verb} rows {explicit}",
+            f"{verb} the {noun} {explicit}",
+            f"select all {noun} {explicit}",
+            f"which {noun} have {_strip_where(explicit)}"
+            if explicit.startswith("where") or explicit.startswith("with")
+            else f"{verb} the rows {explicit}",
+        ]
+        if np is not None:
+            frames += [
+                f"{verb} the rows for {np}",
+                f"{verb} {np}",
+                f"select the rows with {np.replace('the ', '', 1)}",
+            ]
+        return r.choice(frames)
+
+    def _render_format(self) -> str:
+        it = self.intent
+        r = self.rng
+        color = it.format_color
+        explicit = self._filters_explicit(it.filters)
+        verb = r.choice(_FORMAT_VERBS)
+        frames = [
+            f"{verb} the rows {explicit} {color}",
+            f"color the rows {explicit} {color}",
+            f"get the rows {explicit} and color them {color}",
+            f"highlight the rows {explicit} in {color}",
+            f"make the rows {explicit} {color}",
+            f"mark rows {explicit} in {color}",
+        ]
+        return r.choice(frames)
+
+    def _render_lookup(self) -> str:
+        it = self.intent
+        r = self.rng
+        out = self._col(it.out_column)
+        needle = it.needle
+        table = it.aux_table.lower()
+        frames = [
+            f"lookup the {out} for {needle}",
+            f"look up the {out} of a {needle}",
+            f"what is the {out} for a {needle}",
+            f"get the {out} of the {needle} from the {table} table",
+            f"find {needle} in the {table} table and get the {out}",
+            f"lookup {needle} {out}",
+            f"what {out} does a {needle} get",
+        ]
+        return r.choice(frames)
+
+    def _render_join_map(self) -> str:
+        it = self.intent
+        r = self.rng
+        out = self._col(it.out_column)
+        by = self._col(it.key_column)
+        col = self._col(it.column)
+        noun = self._row_noun()[:-1]  # singular-ish
+        frames = [
+            f"for each {noun} lookup the {out} and multiply by {col}",
+            f"lookup the {out} for each {noun} and multiply it by the {col}",
+            f"for every {noun} look up the {out} by {by} and multiply by the {col}",
+            f"multiply each {noun}'s {out} by their {col}",
+            f"lookup {out} by {by} and multiply by {col}",
+            f"for each row get the {out} from the {it.aux_table.lower()} table and multiply by {col}",
+        ]
+        return r.choice(frames)
+
+    def _render_map2(self) -> str:
+        it = self.intent
+        r = self.rng
+        a = self._col(it.column)
+        b = self._col(str(it.operand2))
+        word = {"add": "plus", "sub": "minus", "mult": "times", "div": "divided by"}[
+            it.map_op
+        ]
+        verb = {"add": "add", "sub": "subtract", "mult": "multiply", "div": "divide"}[
+            it.map_op
+        ]
+        frames = [
+            f"{a} {word} {b}",
+            f"{verb} the {a} and the {b} columns"
+            if it.map_op in ("add", "mult")
+            else f"{verb} the {a} by the {b}",
+            f"{verb} {a} and {b}" if it.map_op in ("add", "mult") else f"{verb} {a} by {b}",
+            f"compute {a} {word} {b}",
+            f"for each row {verb} {a} and {b}"
+            if it.map_op in ("add", "mult")
+            else f"for each row {verb} {a} by {b}",
+            f"{a} {_OP_SYMBOL[it.map_op]} {b}",
+        ]
+        return r.choice(frames)
+
+    def _render_map_scaled2(self) -> str:
+        it = self.intent
+        r = self.rng
+        a = self._col(it.column)
+        b = self._col(str(it.operand2))
+        s = it.scale
+        frames = [
+            f"{a} plus {b} times {s}",
+            f"add {a} and {b} and multiply by {s}",
+            f"({a} + {b}) * {s}",
+            f"{a} plus {b} multiplied by {s}",
+            f"take {a} plus {b} and scale by {s}",
+        ]
+        return r.choice(frames)
+
+    def _render_map_scalar(self) -> str:
+        it = self.intent
+        a = self._col(it.column)
+        s = it.operand2
+        word = {"add": "plus", "sub": "minus", "mult": "times", "div": "divided by"}[
+            it.map_op
+        ]
+        return self.rng.choice(
+            [f"{a} {word} {s}", f"multiply {a} by {s}", f"compute {a} {word} {s}"]
+        )
+
+    def _render_argmax(self) -> str:
+        it = self.intent
+        r = self.rng
+        col = self._col(it.column)
+        noun = self._row_noun()
+        singular = noun[:-1] if noun.endswith("s") else noun
+        big = r.choice(["largest", "highest", "biggest", "greatest", "top", "maximum"])
+        frames = [
+            f"which {singular} has the {big} {col}",
+            f"find the {singular} with the {big} {col}",
+            f"select the row with the {big} {col}",
+            f"show me the {singular} with the {big} {col}",
+            f"which {noun} have the {big} {col}",
+            f"get the row where {col} is the {big}",
+        ]
+        return r.choice(frames)
+
+
+_OP_SYMBOL = {"add": "+", "sub": "-", "mult": "*", "div": "/"}
+
+
+def _strip_where(clause: str) -> str:
+    for lead in ("where the ", "where ", "with a ", "with "):
+        if clause.startswith(lead):
+            return clause[len(lead):]
+    return clause
+
+
+# -- corpus assembly ----------------------------------------------------------
+
+
+def generate_descriptions(
+    task: Task,
+    n: int,
+    seed: int = DEFAULT_SEED,
+    hard: bool = False,
+    workbook: Workbook | None = None,
+) -> list[Description]:
+    """``n`` deterministic descriptions of one task."""
+    wb = workbook if workbook is not None else build_sheet(task.sheet_id)
+    rng = random.Random(f"{seed}/{task.task_id}/{hard}")
+    realizer = Realizer(task, wb, rng, hard=hard)
+    return [
+        Description(text=t, task_id=task.task_id, sheet_id=task.sheet_id, hard=hard)
+        for t in realizer.generate(n)
+    ]
+
+
+def generate_corpus(
+    seed: int = DEFAULT_SEED, total: int = CORPUS_SIZE
+) -> list[Description]:
+    """The full evaluation corpus: ``total`` descriptions spread over the 40
+    tasks (the paper collected 3570 for 40 tasks, ~89 each)."""
+    tasks = all_tasks()
+    base, extra = divmod(total, len(tasks))
+    out: list[Description] = []
+    workbooks = {sheet_id: build_sheet(sheet_id) for sheet_id in
+                 {t.sheet_id for t in tasks}}
+    for i, task in enumerate(tasks):
+        n = base + (1 if i < extra else 0)
+        out.extend(
+            generate_descriptions(
+                task, n, seed=seed, workbook=workbooks[task.sheet_id]
+            )
+        )
+    return out
+
+
+def generate_user_study(
+    seed: int = DEFAULT_SEED, total: int = 62
+) -> list[Description]:
+    """The §5.2 analog: 62 hard-mode descriptions with out-of-vocabulary
+    phrasing and heavier composition, spread across tasks."""
+    tasks = all_tasks()
+    rng = random.Random(f"{seed}/userstudy")
+    chosen = [tasks[rng.randrange(len(tasks))] for _ in range(total)]
+    counts: dict[str, int] = {}
+    for task in chosen:
+        counts[task.task_id] = counts.get(task.task_id, 0) + 1
+    out: list[Description] = []
+    workbooks = {sheet_id: build_sheet(sheet_id) for sheet_id in
+                 {t.sheet_id for t in tasks}}
+    for task in tasks:
+        n = counts.get(task.task_id, 0)
+        if n:
+            out.extend(
+                generate_descriptions(
+                    task, n, seed=seed + 1, hard=True,
+                    workbook=workbooks[task.sheet_id],
+                )
+            )
+    return out[:total]

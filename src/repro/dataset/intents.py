@@ -1,0 +1,195 @@
+"""Task intents: a declarative layer between tasks and the DSL.
+
+Each evaluation task is described once as an :class:`Intent` — the semantic
+content of the task, independent of wording.  From an intent we derive both
+
+* the *gold program* (the DSL expression a correct translation must match),
+  via :func:`build_gold`, and
+* the many natural-language *descriptions* of the task, via the surface
+  realizer in :mod:`repro.dataset.generator`.
+
+This mirrors how the paper's corpus was built: each of the 40 tasks was
+shown to crowd workers as a before/after screenshot (one fixed semantics),
+and the workers produced varied wordings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dsl import ast
+from ..sheet import CellValue, FormatFn, ValueType, Workbook
+
+
+@dataclass(frozen=True)
+class Filter:
+    """One predicate of a task.
+
+    ``op`` is one of ``eq``, ``neq``, ``lt``, ``gt`` (value comparisons),
+    ``lt_col``/``gt_col`` (column-to-column), or ``gt_avg``/``lt_avg``
+    (comparison against the column's own average — the paper's "larger than
+    the average" nesting).
+    """
+
+    column: str
+    op: str
+    value: object | None = None
+    other_column: str | None = None
+
+    def __post_init__(self) -> None:
+        allowed = {"eq", "neq", "lt", "gt", "lt_col", "gt_col", "gt_avg", "lt_avg"}
+        if self.op not in allowed:
+            raise ValueError(f"bad filter op {self.op!r}")
+        if self.op.endswith("_col") and not self.other_column:
+            raise ValueError("column comparison needs other_column")
+
+
+@dataclass(frozen=True)
+class Intent:
+    """The semantics of one evaluation task.
+
+    ``kind`` selects the program shape:
+
+    * ``reduce`` — ``rop(column, rs, filters)`` with ``reduce_op``;
+    * ``count`` — ``Count(rs, filters)``;
+    * ``select`` — ``MakeActive(SelectRows(rs, filters))``;
+    * ``format`` — ``Format({Color}, SelectRows(rs, filters))``;
+    * ``lookup`` — scalar ``Lookup(needle, aux_table, key, out)``;
+    * ``join_map`` — vector ``Lookup`` joined on ``key_column`` and
+      multiplied by ``column`` ("lookup the payrate and multiply by hours");
+    * ``map2`` — ``map_op(column, other column in operand2)``;
+    * ``map_scaled2`` — ``Mult(Add(column, operand2), scale)`` (the
+      "basepay plus otpay times 1.10" composite);
+    * ``map_scalar`` — ``map_op(column, scalar operand2)``;
+    * ``argmax`` — ``MakeActive(SelectRows(rs, Eq(column, Max(column))))``.
+    """
+
+    kind: str
+    reduce_op: str | None = None
+    column: str | None = None
+    filters: tuple[Filter, ...] = ()
+    disjunctive: bool = False
+    needle: str | None = None
+    key_column: str | None = None
+    out_column: str | None = None
+    aux_table: str | None = None
+    map_op: str | None = None
+    operand2: object | None = None
+    scale: float | None = None
+    format_color: str | None = None
+
+
+_REDUCE_OPS = {
+    "sum": ast.ReduceOp.SUM,
+    "avg": ast.ReduceOp.AVG,
+    "min": ast.ReduceOp.MIN,
+    "max": ast.ReduceOp.MAX,
+}
+_BIN_OPS = {
+    "add": ast.BinaryOp.ADD,
+    "sub": ast.BinaryOp.SUB,
+    "mult": ast.BinaryOp.MULT,
+    "div": ast.BinaryOp.DIV,
+}
+
+
+def literal_for_column(workbook: Workbook, column: str, value: object) -> ast.Lit:
+    """A literal typed to match ``column`` (currency columns get currency
+    literals, so the gold program passes the strict type check)."""
+    dtype = workbook.default_table.column(column).dtype
+    if isinstance(value, str):
+        return ast.Lit(CellValue.text(value))
+    if dtype is ValueType.CURRENCY:
+        return ast.Lit(CellValue.currency(value))
+    return ast.Lit(CellValue.number(value))
+
+
+def build_filter(workbook: Workbook, f: Filter) -> ast.Expr:
+    col = ast.ColumnRef(f.column)
+    if f.op in ("lt_col", "gt_col"):
+        op = ast.RelOp.LT if f.op == "lt_col" else ast.RelOp.GT
+        return ast.Compare(op, col, ast.ColumnRef(f.other_column))
+    if f.op in ("gt_avg", "lt_avg"):
+        avg = ast.Reduce(ast.ReduceOp.AVG, col, ast.GetTable(), ast.TrueF())
+        op = ast.RelOp.GT if f.op == "gt_avg" else ast.RelOp.LT
+        return ast.Compare(op, col, avg)
+    lit = literal_for_column(workbook, f.column, f.value)
+    if f.op == "eq":
+        return ast.Compare(ast.RelOp.EQ, col, lit)
+    if f.op == "neq":
+        return ast.Not(ast.Compare(ast.RelOp.EQ, col, lit))
+    op = ast.RelOp.LT if f.op == "lt" else ast.RelOp.GT
+    return ast.Compare(op, col, lit)
+
+
+def build_condition(workbook: Workbook, intent: Intent) -> ast.Expr:
+    if not intent.filters:
+        return ast.TrueF()
+    parts = [build_filter(workbook, f) for f in intent.filters]
+    combined = parts[0]
+    for part in parts[1:]:
+        combined = (
+            ast.Or(combined, part) if intent.disjunctive else ast.And(combined, part)
+        )
+    return combined
+
+
+def build_gold(workbook: Workbook, intent: Intent) -> ast.Expr:
+    """The gold DSL program for an intent over a concrete workbook."""
+    rs = ast.GetTable()
+    cond = build_condition(workbook, intent)
+    if intent.kind == "reduce":
+        return ast.Reduce(
+            _REDUCE_OPS[intent.reduce_op], ast.ColumnRef(intent.column), rs, cond
+        )
+    if intent.kind == "count":
+        return ast.Count(rs, cond)
+    if intent.kind == "select":
+        return ast.MakeActive(ast.SelectRows(rs, cond))
+    if intent.kind == "format":
+        spec = ast.FormatSpec((FormatFn.color(intent.format_color),))
+        return ast.FormatCells(spec, ast.SelectRows(rs, cond))
+    if intent.kind == "lookup":
+        return ast.Lookup(
+            ast.Lit(CellValue.text(intent.needle)),
+            ast.GetTable(intent.aux_table),
+            ast.ColumnRef(intent.key_column),
+            ast.ColumnRef(intent.out_column),
+        )
+    if intent.kind == "join_map":
+        join = ast.Lookup(
+            ast.ColumnRef(intent.key_column),
+            ast.GetTable(intent.aux_table),
+            ast.ColumnRef(intent.key_column),
+            ast.ColumnRef(intent.out_column),
+        )
+        return ast.BinOp(_BIN_OPS[intent.map_op], join, ast.ColumnRef(intent.column))
+    if intent.kind == "map2":
+        return ast.BinOp(
+            _BIN_OPS[intent.map_op],
+            ast.ColumnRef(intent.column),
+            ast.ColumnRef(str(intent.operand2)),
+        )
+    if intent.kind == "map_scaled2":
+        inner = ast.BinOp(
+            ast.BinaryOp.ADD,
+            ast.ColumnRef(intent.column),
+            ast.ColumnRef(str(intent.operand2)),
+        )
+        return ast.BinOp(
+            ast.BinaryOp.MULT, inner, ast.Lit(CellValue.number(intent.scale))
+        )
+    if intent.kind == "map_scalar":
+        return ast.BinOp(
+            _BIN_OPS[intent.map_op],
+            ast.ColumnRef(intent.column),
+            ast.Lit(CellValue.number(intent.operand2)),
+        )
+    if intent.kind == "argmax":
+        best = ast.Reduce(
+            ast.ReduceOp.MAX, ast.ColumnRef(intent.column), ast.GetTable(), ast.TrueF()
+        )
+        return ast.MakeActive(
+            ast.SelectRows(rs, ast.Compare(ast.RelOp.EQ, ast.ColumnRef(intent.column), best))
+        )
+    raise ValueError(f"unknown intent kind {intent.kind!r}")

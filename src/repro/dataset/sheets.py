@@ -1,0 +1,176 @@
+"""The four evaluation spreadsheets.
+
+The paper used 4 spreadsheets from the Excel product team, "conceptually
+different areas: employee payrolls, inventory management, country facts, and
+sales invoices", chosen to vary the vocabulary and implicit relations in the
+descriptions.  Those sheets are proprietary; these four recreate the same
+domains (the payroll sheet follows Fig. 1 closely, including the PayRates
+side table used by lookup tasks).
+"""
+
+from __future__ import annotations
+
+from ..sheet import Table, ValueType, Workbook
+
+_T = ValueType.TEXT
+_N = ValueType.NUMBER
+_C = ValueType.CURRENCY
+
+
+def payroll_workbook() -> Workbook:
+    """Sheet #1 — employee payroll (the Fig. 1 coffee-shop sheet)."""
+    wb = Workbook()
+    wb.add_table(
+        Table.from_data(
+            "Employees",
+            [
+                "name", "location", "title", "hours", "othours",
+                "basepay", "otpay", "totalpay",
+            ],
+            [
+                ["alice", "capitol hill", "barista", 30, 2, 360, 36, 396],
+                ["bob", "capitol hill", "chef", 40, 0, 800, 0, 800],
+                ["carol", "queen anne", "barista", 25, 5, 300, 90, 390],
+                ["dave", "queen anne", "cashier", 18, 0, 198, 0, 198],
+                ["erin", "capitol hill", "barista", 35, 4, 420, 72, 492],
+                ["frank", "downtown", "chef", 38, 6, 760, 224, 984],
+                ["grace", "downtown", "cashier", 22, 0, 242, 0, 242],
+                ["henry", "capitol hill", "cashier", 28, 1, 308, 16, 324],
+                ["iris", "queen anne", "chef", 36, 3, 720, 112, 832],
+                ["jack", "downtown", "barista", 21, 0, 252, 0, 252],
+                ["karen", "capitol hill", "barista", 33, 2, 396, 36, 432],
+                ["luis", "queen anne", "barista", 16, 0, 192, 0, 192],
+            ],
+            types=[_T, _T, _T, _N, _N, _C, _C, _C],
+        )
+    )
+    wb.add_table(
+        Table.from_data(
+            "PayRates",
+            ["title", "payrate", "otrate"],
+            [
+                ["barista", 12, 18],
+                ["chef", 20, 30],
+                ["cashier", 11, 16],
+            ],
+            types=[_T, _C, _C],
+        )
+    )
+    wb.set_cursor("J2")
+    return wb
+
+
+def inventory_workbook() -> Workbook:
+    """Sheet #2 — inventory management."""
+    wb = Workbook()
+    wb.add_table(
+        Table.from_data(
+            "Inventory",
+            [
+                "item", "category", "supplier", "warehouse",
+                "quantity", "reorder", "unitprice", "stockvalue",
+            ],
+            [
+                ["espresso beans", "coffee", "acme foods", "north", 120, 40, 14, 1680],
+                ["drip beans", "coffee", "acme foods", "north", 60, 50, 9, 540],
+                ["green tea", "tea", "leaf co", "south", 200, 30, 6, 1200],
+                ["black tea", "tea", "leaf co", "north", 35, 40, 7, 245],
+                ["paper cups", "supplies", "box corp", "south", 900, 300, 1, 900],
+                ["lids", "supplies", "box corp", "south", 450, 300, 1, 450],
+                ["oat milk", "dairy", "farm fresh", "north", 80, 60, 4, 320],
+                ["whole milk", "dairy", "farm fresh", "north", 45, 60, 3, 135],
+                ["sugar", "supplies", "acme foods", "south", 150, 50, 2, 300],
+                ["chai mix", "tea", "leaf co", "south", 25, 20, 11, 275],
+                ["cold brew", "coffee", "bean bros", "south", 70, 30, 13, 910],
+                ["decaf beans", "coffee", "bean bros", "north", 20, 30, 12, 240],
+            ],
+            types=[_T, _T, _T, _T, _N, _N, _C, _C],
+        )
+    )
+    wb.set_cursor("J2")
+    return wb
+
+
+def countries_workbook() -> Workbook:
+    """Sheet #3 — country facts (gdp-per-capita tasks from Tab. 1)."""
+    wb = Workbook()
+    wb.add_table(
+        Table.from_data(
+            "Countries",
+            [
+                "country", "continent", "currency",
+                "population", "gdp", "gdppercapita",
+            ],
+            [
+                ["germany", "europe", "euro", 81, 3730, 46],
+                ["france", "europe", "euro", 66, 2810, 42],
+                ["poland", "europe", "zloty", 38, 525, 14],
+                ["norway", "europe", "krone", 5, 500, 100],
+                ["switzerland", "europe", "franc", 8, 685, 85],
+                ["japan", "asia", "yen", 127, 4600, 36],
+                ["china", "asia", "yuan", 1360, 9240, 7],
+                ["india", "asia", "rupee", 1250, 1875, 2],
+                ["brazil", "south america", "real", 200, 2245, 11],
+                ["chile", "south america", "peso", 18, 277, 15],
+                ["canada", "north america", "dollar", 35, 1825, 52],
+                ["mexico", "north america", "peso", 122, 1260, 10],
+                ["nigeria", "africa", "naira", 174, 515, 3],
+                ["egypt", "africa", "pound", 87, 272, 3],
+                ["australia", "oceania", "dollar", 23, 1560, 67],
+            ],
+            types=[_T, _T, _T, _N, _C, _C],
+        )
+    )
+    wb.set_cursor("H2")
+    return wb
+
+
+def invoices_workbook() -> Workbook:
+    """Sheet #4 — sales invoices."""
+    wb = Workbook()
+    wb.add_table(
+        Table.from_data(
+            "Invoices",
+            [
+                "invoice", "customer", "region", "product",
+                "units", "unitprice", "total", "status",
+            ],
+            [
+                ["inv-001", "contoso", "west", "widget", 10, 25, 250, "paid"],
+                ["inv-002", "fabrikam", "east", "gadget", 4, 99, 396, "unpaid"],
+                ["inv-003", "contoso", "west", "gadget", 2, 99, 198, "paid"],
+                ["inv-004", "northwind", "southeast", "widget", 20, 25, 500, "unpaid"],
+                ["inv-005", "adventure works", "east", "gizmo", 7, 45, 315, "paid"],
+                ["inv-006", "fabrikam", "east", "widget", 15, 25, 375, "paid"],
+                ["inv-007", "northwind", "southeast", "gizmo", 3, 45, 135, "unpaid"],
+                ["inv-008", "contoso", "west", "widget", 8, 25, 200, "overdue"],
+                ["inv-009", "tailspin", "northwest", "gadget", 5, 99, 495, "paid"],
+                ["inv-010", "tailspin", "northwest", "gizmo", 12, 45, 540, "unpaid"],
+                ["inv-011", "adventure works", "east", "widget", 30, 25, 750, "paid"],
+                ["inv-012", "northwind", "southeast", "gadget", 1, 99, 99, "overdue"],
+            ],
+            types=[_T, _T, _T, _T, _N, _C, _C, _T],
+        )
+    )
+    wb.set_cursor("J2")
+    return wb
+
+
+SHEET_BUILDERS = {
+    "payroll": payroll_workbook,
+    "inventory": inventory_workbook,
+    "countries": countries_workbook,
+    "invoices": invoices_workbook,
+}
+
+SHEET_ORDER = ("payroll", "inventory", "countries", "invoices")
+
+
+def build_sheet(sheet_id: str) -> Workbook:
+    """A fresh workbook for one of the four evaluation sheets."""
+    try:
+        return SHEET_BUILDERS[sheet_id]()
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown sheet {sheet_id!r}; one of {sorted(SHEET_BUILDERS)}"
+        ) from exc

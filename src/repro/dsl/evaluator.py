@@ -1,0 +1,322 @@
+"""The DSL interpreter.
+
+Executes complete (hole-free) programs against a :class:`Workbook`,
+producing values and the spreadsheet side effects of paper §2/§4:
+
+* scalar / vector programs place their result at the active cursor,
+* ``MakeActive`` replaces the active selection (anonymous views),
+* ``Format`` mutates cell formatting (named views).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import EvaluationError
+from ..sheet.address import CellAddress
+from ..sheet.table import Table
+from ..sheet.values import CellValue, ValueType
+from ..sheet.workbook import Workbook
+from . import ast
+from .holes import is_complete
+from .types import TypeChecker, _unit_result
+
+
+@dataclass
+class ProgramResult:
+    """What executing one program did.
+
+    ``kind`` is one of ``"scalar"``, ``"vector"``, ``"selection"``,
+    ``"format"``.  ``addresses`` lists every cell written, selected, or
+    reformatted, so callers (and tests) can observe the side effects.
+    """
+
+    kind: str
+    value: CellValue | None = None
+    values: list[CellValue] = field(default_factory=list)
+    table: str | None = None
+    rows: list[int] = field(default_factory=list)
+    addresses: list[CellAddress] = field(default_factory=list)
+
+    def display(self) -> str:
+        if self.kind == "scalar":
+            return self.value.display()
+        if self.kind == "vector":
+            return "[" + ", ".join(v.display() for v in self.values) + "]"
+        if self.kind == "selection":
+            return f"selected {len(self.addresses)} cells"
+        return f"formatted {len(self.addresses)} cells"
+
+
+class Evaluator:
+    """Interprets DSL programs over a workbook."""
+
+    def __init__(self, workbook: Workbook) -> None:
+        self.workbook = workbook
+        self.checker = TypeChecker(workbook)
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self, program: ast.Expr, place: bool = True) -> ProgramResult:
+        """Execute a complete program.  When ``place`` is true and a cursor
+        is set, scalar/vector results are written into the sheet."""
+        if not is_complete(program):
+            raise EvaluationError(f"program has unfilled holes: {program}")
+        if not self.checker.valid(program):
+            raise EvaluationError(f"program is ill-typed: {program}")
+        if isinstance(program, ast.MakeActive):
+            return self._run_make_active(program)
+        if isinstance(program, ast.FormatCells):
+            return self._run_format(program)
+        return self._run_value(program, place)
+
+    # -- value programs ----------------------------------------------------
+
+    def _run_value(self, program: ast.Expr, place: bool) -> ProgramResult:
+        scope = self._default_key()
+        kind = self.checker.type_of(program).kind
+        if kind.value in ("column", "vector"):
+            values = self.eval_vector(program, scope)
+            result = ProgramResult(kind="vector", values=values)
+            if place and self.workbook.has_cursor:
+                result.addresses = self.workbook.place_vector(values)
+            return result
+        value = self.eval_scalar(program, scope)
+        result = ProgramResult(kind="scalar", value=value)
+        if place and self.workbook.has_cursor:
+            result.addresses = [self.workbook.place_scalar(value)]
+        return result
+
+    def _run_make_active(self, program: ast.MakeActive) -> ProgramResult:
+        table, rows, cols = self.eval_query(program.query)
+        cells = [(i, j) for i in rows for j in cols]
+        self.workbook.select_cells(table, cells)
+        addresses = [table.address_of(i, j) for i, j in cells]
+        return ProgramResult(
+            kind="selection", table=table.name, rows=rows, addresses=addresses
+        )
+
+    def _run_format(self, program: ast.FormatCells) -> ProgramResult:
+        table, rows, cols = self.eval_query(program.query)
+        addresses = []
+        for i in rows:
+            for j in cols:
+                table.cell(i, j).apply_formats(program.spec.fns)
+                addresses.append(table.address_of(i, j))
+        return ProgramResult(
+            kind="format", table=table.name, rows=rows, addresses=addresses
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def eval_query(self, q: ast.Expr) -> tuple[Table, list[int], list[int]]:
+        """Evaluate a query to (table, row indices, column indices)."""
+        if isinstance(q, ast.SelectRows):
+            table, rows = self.eval_row_source(q.source)
+            rows = self._filter_rows(q.condition, table, rows)
+            return table, rows, list(range(table.n_cols))
+        if isinstance(q, ast.SelectCells):
+            table, rows = self.eval_row_source(q.source)
+            rows = self._filter_rows(q.condition, table, rows)
+            cols = [table.column_index(_column_name(c)) for c in q.columns]
+            return table, rows, cols
+        raise EvaluationError(f"not a query: {q}")
+
+    def eval_row_source(self, rs: ast.Expr) -> tuple[Table, list[int]]:
+        if isinstance(rs, ast.GetTable):
+            table = self._table(rs.table)
+            return table, list(range(table.n_rows))
+        if isinstance(rs, ast.GetActive):
+            # The selection may live in any table; prefer the table that
+            # actually contains selected cells, falling back to the default.
+            for table in self.workbook.tables:
+                rows = self.workbook.selected_row_indices(table)
+                if rows:
+                    return table, rows
+            return self.workbook.default_table, []
+        if isinstance(rs, ast.GetFormat):
+            table = self._table(rs.table)
+            return table, table.rows_matching_format(rs.spec.fns)
+        raise EvaluationError(f"not a row source: {rs}")
+
+    def _filter_rows(
+        self, condition: ast.Expr, table: Table, rows: list[int]
+    ) -> list[int]:
+        return [i for i in rows if self.eval_filter(condition, table, i)]
+
+    # -- filters -------------------------------------------------------------
+
+    def eval_filter(self, f: ast.Expr, table: Table, row: int) -> bool:
+        if isinstance(f, ast.TrueF):
+            return True
+        if isinstance(f, ast.And):
+            return self.eval_filter(f.left, table, row) and self.eval_filter(
+                f.right, table, row
+            )
+        if isinstance(f, ast.Or):
+            return self.eval_filter(f.left, table, row) or self.eval_filter(
+                f.right, table, row
+            )
+        if isinstance(f, ast.Not):
+            return not self.eval_filter(f.operand, table, row)
+        if isinstance(f, ast.Compare):
+            left = self._operand(f.left, table, row)
+            right = self._operand(f.right, table, row)
+            if left.is_empty or right.is_empty:
+                return False
+            if f.op is ast.RelOp.EQ:
+                return left.equals(right)
+            if f.op is ast.RelOp.LT:
+                return left.less_than(right)
+            return right.less_than(left)
+        raise EvaluationError(f"not a filter: {f}")
+
+    def _operand(self, e: ast.Expr, table: Table, row: int) -> CellValue:
+        """A comparison operand: a column yields the row's cell, anything
+        else is a scalar evaluated once in the *default* scope (nested
+        reductions like "larger than the average" land here)."""
+        if isinstance(e, ast.ColumnRef):
+            j = table.column_index(e.name)
+            return table.cell(row, j).value
+        return self.eval_scalar(e, self._default_key())
+
+    # -- scalars ----------------------------------------------------------------
+
+    def eval_scalar(self, e: ast.Expr, scope: str) -> CellValue:
+        if isinstance(e, ast.Lit):
+            return e.value
+        if isinstance(e, ast.CellRef):
+            value = self.workbook.get_value(e.a1)
+            if value.is_empty:
+                raise EvaluationError(f"cell {e.a1} is empty")
+            return value
+        if isinstance(e, ast.Reduce):
+            return self._eval_reduce(e)
+        if isinstance(e, ast.Count):
+            table, rows = self.eval_row_source(e.source)
+            matched = self._filter_rows(e.condition, table, rows)
+            return CellValue.number(len(matched))
+        if isinstance(e, ast.BinOp):
+            return self._eval_scalar_binop(e, scope)
+        if isinstance(e, ast.Lookup):
+            needle = self.eval_scalar(e.needle, scope)
+            return self._lookup_one(e, needle)
+        raise EvaluationError(f"not a scalar expression: {e}")
+
+    def _eval_reduce(self, e: ast.Reduce) -> CellValue:
+        table, rows = self.eval_row_source(e.source)
+        rows = self._filter_rows(e.condition, table, rows)
+        column = table.column(_column_name(e.column))
+        values = [
+            v
+            for v in table.column_values(column.name, rows)
+            if not v.is_empty
+        ]
+        if e.op is ast.ReduceOp.SUM:
+            total = sum(float(v.payload) for v in values)
+            return _make_numeric(total, column.dtype)
+        if not values:
+            raise EvaluationError(
+                f"{e.op.value} over no rows (filter matched nothing)"
+            )
+        numbers = [float(v.payload) for v in values]
+        if e.op is ast.ReduceOp.AVG:
+            return _make_numeric(sum(numbers) / len(numbers), column.dtype)
+        if e.op is ast.ReduceOp.MIN:
+            return _make_numeric(min(numbers), column.dtype)
+        return _make_numeric(max(numbers), column.dtype)
+
+    def _eval_scalar_binop(self, e: ast.BinOp, scope: str) -> CellValue:
+        left = self.eval_scalar(e.left, scope)
+        right = self.eval_scalar(e.right, scope)
+        elem = _unit_result(e.op, left.type, right.type)
+        return _apply_binop(e.op, left, right, elem)
+
+    def _lookup_one(self, e: ast.Lookup, needle: CellValue) -> CellValue:
+        table, rows = self.eval_row_source(e.source)
+        key = table.column(_column_name(e.key)).name
+        out = table.column(_column_name(e.out)).name
+        key_values = table.column_values(key, rows)
+        out_values = table.column_values(out, rows)
+        for k, v in zip(key_values, out_values):
+            if not k.is_empty and k.equals(needle):
+                return v
+        raise EvaluationError(
+            f"lookup failed: no row with {key} = {needle.display()}"
+        )
+
+    # -- vectors --------------------------------------------------------------
+
+    def eval_vector(self, e: ast.Expr, scope: str) -> list[CellValue]:
+        if isinstance(e, ast.ColumnRef):
+            table = self._table(e.table) if e.table else self._table(scope)
+            return table.column_values(e.name)
+        if isinstance(e, ast.Lookup):
+            needles = self.eval_vector(e.needle, scope)
+            return [self._lookup_one(e, n) for n in needles]
+        if isinstance(e, ast.BinOp):
+            return self._eval_vector_binop(e, scope)
+        raise EvaluationError(f"not a vector expression: {e}")
+
+    def _eval_vector_binop(self, e: ast.BinOp, scope: str) -> list[CellValue]:
+        lt = self.checker.type_of(e.left)
+        rt = self.checker.type_of(e.right)
+        left_is_vec = lt.kind.value in ("column", "vector")
+        right_is_vec = rt.kind.value in ("column", "vector")
+        elem = _unit_result(e.op, lt.elem, rt.elem)
+        if left_is_vec and right_is_vec:
+            lv = self.eval_vector(e.left, scope)
+            rv = self.eval_vector(e.right, scope)
+            if len(lv) != len(rv):
+                raise EvaluationError("vector length mismatch")
+            return [_apply_binop(e.op, a, b, elem) for a, b in zip(lv, rv)]
+        if left_is_vec:
+            lv = self.eval_vector(e.left, scope)
+            r = self.eval_scalar(e.right, scope)
+            return [_apply_binop(e.op, a, r, elem) for a in lv]
+        l = self.eval_scalar(e.left, scope)
+        rv = self.eval_vector(e.right, scope)
+        return [_apply_binop(e.op, l, b, elem) for b in rv]
+
+    # -- misc ------------------------------------------------------------------
+
+    def _table(self, name: str | None) -> Table:
+        if name is None:
+            return self.workbook.default_table
+        return self.workbook.table(name)
+
+    def _default_key(self) -> str:
+        return self.workbook.default_table.name.strip().lower()
+
+
+def _column_name(e: ast.Expr) -> str:
+    if not isinstance(e, ast.ColumnRef):
+        raise EvaluationError(f"expected a column reference, got {e}")
+    return e.name
+
+
+def _make_numeric(x: float, dtype: ValueType) -> CellValue:
+    if x == int(x):
+        x = int(x)
+    if dtype is ValueType.CURRENCY:
+        return CellValue.currency(x)
+    return CellValue.number(x)
+
+
+def _apply_binop(
+    op: ast.BinaryOp, a: CellValue, b: CellValue, elem: ValueType | None
+) -> CellValue:
+    if a.is_empty or b.is_empty:
+        raise EvaluationError("arithmetic on an empty cell")
+    x, y = float(a.payload), float(b.payload)
+    if op is ast.BinaryOp.ADD:
+        z = x + y
+    elif op is ast.BinaryOp.SUB:
+        z = x - y
+    elif op is ast.BinaryOp.MULT:
+        z = x * y
+    else:
+        if y == 0:
+            raise EvaluationError("division by zero")
+        z = x / y
+    return _make_numeric(z, elem or ValueType.NUMBER)

@@ -1,0 +1,329 @@
+"""Parser for the DSL's textual form.
+
+Every AST node prints as a readable constructor form (``Sum(totalpay,
+GetTable(), Lt(hours, 20))``); this module parses that form back, giving
+the DSL a round-trippable concrete syntax.  Scripts saved by the session
+layer (see :mod:`repro.session.script`) persist through this syntax.
+
+Grammar (whitespace-insensitive)::
+
+    expr   := call | atom
+    call   := NAME '(' [expr (',' expr)*] ')'
+    atom   := NUMBER | CURRENCY | quoted string | bare words | HOLE | A1
+    HOLE   := '□' KIND? INT
+
+Bare words (``totalpay``, ``capitol hill``) parse as column references when
+possible at evaluation time; the parser itself emits ``ColumnRef`` for bare
+identifiers and ``Lit`` text for quoted strings.  ``Table.name`` qualifies
+a column reference.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import DslTypeError, ReproError
+from ..sheet.address import is_cell_reference
+from ..sheet.formatting import Color, FormatFn
+from ..sheet.values import CellValue, parse_literal
+from . import ast
+
+
+class DslParseError(ReproError):
+    """The textual form could not be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<lparen>\()|(?P<rparen>\))|(?P<comma>,)
+    |(?P<hole>□[GLCV]?\d+)
+    |(?P<string>"[^"]*")
+    |(?P<word>[^(),\s]+)
+    """,
+    re.VERBOSE,
+)
+
+_REDUCE_OPS = {op.value: op for op in ast.ReduceOp}
+_BIN_OPS = {op.value: op for op in ast.BinaryOp}
+_REL_OPS = {op.value: op for op in ast.RelOp}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    out = []
+    position = 0
+    for match in _TOKEN_RE.finditer(text):
+        if text[position:match.start()].strip():
+            raise DslParseError(
+                f"unexpected characters {text[position:match.start()]!r}"
+            )
+        position = match.end()
+        out.append((match.lastgroup, match.group()))
+    if text[position:].strip():
+        raise DslParseError(f"trailing characters {text[position:]!r}")
+    return out
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self, kind: str | None = None) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise DslParseError("unexpected end of input")
+        if kind is not None and token[0] != kind:
+            raise DslParseError(f"expected {kind}, got {token[1]!r}")
+        self.position += 1
+        return token
+
+    # -- grammar -------------------------------------------------------------
+
+    def expr(self) -> ast.Expr:
+        kind, text = self.take()
+        if kind == "hole":
+            return _parse_hole(text)
+        if kind == "string":
+            return ast.Lit(CellValue.text(text[1:-1]))
+        if kind != "word":
+            raise DslParseError(f"unexpected token {text!r}")
+        nxt = self.peek()
+        if nxt is not None and nxt[0] == "lparen":
+            return self.call(text)
+        return _parse_atom(text)
+
+    def call(self, name: str) -> ast.Expr:
+        self.take("lparen")
+        args: list[ast.Expr | str] = []
+        while True:
+            token = self.peek()
+            if token is None:
+                raise DslParseError(f"unterminated call {name!r}")
+            if token[0] == "rparen":
+                self.take()
+                break
+            if token[0] == "comma":
+                self.take()
+                continue
+            args.append(self.expr())
+        return _build_call(name, args)
+
+
+def _parse_hole(text: str) -> ast.Hole:
+    body = text[1:]
+    if body[0].isdigit():
+        return ast.Hole(int(body))
+    return ast.Hole(int(body[1:]), ast.HoleKind(body[0]))
+
+
+def _parse_atom(text: str) -> ast.Expr:
+    # the bare word True is the trivial filter, not a boolean literal (the
+    # DSL's printer only ever emits it in filter position)
+    if text in ("True", "true"):
+        return ast.TrueF()
+    literal = parse_literal(text)
+    if literal is not None:
+        return ast.Lit(literal)
+    if is_cell_reference(text) and text[0].isupper():
+        return ast.CellRef(text)
+    if "." in text:
+        table, _, column = text.partition(".")
+        return ast.ColumnRef(column, table)
+    # bare identifier: a column reference (multi-word text values are
+    # always quoted by print_expr)
+    return ast.ColumnRef(text)
+
+
+def _build_call(name: str, args: list) -> ast.Expr:
+    try:
+        return _dispatch_call(name, args)
+    except (IndexError, TypeError) as exc:
+        raise DslParseError(f"bad arguments for {name}: {exc}") from exc
+
+
+def _dispatch_call(name: str, args: list) -> ast.Expr:
+    if name in _REDUCE_OPS:
+        return ast.Reduce(_REDUCE_OPS[name], args[0], args[1], args[2])
+    if name in _BIN_OPS:
+        return ast.BinOp(_BIN_OPS[name], args[0], args[1])
+    if name in _REL_OPS:
+        return ast.Compare(_REL_OPS[name], args[0], args[1])
+    if name == "And":
+        return ast.And(args[0], args[1])
+    if name == "Or":
+        return ast.Or(args[0], args[1])
+    if name == "Not":
+        return ast.Not(args[0])
+    if name == "Count":
+        return ast.Count(args[0], args[1])
+    if name == "Lookup":
+        return ast.Lookup(args[0], args[1], args[2], args[3])
+    if name == "GetTable":
+        if not args:
+            return ast.GetTable()
+        ref = args[0]
+        return ast.GetTable(ref.name if isinstance(ref, ast.ColumnRef) else str(ref))
+    if name == "GetActive":
+        return ast.GetActive()
+    if name == "SelectRows":
+        return ast.SelectRows(args[0], args[1])
+    if name == "SelectCells":
+        *columns, source, condition = args
+        return ast.SelectCells(tuple(columns), source, condition)
+    if name == "MakeActive":
+        return ast.MakeActive(args[0])
+    if name in ("Color", "Bold", "Italics", "Underline", "FontSize"):
+        return _format_fn_spec(name, args)
+    if name == "Spec":
+        fns: list[FormatFn] = []
+        for arg in args:
+            if not isinstance(arg, ast.FormatSpec):
+                raise DslParseError("Spec takes format functions")
+            fns.extend(arg.fns)
+        return ast.FormatSpec(tuple(fns))
+    if name == "Format":
+        spec, query = args
+        if not isinstance(spec, ast.FormatSpec):
+            raise DslParseError("Format needs a Spec first argument")
+        return ast.FormatCells(spec, query)
+    if name == "GetFormat":
+        spec = args[0]
+        if not isinstance(spec, ast.FormatSpec):
+            raise DslParseError("GetFormat needs a Spec first argument")
+        table = None
+        if len(args) > 1:
+            ref = args[1]
+            table = ref.name if isinstance(ref, ast.ColumnRef) else str(ref)
+        return ast.GetFormat(spec, table)
+    raise DslParseError(f"unknown constructor {name!r}")
+
+
+def _format_fn_spec(name: str, args: list) -> ast.FormatSpec:
+    """A single formatting function, represented as a one-element spec so
+    it can flow through the expression-only parser plumbing."""
+    (arg,) = args
+    if name == "Color":
+        if not isinstance(arg, ast.ColumnRef):
+            raise DslParseError("Color takes a color name")
+        return ast.FormatSpec((FormatFn.color(Color.from_name(arg.name)),))
+    if name == "FontSize":
+        if not isinstance(arg, ast.Lit):
+            raise DslParseError("FontSize takes a number")
+        return ast.FormatSpec((FormatFn.font_size(int(arg.value.payload)),))
+    # "true" parses as the TrueF filter; "false" as a boolean literal
+    truth = isinstance(arg, ast.TrueF) or (
+        isinstance(arg, ast.Lit) and bool(arg.value.payload)
+    )
+    maker = {
+        "Bold": FormatFn.bold,
+        "Italics": FormatFn.italics,
+        "Underline": FormatFn.underline,
+    }[name]
+    return ast.FormatSpec((maker(truth),))
+
+
+def parse_expr(text: str) -> ast.Expr:
+    """Parse the textual form of a DSL expression.
+
+    Round-trips with ``str(expr)`` for the value/query sublanguage (the
+    formatting sublanguage embeds :class:`FormatFn` records and is excluded
+    — scripts persist those through the session layer instead).
+
+    Caveat: multi-word text values print unquoted (``capitol hill``) and
+    re-parse as two tokens; :func:`normalize_multiword_lits` on the printing
+    side quotes them, so use :func:`print_expr` for round-trip output.
+    """
+    tokens = _tokenize(text)
+    parser = _Parser(tokens)
+    result = parser.expr()
+    if parser.peek() is not None:
+        raise DslParseError(f"trailing tokens after expression in {text!r}")
+    return result
+
+
+def print_expr(expr: ast.Expr) -> str:
+    """Print an expression in round-trippable form (text literals quoted)."""
+    if isinstance(expr, ast.Lit):
+        if expr.value.type.value == "text":
+            return f'"{expr.value.payload}"'
+        return expr.value.display().replace(",", "")
+    if isinstance(expr, ast.Hole):
+        return str(expr)
+    if isinstance(expr, ast.ColumnRef):
+        return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, ast.CellRef):
+        return expr.a1.upper()
+    if isinstance(expr, ast.TrueF):
+        return "True"
+    if isinstance(expr, ast.GetTable):
+        return f"GetTable({expr.table or ''})"
+    if isinstance(expr, ast.GetActive):
+        return "GetActive()"
+    if isinstance(expr, ast.Reduce):
+        inner = ", ".join(
+            print_expr(e) for e in (expr.column, expr.source, expr.condition)
+        )
+        return f"{expr.op.value}({inner})"
+    if isinstance(expr, ast.Count):
+        return (
+            f"Count({print_expr(expr.source)}, {print_expr(expr.condition)})"
+        )
+    if isinstance(expr, ast.BinOp):
+        return (
+            f"{expr.op.value}({print_expr(expr.left)}, "
+            f"{print_expr(expr.right)})"
+        )
+    if isinstance(expr, ast.Compare):
+        return (
+            f"{expr.op.value}({print_expr(expr.left)}, "
+            f"{print_expr(expr.right)})"
+        )
+    if isinstance(expr, (ast.And, ast.Or)):
+        name = "And" if isinstance(expr, ast.And) else "Or"
+        return f"{name}({print_expr(expr.left)}, {print_expr(expr.right)})"
+    if isinstance(expr, ast.Not):
+        return f"Not({print_expr(expr.operand)})"
+    if isinstance(expr, ast.Lookup):
+        inner = ", ".join(
+            print_expr(e) for e in (expr.needle, expr.source, expr.key, expr.out)
+        )
+        return f"Lookup({inner})"
+    if isinstance(expr, ast.SelectRows):
+        return (
+            f"SelectRows({print_expr(expr.source)}, "
+            f"{print_expr(expr.condition)})"
+        )
+    if isinstance(expr, ast.SelectCells):
+        parts = [print_expr(c) for c in expr.columns]
+        parts += [print_expr(expr.source), print_expr(expr.condition)]
+        return f"SelectCells({', '.join(parts)})"
+    if isinstance(expr, ast.MakeActive):
+        return f"MakeActive({print_expr(expr.query)})"
+    if isinstance(expr, ast.FormatSpec):
+        inner = ", ".join(_print_format_fn(fn) for fn in expr.fns)
+        return f"Spec({inner})"
+    if isinstance(expr, ast.FormatCells):
+        return (
+            f"Format({print_expr(expr.spec)}, {print_expr(expr.query)})"
+        )
+    if isinstance(expr, ast.GetFormat):
+        if expr.table:
+            return f"GetFormat({print_expr(expr.spec)}, {expr.table})"
+        return f"GetFormat({print_expr(expr.spec)})"
+    raise DslTypeError(f"cannot print {type(expr).__name__} for round-trip")
+
+
+def _print_format_fn(fn: FormatFn) -> str:
+    if fn.attribute == "color":
+        return f"Color({fn.value.value})"
+    if fn.attribute == "font_size":
+        return f"FontSize({fn.value})"
+    name = {"bold": "Bold", "italics": "Italics", "underline": "Underline"}[
+        fn.attribute
+    ]
+    return f"{name}({'true' if fn.value else 'false'})"

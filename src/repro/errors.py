@@ -1,0 +1,68 @@
+"""Exception hierarchy for the NLyze reproduction.
+
+Every package raises exceptions derived from :class:`ReproError` so that
+callers embedding the library can catch a single base class.  More specific
+subclasses communicate *which* layer rejected an operation: the spreadsheet
+substrate, the DSL type system, the evaluator, or the translator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SheetError(ReproError):
+    """Raised by the spreadsheet substrate (bad address, unknown table...)."""
+
+
+class UnknownTableError(SheetError):
+    """A referenced table does not exist in the workbook."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown table: {name!r}")
+        self.name = name
+
+
+class UnknownColumnError(SheetError):
+    """A referenced column does not exist in the table."""
+
+    def __init__(self, table: str, column: str) -> None:
+        super().__init__(f"table {table!r} has no column {column!r}")
+        self.table = table
+        self.column = column
+
+
+class AddressError(SheetError):
+    """An A1-style cell address could not be parsed or is out of range."""
+
+
+class DslTypeError(ReproError):
+    """An expression failed the DSL ``Valid`` type check."""
+
+
+class EvaluationError(ReproError):
+    """A well-typed program still failed at run time (e.g. lookup miss)."""
+
+
+class HoleError(ReproError):
+    """An operation on partial expressions was illegal (e.g. evaluating a
+    program that still contains holes, or substituting an expression that is
+    inconsistent with a hole's restriction)."""
+
+
+class TranslationError(ReproError):
+    """The translation pipeline was invoked with invalid inputs."""
+
+
+class RuleParseError(TranslationError):
+    """A rule template written in the concrete rule syntax failed to parse."""
+
+
+class LearningError(ReproError):
+    """The rule-learning pipeline received inconsistent training data."""
+
+
+class PbeError(ReproError):
+    """The mini Flash Fill learner could not handle its examples."""

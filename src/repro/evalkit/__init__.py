@@ -1,0 +1,57 @@
+"""Evaluation kit: canonical program equivalence, accuracy metrics, and the
+experiment harness regenerating every table and figure of paper §5."""
+
+from .canonical import canonicalize, equivalent
+from .clusters import ClusterReport, cluster_descriptions, run_clusters
+from .harness import (
+    PAPER_CLUSTERS_PER_INTENT,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_USER_STUDY,
+    Table2Result,
+    Table3Result,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_user_study,
+    run_fig1,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_user_study,
+)
+from .metrics import (
+    EvalOutcome,
+    Scoreboard,
+    TaskOracle,
+    evaluate_batch,
+    evaluate_description,
+)
+
+__all__ = [
+    "ClusterReport",
+    "EvalOutcome",
+    "PAPER_CLUSTERS_PER_INTENT",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_USER_STUDY",
+    "Scoreboard",
+    "Table2Result",
+    "Table3Result",
+    "TaskOracle",
+    "canonicalize",
+    "cluster_descriptions",
+    "equivalent",
+    "evaluate_batch",
+    "evaluate_description",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_user_study",
+    "run_clusters",
+    "run_fig1",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_user_study",
+]

@@ -1,0 +1,98 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.evalkit table2 [--sample N]
+    python -m repro.evalkit table3 [--sample N]
+    python -m repro.evalkit table1
+    python -m repro.evalkit fig1
+    python -m repro.evalkit userstudy
+    python -m repro.evalkit clusters
+    python -m repro.evalkit all [--sample N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..dataset import Corpus
+from . import harness
+from .clusters import run_clusters
+
+
+def _table2(args: argparse.Namespace) -> None:
+    corpus = Corpus.default()
+    limit = args.sample // 4 if args.sample else None
+    result = harness.run_table2(corpus, limit_per_sheet=limit)
+    print("Table 2 — overall performance (measured)")
+    print(harness.format_table2(result))
+    print()
+    print("Paper reference:")
+    for sheet, (t, a, b, c) in harness.PAPER_TABLE2.items():
+        print(f"  {sheet:<12} {t:>9.3f}s {a:>8.1%} {b:>6.1%} {c:>6.1%}")
+
+
+def _table3(args: argparse.Namespace) -> None:
+    corpus = Corpus.default()
+    result = harness.run_table3(corpus, sample=args.sample)
+    print("Table 3 — algorithm components (measured)")
+    print(harness.format_table3(result))
+    print()
+    print("Paper reference:")
+    for mode, (a, b, c) in harness.PAPER_TABLE3.items():
+        print(f"  {mode:<26} {a:>8.1%} {b:>6.1%} {c:>6.1%}")
+
+
+def _table1(args: argparse.Namespace) -> None:
+    print(harness.format_table1(harness.run_table1()))
+
+
+def _fig1(args: argparse.Namespace) -> None:
+    print(harness.run_fig1())
+
+
+def _userstudy(args: argparse.Namespace) -> None:
+    print(harness.format_user_study(harness.run_user_study()))
+
+
+def _clusters(args: argparse.Namespace) -> None:
+    report = run_clusters(Corpus.default())
+    print(
+        f"distinct clusters per intent: {report.average:.1f} average "
+        f"(paper: {harness.PAPER_CLUSTERS_PER_INTENT})"
+    )
+    for task_id, count in sorted(report.per_task.items()):
+        print(f"  {task_id}: {count}")
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(prog="python -m repro.evalkit")
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "table3", "fig1", "userstudy",
+                 "clusters", "all"],
+    )
+    parser.add_argument(
+        "--sample", type=int, default=None,
+        help="cap the number of evaluated descriptions (table2/table3)",
+    )
+    args = parser.parse_args(argv)
+    runners = {
+        "table1": _table1,
+        "table2": _table2,
+        "table3": _table3,
+        "fig1": _fig1,
+        "userstudy": _userstudy,
+        "clusters": _clusters,
+    }
+    if args.experiment == "all":
+        for name in ["table1", "fig1", "table2", "table3", "userstudy",
+                     "clusters"]:
+            print(f"\n=== {name} ===")
+            runners[name](args)
+    else:
+        runners[args.experiment](args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,153 @@
+"""Canonical forms for program equivalence.
+
+"The intended interpretation" in the paper's metrics means semantic, not
+syntactic, identity: ``And(a, b)`` equals ``And(b, a)``, ``Lt(C, v)``
+equals ``Gt(v, C)``, and a column reference may or may not carry an explicit
+table qualifier depending on how it was produced.  This module rewrites
+programs into a canonical form so equivalence is a structural comparison:
+
+* column references are fully resolved to their in-scope table,
+* comparisons put the column (or the lexically smaller operand) on the left,
+* ``And``/``Or`` chains are flattened and sorted,
+* commutative arithmetic (``Add``/``Mult``) sorts its operands.
+"""
+
+from __future__ import annotations
+
+from ..dsl import ast
+from ..sheet import Workbook
+
+
+def canonicalize(expr: ast.Expr, workbook: Workbook) -> ast.Expr:
+    """The canonical form of a complete program over ``workbook``."""
+    default = workbook.default_table.name.strip().lower()
+    return _rewrite(expr, workbook, default)
+
+
+def equivalent(a: ast.Expr, b: ast.Expr, workbook: Workbook) -> bool:
+    """Semantic equivalence of two complete programs."""
+    return canonicalize(a, workbook) == canonicalize(b, workbook)
+
+
+_FLIP = {ast.RelOp.LT: ast.RelOp.GT, ast.RelOp.GT: ast.RelOp.LT,
+         ast.RelOp.EQ: ast.RelOp.EQ}
+
+
+def _rewrite(e: ast.Expr, wb: Workbook, scope: str) -> ast.Expr:
+    if isinstance(e, ast.ColumnRef):
+        return _resolve_column(e, wb, scope)
+    if isinstance(e, ast.Compare):
+        return _canonical_compare(e, wb, scope)
+    if isinstance(e, (ast.And, ast.Or)):
+        return _canonical_chain(e, wb, scope)
+    if isinstance(e, ast.BinOp):
+        left = _rewrite(e.left, wb, scope)
+        right = _rewrite(e.right, wb, scope)
+        if e.op in (ast.BinaryOp.ADD, ast.BinaryOp.MULT) and str(left) > str(right):
+            left, right = right, left
+        return ast.BinOp(e.op, left, right)
+    if isinstance(e, ast.Reduce):
+        inner = _source_scope(e.source, wb, scope)
+        return ast.Reduce(
+            e.op,
+            _rewrite(e.column, wb, inner),
+            _rewrite(e.source, wb, scope),
+            _rewrite(e.condition, wb, inner),
+        )
+    if isinstance(e, ast.Count):
+        inner = _source_scope(e.source, wb, scope)
+        return ast.Count(
+            _rewrite(e.source, wb, scope), _rewrite(e.condition, wb, inner)
+        )
+    if isinstance(e, ast.Lookup):
+        inner = _source_scope(e.source, wb, scope)
+        return ast.Lookup(
+            _rewrite(e.needle, wb, scope),
+            _rewrite(e.source, wb, scope),
+            _rewrite(e.key, wb, inner),
+            _rewrite(e.out, wb, inner),
+        )
+    if isinstance(e, ast.SelectRows):
+        inner = _source_scope(e.source, wb, scope)
+        return ast.SelectRows(
+            _rewrite(e.source, wb, scope), _rewrite(e.condition, wb, inner)
+        )
+    if isinstance(e, ast.SelectCells):
+        inner = _source_scope(e.source, wb, scope)
+        return ast.SelectCells(
+            tuple(sorted(
+                (_rewrite(c, wb, inner) for c in e.columns), key=str
+            )),
+            _rewrite(e.source, wb, scope),
+            _rewrite(e.condition, wb, inner),
+        )
+    if isinstance(e, ast.GetTable):
+        name = (e.table or "").strip().lower()
+        default = wb.default_table.name.strip().lower()
+        # normalize: explicit default-table reference == implicit reference
+        return ast.GetTable(None if not name or name == default else name)
+    if isinstance(e, ast.GetFormat):
+        name = (e.table or "").strip().lower()
+        default = wb.default_table.name.strip().lower()
+        return ast.GetFormat(
+            ast.FormatSpec(tuple(sorted(e.spec.fns, key=repr))),
+            None if not name or name == default else name,
+        )
+    if isinstance(e, ast.FormatSpec):
+        return ast.FormatSpec(tuple(sorted(e.fns, key=repr)))
+    children = e.children()
+    if not children:
+        return e
+    return e.replace_children(
+        tuple(_rewrite(c, wb, scope) for c in children)
+    )
+
+
+def _resolve_column(c: ast.ColumnRef, wb: Workbook, scope: str) -> ast.ColumnRef:
+    table_key = c.table.strip().lower() if c.table else scope
+    try:
+        table = wb.table(table_key)
+        name = table.column(c.name).name
+    except Exception:
+        # Unresolvable references keep their spelling (the comparison will
+        # simply fail, which is the right outcome for a wrong program).
+        return ast.ColumnRef(c.name.strip().lower(), table_key)
+    return ast.ColumnRef(name, table.name.strip().lower())
+
+
+def _source_scope(source: ast.Expr, wb: Workbook, scope: str) -> str:
+    if isinstance(source, (ast.GetTable, ast.GetFormat)) and source.table:
+        return source.table.strip().lower()
+    return wb.default_table.name.strip().lower()
+
+
+def _canonical_compare(e: ast.Compare, wb: Workbook, scope: str) -> ast.Expr:
+    left = _rewrite(e.left, wb, scope)
+    right = _rewrite(e.right, wb, scope)
+    op = e.op
+    left_col = isinstance(left, ast.ColumnRef)
+    right_col = isinstance(right, ast.ColumnRef)
+    if (right_col and not left_col) or (
+        left_col == right_col and str(left) > str(right)
+    ):
+        left, right, op = right, left, _FLIP[op]
+    return ast.Compare(op, left, right)
+
+
+def _canonical_chain(e: ast.Expr, wb: Workbook, scope: str) -> ast.Expr:
+    kind = type(e)
+    operands: list[ast.Expr] = []
+
+    def flatten(node: ast.Expr) -> None:
+        if isinstance(node, kind):
+            flatten(node.left)
+            flatten(node.right)
+        else:
+            operands.append(_rewrite(node, wb, scope))
+
+    flatten(e)
+    operands.sort(key=str)
+    combined = operands[0]
+    for operand in operands[1:]:
+        combined = kind(combined, operand)
+    return combined

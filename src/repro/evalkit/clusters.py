@@ -1,0 +1,92 @@
+"""Intent clustering (paper §5).
+
+"We performed clustering on the natural language inputs for a given intent
+based on the orders of the column names/values and word similarity.  On
+average we found 37.7 distinct clusters for each intent."
+
+Descriptions of one task cluster together when (a) their content tokens —
+column references, sheet values, literals — appear in the same order, and
+(b) their word sets are similar (Jaccard overlap above a threshold).  The
+statistic validates that the synthetic corpus recreates the variety the
+paper's crowd-sourced corpus exhibited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dataset import Description, all_tasks, build_sheet
+from ..translate.context import SheetContext
+from ..translate.tokenizer import tokenize
+
+_JACCARD_THRESHOLD = 0.65
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Cluster counts per task plus the headline average."""
+
+    per_task: dict[str, int]
+
+    @property
+    def average(self) -> float:
+        if not self.per_task:
+            return 0.0
+        return sum(self.per_task.values()) / len(self.per_task)
+
+
+def _content_signature(text: str, ctx: SheetContext) -> tuple[str, ...]:
+    """The ordered sequence of content tokens in a description."""
+    signature = []
+    for token in tokenize(text):
+        if token.literal is not None or token.is_cellref:
+            signature.append("#lit")
+        elif ctx.is_column_word(token.text):
+            signature.append(f"c:{token.text}")
+        elif ctx.is_value_word(token.text):
+            signature.append(f"v:{token.text}")
+    return tuple(signature)
+
+
+def _word_set(text: str) -> frozenset[str]:
+    return frozenset(text.split())
+
+
+def cluster_descriptions(
+    descriptions: list[Description], ctx: SheetContext
+) -> int:
+    """Greedy single-link clustering; returns the cluster count."""
+    clusters: list[tuple[tuple[str, ...], list[frozenset[str]]]] = []
+    for d in descriptions:
+        signature = _content_signature(d.text, ctx)
+        words = _word_set(d.text)
+        placed = False
+        for cluster_signature, members in clusters:
+            if cluster_signature != signature:
+                continue
+            for member in members:
+                union = len(words | member)
+                if union and len(words & member) / union >= _JACCARD_THRESHOLD:
+                    members.append(words)
+                    placed = True
+                    break
+            if placed:
+                break
+        if not placed:
+            clusters.append((signature, [words]))
+    return len(clusters)
+
+
+def run_clusters(corpus) -> ClusterReport:
+    """The §5 clustering statistic over the full corpus."""
+    contexts = {
+        sheet_id: SheetContext(build_sheet(sheet_id))
+        for sheet_id in {t.sheet_id for t in all_tasks()}
+    }
+    per_task: dict[str, int] = {}
+    for task in all_tasks():
+        descriptions = corpus.by_task(task.task_id, subset="all")
+        per_task[task.task_id] = cluster_descriptions(
+            descriptions, contexts[task.sheet_id]
+        )
+    return ClusterReport(per_task=per_task)

@@ -1,0 +1,194 @@
+"""Experiment harness: regenerates every table and figure of paper §5.
+
+Each ``run_*`` function returns structured results and has a matching
+``format_*`` printer producing rows in the paper's layout.  The CLI
+(``python -m repro.evalkit <experiment>``) and the benchmark suite both sit
+on top of these functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dataset import (
+    SHEET_ORDER,
+    Corpus,
+    all_tasks,
+    build_sheet,
+    generate_descriptions,
+    user_study_descriptions,
+)
+from ..translate import TranslatorConfig, ablation_config
+from .metrics import Scoreboard, TaskOracle, evaluate_batch
+
+PAPER_TABLE2 = {
+    # sheet -> (avg seconds, top1, top3, all) as reported in the paper
+    "payroll": (0.010, 0.944, 0.967, 0.975),
+    "inventory": (0.015, 0.955, 0.975, 0.991),
+    "countries": (0.007, 0.945, 0.973, 0.979),
+    "invoices": (0.019, 0.907, 0.967, 0.969),
+    "all": (0.011, 0.941, 0.971, 0.982),
+}
+PAPER_TABLE3 = {
+    "rules_only": (0.740, 0.836, 0.898),
+    "synthesis_only": (0.674, 0.856, 0.982),
+    "combined_prod_only": (0.751, 0.894, 0.982),
+    "complete": (0.941, 0.971, 0.982),
+}
+PAPER_USER_STUDY = (0.903, 0.935, 0.951)
+PAPER_CLUSTERS_PER_INTENT = 37.7
+
+
+@dataclass
+class Table2Result:
+    per_sheet: dict[str, Scoreboard] = field(default_factory=dict)
+    overall: Scoreboard = field(default_factory=Scoreboard)
+
+
+def run_table2(
+    corpus: Corpus | None = None,
+    config: TranslatorConfig | None = None,
+    limit_per_sheet: int | None = None,
+) -> Table2Result:
+    """Table 2 — overall performance per sheet on the 30% test split."""
+    corpus = corpus or Corpus.default()
+    oracle = TaskOracle()
+    result = Table2Result()
+    for sheet_id in SHEET_ORDER:
+        descriptions = corpus.by_sheet(sheet_id, subset="test")
+        if limit_per_sheet is not None:
+            descriptions = descriptions[:limit_per_sheet]
+        board = evaluate_batch(descriptions, config=config, oracle=oracle)
+        result.per_sheet[sheet_id] = board
+        result.overall.outcomes.extend(board.outcomes)
+    return result
+
+
+def format_table2(result: Table2Result) -> str:
+    lines = [
+        f"{'Sheet':<12} {'Avg. Time':>10} {'Top Rank':>9} {'Top 3':>7} {'All':>7}",
+        "-" * 50,
+    ]
+    rows = list(result.per_sheet.items()) + [("all", result.overall)]
+    for sheet_id, board in rows:
+        lines.append(
+            f"{sheet_id:<12} {board.avg_seconds:>9.3f}s "
+            f"{board.top1_rate:>8.1%} {board.top3_rate:>6.1%} "
+            f"{board.recall:>6.1%}"
+        )
+    overall = result.overall
+    lines.append("")
+    lines.append(f"F1 (precision=top-1, recall=all): {overall.f1:.1%}")
+    return "\n".join(lines)
+
+
+@dataclass
+class Table3Result:
+    per_mode: dict[str, Scoreboard] = field(default_factory=dict)
+
+
+TABLE3_MODES = (
+    "rules_only", "synthesis_only", "combined_prod_only", "complete"
+)
+_MODE_LABELS = {
+    "rules_only": "Pattern Rule Only",
+    "synthesis_only": "Synthesis Only",
+    "combined_prod_only": "Pattern Rule & Synthesis",
+    "complete": "Complete Algorithm",
+    "no_cover": "Complete w/o CoverSc",
+    "no_mix": "Complete w/o MixSc",
+}
+
+
+def run_table3(
+    corpus: Corpus | None = None,
+    sample: int | None = None,
+    modes: tuple[str, ...] = TABLE3_MODES,
+) -> Table3Result:
+    """Table 3 — component ablation on the test split.
+
+    ``sample`` caps the number of test descriptions (evenly spread across
+    the split order) so the quadratic cost of four full runs stays
+    tractable for quick checks; ``None`` means the whole split.
+    """
+    corpus = corpus or Corpus.default()
+    descriptions = corpus.test
+    if sample is not None and sample < len(descriptions):
+        step = len(descriptions) / sample
+        descriptions = [
+            descriptions[int(k * step)] for k in range(sample)
+        ]
+    oracle = TaskOracle()
+    result = Table3Result()
+    for mode in modes:
+        board = evaluate_batch(
+            descriptions, config=ablation_config(mode), oracle=oracle
+        )
+        result.per_mode[mode] = board
+    return result
+
+
+def format_table3(result: Table3Result) -> str:
+    lines = [
+        f"{'Extensions':<26} {'Top Rank':>9} {'Top 3':>7} {'All':>7}",
+        "-" * 52,
+    ]
+    for mode, board in result.per_mode.items():
+        label = _MODE_LABELS.get(mode, mode)
+        lines.append(
+            f"{label:<26} {board.top1_rate:>8.1%} "
+            f"{board.top3_rate:>6.1%} {board.recall:>6.1%}"
+        )
+    return "\n".join(lines)
+
+
+def run_user_study(config: TranslatorConfig | None = None) -> Scoreboard:
+    """§5.2 — the 62-description hard-mode end-user study analog."""
+    return evaluate_batch(user_study_descriptions(), config=config)
+
+
+def format_user_study(board: Scoreboard) -> str:
+    return (
+        f"end-user study ({board.n} descriptions): "
+        f"top-1 {board.top1_rate:.1%}, top-3 {board.top3_rate:.1%}, "
+        f"anywhere {board.recall:.1%}"
+        f"  (paper: {PAPER_USER_STUDY[0]:.1%} / "
+        f"{PAPER_USER_STUDY[1]:.1%} / {PAPER_USER_STUDY[2]:.1%})"
+    )
+
+
+def run_table1(variants_per_task: int = 10) -> dict[str, list[str]]:
+    """Table 1 — qualitative variation inventory: sample phrasings of the
+    Fig. 1 conditional-sum task plus one description of each other task."""
+    tasks = all_tasks()
+    flagship = next(t for t in tasks if t.task_id == "payroll-01")
+    left = [
+        d.text for d in generate_descriptions(flagship, variants_per_task)
+    ]
+    right = []
+    for task in tasks:
+        if task.task_id == flagship.task_id:
+            continue
+        right.append(generate_descriptions(task, 1)[0].text)
+    return {"variations": left, "tasks": right[: variants_per_task + 1]}
+
+
+def format_table1(data: dict[str, list[str]]) -> str:
+    lines = ["Variations in language on the same task:"]
+    lines += [f"  - {t}" for t in data["variations"]]
+    lines.append("")
+    lines.append("Variations in task and composition:")
+    lines += [f"  - {t}" for t in data["tasks"]]
+    return "\n".join(lines)
+
+
+def run_fig1() -> str:
+    """Fig. 1 — the running example's annotated candidate list."""
+    from ..session import NLyzeSession
+
+    workbook = build_sheet("payroll")
+    session = NLyzeSession(workbook)
+    step = session.ask("sum the totalpay for the capitol hill baristas")
+    lines = [workbook.default_table.render(max_rows=6), ""]
+    lines.append(step.render())
+    return "\n".join(lines)

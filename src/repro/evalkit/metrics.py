@@ -1,0 +1,139 @@
+"""Accuracy metrics: top-k rates, recall, precision, F1 (paper §5)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..dataset import Description, all_tasks, build_sheet
+from ..dsl import ast
+from ..sheet import Workbook
+from ..translate import Translator, TranslatorConfig
+from .canonical import canonicalize
+
+
+@dataclass
+class EvalOutcome:
+    """Result of translating one description."""
+
+    description: Description
+    rank: int | None  # 0-based rank of the gold program, None = not found
+    seconds: float
+
+    @property
+    def top1(self) -> bool:
+        return self.rank == 0
+
+    @property
+    def top3(self) -> bool:
+        return self.rank is not None and self.rank < 3
+
+    @property
+    def found(self) -> bool:
+        return self.rank is not None
+
+
+@dataclass
+class Scoreboard:
+    """Aggregated rates over a batch of outcomes."""
+
+    outcomes: list[EvalOutcome] = field(default_factory=list)
+
+    def add(self, outcome: EvalOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    @property
+    def n(self) -> int:
+        return len(self.outcomes)
+
+    def _rate(self, selector) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if selector(o)) / self.n
+
+    @property
+    def top1_rate(self) -> float:
+        return self._rate(lambda o: o.top1)
+
+    @property
+    def top3_rate(self) -> float:
+        return self._rate(lambda o: o.top3)
+
+    @property
+    def recall(self) -> float:
+        """The paper's "All" column: gold anywhere in the result list."""
+        return self._rate(lambda o: o.found)
+
+    @property
+    def avg_seconds(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.seconds for o in self.outcomes) / self.n
+
+    @property
+    def f1(self) -> float:
+        """F1 with precision == top-1 rate and recall == the All column,
+        the user-facing combination the paper reports (97.6%)."""
+        p, r = self.top1_rate, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+
+class TaskOracle:
+    """Canonical gold programs per task over fresh per-sheet workbooks."""
+
+    def __init__(self) -> None:
+        self.workbooks: dict[str, Workbook] = {}
+        self._gold: dict[str, ast.Expr] = {}
+        for task in all_tasks():
+            wb = self.workbooks.setdefault(task.sheet_id, build_sheet(task.sheet_id))
+            self._gold[task.task_id] = canonicalize(task.gold(wb), wb)
+
+    def workbook(self, sheet_id: str) -> Workbook:
+        return self.workbooks[sheet_id]
+
+    def gold(self, task_id: str) -> ast.Expr:
+        return self._gold[task_id]
+
+
+def evaluate_description(
+    translator: Translator,
+    oracle: TaskOracle,
+    description: Description,
+) -> EvalOutcome:
+    """Translate one description and locate the gold program in the ranked
+    candidate list."""
+    workbook = oracle.workbook(description.sheet_id)
+    gold = oracle.gold(description.task_id)
+    start = time.perf_counter()
+    candidates = translator.translate(description.text)
+    elapsed = time.perf_counter() - start
+    rank = None
+    for k, candidate in enumerate(candidates):
+        if canonicalize(candidate.program, workbook) == gold:
+            rank = k
+            break
+    return EvalOutcome(description=description, rank=rank, seconds=elapsed)
+
+
+def evaluate_batch(
+    descriptions: list[Description],
+    config: TranslatorConfig | None = None,
+    oracle: TaskOracle | None = None,
+    translators: dict[str, Translator] | None = None,
+) -> Scoreboard:
+    """Evaluate a batch, reusing one translator per sheet."""
+    oracle = oracle or TaskOracle()
+    if translators is None:
+        translators = {}
+    board = Scoreboard()
+    for description in descriptions:
+        translator = translators.get(description.sheet_id)
+        if translator is None:
+            translator = Translator(
+                oracle.workbook(description.sheet_id), config=config
+            )
+            translators[description.sheet_id] = translator
+        board.add(evaluate_description(translator, oracle, description))
+    return board

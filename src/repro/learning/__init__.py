@@ -1,0 +1,31 @@
+"""Rule learning from (description, program) pairs (paper §3.3.1)."""
+
+from .clustering import TemplateCluster, cluster_templates, generalize
+from .extraction import (
+    CandidateTemplate,
+    TrainingExample,
+    extract_template,
+    find_unifying_subexpression,
+    unify,
+)
+from .pipeline import LearningTarget, default_targets, extract_all, learn_rules
+from .selection import RuleStats, finalize, prune, score_rules
+
+__all__ = [
+    "CandidateTemplate",
+    "LearningTarget",
+    "RuleStats",
+    "TemplateCluster",
+    "TrainingExample",
+    "cluster_templates",
+    "default_targets",
+    "extract_all",
+    "extract_template",
+    "finalize",
+    "find_unifying_subexpression",
+    "generalize",
+    "learn_rules",
+    "prune",
+    "score_rules",
+    "unify",
+]

@@ -1,0 +1,100 @@
+"""Clustering and generalization of candidate templates (paper §3.3.1).
+
+Extracted templates cluster by their placeholder signature (the order of
+slots and the anchor position).  Each cluster generalizes into one rule
+template: anchor words across members become a MustPat alternation, and the
+filler words observed between consecutive slots become OptPat option sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..translate.patterns import (
+    ColumnPat,
+    LiteralPat,
+    MustPat,
+    OptPat,
+    Pattern,
+    SpanPat,
+    ValuePat,
+)
+from .extraction import CandidateTemplate
+
+
+@dataclass
+class TemplateCluster:
+    """Templates sharing a placeholder signature."""
+
+    signature: tuple[str, ...]
+    target_name: str
+    members: list[CandidateTemplate] = field(default_factory=list)
+
+    @property
+    def support(self) -> int:
+        return len(self.members)
+
+
+def cluster_templates(
+    templates: list[CandidateTemplate],
+) -> list[TemplateCluster]:
+    clusters: dict[tuple, TemplateCluster] = {}
+    for template in templates:
+        key = (template.target_name, template.signature())
+        cluster = clusters.get(key)
+        if cluster is None:
+            cluster = TemplateCluster(
+                signature=template.signature(),
+                target_name=template.target_name,
+            )
+            clusters[key] = cluster
+        cluster.members.append(template)
+    return list(clusters.values())
+
+
+def _slot_pattern(marker: str) -> Pattern:
+    kind, digits = marker[1:2], marker[2:]
+    if marker[1].isdigit():
+        return SpanPat(int(marker[1:]))
+    ident = int(digits)
+    return {"C": ColumnPat, "V": ValuePat, "L": LiteralPat}[kind](ident)
+
+
+def generalize(cluster: TemplateCluster, min_support: int = 1) -> tuple[Pattern, ...] | None:
+    """One generalized rule template from a cluster, or None when support
+    is below ``min_support``.
+
+    Walks the shared signature; the words each member exhibits in the same
+    inter-slot gap become the gap's OptPat options; anchor words across
+    members become the MustPat alternation.
+    """
+    if cluster.support < min_support:
+        return None
+    anchor_options: set[tuple[str, ...]] = set()
+    # gap index -> set of filler words; gap g precedes signature element g
+    gaps: dict[int, set[str]] = {}
+    for member in cluster.members:
+        gap = 0
+        for kind, value in member.items:
+            if kind == "word":
+                gaps.setdefault(gap, set()).add(value)
+            elif kind == "anchor":
+                anchor_options.add((value,))
+                gap += 1
+            else:
+                gap += 1
+    if not anchor_options:
+        return None
+
+    patterns: list[Pattern] = []
+    for g, element in enumerate(cluster.signature):
+        if g in gaps:
+            patterns.append(OptPat(frozenset(gaps[g]), slack=True))
+        if element == "ANCHOR":
+            patterns.append(MustPat(tuple(sorted(anchor_options))))
+        else:
+            patterns.append(_slot_pattern(element))
+    trailing = len(cluster.signature)
+    if trailing in gaps:
+        patterns.append(OptPat(frozenset(gaps[trailing]), slack=True))
+    return tuple(patterns)

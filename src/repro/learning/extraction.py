@@ -1,0 +1,239 @@
+"""Candidate rule extraction (paper §3.3.1, after Kate et al.).
+
+Given training pairs (sentence, gold program) and a *target* partial
+expression such as ``Sum(□C1, □G2)``:
+
+1. find a subexpression of the gold program that unifies with the target,
+   producing hole bindings (``□C1 -> totalpay``, ``□G2 -> Lt(hours, 20)``);
+2. attribute sentence words to the bindings — column words to C holes,
+   value words to V holes, literal tokens to L holes, the words evoking the
+   bound general subexpression to its span hole — and operator-synonym
+   words to the target's root operator (the anchor);
+3. replace attributed words with their pattern placeholders, keeping the
+   anchor as a must word, to obtain a candidate template.
+
+Examples whose attributed words are non-contiguous for a span hole are
+skipped (the paper's heuristic deletion step has the same effect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dsl import ast
+from ..dsl.holes import holes_of
+from ..sheet import Workbook
+from ..translate.context import SheetContext
+from ..translate.lexicon import SYNONYMS
+from ..translate.tokenizer import tokenize
+
+# Root-operator anchors: AST class/op -> synonym concept.
+_ANCHOR_CONCEPTS = {
+    ast.ReduceOp.SUM: "sum",
+    ast.ReduceOp.AVG: "avg",
+    ast.ReduceOp.MIN: "min",
+    ast.ReduceOp.MAX: "max",
+}
+
+
+@dataclass(frozen=True)
+class TrainingExample:
+    """One (description, gold program) pair over a sheet."""
+
+    text: str
+    program: ast.Expr
+    workbook: Workbook
+
+
+@dataclass(frozen=True)
+class CandidateTemplate:
+    """An extracted template: a sequence of items, each either
+    ``("word", w)``, ``("slot", "%C1")``-style placeholders, or
+    ``("anchor", w)`` for the operator word."""
+
+    items: tuple[tuple[str, str], ...]
+    target_name: str
+
+    def signature(self) -> tuple[str, ...]:
+        """Placeholder order — the clustering key.  Anchor words normalize
+        to a common marker so "sum ..." and "total ..." templates cluster
+        together and merge into one MustPat alternation."""
+        return tuple(
+            "ANCHOR" if kind == "anchor" else value
+            for kind, value in self.items
+            if kind in ("slot", "anchor")
+        )
+
+    def anchor_words(self) -> tuple[str, ...]:
+        return tuple(v for k, v in self.items if k == "anchor")
+
+
+def unify(expr: ast.Expr, target: ast.Expr) -> dict[int, ast.Expr] | None:
+    """Match ``expr`` against ``target``; target holes capture subtrees.
+
+    Returns hole-ident -> captured subexpression, or None on mismatch.
+    A hole's restriction must accept what it captures.
+    """
+    bindings: dict[int, ast.Expr] = {}
+
+    def walk(e: ast.Expr, t: ast.Expr) -> bool:
+        if isinstance(t, ast.Hole):
+            from ..dsl.holes import consistent
+
+            if not consistent(e, t.kind) and t.kind is not ast.HoleKind.GENERAL:
+                return False
+            captured = bindings.get(t.ident)
+            if captured is not None:
+                return captured == e
+            bindings[t.ident] = e
+            return True
+        if type(e) is not type(t):
+            return False
+        ec, tc = e.children(), t.children()
+        if len(ec) != len(tc):
+            return False
+        for field_name in ("op",):
+            if getattr(e, field_name, None) != getattr(t, field_name, None):
+                return False
+        return all(walk(a, b) for a, b in zip(ec, tc))
+
+    return bindings if walk(expr, target) else None
+
+
+def find_unifying_subexpression(
+    program: ast.Expr, target: ast.Expr
+) -> dict[int, ast.Expr] | None:
+    """The first (pre-order) subexpression of ``program`` unifying with
+    ``target``."""
+    for node in program.walk():
+        bindings = unify(node, target)
+        if bindings is not None:
+            return bindings
+    return None
+
+
+def _atom_words(expr: ast.Expr, ctx: SheetContext) -> set[str]:
+    """Sentence words plausibly evoking ``expr``: its column/value/literal
+    atoms plus operator synonyms of its internal operators."""
+    words: set[str] = set()
+    for node in expr.walk():
+        if isinstance(node, ast.ColumnRef):
+            key = node.name.strip().lower()
+            words.add(key)
+            words.update(key.split())
+        elif isinstance(node, ast.Lit):
+            rendered = str(node.value.payload).strip().lower()
+            words.update(rendered.split())
+            words.add(rendered)
+        elif isinstance(node, ast.Compare):
+            concept = {"Lt": "lt", "Gt": "gt", "Eq": "eq"}[node.op.value]
+            words.update(SYNONYMS[concept])
+        elif isinstance(node, ast.Not):
+            words.update(SYNONYMS["not"])
+        elif isinstance(node, (ast.And,)):
+            words.update(SYNONYMS["and"])
+        elif isinstance(node, (ast.Or,)):
+            words.update(SYNONYMS["or"])
+        elif isinstance(node, ast.Reduce):
+            words.update(SYNONYMS[_ANCHOR_CONCEPTS[node.op]])
+    return words
+
+
+def extract_template(
+    example: TrainingExample,
+    target: ast.Expr,
+    target_name: str,
+    anchor_concept: str,
+) -> CandidateTemplate | None:
+    """One candidate template from one example, or None when the example
+    does not fit the target cleanly."""
+    bindings = find_unifying_subexpression(example.program, target)
+    if bindings is None:
+        return None
+    ctx = SheetContext(example.workbook)
+    tokens = tokenize(example.text)
+    target_holes = {h.ident: h for h in holes_of(target)}
+
+    # classify tokens
+    labels: list[tuple[str, str]] = []
+    anchor_synonyms = SYNONYMS[anchor_concept]
+    slot_words: dict[int, set[str]] = {}
+    for ident, captured in bindings.items():
+        hole = target_holes[ident]
+        if hole.kind is ast.HoleKind.GENERAL:
+            slot_words[ident] = _atom_words(captured, ctx)
+        else:
+            slot_words[ident] = _atom_words(captured, ctx)
+
+    used_anchor = False
+    for token in tokens:
+        word = token.text
+        slot_hit = None
+        for ident, words in slot_words.items():
+            if word in words or (word.endswith("s") and word[:-1] in words):
+                slot_hit = ident
+                break
+        if slot_hit is not None:
+            hole = target_holes[slot_hit]
+            marker = {
+                ast.HoleKind.COLUMN: f"%C{slot_hit}",
+                ast.HoleKind.VALUE: f"%V{slot_hit}",
+                ast.HoleKind.LITERAL: f"%L{slot_hit}",
+                ast.HoleKind.GENERAL: f"%{slot_hit}",
+            }[hole.kind]
+            labels.append(("slot", marker))
+        elif token.literal is not None and any(
+            target_holes[i].kind is ast.HoleKind.LITERAL for i in bindings
+        ):
+            ident = next(
+                i for i in bindings
+                if target_holes[i].kind is ast.HoleKind.LITERAL
+            )
+            labels.append(("slot", f"%L{ident}"))
+        elif not used_anchor and word in anchor_synonyms:
+            labels.append(("anchor", word))
+            used_anchor = True
+        else:
+            labels.append(("word", word))
+
+    if not used_anchor:
+        return None
+    # Merge each slot's occurrences into one contiguous range.  Function
+    # words inside the range ("hours less THAN 20") belong to the span and
+    # are dropped; an interleaved *different* slot or the anchor means the
+    # example does not fit the target shape and is skipped.
+    first: dict[str, int] = {}
+    last: dict[str, int] = {}
+    for idx, (kind, value) in enumerate(labels):
+        if kind == "slot":
+            first.setdefault(value, idx)
+            last[value] = idx
+    for value in first:
+        for idx in range(first[value], last[value] + 1):
+            kind_2, value_2 = labels[idx]
+            if kind_2 == "anchor":
+                return None
+            if kind_2 == "slot" and value_2 != value:
+                return None
+    compressed: list[tuple[str, str]] = []
+    seen_slots: set[str] = set()
+    skip_until = -1
+    for idx, (kind, value) in enumerate(labels):
+        if idx <= skip_until:
+            continue
+        if kind == "slot":
+            seen_slots.add(value)
+            compressed.append((kind, value))
+            skip_until = last[value]
+        else:
+            compressed.append((kind, value))
+    # every bound hole must surface in the template
+    required = {
+        f"%{'' if target_holes[i].kind is ast.HoleKind.GENERAL else target_holes[i].kind.value}{i}"
+        for i in bindings
+    }
+    if not required <= seen_slots:
+        return None
+    return CandidateTemplate(
+        items=tuple(compressed), target_name=target_name
+    )

@@ -1,0 +1,106 @@
+"""The end-to-end rule learning pipeline (paper §3.3.1).
+
+``learn_rules(examples, targets)`` runs extract -> cluster -> generalize ->
+score -> prune -> finalize, producing a :class:`RuleSet` that the
+translator can use directly (see ``benchmarks/bench_learning.py`` for the
+train/test evaluation of a learned set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dsl import ast
+from ..translate.rules import Rule, RuleSet
+from .clustering import cluster_templates, generalize
+from .extraction import CandidateTemplate, TrainingExample, extract_template
+from .selection import finalize, prune, score_rules
+
+_H = ast.Hole
+_C = ast.HoleKind.COLUMN
+_G = ast.HoleKind.GENERAL
+
+
+@dataclass(frozen=True)
+class LearningTarget:
+    """One partial expression to learn rules for."""
+
+    name: str
+    expr: ast.Expr
+    anchor_concept: str
+
+
+def default_targets() -> list[LearningTarget]:
+    """The reduce/count family — the workhorse rules of the system."""
+    targets = []
+    for op, concept in (
+        (ast.ReduceOp.SUM, "sum"),
+        (ast.ReduceOp.AVG, "avg"),
+        (ast.ReduceOp.MIN, "min"),
+        (ast.ReduceOp.MAX, "max"),
+    ):
+        targets.append(
+            LearningTarget(
+                name=f"learned_{concept}",
+                expr=ast.Reduce(op, _H(1, _C), ast.GetTable(), _H(2, _G)),
+                anchor_concept=concept,
+            )
+        )
+    targets.append(
+        LearningTarget(
+            name="learned_count",
+            expr=ast.Count(ast.GetTable(), _H(1, _G)),
+            anchor_concept="count",
+        )
+    )
+    return targets
+
+
+def extract_all(
+    examples: list[TrainingExample], targets: list[LearningTarget]
+) -> list[CandidateTemplate]:
+    out: list[CandidateTemplate] = []
+    for target in targets:
+        for example in examples:
+            template = extract_template(
+                example, target.expr, target.name, target.anchor_concept
+            )
+            if template is not None:
+                out.append(template)
+    return out
+
+
+def learn_rules(
+    examples: list[TrainingExample],
+    targets: list[LearningTarget] | None = None,
+    min_support: int = 2,
+    score_sample: int | None = 120,
+) -> RuleSet:
+    """Learn a rule set from training pairs.
+
+    ``min_support`` drops one-off clusters; ``score_sample`` caps the
+    number of examples used for goodness scoring (scoring is quadratic in
+    rules x examples).
+    """
+    targets = targets or default_targets()
+    by_name = {t.name: t for t in targets}
+    templates = extract_all(examples, targets)
+    clusters = cluster_templates(templates)
+
+    candidates: list[Rule] = []
+    for k, cluster in enumerate(clusters):
+        pattern_seq = generalize(cluster, min_support=min_support)
+        if pattern_seq is None:
+            continue
+        target = by_name[cluster.target_name]
+        candidates.append(
+            Rule(
+                name=f"{cluster.target_name}_{k}",
+                template=pattern_seq,
+                expr=target.expr,
+                score=0.7,
+            )
+        )
+    scoring_examples = examples[:score_sample] if score_sample else examples
+    stats = score_rules(candidates, scoring_examples)
+    return finalize(prune(stats))

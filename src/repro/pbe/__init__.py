@@ -1,0 +1,19 @@
+"""Miniature programming-by-example (Flash Fill) for the §4 interop."""
+
+from .flashfill import (
+    Concat,
+    FlashFillProgram,
+    Substring,
+    TokenAt,
+    fill_column,
+    learn,
+)
+
+__all__ = [
+    "Concat",
+    "FlashFillProgram",
+    "Substring",
+    "TokenAt",
+    "fill_column",
+    "learn",
+]

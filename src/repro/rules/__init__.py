@@ -1,0 +1,7 @@
+"""Rule sets for the translator: the hand-authored base set (the learned
+105-rule set of the paper is unpublished) and re-learnable via
+:mod:`repro.learning`."""
+
+from .builtin import builtin_rules
+
+__all__ = ["builtin_rules"]

@@ -1,0 +1,31 @@
+"""The interactive programming model: annotated candidates, ambiguity
+resolution, and programming in steps (paper §4)."""
+
+from .annotate import WordAnnotation, WordRole, annotate, render_annotations
+from .clarify import CLARIFY_MARGIN, Clarification, clarify, needs_clarification
+from .script import Script, ScriptError
+from .interaction import (
+    CONFIDENCE_THRESHOLD,
+    MAX_SHOWN,
+    CandidateView,
+    NLyzeSession,
+    Step,
+)
+
+__all__ = [
+    "CLARIFY_MARGIN",
+    "CONFIDENCE_THRESHOLD",
+    "Clarification",
+    "clarify",
+    "needs_clarification",
+    "CandidateView",
+    "MAX_SHOWN",
+    "NLyzeSession",
+    "Script",
+    "ScriptError",
+    "Step",
+    "WordAnnotation",
+    "WordRole",
+    "annotate",
+    "render_annotations",
+]

@@ -1,0 +1,74 @@
+"""Annotation of user descriptions (paper §4).
+
+"The annotated version of the description uses highlighting to show the
+words that were identified as column names or values from the sheet, red
+underlines to show misspelled words, and strike-through indicating words
+that were ignored when producing the corresponding expression."
+
+This module computes per-word annotations for a candidate and renders them
+as plain text: ``[column]`` / ``{value}`` highlights, ``~struck~`` ignored
+words, and ``word(?sp)`` marks a spell-corrected word.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..translate import Candidate
+from ..translate.tokenizer import Token
+
+
+class WordRole(enum.Enum):
+    COLUMN = "column"
+    VALUE = "value"
+    LITERAL = "literal"
+    USED = "used"
+    IGNORED = "ignored"
+
+
+@dataclass(frozen=True)
+class WordAnnotation:
+    """How one input word was treated by a candidate translation."""
+
+    token: Token
+    role: WordRole
+    misspelled: bool
+
+    def render(self) -> str:
+        text = self.token.text
+        if self.role is WordRole.COLUMN:
+            text = f"[{text}]"
+        elif self.role is WordRole.VALUE:
+            text = f"{{{text}}}"
+        elif self.role is WordRole.IGNORED:
+            text = f"~{text}~"
+        if self.misspelled:
+            text = f"{text}(?sp)"
+        return text
+
+
+def annotate(candidate: Candidate, ctx) -> list[WordAnnotation]:
+    """Annotations for every input word under ``candidate``."""
+    derivation = candidate.derivation
+    out: list[WordAnnotation] = []
+    for token in candidate.tokens:
+        position = token.index
+        if position not in derivation.used:
+            role = WordRole.IGNORED
+        elif position in derivation.used_cols:
+            role = WordRole.COLUMN
+        elif token.literal is not None or token.is_cellref:
+            role = WordRole.LITERAL
+        elif ctx.is_value_word(token.text):
+            role = WordRole.VALUE
+        else:
+            role = WordRole.USED
+        out.append(
+            WordAnnotation(token=token, role=role, misspelled=token.misspelled)
+        )
+    return out
+
+
+def render_annotations(annotations: list[WordAnnotation]) -> str:
+    return " ".join(a.render() for a in annotations)

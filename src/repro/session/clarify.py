@@ -1,0 +1,77 @@
+"""Clarification questions for near-tied candidates.
+
+The paper resolves ambiguity by *showing* alternatives (annotated input +
+paraphrases) and letting the user pick.  When the top two candidates score
+within a small margin, a sharper UX is to ask about the *difference*: this
+module diffs two candidate programs and phrases the distinction ("Should
+'barista' filter the rows, or did you mean the whole column?"), using the
+annotation machinery to find which words the candidates treat differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dsl import paraphrase
+from ..translate import Candidate
+
+# Candidates closer than this (relative) are considered genuinely ambiguous.
+CLARIFY_MARGIN = 0.15
+
+
+@dataclass(frozen=True)
+class Clarification:
+    """A question distinguishing the two leading candidates."""
+
+    question: str
+    first: Candidate
+    second: Candidate
+
+    def render(self) -> str:
+        return (
+            f"{self.question}\n"
+            f"  1. {paraphrase(self.first.program)}\n"
+            f"  2. {paraphrase(self.second.program)}"
+        )
+
+
+def _word_treatment_diff(a: Candidate, b: Candidate) -> list[str]:
+    """Words the two candidates treat differently (used by one, ignored by
+    the other)."""
+    differing = []
+    for token in a.tokens:
+        in_a = token.index in a.derivation.used
+        in_b = token.index in b.derivation.used
+        if in_a != in_b:
+            differing.append(token.text)
+    return differing
+
+
+def needs_clarification(candidates: list[Candidate]) -> bool:
+    """True when the top two candidates are too close to auto-pick."""
+    if len(candidates) < 2:
+        return False
+    first, second = candidates[0], candidates[1]
+    if first.score <= 0:
+        return False
+    return (first.score - second.score) / first.score < CLARIFY_MARGIN
+
+
+def clarify(candidates: list[Candidate]) -> Clarification | None:
+    """A clarification question for a near-tied candidate list, or None
+    when the ranking is decisive."""
+    if not needs_clarification(candidates):
+        return None
+    first, second = candidates[0], candidates[1]
+    differing = _word_treatment_diff(first, second)
+    if differing:
+        words = ", ".join(f"“{w}”" for w in differing[:3])
+        question = (
+            f"These readings disagree about {words} — which did you mean?"
+        )
+    else:
+        question = (
+            "Both readings use the same words but structure them "
+            "differently — which did you mean?"
+        )
+    return Clarification(question=question, first=first, second=second)

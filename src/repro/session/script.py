@@ -1,0 +1,92 @@
+"""Reusable step scripts (paper §4).
+
+"The sequence of programs produced can be automatically executed to update
+the output values if the user changes any input in the spreadsheet.  This
+sequence of programs can also be executed on any similar spreadsheets."
+
+A :class:`Script` is the durable form of a session's accepted program
+sequence: it serializes to the DSL's textual syntax (one program per line),
+parses back, and applies to any workbook with a compatible schema — the
+"similar spreadsheets" use case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dsl import Evaluator, ProgramResult, ast
+from ..dsl.parser import parse_expr, print_expr
+from ..dsl.types import TypeChecker
+from ..errors import ReproError
+from ..sheet import Workbook
+
+
+class ScriptError(ReproError):
+    """A script could not be applied to the target workbook."""
+
+
+@dataclass
+class Script:
+    """An ordered sequence of DSL programs."""
+
+    programs: list[ast.Expr] = field(default_factory=list)
+    description: str = ""
+
+    @staticmethod
+    def from_session(session) -> "Script":
+        """Capture the accepted steps of a session."""
+        texts = [step.description for step in session.steps if step.accepted]
+        return Script(
+            programs=list(session.program),
+            description="; ".join(texts),
+        )
+
+    # -- persistence --------------------------------------------------------
+
+    def dumps(self) -> str:
+        """One program per line, in round-trippable DSL syntax."""
+        lines = [f"# {self.description}"] if self.description else []
+        lines += [print_expr(p) for p in self.programs]
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def loads(text: str) -> "Script":
+        description = ""
+        programs = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                description = line[1:].strip()
+                continue
+            programs.append(parse_expr(line))
+        return Script(programs=programs, description=description)
+
+    # -- application ----------------------------------------------------------
+
+    def check(self, workbook: Workbook) -> list[str]:
+        """Schema-compatibility report: one message per program that fails
+        the target workbook's Valid check (empty means applicable)."""
+        checker = TypeChecker(workbook)
+        problems = []
+        for program in self.programs:
+            if not checker.valid_program(program):
+                problems.append(f"not valid on this workbook: {program}")
+        return problems
+
+    def apply(self, workbook: Workbook) -> list[ProgramResult]:
+        """Execute the whole sequence against ``workbook``.
+
+        Raises :class:`ScriptError` up front when any program does not
+        type-check against the target's schema, so a half-applied script
+        never mutates the sheet.
+        """
+        problems = self.check(workbook)
+        if problems:
+            raise ScriptError("; ".join(problems))
+        evaluator = Evaluator(workbook)
+        return [evaluator.run(program) for program in self.programs]
+
+    def __len__(self) -> int:
+        return len(self.programs)

@@ -1,0 +1,76 @@
+"""A1-style cell addressing.
+
+User descriptions reference cells ("divide I2 by I3") and columns ("sum
+column H").  This module converts between A1 notation and zero-based
+(column, row) indices.  Row 0 of a table is its header row, so the data row
+``r`` of a table anchored at the sheet origin lives at A1 row ``r + 2``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import AddressError
+
+_A1_RE = re.compile(r"^([A-Za-z]{1,3})([1-9]\d*)$")
+_COL_RE = re.compile(r"^[A-Za-z]{1,3}$")
+
+
+def column_letter_to_index(letters: str) -> int:
+    """``"A" -> 0``, ``"H" -> 7``, ``"AA" -> 26``."""
+    if not _COL_RE.match(letters):
+        raise AddressError(f"bad column letters: {letters!r}")
+    index = 0
+    for ch in letters.upper():
+        index = index * 26 + (ord(ch) - ord("A") + 1)
+    return index - 1
+
+
+def column_index_to_letter(index: int) -> str:
+    """``0 -> "A"``, ``7 -> "H"``, ``26 -> "AA"``."""
+    if index < 0:
+        raise AddressError(f"negative column index: {index}")
+    letters = []
+    n = index + 1
+    while n:
+        n, rem = divmod(n - 1, 26)
+        letters.append(chr(ord("A") + rem))
+    return "".join(reversed(letters))
+
+
+@dataclass(frozen=True, order=True)
+class CellAddress:
+    """A zero-based (column, row) cell coordinate with A1 round-tripping."""
+
+    col: int
+    row: int
+
+    def __post_init__(self) -> None:
+        if self.col < 0 or self.row < 0:
+            raise AddressError(f"negative address: col={self.col} row={self.row}")
+
+    @staticmethod
+    def parse(a1: str) -> "CellAddress":
+        m = _A1_RE.match(a1.strip())
+        if not m:
+            raise AddressError(f"not an A1 cell reference: {a1!r}")
+        return CellAddress(
+            col=column_letter_to_index(m.group(1)), row=int(m.group(2)) - 1
+        )
+
+    def to_a1(self) -> str:
+        return f"{column_index_to_letter(self.col)}{self.row + 1}"
+
+    def __str__(self) -> str:  # pragma: no cover - alias
+        return self.to_a1()
+
+
+def is_cell_reference(token: str) -> bool:
+    """True when a token looks like an A1 cell reference (e.g. ``D2``).
+
+    The tokenizer uses this to let literal patterns match cell references,
+    per the paper's ``LiteralPat`` ("matches any literal or cell reference
+    (e.g. D2) that contains a number or currency value").
+    """
+    return bool(_A1_RE.match(token.strip()))

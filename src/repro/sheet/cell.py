@@ -1,0 +1,37 @@
+"""A spreadsheet cell: a typed value plus formatting state.
+
+Cells are the unit of mutation: DSL programs overwrite values (placing a
+computed scalar/vector at the cursor) and change formats (``Format(fe, Q)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .formatting import CellFormat, FormatFn
+from .values import CellValue
+
+
+@dataclass
+class Cell:
+    """One mutable spreadsheet cell."""
+
+    value: CellValue = field(default_factory=CellValue.empty)
+    format: CellFormat = field(default_factory=CellFormat)
+
+    def apply_formats(self, fns: Iterable[FormatFn]) -> None:
+        """Apply each formatting function in order."""
+        fmt = self.format
+        for fn in fns:
+            fmt = fmt.apply(fn)
+        self.format = fmt
+
+    def matches_format(self, fns: Iterable[FormatFn]) -> bool:
+        return self.format.matches(fns)
+
+    def copy(self) -> "Cell":
+        return Cell(value=self.value, format=self.format)
+
+    def display(self) -> str:
+        return self.value.display()

@@ -1,0 +1,61 @@
+"""Column metadata: a name plus a declared scalar type.
+
+Tables have "uniquely labeled and typed columns" (paper §2).  The declared
+type drives the DSL ``Valid`` check — e.g. ``Sum`` needs a numeric or
+currency column, and comparing a currency column against a plain number
+literal is allowed while multiplying two currency columns is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .values import CellValue, ValueType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A typed, named spreadsheet column."""
+
+    name: str
+    dtype: ValueType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ValueError("column name must be non-empty")
+        if self.dtype is ValueType.EMPTY:
+            raise ValueError("columns cannot be declared EMPTY-typed")
+
+    @property
+    def key(self) -> str:
+        """Case-folded name used for matching user descriptions."""
+        return self.name.strip().lower()
+
+    def accepts(self, value: CellValue) -> bool:
+        """True when ``value`` may be stored in this column.
+
+        The empty value is accepted everywhere (blank cells exist in real
+        sheets); otherwise the value type must equal the declared type.
+        """
+        return value.is_empty or value.type is self.dtype
+
+
+def infer_column_type(values: Iterable[CellValue]) -> ValueType:
+    """Infer a column type from its cell values.
+
+    Used when constructing tables from raw Python data: the first non-empty
+    value decides, and remaining values must agree.  All-empty columns
+    default to TEXT.
+    """
+    decided: ValueType | None = None
+    for v in values:
+        if v.is_empty:
+            continue
+        if decided is None:
+            decided = v.type
+        elif v.type is not decided:
+            raise ValueError(
+                f"mixed column types: {decided.value} vs {v.type.value}"
+            )
+    return decided if decided is not None else ValueType.TEXT

@@ -1,0 +1,123 @@
+"""Cell formatting attributes.
+
+The DSL gives first-class treatment to formatting (paper §2): programs can
+apply formats (``Format(fe, Q)``) and *read them back* as row sources
+(``GetFormat(Tbl, fe)``), which is how "color the chef totalpay red ... add up
+all the values in the red cells" works.  A format is a small attribute record;
+a format *expression* is a set of attribute constraints matched against it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Iterable, Union
+
+
+class Color(enum.Enum):
+    """Quantitative color attribute (a small fixed palette suffices)."""
+
+    NONE = "none"
+    RED = "red"
+    GREEN = "green"
+    BLUE = "blue"
+    YELLOW = "yellow"
+    PINK = "pink"
+    ORANGE = "orange"
+    GRAY = "gray"
+
+    @staticmethod
+    def from_name(name: str) -> "Color":
+        try:
+            return Color(name.strip().lower())
+        except ValueError as exc:
+            raise ValueError(f"unknown color {name!r}") from exc
+
+
+@dataclass(frozen=True)
+class CellFormat:
+    """The formatting state of one cell.
+
+    Boolean attributes (bold, italics, underline) and quantitative attributes
+    (color, font size) as in the paper.  Immutable: applying a format change
+    produces a new record via :meth:`apply`.
+    """
+
+    bold: bool = False
+    italics: bool = False
+    underline: bool = False
+    color: Color = Color.NONE
+    font_size: int = 11
+
+    def apply(self, fn: "FormatFn") -> "CellFormat":
+        """Return a copy with one attribute changed."""
+        return replace(self, **{fn.attribute: fn.value})
+
+    def matches(self, fns: Iterable["FormatFn"]) -> bool:
+        """True when every attribute constraint in ``fns`` holds here."""
+        return all(getattr(self, fn.attribute) == fn.value for fn in fns)
+
+    @property
+    def is_default(self) -> bool:
+        return self == CellFormat()
+
+
+_ATTRIBUTES = {
+    "bold": bool,
+    "italics": bool,
+    "underline": bool,
+    "color": Color,
+    "font_size": int,
+}
+
+
+@dataclass(frozen=True)
+class FormatFn:
+    """One formatting function/constraint, e.g. ``Color(red)`` or
+    ``Bold(true)`` — the ``fmt`` production in Fig. 2."""
+
+    attribute: str
+    value: Union[bool, int, Color]
+
+    def __post_init__(self) -> None:
+        expected = _ATTRIBUTES.get(self.attribute)
+        if expected is None:
+            raise ValueError(f"unknown format attribute {self.attribute!r}")
+        if not isinstance(self.value, expected):
+            raise TypeError(
+                f"format attribute {self.attribute!r} needs {expected.__name__}"
+            )
+
+    # -- constructors mirroring the paper's Format Fn grammar --------------
+
+    @staticmethod
+    def color(c: Union[Color, str]) -> "FormatFn":
+        if isinstance(c, str):
+            c = Color.from_name(c)
+        return FormatFn("color", c)
+
+    @staticmethod
+    def bold(b: bool = True) -> "FormatFn":
+        return FormatFn("bold", b)
+
+    @staticmethod
+    def italics(b: bool = True) -> "FormatFn":
+        return FormatFn("italics", b)
+
+    @staticmethod
+    def underline(b: bool = True) -> "FormatFn":
+        return FormatFn("underline", b)
+
+    @staticmethod
+    def font_size(points: int) -> "FormatFn":
+        return FormatFn("font_size", points)
+
+    def describe(self) -> str:
+        """English rendering used by the paraphraser."""
+        if self.attribute == "color":
+            return f"color {self.value.value}"
+        if self.attribute == "font_size":
+            return f"font size {self.value}"
+        if isinstance(self.value, bool):
+            return self.attribute if self.value else f"not {self.attribute}"
+        return f"{self.attribute} {self.value}"

@@ -1,0 +1,113 @@
+"""Workbook I/O: CSV import/export.
+
+Lets users bring their own data: each CSV file becomes one table (file stem
+= table name, first row = header), with column types inferred from the cell
+text — currency when every non-empty cell parses as ``$...``, numbers,
+dates, booleans, else text.  Export writes one CSV per table.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import SheetError
+from .table import Table
+from .values import CellValue, ValueType, parse_literal
+from .workbook import Workbook
+
+
+def _parse_cell(text: str) -> CellValue:
+    text = text.strip()
+    if not text:
+        return CellValue.empty()
+    literal = parse_literal(text)
+    if literal is not None:
+        return literal
+    return CellValue.text(text)
+
+
+def _column_type(values: Iterable[CellValue]) -> ValueType:
+    seen = {v.type for v in values if not v.is_empty}
+    if not seen:
+        return ValueType.TEXT
+    if seen == {ValueType.CURRENCY} or seen == {ValueType.CURRENCY,
+                                                ValueType.NUMBER}:
+        # mixed "$10" and "10" cells: a currency column with lazy typists
+        return ValueType.CURRENCY
+    if len(seen) == 1:
+        return seen.pop()
+    return ValueType.TEXT
+
+
+def _coerce(value: CellValue, target: ValueType) -> CellValue:
+    if value.is_empty or value.type is target:
+        return value
+    if target is ValueType.CURRENCY and value.type is ValueType.NUMBER:
+        return CellValue.currency(value.payload)
+    # fall back to the original text rendering
+    return CellValue.text(value.display())
+
+
+def read_table_csv(path: str | Path, name: str | None = None) -> Table:
+    """Read one CSV file into a typed table."""
+    path = Path(path)
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    if not rows or not rows[0]:
+        raise SheetError(f"{path} has no header row")
+    header = [h.strip() for h in rows[0]]
+    parsed = [[_parse_cell(c) for c in row] for row in rows[1:] if row]
+    for i, row in enumerate(parsed):
+        if len(row) != len(header):
+            raise SheetError(
+                f"{path} row {i + 2}: {len(row)} cells, header has "
+                f"{len(header)}"
+            )
+    types = [
+        _column_type(row[j] for row in parsed) for j in range(len(header))
+    ]
+    data = [
+        [_coerce(cell, t) for cell, t in zip(row, types)] for row in parsed
+    ]
+    return Table.from_data(name or path.stem, header, data, types=types)
+
+
+def load_workbook(paths: list[str | Path], cursor: str = "A1") -> Workbook:
+    """A workbook from CSV files; the first file is the primary table."""
+    if not paths:
+        raise SheetError("at least one CSV file is required")
+    workbook = Workbook()
+    for path in paths:
+        workbook.add_table(read_table_csv(path))
+    # default cursor: two columns right of the primary table
+    primary = workbook.default_table
+    from .address import CellAddress
+
+    workbook.set_cursor(
+        cursor if cursor != "A1" else
+        CellAddress(primary.n_cols + 1, 1).to_a1()
+    )
+    return workbook
+
+
+def write_table_csv(table: Table, path: str | Path) -> None:
+    """Write one table to CSV (values in display form)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for i in range(table.n_rows):
+            writer.writerow([c.display() for c in table.iter_row_cells(i)])
+
+
+def save_workbook(workbook: Workbook, directory: str | Path) -> list[Path]:
+    """Write every table to ``<directory>/<table>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for table in workbook.tables:
+        target = directory / f"{table.name}.csv"
+        write_table_csv(table, target)
+        written.append(target)
+    return written

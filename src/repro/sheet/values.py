@@ -1,0 +1,221 @@
+"""Typed cell values.
+
+The NLyze DSL is *richly typed* (paper §2): the type system distinguishes a
+plain number from a currency amount, so that, e.g., multiplying two currency
+values is rejected while multiplying a currency by a number is fine.  This
+module defines the value universe shared by the spreadsheet substrate and the
+DSL type checker:
+
+* :class:`ValueType` — the enumeration of scalar types,
+* :class:`CellValue` — an immutable (type, payload) pair,
+* helpers for parsing user-facing literal text (``"$10"``, ``"20"``,
+  ``"capitol hill"``) into typed values.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Union
+
+Number = Union[int, float]
+
+
+class ValueType(enum.Enum):
+    """Scalar types known to the spreadsheet and the DSL."""
+
+    NUMBER = "number"
+    CURRENCY = "currency"
+    TEXT = "text"
+    BOOL = "bool"
+    DATE = "date"
+    EMPTY = "empty"
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for types that support arithmetic and ordering."""
+        return self in (ValueType.NUMBER, ValueType.CURRENCY)
+
+    @property
+    def is_orderable(self) -> bool:
+        """True for types that support ``<`` / ``>`` comparisons."""
+        return self in (ValueType.NUMBER, ValueType.CURRENCY, ValueType.DATE)
+
+
+_CURRENCY_RE = re.compile(r"^\$\s*(-?\d+(?:,\d{3})*(?:\.\d+)?)$")
+_NUMBER_RE = re.compile(r"^-?\d+(?:,\d{3})*(?:\.\d+)?$")
+_PERCENT_RE = re.compile(r"^(-?\d+(?:\.\d+)?)\s*%$")
+_DATE_RE = re.compile(r"^(\d{4})-(\d{2})-(\d{2})$")
+
+
+@dataclass(frozen=True)
+class CellValue:
+    """An immutable typed scalar stored in a spreadsheet cell.
+
+    ``payload`` holds the native Python representation: ``int``/``float`` for
+    numbers and currencies, ``str`` for text and dates (dates are kept as ISO
+    strings, ordered lexicographically which matches chronological order),
+    ``bool`` for booleans, and ``None`` for the empty value.
+    """
+
+    type: ValueType
+    payload: Union[Number, str, bool, None]
+
+    def __post_init__(self) -> None:
+        expected = {
+            ValueType.NUMBER: (int, float),
+            ValueType.CURRENCY: (int, float),
+            ValueType.TEXT: (str,),
+            ValueType.DATE: (str,),
+            ValueType.BOOL: (bool,),
+            ValueType.EMPTY: (type(None),),
+        }[self.type]
+        if not isinstance(self.payload, expected):
+            raise TypeError(
+                f"payload {self.payload!r} invalid for {self.type.value} cell"
+            )
+        if self.type is ValueType.NUMBER and isinstance(self.payload, bool):
+            raise TypeError("bool payload is not a number")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def number(x: Number) -> "CellValue":
+        return CellValue(ValueType.NUMBER, x)
+
+    @staticmethod
+    def currency(x: Number) -> "CellValue":
+        return CellValue(ValueType.CURRENCY, x)
+
+    @staticmethod
+    def text(s: str) -> "CellValue":
+        return CellValue(ValueType.TEXT, s)
+
+    @staticmethod
+    def boolean(b: bool) -> "CellValue":
+        return CellValue(ValueType.BOOL, b)
+
+    @staticmethod
+    def date(iso: str) -> "CellValue":
+        if not _DATE_RE.match(iso):
+            raise ValueError(f"dates must be ISO yyyy-mm-dd strings: {iso!r}")
+        return CellValue(ValueType.DATE, iso)
+
+    @staticmethod
+    def empty() -> "CellValue":
+        return CellValue(ValueType.EMPTY, None)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return self.type is ValueType.EMPTY
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.type.is_numeric
+
+    # -- comparisons used by the evaluator ---------------------------------
+
+    def equals(self, other: "CellValue") -> bool:
+        """Spreadsheet equality: numeric types compare by magnitude (a
+        currency cell ``$10`` equals the literal number 10, which is how the
+        paper's examples compare column values to bare literals); text
+        comparison is case-insensitive, matching colloquial user input."""
+        if self.is_numeric and other.is_numeric:
+            return float(self.payload) == float(other.payload)
+        if self.type is not other.type:
+            return False
+        if self.type is ValueType.TEXT:
+            return str(self.payload).strip().lower() == str(other.payload).strip().lower()
+        return self.payload == other.payload
+
+    def less_than(self, other: "CellValue") -> bool:
+        """Spreadsheet ordering; raises ``TypeError`` on unordered types."""
+        if self.is_numeric and other.is_numeric:
+            return float(self.payload) < float(other.payload)
+        if self.type is ValueType.DATE and other.type is ValueType.DATE:
+            return str(self.payload) < str(other.payload)
+        raise TypeError(f"cannot order {self.type.value} vs {other.type.value}")
+
+    # -- rendering ---------------------------------------------------------
+
+    def display(self) -> str:
+        """Human-facing rendering, the way the value would show in a cell."""
+        if self.type is ValueType.CURRENCY:
+            amount = float(self.payload)
+            if amount == int(amount):
+                return f"${int(amount):,}"
+            return f"${amount:,.2f}"
+        if self.type is ValueType.NUMBER:
+            x = self.payload
+            if isinstance(x, float) and x == int(x):
+                return str(int(x))
+            return str(x)
+        if self.type is ValueType.BOOL:
+            return "TRUE" if self.payload else "FALSE"
+        if self.type is ValueType.EMPTY:
+            return ""
+        return str(self.payload)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.display()
+
+
+def parse_literal(text: str) -> CellValue | None:
+    """Parse user-entered literal text into a typed value.
+
+    Returns ``None`` when the text is not a literal (i.e. it is a word).
+    Recognised forms: currency (``$10``, ``$1,250.50``), plain numbers
+    (``20``, ``3.5``, ``1,000``), percentages (``15%`` becomes the number
+    0.15), booleans, and ISO dates.
+    """
+    s = text.strip()
+    if not s:
+        return None
+    m = _CURRENCY_RE.match(s)
+    if m:
+        return CellValue.currency(_to_number(m.group(1)))
+    m = _PERCENT_RE.match(s)
+    if m:
+        return CellValue.number(float(m.group(1)) / 100.0)
+    if _NUMBER_RE.match(s):
+        return CellValue.number(_to_number(s))
+    if s.lower() in ("true", "false"):
+        return CellValue.boolean(s.lower() == "true")
+    if _DATE_RE.match(s):
+        return CellValue.date(s)
+    return None
+
+
+_WORD_NUMBERS = {
+    "zero": 0, "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
+    "six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10,
+    "eleven": 11, "twelve": 12, "thirteen": 13, "fourteen": 14,
+    "fifteen": 15, "sixteen": 16, "seventeen": 17, "eighteen": 18,
+    "nineteen": 19, "twenty": 20, "thirty": 30, "forty": 40, "fifty": 50,
+    "sixty": 60, "seventy": 70, "eighty": 80, "ninety": 90,
+    "hundred": 100, "thousand": 1000,
+}
+
+
+def parse_word_number(word: str) -> CellValue | None:
+    """Parse a spelled-out number word (``"twenty"``) into a NUMBER value.
+
+    The paper's synonym sets map e.g. ``20 -> {20, twenty}``; the tokenizer
+    uses this to let rules with literal patterns match spelled-out numbers.
+    Only single-word numbers are supported, which covers the corpus.
+    """
+    n = _WORD_NUMBERS.get(word.strip().lower())
+    if n is None:
+        return None
+    return CellValue.number(n)
+
+
+def _to_number(digits: str) -> Number:
+    cleaned = digits.replace(",", "")
+    value = float(cleaned)
+    if value == int(value) and "." not in cleaned:
+        return int(value)
+    return value

@@ -1,0 +1,250 @@
+"""The workbook: tables + cursor + active selection + scratch cells.
+
+This is the spreadsheet state a DSL program reads and updates (paper §2):
+
+* computed scalars/vectors are *placed at the active cursor*,
+* ``MakeActive(Q)`` changes the active selection (the anonymous view that
+  ``GetActive()`` reads back),
+* ``Format(fe, Q)`` mutates cell formats (named views read back by
+  ``GetFormat``),
+* cells outside any table ("scratch" cells like the ``I2`` result in Fig. 1)
+  hold earlier results and can be referenced by A1 address in later steps —
+  the temporal context that makes programming-in-steps work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import SheetError, UnknownTableError
+from .address import CellAddress
+from .cell import Cell
+from .table import Table
+from .values import CellValue
+
+
+class Workbook:
+    """A collection of tables plus interactive state."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._scratch: dict[CellAddress, Cell] = {}
+        self._cursor: CellAddress | None = None
+        self._selection: tuple[CellAddress, ...] = ()
+
+    def clone(self) -> "Workbook":
+        """A deep copy of the whole interactive state (tables, scratch
+        cells, cursor, selection) — the undo snapshot."""
+        twin = Workbook()
+        for table in self._tables.values():
+            twin.add_table(table.clone(), origin=table.origin)
+        twin._scratch = {
+            address: cell.copy() for address, cell in self._scratch.items()
+        }
+        twin._cursor = self._cursor
+        twin._selection = self._selection
+        return twin
+
+    def restore(self, snapshot: "Workbook") -> None:
+        """Overwrite this workbook's state from a snapshot produced by
+        :meth:`clone` (tables by name, scratch cells, cursor, selection).
+        Used by the session's undo."""
+        for key, table in self._tables.items():
+            if not snapshot.has_table(key):
+                raise SheetError(f"snapshot lacks table {table.name!r}")
+            source = snapshot.table(key)
+            table._columns = list(source._columns)
+            table._index = dict(source._index)
+            table._rows = [
+                [cell.copy() for cell in row] for row in source._rows
+            ]
+            table.origin = source.origin
+        self._scratch = {
+            address: cell.copy()
+            for address, cell in snapshot._scratch.items()
+        }
+        self._cursor = snapshot._cursor
+        self._selection = snapshot._selection
+
+    # -- tables --------------------------------------------------------------
+
+    def add_table(self, table: Table, origin: CellAddress | None = None) -> Table:
+        """Register a table, optionally re-anchoring it at ``origin``.
+
+        Without an explicit origin the first table sits at A1 and later
+        tables are stacked two rows below the previous one.
+        """
+        key = table.name.strip().lower()
+        if key in self._tables:
+            raise SheetError(f"duplicate table name {table.name!r}")
+        if origin is not None:
+            table.origin = origin
+        elif self._tables:
+            last = max(
+                self._tables.values(),
+                key=lambda t: t.origin.row + t.n_rows,
+            )
+            table.origin = CellAddress(0, last.origin.row + last.n_rows + 3)
+        self._tables[key] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        key = name.strip().lower()
+        if key not in self._tables:
+            raise UnknownTableError(name)
+        return self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.strip().lower() in self._tables
+
+    @property
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+    @property
+    def default_table(self) -> Table:
+        """The primary table — the first one added.
+
+        The paper drops the table argument "whenever there is a single table
+        or the context makes it clear"; implicit references resolve here.
+        """
+        if not self._tables:
+            raise SheetError("workbook has no tables")
+        return next(iter(self._tables.values()))
+
+    # -- cursor ---------------------------------------------------------------
+
+    @property
+    def cursor(self) -> CellAddress:
+        if self._cursor is None:
+            raise SheetError("no active cursor set")
+        return self._cursor
+
+    def set_cursor(self, address: CellAddress | str) -> None:
+        if isinstance(address, str):
+            address = CellAddress.parse(address)
+        self._cursor = address
+
+    @property
+    def has_cursor(self) -> bool:
+        return self._cursor is not None
+
+    # -- cell access ------------------------------------------------------------
+
+    def find_table_cell(self, address: CellAddress) -> tuple[Table, int, int] | None:
+        """The (table, row, col) owning a data cell at ``address``, if any."""
+        for table in self._tables.values():
+            loc = table.locate(address)
+            if loc is not None:
+                return (table, loc[0], loc[1])
+        return None
+
+    def get_cell(self, address: CellAddress | str) -> Cell | None:
+        """The cell at an address: a table data cell, a scratch cell, or
+        ``None`` when the address is blank."""
+        if isinstance(address, str):
+            address = CellAddress.parse(address)
+        hit = self.find_table_cell(address)
+        if hit is not None:
+            table, row, col = hit
+            return table.cell(row, col)
+        return self._scratch.get(address)
+
+    def get_value(self, address: CellAddress | str) -> CellValue:
+        cell = self.get_cell(address)
+        return cell.value if cell is not None else CellValue.empty()
+
+    def set_value(self, address: CellAddress | str, value: CellValue) -> None:
+        if isinstance(address, str):
+            address = CellAddress.parse(address)
+        hit = self.find_table_cell(address)
+        if hit is not None:
+            table, row, col = hit
+            table.cell(row, col).value = value
+            return
+        self._scratch.setdefault(address, Cell()).value = value
+
+    @property
+    def scratch_addresses(self) -> list[CellAddress]:
+        return sorted(self._scratch)
+
+    # -- placement of program results ------------------------------------------
+
+    def place_scalar(self, value: CellValue) -> CellAddress:
+        """Write a computed scalar at the cursor; returns where it landed."""
+        at = self.cursor
+        self.set_value(at, value)
+        return at
+
+    def place_vector(self, values: Sequence[CellValue]) -> list[CellAddress]:
+        """Write a computed vector downward starting at the cursor."""
+        start = self.cursor
+        addresses = []
+        for i, v in enumerate(values):
+            at = CellAddress(start.col, start.row + i)
+            self.set_value(at, v)
+            addresses.append(at)
+        return addresses
+
+    # -- selection (the spatial/temporal context) -------------------------------
+
+    @property
+    def selection(self) -> tuple[CellAddress, ...]:
+        return self._selection
+
+    def select(self, addresses: Iterable[CellAddress]) -> None:
+        self._selection = tuple(sorted(set(addresses)))
+
+    def clear_selection(self) -> None:
+        self._selection = ()
+
+    def selected_row_indices(self, table: Table) -> list[int]:
+        """Rows of ``table`` containing at least one actively-selected cell —
+        the ``GetActive()`` row source."""
+        rows = set()
+        for address in self._selection:
+            loc = table.locate(address)
+            if loc is not None:
+                rows.add(loc[0])
+        return sorted(rows)
+
+    def select_rows(self, table: Table, rows: Iterable[int]) -> None:
+        """Select every cell of the given table rows."""
+        addresses = []
+        for i in rows:
+            for j in range(table.n_cols):
+                addresses.append(table.address_of(i, j))
+        self.select(addresses)
+
+    def select_cells(self, table: Table, cells: Iterable[tuple[int, int]]) -> None:
+        self.select(table.address_of(i, j) for i, j in cells)
+
+    # -- vocabulary for the translator -------------------------------------------
+
+    def all_columns(self) -> list[tuple[Table, str]]:
+        return [
+            (table, name)
+            for table in self._tables.values()
+            for name in table.column_names
+        ]
+
+    def find_columns(self, name: str) -> list[tuple[Table, str]]:
+        """Tables defining a column with this (case-insensitive) name,
+        default table first so implicit references prefer it."""
+        hits = []
+        for table in self._tables.values():
+            if table.has_column(name):
+                hits.append((table, table.column(name).name))
+        return hits
+
+    def all_text_values(self) -> dict[str, list[tuple[str, str]]]:
+        """lowercase text value -> [(table name, column name)] everywhere it
+        occurs; the translator's sheet-value lexicon."""
+        merged: dict[str, list[tuple[str, str]]] = {}
+        for table in self._tables.values():
+            for value, columns in table.distinct_text_values().items():
+                slots = merged.setdefault(value, [])
+                for col in columns:
+                    if (table.name, col) not in slots:
+                        slots.append((table.name, col))
+        return merged

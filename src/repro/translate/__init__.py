@@ -1,0 +1,61 @@
+"""The translation algorithm (paper §3): tokenizer, sheet context, pattern
+rules, type-directed synthesis, ranking, and the main dynamic program."""
+
+from .alignment import align, quick_reject
+from .context import ColumnMatch, SheetContext, ValueMatch
+from .derivation import Derivation
+from .excel_input import formula_seeds, parse_range
+from .explain import Explanation, explain
+from .lexicon import SYNONYMS, SpellCorrector, damerau_levenshtein
+from .patterns import (
+    ColorPat,
+    ColumnPat,
+    LiteralPat,
+    MustPat,
+    OptPat,
+    SpanPat,
+    ValuePat,
+    parse_template,
+)
+from .rule_translator import RuleTranslator
+from .rules import Rule, RuleSet, make_rule
+from .synthesis import and_merge, comb_all, synthesize
+from .tokenizer import Token, tokenize
+from .translator import Candidate, Translator, TranslatorConfig, ablation_config
+
+__all__ = [
+    "Candidate",
+    "ColorPat",
+    "ColumnMatch",
+    "ColumnPat",
+    "Derivation",
+    "Explanation",
+    "explain",
+    "formula_seeds",
+    "parse_range",
+    "LiteralPat",
+    "MustPat",
+    "OptPat",
+    "Rule",
+    "RuleSet",
+    "RuleTranslator",
+    "SYNONYMS",
+    "SheetContext",
+    "SpanPat",
+    "SpellCorrector",
+    "Token",
+    "Translator",
+    "TranslatorConfig",
+    "ValueMatch",
+    "ValuePat",
+    "ablation_config",
+    "align",
+    "and_merge",
+    "comb_all",
+    "damerau_levenshtein",
+    "make_rule",
+    "parse_template",
+    "quick_reject",
+    "synthesize",
+    "tokenize",
+]

@@ -1,0 +1,81 @@
+"""Template alignment (paper §3.3.1).
+
+An alignment maps each pattern of a template to a contiguous token range
+such that the ranges tile the whole fragment: the first pattern starts at
+the fragment start, consecutive ranges abut, and the last pattern ends at
+the fragment end.  Optional patterns may map to empty ranges.
+
+Ranges are half-open ``(l, u)`` over fragment-relative positions.
+"""
+
+from __future__ import annotations
+
+from .context import SheetContext
+from .patterns import MustPat, OptPat, Pattern
+from .tokenizer import Token
+
+Alignment = tuple  # tuple[tuple[int, int], ...] — one (l, u) per pattern
+
+
+def _min_width(pattern: Pattern) -> int:
+    if isinstance(pattern, OptPat):
+        return 0
+    if isinstance(pattern, MustPat):
+        return min(len(option) for option in pattern.options)
+    return 1
+
+
+def align(
+    template: tuple[Pattern, ...],
+    tokens: list[Token],
+    ctx: SheetContext,
+    cap: int = 16,
+) -> list[Alignment]:
+    """All (up to ``cap``) alignments of ``template`` over ``tokens``."""
+    n = len(tokens)
+    min_suffix = [0] * (len(template) + 1)
+    for i in range(len(template) - 1, -1, -1):
+        min_suffix[i] = min_suffix[i + 1] + _min_width(template[i])
+    if min_suffix[0] > n:
+        return []
+
+    results: list[Alignment] = []
+    ranges: list[tuple[int, int]] = []
+
+    def recurse(pattern_index: int, pos: int) -> None:
+        if len(results) >= cap:
+            return
+        if pattern_index == len(template):
+            if pos == n:
+                results.append(tuple(ranges))
+            return
+        # Remaining patterns must still be able to tile the rest.
+        if pos + min_suffix[pattern_index] > n:
+            return
+        pattern = template[pattern_index]
+        for end in pattern.ends(tokens, pos, n, ctx):
+            if end + min_suffix[pattern_index + 1] > n:
+                continue
+            ranges.append((pos, end))
+            recurse(pattern_index + 1, end)
+            ranges.pop()
+            if len(results) >= cap:
+                return
+
+    recurse(0, 0)
+    return results
+
+
+def quick_reject(
+    template: tuple[Pattern, ...], fragment_words: frozenset[str]
+) -> bool:
+    """Cheap pre-check: a MustPat whose options all need words absent from
+    the fragment can never align (saves the backtracking search)."""
+    for pattern in template:
+        if isinstance(pattern, MustPat):
+            if not any(
+                all(word in fragment_words for word in option)
+                for option in pattern.options
+            ):
+                return True
+    return False

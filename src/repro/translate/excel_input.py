@@ -1,0 +1,113 @@
+"""Excel formula fragments inside natural-language input (paper §3.3.1).
+
+"For example we could easily extend the Algo 1 to include a parser for
+Excel formula to allow for a mixture of NL and Excel formula in the input,
+e.g. 'highlight rows with totalpay > MEDIAN(H2:H14)'.  Further, due to the
+uninterpreted nature of the holes, we do not need to modify (or re-train)
+the existing Rule or Synth algorithms when adding the Excel parsing
+algorithm!"
+
+This module is that parser: a span shaped like ``FUNC ( range )`` seeds the
+corresponding DSL reduction, which then flows through synthesis and rule
+G-holes exactly like any other sub-expression.  Supported functions map to
+the DSL's reduce algebra (SUM, AVERAGE/AVG, MIN, MAX, COUNT/COUNTA); ranges
+resolve against the table a column range overlaps.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..dsl import ast
+from ..sheet.address import CellAddress
+from .context import SheetContext
+from .derivation import ATOM, Derivation
+from .tokenizer import Token
+
+# Formula seeds are explicit syntax: near-certain evidence.
+FORMULA_SEED_SCORE = 0.95
+
+_FUNCTIONS = {
+    "sum": ast.ReduceOp.SUM,
+    "average": ast.ReduceOp.AVG,
+    "avg": ast.ReduceOp.AVG,
+    "min": ast.ReduceOp.MIN,
+    "max": ast.ReduceOp.MAX,
+}
+_COUNT_FUNCTIONS = {"count", "counta"}
+
+_RANGE_RE = re.compile(r"^([a-z]{1,3}[1-9]\d*):([a-z]{1,3}[1-9]\d*)$")
+
+
+def parse_range(text: str) -> tuple[CellAddress, CellAddress] | None:
+    """Parse an ``H2:H14``-style range into its corner addresses."""
+    match = _RANGE_RE.match(text.strip().lower())
+    if match is None:
+        return None
+    try:
+        start = CellAddress.parse(match.group(1))
+        end = CellAddress.parse(match.group(2))
+    except Exception:
+        return None
+    return (start, end)
+
+
+def resolve_range_column(
+    ctx: SheetContext, start: CellAddress, end: CellAddress
+) -> ast.ColumnRef | None:
+    """The column a single-column range refers to.
+
+    The DSL reduces over whole columns, so any single-column range inside a
+    table's data area resolves to that column (users write ``H2:H14``
+    meaning "the totalpay column").
+    """
+    if start.col != end.col:
+        return None
+    for table in ctx.workbook.tables:
+        column = table.column_at_letter_index(start.col)
+        if column is None:
+            continue
+        top = table.origin.row + 1
+        bottom = table.origin.row + table.n_rows
+        if start.row >= top and end.row <= bottom:
+            default = ctx.workbook.default_table.name
+            qualifier = None if table.name == default else table.name
+            return ast.ColumnRef(column.name, qualifier)
+    return None
+
+
+def formula_seeds(
+    ctx: SheetContext, tokens: list[Token], start: int, end: int
+) -> list[Derivation]:
+    """Seeds for a span shaped like ``FUNC ( range )`` (4 tokens)."""
+    if end - start != 4:
+        return []
+    name, lparen, range_token, rparen = tokens[start:end]
+    if lparen.text != "(" or rparen.text != ")":
+        return []
+    func = name.text
+    if func not in _FUNCTIONS and func not in _COUNT_FUNCTIONS:
+        return []
+    corners = parse_range(range_token.text)
+    if corners is None:
+        return []
+    column = resolve_range_column(ctx, *corners)
+    if column is None:
+        return []
+    positions = frozenset(range(start, end))
+    source = ast.GetTable(column.table) if column.table else ast.GetTable()
+    bare_column = ast.ColumnRef(column.name, column.table)
+    if func in _COUNT_FUNCTIONS:
+        expr: ast.Expr = ast.Count(source, ast.TrueF())
+    else:
+        expr = ast.Reduce(
+            _FUNCTIONS[func], bare_column, source, ast.TrueF()
+        )
+    return [
+        Derivation(
+            expr=expr,
+            used=positions,
+            kind=ATOM,
+            rule_score=FORMULA_SEED_SCORE,
+        )
+    ]

@@ -1,0 +1,106 @@
+"""Score explanations: why a candidate ranked where it did.
+
+The §3.4 ranking multiplies three opaque factors; this module renders the
+breakdown a developer (or a curious user) needs to audit a ranking — the
+derivation tree with per-node production scores, the coverage accounting
+(which words were ignored and what they cost), and the mix statistics.
+
+``explain(candidate, translator)`` returns a :class:`Explanation`;
+``Explanation.render()`` is the human-readable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .derivation import Derivation
+from .translator import Candidate, Translator
+
+
+@dataclass
+class CoverageLine:
+    word: str
+    position: int
+    used: bool
+    weight: float
+
+
+@dataclass
+class Explanation:
+    """A full scoring breakdown for one candidate."""
+
+    candidate: Candidate
+    prod_score: float
+    cover_score: float
+    mix_score: float
+    final_score: float
+    coverage: list[CoverageLine] = field(default_factory=list)
+    tree_lines: list[str] = field(default_factory=list)
+
+    @property
+    def ignored_weight(self) -> float:
+        return sum(l.weight for l in self.coverage if not l.used)
+
+    def render(self) -> str:
+        out = [f"program: {self.candidate.program}"]
+        out.append(
+            f"score = ProdSc {self.prod_score:.3f}"
+            f" x CoverSc {self.cover_score:.3f}"
+            f" x MixSc {self.mix_score:.3f}"
+            f" = {self.final_score:.4f}"
+        )
+        out.append("coverage:")
+        for line in self.coverage:
+            mark = " " if line.used else "~"
+            out.append(
+                f"  {mark} {line.word:<16} weight {line.weight:.1f}"
+                f"{'' if line.used else '  (ignored)'}"
+            )
+        out.append(
+            f"  ignored weight total: {self.ignored_weight:.1f}"
+            f" -> CoverSc = 1/max(ignored^2, 1) = {self.cover_score:.3f}"
+        )
+        out.append("derivation:")
+        out.extend(self.tree_lines)
+        return "\n".join(out)
+
+
+def _tree_lines(derivation: Derivation, indent: int = 2) -> list[str]:
+    pad = " " * indent
+    kind = derivation.kind
+    line = (
+        f"{pad}{kind:<5} {derivation.expr}  "
+        f"[node {derivation.node_score:.3f}, rule {derivation.rule_score:.2f}"
+        f", words {sorted(derivation.used)}]"
+    )
+    out = [line]
+    for child in derivation.children:
+        out.extend(_tree_lines(child, indent + 2))
+    return out
+
+
+def explain(candidate: Candidate, translator: Translator) -> Explanation:
+    """Build the scoring breakdown for a candidate produced by
+    ``translator`` (the same translator: the word weights come from its
+    sheet context)."""
+    derivation = candidate.derivation
+    weights = [translator._word_weight(t) for t in candidate.tokens]
+    coverage = [
+        CoverageLine(
+            word=token.text,
+            position=token.index,
+            used=token.index in derivation.used,
+            weight=weights[token.index],
+        )
+        for token in candidate.tokens
+    ]
+    cover = derivation.cover_score(weights)
+    return Explanation(
+        candidate=candidate,
+        prod_score=derivation.ranking_prod_score,
+        cover_score=cover,
+        mix_score=derivation.mix_score,
+        final_score=derivation.ranking_prod_score * cover * derivation.mix_score,
+        coverage=coverage,
+        tree_lines=_tree_lines(derivation),
+    )

@@ -1,0 +1,163 @@
+"""The operator lexicon and spell correction.
+
+The paper derives synonym sets from WordNet ("Lt -> {less, smaller, under,
+...}") for rule learning, and the UI red-underlines misspelled words, which
+implies a spell corrector over the sheet + operator vocabulary.  Both live
+here, offline:
+
+* :data:`SYNONYMS` maps each DSL operator concept to the English words that
+  evoke it (used by keyword seeding, rule learning, and paraphrase checks);
+* :class:`SpellCorrector` corrects tokens against a vocabulary using
+  Damerau-Levenshtein distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Operator concept -> surface words.  These are the curated stand-in for the
+# paper's WordNet synsets; hard-mode generator vocabulary ("tally") is
+# deliberately *absent* so the §5.2 study stresses out-of-vocabulary input.
+SYNONYMS: dict[str, frozenset[str]] = {
+    name: frozenset(words)
+    for name, words in {
+        "sum": {"sum", "total", "totals", "add", "adds", "sums"},
+        "avg": {"average", "mean", "avg"},
+        "min": {"minimum", "min", "smallest", "lowest", "least"},
+        "max": {"maximum", "max", "largest", "highest", "biggest",
+                "greatest", "top"},
+        "count": {"count", "many", "number"},
+        "lt": {"less", "under", "below", "smaller", "fewer", "<"},
+        "gt": {"greater", "more", "over", "above", "bigger", "larger",
+               "exceeds", ">"},
+        "eq": {"equals", "equal", "is", "=", "matches"},
+        "not": {"not", "isn't", "aren't", "don't", "excluding", "except",
+                "without"},
+        "and": {"and", "both", "but"},
+        "or": {"or", "either"},
+        "add": {"plus", "add", "added", "sum"},
+        "sub": {"minus", "subtract", "less"},
+        "mult": {"times", "multiply", "multiplied", "product", "*", "x"},
+        "div": {"divide", "divided", "per", "/"},
+        "lookup": {"lookup", "look", "find", "get", "fetch"},
+        "select": {"select", "selected", "selection", "highlight",
+                   "highlighted", "pick", "grab", "show", "get", "choose",
+                   "active"},
+        "format": {"color", "paint", "mark", "make", "turn", "format",
+                   "bold", "underline", "italicize"},
+        "rows": {"rows", "row", "records", "entries", "lines", "cells",
+                 "values"},
+        "average_ref": {"average", "mean"},
+    }.items()
+}
+
+
+def concept_of(word: str) -> list[str]:
+    """All operator concepts a word evokes (a word may evoke several:
+    "less" is both Lt and Sub)."""
+    return [name for name, words in SYNONYMS.items() if word in words]
+
+
+def damerau_levenshtein(a: str, b: str, cap: int = 3) -> int:
+    """Edit distance with transpositions, early-capped at ``cap``.
+
+    The cap keeps the corrector fast: once a row's minimum exceeds the cap
+    we can stop, since distances only grow.
+    """
+    if a == b:
+        return 0
+    if abs(len(a) - len(b)) > cap:
+        return cap + 1
+    previous_previous: list[int] = []
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current[j] = min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost, # substitution
+            )
+            if (
+                i > 1
+                and j > 1
+                and ca == b[j - 2]
+                and a[i - 2] == cb
+            ):
+                current[j] = min(current[j], previous_previous[j - 2] + 1)
+        if min(current) > cap:
+            return cap + 1
+        previous_previous, previous = previous, current
+    # Clamp to cap+1 so results beyond the cap are consistent regardless of
+    # whether the early exit fired (keeps the function symmetric).
+    return min(previous[len(b)], cap + 1)
+
+
+@dataclass(frozen=True)
+class Correction:
+    """A successful spell correction."""
+
+    word: str
+    distance: int
+
+
+class SpellCorrector:
+    """Corrects words against a fixed vocabulary.
+
+    Tolerance scales with word length the way UI spell checkers do: short
+    words allow distance 1, longer words distance 2.  Words of fewer than
+    four characters are never corrected (too many false positives).
+    """
+
+    def __init__(self, vocabulary: set[str], preferred: set[str] | None = None) -> None:
+        self._vocabulary = set(vocabulary)
+        self._preferred = set(preferred or ()) & self._vocabulary
+        self._by_length: dict[int, list[str]] = {}
+        for word in sorted(self._vocabulary):
+            self._by_length.setdefault(len(word), []).append(word)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._vocabulary
+
+    def correct(self, word: str) -> Correction | None:
+        """The closest vocabulary word within tolerance, or ``None``.
+
+        Exact members return distance 0; unknown short words and words with
+        no close match return ``None``.  Ties on distance resolve in favour
+        of *preferred* words (sheet content beats function words: a typo of
+        "units" must not become "its").
+        """
+        if word in self._vocabulary:
+            return Correction(word, 0)
+        if len(word) < 4 or not word.isalpha():
+            return None
+        tolerance = 1 if len(word) < 7 else 2
+        best: Correction | None = None
+        best_preferred = False
+        for length in range(len(word) - tolerance, len(word) + tolerance + 1):
+            for candidate in self._by_length.get(length, ()):
+                d = damerau_levenshtein(word, candidate, cap=tolerance)
+                if d > tolerance:
+                    continue
+                preferred = candidate in self._preferred
+                better = (
+                    best is None
+                    or d < best.distance
+                    or (d == best.distance and preferred and not best_preferred)
+                )
+                if better:
+                    best = Correction(candidate, d)
+                    best_preferred = preferred
+                    if d == 1 and preferred:
+                        return best
+        return best
+
+
+def keyword_vocabulary() -> set[str]:
+    """Every operator surface word (the non-sheet part of the correction
+    vocabulary)."""
+    vocab: set[str] = set()
+    for words in SYNONYMS.values():
+        vocab.update(w for w in words if w.isalpha())
+    return vocab

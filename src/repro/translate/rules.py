@@ -1,0 +1,81 @@
+"""Pattern rules: ``Template -> partial expression`` with a score.
+
+A rule aligns its template against an input fragment and instantiates its
+partial expression by filling holes from the aligned pattern ranges (paper
+§3.3).  Holes whose idents match no template pattern stay *unbound* — they
+are later filled by the synthesis algorithm, which is exactly how the two
+translators interleave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dsl import ast
+from ..dsl.holes import holes_of
+from ..errors import RuleParseError
+from .patterns import Pattern, parse_template
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One translation rule."""
+
+    name: str
+    template: tuple[Pattern, ...]
+    expr: ast.Expr
+    score: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise RuleParseError(f"rule {self.name!r}: score out of [0, 1]")
+        pattern_idents = {
+            p.ident for p in self.template if p.ident is not None
+        }
+        hole_idents = {h.ident for h in holes_of(self.expr)}
+        dangling = pattern_idents - hole_idents
+        if dangling:
+            raise RuleParseError(
+                f"rule {self.name!r}: template idents {sorted(dangling)} "
+                "have no matching hole in the expression"
+            )
+
+    @property
+    def bound_idents(self) -> frozenset[int]:
+        """Hole idents the template binds; the rest stay open for synthesis."""
+        return frozenset(
+            p.ident for p in self.template if p.ident is not None
+        )
+
+    def render(self) -> str:
+        lhs = " ".join(p.render() for p in self.template)
+        return f"{lhs} -> {self.expr}  [{self.score:.2f}]"
+
+
+def make_rule(
+    name: str, template_text: str, expr: ast.Expr, score: float = 0.7
+) -> Rule:
+    """Build a rule from concrete template syntax."""
+    return Rule(name, parse_template(template_text), expr, score)
+
+
+@dataclass
+class RuleSet:
+    """An ordered collection of rules with name lookup."""
+
+    rules: list[Rule] = field(default_factory=list)
+
+    def add(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def by_name(self, name: str) -> Rule:
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        raise KeyError(name)

@@ -1,0 +1,329 @@
+"""Keyword-programming seeds.
+
+Keyword programming "generate[s] all valid programs that can be obtained by
+combinations of user provided tokens or their representative keywords".  The
+combination engine is :mod:`repro.translate.synthesis`; this module produces
+what it combines:
+
+* **atom seeds** for token spans: literals (with both number and currency
+  readings — the type checker picks, per the paper's §3.2 example), cell
+  references, column references (including the "column H" letter form),
+  sheet values, and table references;
+* **implicit-filter seeds**: a bare value span like "capitol hill" also
+  seeds ``Eq(location, capitol hill)`` for each column containing the value
+  — the spreadsheet-context interpretation of implicit references;
+* **operator seeds** for keywords: "sum" seeds the partial expression
+  ``Sum(□C, GetTable(), □G)``, "less" seeds ``Lt(□C, □G)``, a color word
+  seeds both a formatting program and a ``GetFormat`` row source, etc.
+"""
+
+from __future__ import annotations
+
+from ..dsl import ast
+from ..sheet import CellValue, FormatFn
+from .context import SheetContext
+from .derivation import ATOM, Derivation
+from .tokenizer import Token
+
+# Seeds are weaker evidence than matched pattern rules; these weights feed
+# RScore for synthesized nodes.
+OPERATOR_SEED_SCORE = 0.55
+IMPLICIT_FILTER_SCORE = 0.85
+IMPLICIT_LOOKUP_SCORE = 0.8
+IMPLICIT_JOIN_SCORE = 0.78
+CONTEXT_ATOM_SCORE = 0.9
+
+_H = ast.Hole
+_C = ast.HoleKind.COLUMN
+_G = ast.HoleKind.GENERAL
+
+_REDUCE_SEEDS = {
+    "sum": ast.ReduceOp.SUM,
+    "avg": ast.ReduceOp.AVG,
+    "min": ast.ReduceOp.MIN,
+    "max": ast.ReduceOp.MAX,
+}
+_COMPARE_SEEDS = {"lt": ast.RelOp.LT, "gt": ast.RelOp.GT, "eq": ast.RelOp.EQ}
+_BINOP_SEEDS = {
+    "add": ast.BinaryOp.ADD,
+    "sub": ast.BinaryOp.SUB,
+    "mult": ast.BinaryOp.MULT,
+    "div": ast.BinaryOp.DIV,
+}
+
+# Words that evoke each seed family.  Deliberately narrower than the rule
+# set's synonym coverage: seeds are the high-recall fallback, and flooding
+# them on common words ("is") destroys precision.
+_SEED_WORDS = {
+    "sum": {"sum", "total", "totals", "add", "adds", "sums"},
+    "avg": {"average", "mean", "avg"},
+    "min": {"minimum", "min", "smallest", "lowest", "least"},
+    "max": {"maximum", "max", "largest", "highest", "biggest", "greatest"},
+    "count": {"count", "many", "number"},
+    "lt": {"less", "under", "below", "smaller", "fewer", "<"},
+    "gt": {"greater", "more", "over", "above", "bigger", "larger", ">"},
+    "eq": {"equals", "="},
+    "not": {"not", "excluding", "except", "isn't", "don't"},
+    "or": {"or", "either"},
+    "add": {"plus", "add", "added", "combined"},
+    "sub": {"minus", "subtract"},
+    "mult": {"times", "multiply", "multiplied", "*", "x"},
+    "div": {"divided", "divide", "per", "/"},
+    "lookup": {"lookup", "look"},
+    "select": {"select", "highlight", "show", "pick", "grab", "which"},
+    "selection": {"selected", "selection", "active"},
+}
+
+
+def operator_seeds(token: Token, position: int) -> list[Derivation]:
+    """Partial-expression seeds evoked by one keyword token."""
+    word = token.text
+    used = frozenset([position])
+    out: list[Derivation] = []
+
+    def seed(expr: ast.Expr) -> None:
+        out.append(
+            Derivation(
+                expr=expr, used=used, kind=ATOM, rule_score=OPERATOR_SEED_SCORE
+            )
+        )
+
+    for family, op in _REDUCE_SEEDS.items():
+        if word in _SEED_WORDS[family]:
+            seed(ast.Reduce(op, _H(1, _C), ast.GetTable(), _H(2, _G)))
+            # closed variant: an unconditional reduction is a complete
+            # program once the column is known ("sum the hours").
+            seed(ast.Reduce(op, _H(1, _C), ast.GetTable(), ast.TrueF()))
+    if word in _SEED_WORDS["count"]:
+        seed(ast.Count(ast.GetTable(), _H(1, _G)))
+        seed(ast.Count(ast.GetTable(), ast.TrueF()))
+    if word in _SEED_WORDS["max"]:
+        # "the largest X" as a row selector: Eq(X, Max(X)) — keyword
+        # programming's reading of superlatives.
+        seed(
+            ast.Compare(
+                ast.RelOp.EQ,
+                _H(1, _C),
+                ast.Reduce(ast.ReduceOp.MAX, _H(1, _C), ast.GetTable(),
+                           ast.TrueF()),
+            )
+        )
+    if word in {"nonzero"}:
+        from ..sheet.values import CellValue as _CV
+
+        seed(
+            ast.Compare(
+                ast.RelOp.GT, _H(1, _C), ast.Lit(_CV.number(0))
+            )
+        )
+    for family, op in _COMPARE_SEEDS.items():
+        if word in _SEED_WORDS[family]:
+            seed(ast.Compare(op, _H(1, _C), _H(2, _G)))
+            seed(ast.Compare(op, _H(1, _C), _H(2, _C)))
+    if word in _SEED_WORDS["not"]:
+        seed(ast.Not(_H(1, _G)))
+    if word in _SEED_WORDS["or"]:
+        seed(ast.Or(_H(1, _G), _H(2, _G)))
+    for family, op in _BINOP_SEEDS.items():
+        if word in _SEED_WORDS[family]:
+            seed(ast.BinOp(op, _H(1, _G), _H(2, _G)))
+    if word in _SEED_WORDS["lookup"]:
+        seed(ast.Lookup(_H(1, _G), _H(2, _G), _H(3, _C), _H(4, _C)))
+    if word in _SEED_WORDS["select"]:
+        seed(ast.MakeActive(ast.SelectRows(ast.GetTable(), _H(1, _G))))
+    if word in _SEED_WORDS["selection"]:
+        out.append(
+            Derivation(
+                expr=ast.GetActive(), used=used, kind=ATOM,
+                rule_score=CONTEXT_ATOM_SCORE,
+            )
+        )
+    color = SheetContext.match_color(word)
+    if color is not None:
+        spec = ast.FormatSpec((FormatFn.color(color),))
+        seed(
+            ast.FormatCells(spec, ast.SelectRows(ast.GetTable(), _H(1, _G)))
+        )
+        out.append(
+            Derivation(
+                expr=ast.GetFormat(spec), used=used, kind=ATOM,
+                rule_score=CONTEXT_ATOM_SCORE,
+            )
+        )
+    return out
+
+
+def literal_seeds(token: Token, position: int) -> list[Derivation]:
+    """Literal readings of one token (number and currency variants — the
+    Valid check later selects whichever fits, per paper §3.2)."""
+    used = frozenset([position])
+    out: list[Derivation] = []
+    if token.is_cellref:
+        out.append(
+            Derivation(expr=ast.CellRef(token.text.upper()), used=used)
+        )
+        return out
+    lit = token.literal
+    if lit is None:
+        return out
+    out.append(Derivation(expr=ast.Lit(lit), used=used))
+    if lit.type.value == "number":
+        out.append(
+            Derivation(expr=ast.Lit(CellValue.currency(lit.payload)), used=used)
+        )
+    return out
+
+
+def column_seeds(
+    ctx: SheetContext, tokens: list[Token], start: int, end: int, offset: int
+) -> list[Derivation]:
+    """Column-reference readings of the span ``tokens[start:end]``.
+
+    ``offset`` converts fragment positions to absolute sentence positions.
+    Direct header matches only — the ResolveCol value fallback is reserved
+    for rule C-holes, where the rule context disambiguates.
+    """
+    words = tuple(t.text for t in tokens[start:end])
+    positions = frozenset(range(offset + start, offset + end))
+    out: list[Derivation] = []
+    if len(words) == 2 and words[0] == "column":
+        match = ctx.column_by_letter(words[1])
+        if match is not None:
+            out.append(
+                Derivation(
+                    expr=_column_ref(ctx, match.table, match.column),
+                    used=positions,
+                    used_cols=positions,
+                )
+            )
+            return out
+    default = ctx.workbook.default_table
+    for match in ctx.match_column(words):
+        if match.via_value:
+            continue
+        out.append(
+            Derivation(
+                expr=_column_ref(ctx, match.table, match.column),
+                used=positions,
+                used_cols=positions,
+            )
+        )
+        if match.table != default.name:
+            out.extend(
+                _join_seeds(ctx, match.table, match.column, positions)
+            )
+    return out
+
+
+def _join_seeds(
+    ctx: SheetContext, side_table: str, out_column: str, positions: frozenset[int]
+) -> list[Derivation]:
+    """Complete vector-join readings of a side-table column mention.
+
+    "the payrate" (a PayRates column) seeds
+    ``Lookup(title, GetTable(PayRates), title, payrate)`` for every key
+    column shared (by name and type) between the default table and the side
+    table — the implicit single-column join of "for each employee lookup
+    the payrate".
+    """
+    default = ctx.workbook.default_table
+    side = ctx.workbook.table(side_table)
+    out: list[Derivation] = []
+    for key in side.columns:
+        if key.name == out_column:
+            continue
+        if not default.has_column(key.name):
+            continue
+        if default.column(key.name).dtype is not key.dtype:
+            continue
+        out.append(
+            Derivation(
+                expr=ast.Lookup(
+                    ast.ColumnRef(default.column(key.name).name),
+                    ast.GetTable(side.name),
+                    ast.ColumnRef(key.name),
+                    ast.ColumnRef(out_column),
+                ),
+                used=positions,
+                used_cols=positions,
+                kind=ATOM,
+                rule_score=IMPLICIT_JOIN_SCORE,
+            )
+        )
+    return out
+
+
+def value_seeds(
+    ctx: SheetContext, tokens: list[Token], start: int, end: int, offset: int
+) -> list[Derivation]:
+    """Value readings of a span.
+
+    A value span seeds three interpretations, all context-driven:
+
+    * the bare value literal,
+    * the implicit filter ``Eq(column-containing-value, value)``,
+    * when the value lives in a *side* table, a partial scalar lookup
+      ``Lookup(value, GetTable(side), key-column, □C)`` — "the payrate for
+      chef" finds chef in PayRates.title and leaves the output column open.
+    """
+    words = tuple(t.text for t in tokens[start:end])
+    positions = frozenset(range(offset + start, offset + end))
+    default = ctx.workbook.default_table.name
+    out: list[Derivation] = []
+    seen_values: set[str] = set()
+    for match in ctx.match_value(words):
+        lit = ast.Lit(CellValue.text(match.value))
+        if match.value not in seen_values:
+            seen_values.add(match.value)
+            out.append(Derivation(expr=lit, used=positions))
+        out.append(
+            Derivation(
+                expr=ast.Compare(
+                    ast.RelOp.EQ,
+                    _column_ref(ctx, match.table, match.column),
+                    lit,
+                ),
+                used=positions,
+                kind=ATOM,
+                rule_score=IMPLICIT_FILTER_SCORE,
+            )
+        )
+        if match.table != default:
+            out.append(
+                Derivation(
+                    expr=ast.Lookup(
+                        lit,
+                        ast.GetTable(match.table),
+                        ast.ColumnRef(match.column),
+                        _H(1, _C),
+                    ),
+                    used=positions,
+                    kind=ATOM,
+                    rule_score=IMPLICIT_LOOKUP_SCORE,
+                )
+            )
+    return out
+
+
+def table_seeds(ctx: SheetContext, token: Token, position: int) -> list[Derivation]:
+    """A token naming a workbook table seeds ``GetTable(name)``."""
+    out: list[Derivation] = []
+    for table in ctx.workbook.tables:
+        if table.name.lower() == token.text:
+            out.append(
+                Derivation(
+                    expr=ast.GetTable(table.name),
+                    used=frozenset([position]),
+                    kind=ATOM,
+                    rule_score=CONTEXT_ATOM_SCORE,
+                )
+            )
+    return out
+
+
+def _column_ref(ctx: SheetContext, table: str, column: str) -> ast.ColumnRef:
+    """A ColumnRef with the table qualifier only when it is not the default
+    table (matching how gold programs are written)."""
+    if table == ctx.workbook.default_table.name:
+        return ast.ColumnRef(column)
+    return ast.ColumnRef(column, table)

@@ -1,0 +1,174 @@
+"""Type-directed synthesis (paper Algo 2).
+
+``Synth`` computes the closure of the expressions translated for a span's
+two maximal sub-spans under all well-typed combinations:
+
+* ``CombAll(e, e')`` substitutes ``e'`` into each hole of ``e`` (at any
+  depth) whose restriction it satisfies, provided the two derivations use
+  disjoint non-column word sets and the result passes ``Valid``;
+* complete filter pairs additionally merge under ``And`` — the implicit
+  conjunction of "capitol hill baristas"-style descriptions (keyword
+  programming for a DSL whose filters compose conjunctively).
+
+The closure is semi-naive: a pair is only recombined at a span if at least
+one member is new at that span (pairs wholly inside a sub-span were already
+combined there and arrive via the union), which keeps the quadratic pair
+work proportional to genuinely new combinations.
+"""
+
+from __future__ import annotations
+
+from ..dsl import ast
+from ..dsl.holes import consistent, holes_of, substitute_unchecked
+from ..dsl.types import Kind, TypeChecker
+from ..errors import DslTypeError
+from .derivation import RULE, SYNTH, Derivation
+
+# Rule-equivalent weight of an implicit And between adjacent filters.
+IMPLICIT_AND_SCORE = 0.75
+
+
+def comb_all(
+    receiver: Derivation, filler: Derivation, checker: TypeChecker
+) -> list[Derivation]:
+    """All single-hole substitutions of ``filler`` into ``receiver``.
+
+    Mirrors the paper's ``CombAll``: the word-disjointness side condition
+    (ignoring column words) bounds the closure, and every substitution is
+    validated with ``Valid``.
+    """
+    if receiver.used_non_column & filler.used_non_column:
+        return []
+    out: list[Derivation] = []
+    filler_holes = holes_of(filler.expr)
+    if filler_holes:
+        # Substituting an open expression into another open expression
+        # explodes the closure for no recall benefit; the paper's examples
+        # only ever substitute closed sub-expressions.  Skip.
+        return out
+    for hole in holes_of(receiver.expr):
+        if not consistent(filler.expr, hole.kind):
+            continue
+        candidate = substitute_unchecked(receiver.expr, {hole.ident: filler.expr})
+        if not checker.valid(candidate):
+            continue
+        out.append(
+            Derivation(
+                expr=candidate,
+                used=receiver.used | filler.used,
+                used_cols=receiver.used_cols | filler.used_cols,
+                kind=SYNTH,
+                rule_score=receiver.rule_score,
+                rule_children=receiver.rule_children,
+                synth_children=receiver.synth_children + (filler,),
+            )
+        )
+    return out
+
+
+def and_merge(
+    a: Derivation, b: Derivation, checker: TypeChecker
+) -> Derivation | None:
+    """Merge two complete filters with an implicit ``And``.
+
+    Only produced in one canonical operand order so the closure does not
+    generate both ``And(f, g)`` and ``And(g, f)``.
+    """
+    if a.used_non_column & b.used_non_column:
+        return None
+    if holes_of(a.expr) or holes_of(b.expr):
+        return None
+    if str(a.expr) > str(b.expr):
+        return None
+    for d in (a, b):
+        try:
+            if checker.type_of(d.expr).kind is not Kind.FILTER:
+                return None
+        except DslTypeError:
+            return None
+    expr = ast.And(a.expr, b.expr)
+    if not checker.valid(expr):
+        return None
+    # Implicit conjunction is closer to a (weak) rule application than to a
+    # hole substitution: "capitol hill baristas" conjoins two predicates the
+    # way the learned adjacency rules of the paper do, so it is scored as a
+    # rule with both filters bound rather than as decaying synthesis.
+    return Derivation(
+        expr=expr,
+        used=a.used | b.used,
+        used_cols=a.used_cols | b.used_cols,
+        kind=RULE,
+        rule_score=IMPLICIT_AND_SCORE,
+        rule_children=(a, b),
+    )
+
+
+def _combine_pair(
+    a: Derivation, b: Derivation, checker: TypeChecker
+) -> list[Derivation]:
+    produced = comb_all(a, b, checker)
+    produced += comb_all(b, a, checker)
+    merged = and_merge(a, b, checker) or and_merge(b, a, checker)
+    if merged is not None:
+        produced.append(merged)
+    return produced
+
+
+def synthesize(
+    pool: list[Derivation],
+    left: list[Derivation],
+    right: list[Derivation],
+    checker: TypeChecker,
+    max_new: int = 96,
+    max_rounds: int = 4,
+) -> list[Derivation]:
+    """Close the span's derivations under combination.
+
+    ``pool`` holds every derivation available at this span (the union of
+    the two maximal sub-spans); ``left``/``right`` hold the derivations that
+    use the span's first / last word.  Round one combines only left x right
+    pairs — every other pair lies inside a sub-span and was combined there
+    already (semi-naive closure).  Later rounds combine each newly created
+    derivation against everything.  Returns the new derivations only.
+    """
+    known: set[tuple] = {d.key() for d in pool}
+    everything: list[Derivation] = list(pool)
+    created: list[Derivation] = []
+
+    def absorb(items: list[Derivation], sink: list[Derivation]) -> None:
+        for item in items:
+            if len(created) + len(sink) >= max_new:
+                return
+            key = item.key()
+            if key not in known:
+                known.add(key)
+                sink.append(item)
+
+    frontier: list[Derivation] = []
+    for a in left:
+        if len(created) + len(frontier) >= max_new:
+            break
+        for b in right:
+            if a.key() == b.key():
+                continue
+            absorb(_combine_pair(a, b, checker), frontier)
+            if len(created) + len(frontier) >= max_new:
+                break
+    created.extend(frontier)
+    everything.extend(frontier)
+
+    for _ in range(max_rounds - 1):
+        if not frontier or len(created) >= max_new:
+            break
+        new_round: list[Derivation] = []
+        for d in frontier:
+            for other in everything:
+                absorb(_combine_pair(d, other, checker), new_round)
+                if len(created) + len(new_round) >= max_new:
+                    break
+            if len(created) + len(new_round) >= max_new:
+                break
+        created.extend(new_round)
+        everything.extend(new_round)
+        frontier = new_round
+    return created

@@ -1,0 +1,108 @@
+"""Tokenization of user descriptions.
+
+Turns a colloquial English description into a sequence of :class:`Token`
+objects.  Tokens carry everything later stages need:
+
+* the normalized word (lowercase, punctuation stripped),
+* a parsed literal value when the token is a number / currency / percent /
+  spelled-out number ("twenty"),
+* whether the token is an A1-style cell reference (``I2``),
+* spell-correction state (filled in by the translator once it has a sheet
+  context to correct against; the UI underlines corrected words in red).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+
+from ..sheet.address import is_cell_reference
+from ..sheet.values import CellValue, parse_literal, parse_word_number
+
+# Comparison / arithmetic symbols become their own tokens ("totalpay > 500").
+_SYMBOLS = "<>=+*/()"
+_SYMBOL_RE = re.compile(r"([<>=+*/()])")
+_STRIP_CHARS = ".,!?;:'\"`"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One input token."""
+
+    text: str
+    raw: str
+    index: int
+    literal: CellValue | None = None
+    is_cellref: bool = False
+    corrected_from: str | None = None
+
+    @property
+    def is_symbol(self) -> bool:
+        return len(self.text) == 1 and self.text in _SYMBOLS
+
+    @property
+    def misspelled(self) -> bool:
+        return self.corrected_from is not None
+
+    def with_correction(self, corrected: str) -> "Token":
+        """The token with its text replaced by a spell correction."""
+        return replace(
+            self, text=corrected, corrected_from=self.text, literal=None
+        )
+
+
+def _split_raw(sentence: str) -> list[str]:
+    pieces: list[str] = []
+    for chunk in sentence.split():
+        # Don't split "$1,000.50", "3.5", "15%"; do split "(basepay" and ">500".
+        if parse_literal(chunk.strip(_STRIP_CHARS)) is not None:
+            pieces.append(chunk.strip(_STRIP_CHARS))
+            continue
+        for part in _SYMBOL_RE.split(chunk):
+            part = part.strip()
+            if part:
+                pieces.append(part)
+    return pieces
+
+
+def _normalize(word: str) -> str:
+    word = word.strip(_STRIP_CHARS).lower()
+    # possessives: "employee's" -> "employee"
+    if word.endswith("'s"):
+        word = word[:-2]
+    return word
+
+
+def tokenize(sentence: str) -> list[Token]:
+    """Tokenize a description.
+
+    Literal-looking tokens get their parsed :class:`CellValue`; cell
+    references are flagged; everything else is a plain lowercase word.
+    Empty results of normalization (bare punctuation) are dropped.
+    """
+    tokens: list[Token] = []
+    for raw in _split_raw(sentence):
+        text = _normalize(raw)
+        if not text:
+            continue
+        if len(text) == 1 and text in _SYMBOLS:
+            tokens.append(Token(text=text, raw=raw, index=len(tokens)))
+            continue
+        literal = parse_literal(text)
+        if literal is None:
+            literal = parse_word_number(text)
+        cellref = literal is None and is_cell_reference(text)
+        tokens.append(
+            Token(
+                text=text,
+                raw=raw,
+                index=len(tokens),
+                literal=literal,
+                is_cellref=cellref,
+            )
+        )
+    return tokens
+
+
+def words_of(tokens: list[Token]) -> list[str]:
+    return [t.text for t in tokens]

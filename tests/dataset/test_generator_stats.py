@@ -1,0 +1,114 @@
+"""Distributional checks on the corpus generator.
+
+The corpus substitution (DESIGN.md) is only sound if the generator actually
+produces the variation axes the paper documents: style spread, politeness
+prefixes, misspellings at a low rate, implicit references, column-letter
+forms, and multi-word column surfaces.  These tests measure those rates on
+the deterministic corpus.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.dataset import Corpus, all_tasks, build_sheet
+from repro.dataset.generator import _PREFIXES
+from repro.translate import Translator
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return Corpus.default()
+
+
+@pytest.fixture(scope="module")
+def texts(corpus):
+    return [d.text for d in corpus.descriptions]
+
+
+class TestStyleSpread:
+    def test_length_distribution_is_wide(self, texts):
+        lengths = sorted(len(t.split()) for t in texts)
+        assert lengths[0] <= 4            # keyword style exists
+        assert lengths[-1] >= 13          # verbose style exists
+        p25 = lengths[len(lengths) // 4]
+        p75 = lengths[3 * len(lengths) // 4]
+        assert p75 - p25 >= 3             # genuine spread, not two spikes
+
+    def test_politeness_prefix_rate(self, texts):
+        prefixed = sum(
+            1 for t in texts if any(t.startswith(p.strip()) for p in _PREFIXES)
+        )
+        rate = prefixed / len(texts)
+        assert 0.10 <= rate <= 0.40
+
+    def test_misspelling_rate(self, corpus):
+        """Roughly the configured ~7% of descriptions contain a token the
+        spell corrector has to fix."""
+        by_sheet = {}
+        misspelled = 0
+        sample = corpus.descriptions[:800]
+        for d in sample:
+            translator = by_sheet.setdefault(
+                d.sheet_id, Translator(build_sheet(d.sheet_id))
+            )
+            tokens = translator.prepare_tokens(d.text)
+            if any(t.misspelled for t in tokens):
+                misspelled += 1
+        rate = misspelled / len(sample)
+        assert 0.02 <= rate <= 0.15
+
+    def test_column_letter_style_occurs(self, texts):
+        assert any("column b" in t or "column h" in t or "column c" in t
+                   for t in texts)
+
+    def test_multiword_column_surfaces_occur(self, texts):
+        assert any("total pay" in t for t in texts)
+        assert any("gdp per capita" in t for t in texts)
+
+    def test_implicit_reference_style_occurs(self, texts):
+        # the flagship implicit NP from Tab. 1
+        assert any("capitol hill baristas" in t for t in texts)
+
+
+class TestBalance:
+    def test_tasks_evenly_covered(self, corpus):
+        counts = collections.Counter(d.task_id for d in corpus.descriptions)
+        assert len(counts) == 40
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_sheets_evenly_covered(self, corpus):
+        counts = collections.Counter(d.sheet_id for d in corpus.descriptions)
+        spread = max(counts.values()) - min(counts.values())
+        assert spread <= 10
+
+    def test_vocabulary_is_sheet_specific(self, corpus):
+        payroll_text = " ".join(
+            d.text for d in corpus.descriptions if d.sheet_id == "payroll"
+        )
+        assert "barista" in payroll_text
+        assert "gadget" not in payroll_text
+
+
+class TestDeterminism:
+    def test_regeneration_is_identical(self, corpus):
+        again = Corpus.default()
+        assert [d.text for d in corpus.descriptions] == [
+            d.text for d in again.descriptions
+        ]
+        assert [d.text for d in corpus.test] == [d.text for d in again.test]
+
+    def test_different_seed_differs(self, corpus):
+        other = Corpus.default(seed=99)
+        assert [d.text for d in corpus.descriptions] != [
+            d.text for d in other.descriptions
+        ]
+
+    def test_tasks_have_stable_ids(self):
+        ids = [t.task_id for t in all_tasks()]
+        # insertion order: 10 tasks per sheet, numbered 01..10
+        assert ids[:3] == ["payroll-01", "payroll-02", "payroll-03"]
+        assert ids[-1] == "invoices-10"
+        assert ids == [t.task_id for t in all_tasks()]

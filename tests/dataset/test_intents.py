@@ -1,0 +1,118 @@
+"""Direct tests for the intent layer (gold-program construction)."""
+
+import pytest
+
+from repro.dataset import build_sheet
+from repro.dataset.intents import Filter, Intent, build_condition, build_gold
+from repro.dsl import Evaluator, TypeChecker, ast
+from repro.sheet import ValueType
+
+
+@pytest.fixture
+def wb():
+    return build_sheet("payroll")
+
+
+class TestFilters:
+    def test_eq_text(self, wb):
+        f = build_condition(wb, Intent(kind="count",
+                                       filters=(Filter("title", "eq", "chef"),)))
+        assert isinstance(f, ast.Compare)
+        assert f.op is ast.RelOp.EQ
+
+    def test_neq_wraps_not(self, wb):
+        f = build_condition(
+            wb, Intent(kind="count", filters=(Filter("title", "neq", "chef"),))
+        )
+        assert isinstance(f, ast.Not)
+
+    def test_currency_column_gets_currency_literal(self, wb):
+        f = build_condition(
+            wb, Intent(kind="count", filters=(Filter("totalpay", "gt", 500),))
+        )
+        assert f.right.value.type is ValueType.CURRENCY
+
+    def test_number_column_gets_number_literal(self, wb):
+        f = build_condition(
+            wb, Intent(kind="count", filters=(Filter("hours", "gt", 20),))
+        )
+        assert f.right.value.type is ValueType.NUMBER
+
+    def test_gt_avg_nests_reduce(self, wb):
+        f = build_condition(
+            wb, Intent(kind="count", filters=(Filter("hours", "gt_avg"),))
+        )
+        assert isinstance(f.right, ast.Reduce)
+        assert f.right.op is ast.ReduceOp.AVG
+
+    def test_column_comparison(self, wb):
+        f = build_condition(
+            wb,
+            Intent(kind="count", filters=(
+                Filter("othours", "gt_col", other_column="hours"),
+            )),
+        )
+        assert isinstance(f.right, ast.ColumnRef)
+
+    def test_conjunction_and_disjunction(self, wb):
+        two = (Filter("title", "eq", "chef"), Filter("title", "eq", "barista"))
+        conj = build_condition(wb, Intent(kind="count", filters=two))
+        disj = build_condition(
+            wb, Intent(kind="count", filters=two, disjunctive=True)
+        )
+        assert isinstance(conj, ast.And)
+        assert isinstance(disj, ast.Or)
+
+    def test_empty_filters_is_true(self, wb):
+        assert build_condition(wb, Intent(kind="count")) == ast.TrueF()
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            Filter("hours", "near", 20)
+
+
+class TestGoldPrograms:
+    def _valid(self, wb, intent):
+        gold = build_gold(wb, intent)
+        assert TypeChecker(wb).valid_program(gold)
+        return gold
+
+    def test_every_kind_builds_and_typechecks(self, wb):
+        intents = [
+            Intent(kind="reduce", reduce_op="sum", column="hours"),
+            Intent(kind="count"),
+            Intent(kind="select", filters=(Filter("title", "eq", "chef"),)),
+            Intent(kind="format", format_color="red",
+                   filters=(Filter("othours", "gt", 0),)),
+            Intent(kind="lookup", needle="chef", key_column="title",
+                   out_column="payrate", aux_table="PayRates"),
+            Intent(kind="join_map", map_op="mult", column="hours",
+                   key_column="title", out_column="payrate",
+                   aux_table="PayRates"),
+            Intent(kind="map2", map_op="add", column="hours",
+                   operand2="othours"),
+            Intent(kind="map_scaled2", column="basepay", operand2="otpay",
+                   scale=1.1),
+            Intent(kind="map_scalar", map_op="mult", column="hours",
+                   operand2=2),
+            Intent(kind="argmax", column="totalpay"),
+        ]
+        for intent in intents:
+            self._valid(wb, intent)
+
+    def test_unknown_kind_rejected(self, wb):
+        with pytest.raises(ValueError):
+            build_gold(wb, Intent(kind="pivot"))
+
+    def test_map_scalar_evaluates(self, wb):
+        gold = self._valid(
+            wb, Intent(kind="map_scalar", map_op="mult", column="hours",
+                       operand2=2)
+        )
+        result = Evaluator(wb).run(gold, place=False)
+        assert result.values[0].payload == 60
+
+    def test_argmax_selects_max_row(self, wb):
+        gold = self._valid(wb, Intent(kind="argmax", column="totalpay"))
+        result = Evaluator(wb).run(gold)
+        assert result.rows == [5]  # frank, $984

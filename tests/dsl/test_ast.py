@@ -1,0 +1,169 @@
+"""Unit tests for AST structure, traversal, and holes."""
+
+import pytest
+
+from repro.dsl import ast
+from repro.dsl.holes import (
+    consistent,
+    fresh_idents,
+    hole_idents,
+    holes_of,
+    is_complete,
+    renumber,
+    substitute_unchecked,
+)
+from repro.errors import HoleError
+from repro.sheet import CellValue, FormatFn
+
+
+def sum_with_hole() -> ast.Reduce:
+    return ast.Reduce(
+        ast.ReduceOp.SUM,
+        ast.ColumnRef("totalpay"),
+        ast.GetTable(),
+        ast.Hole(2),
+    )
+
+
+def lt_filter() -> ast.Compare:
+    return ast.Compare(
+        ast.RelOp.LT, ast.ColumnRef("hours"), ast.Lit(CellValue.number(20))
+    )
+
+
+class TestStructure:
+    def test_expressions_are_hashable_and_equal_by_structure(self):
+        assert sum_with_hole() == sum_with_hole()
+        assert hash(sum_with_hole()) == hash(sum_with_hole())
+        assert len({sum_with_hole(), sum_with_hole()}) == 1
+
+    def test_children_in_order(self):
+        e = sum_with_hole()
+        kinds = [type(c).__name__ for c in e.children()]
+        assert kinds == ["ColumnRef", "GetTable", "Hole"]
+
+    def test_replace_children_rebuilds(self):
+        e = lt_filter()
+        swapped = e.replace_children((e.right, e.left))
+        assert isinstance(swapped.left, ast.Lit)
+        assert isinstance(swapped.right, ast.ColumnRef)
+
+    def test_replace_children_wrong_arity(self):
+        with pytest.raises((ValueError, IndexError)):
+            lt_filter().replace_children((ast.TrueF(),))
+
+    def test_walk_preorder(self):
+        e = ast.And(lt_filter(), ast.TrueF())
+        names = [type(n).__name__ for n in e.walk()]
+        assert names[0] == "And"
+        assert "Compare" in names and "TrueF" in names
+
+    def test_atoms(self):
+        assert ast.ColumnRef("hours").is_atom
+        assert not lt_filter().is_atom
+
+    def test_select_cells_tuple_children(self):
+        q = ast.SelectCells(
+            (ast.ColumnRef("a"), ast.ColumnRef("b")),
+            ast.GetTable(),
+            ast.TrueF(),
+        )
+        assert len(q.children()) == 4
+        rebuilt = q.replace_children(q.children())
+        assert rebuilt == q
+
+    def test_str_rendering(self):
+        assert str(sum_with_hole()) == "Sum(totalpay, GetTable(), □G2)"
+        assert str(lt_filter()) == "Lt(hours, 20)"
+
+    def test_format_spec_str(self):
+        spec = ast.FormatSpec((FormatFn.color("red"),))
+        assert "red" in str(spec)
+
+
+class TestHoles:
+    def test_holes_of(self):
+        e = ast.BinOp(ast.BinaryOp.ADD, ast.Hole(1), ast.Hole(2, ast.HoleKind.LITERAL))
+        assert [h.ident for h in holes_of(e)] == [1, 2]
+        assert hole_idents(e) == {1, 2}
+
+    def test_is_complete(self):
+        assert is_complete(lt_filter())
+        assert not is_complete(sum_with_hole())
+
+    def test_consistency_general(self):
+        assert consistent(lt_filter(), ast.HoleKind.GENERAL)
+
+    def test_consistency_literal(self):
+        num = ast.Lit(CellValue.number(5))
+        cur = ast.Lit(CellValue.currency(5))
+        txt = ast.Lit(CellValue.text("chef"))
+        assert consistent(num, ast.HoleKind.LITERAL)
+        assert consistent(cur, ast.HoleKind.LITERAL)
+        assert consistent(ast.CellRef("D2"), ast.HoleKind.LITERAL)
+        assert not consistent(txt, ast.HoleKind.LITERAL)
+
+    def test_consistency_column(self):
+        assert consistent(ast.ColumnRef("hours"), ast.HoleKind.COLUMN)
+        assert not consistent(ast.Lit(CellValue.text("x")), ast.HoleKind.COLUMN)
+
+    def test_consistency_value(self):
+        assert consistent(ast.Lit(CellValue.text("chef")), ast.HoleKind.VALUE)
+        assert not consistent(ast.Lit(CellValue.number(5)), ast.HoleKind.VALUE)
+        assert not consistent(ast.ColumnRef("hours"), ast.HoleKind.VALUE)
+
+    def test_substitute_unchecked(self):
+        filled = substitute_unchecked(sum_with_hole(), {2: lt_filter()})
+        assert is_complete(filled)
+        assert isinstance(filled.condition, ast.Compare)
+
+    def test_substitute_unchecked_leaves_unbound(self):
+        still = substitute_unchecked(sum_with_hole(), {99: lt_filter()})
+        assert not is_complete(still)
+
+    def test_fresh_idents(self):
+        assert fresh_idents([sum_with_hole()]) == 1
+        assert fresh_idents([ast.Hole(1), ast.Hole(2)]) == 3
+
+    def test_renumber(self):
+        e = renumber(sum_with_hole(), 10)
+        assert hole_idents(e) == {12}
+
+
+class TestCheckedSubstitution:
+    def test_valid_substitution(self, payroll):
+        from repro.dsl import TypeChecker
+        from repro.dsl.holes import substitute
+
+        checker = TypeChecker(payroll)
+        result = substitute(sum_with_hole(), {2: lt_filter()}, checker)
+        assert result is not None
+        assert is_complete(result)
+
+    def test_type_invalid_substitution_returns_none(self, payroll):
+        from repro.dsl import TypeChecker
+        from repro.dsl.holes import substitute
+
+        checker = TypeChecker(payroll)
+        bad = ast.Lit(CellValue.number(3))  # a number is not a filter
+        assert substitute(sum_with_hole(), {2: bad}, checker) is None
+
+    def test_restriction_violation_returns_none(self, payroll):
+        from repro.dsl import TypeChecker
+        from repro.dsl.holes import substitute
+
+        checker = TypeChecker(payroll)
+        e = ast.Compare(
+            ast.RelOp.EQ,
+            ast.Hole(1, ast.HoleKind.COLUMN),
+            ast.Lit(CellValue.text("chef")),
+        )
+        assert substitute(e, {1: ast.Lit(CellValue.text("x"))}, checker) is None
+
+    def test_unknown_hole_raises(self, payroll):
+        from repro.dsl import TypeChecker
+        from repro.dsl.holes import substitute
+
+        checker = TypeChecker(payroll)
+        with pytest.raises(HoleError):
+            substitute(sum_with_hole(), {7: lt_filter()}, checker)

@@ -1,0 +1,170 @@
+"""Edge-case and failure-injection tests across the DSL layer."""
+
+import pytest
+
+from repro.dsl import Evaluator, ExcelEmitter, TypeChecker, ast, paraphrase
+from repro.errors import EvaluationError
+from repro.sheet import CellValue, Color, FormatFn, Table, ValueType, Workbook
+
+
+def col(name, table=None):
+    return ast.ColumnRef(name, table)
+
+
+def num(x):
+    return ast.Lit(CellValue.number(x))
+
+
+class TestEvaluatorErrorPaths:
+    def test_eval_query_on_non_query(self, payroll):
+        with pytest.raises(EvaluationError):
+            Evaluator(payroll).eval_query(ast.TrueF())
+
+    def test_eval_row_source_on_non_source(self, payroll):
+        with pytest.raises(EvaluationError):
+            Evaluator(payroll).eval_row_source(num(1))
+
+    def test_eval_scalar_on_filter(self, payroll):
+        with pytest.raises(EvaluationError):
+            Evaluator(payroll).eval_scalar(ast.TrueF(), "employees")
+
+    def test_get_active_without_selection_gives_empty(self, payroll):
+        payroll.clear_selection()
+        p = ast.Count(ast.GetActive(), ast.TrueF())
+        assert Evaluator(payroll).run(p, place=False).value.payload == 0
+
+    def test_get_format_without_matches_gives_empty(self, payroll):
+        spec = ast.FormatSpec((FormatFn.color(Color.PINK),))
+        p = ast.Count(ast.GetFormat(spec), ast.TrueF())
+        assert Evaluator(payroll).run(p, place=False).value.payload == 0
+
+    def test_filter_on_empty_cell_is_false(self):
+        wb = Workbook()
+        wb.add_table(Table.from_data(
+            "T", ["name", "x"],
+            [["a", 1], ["b", None]],
+            types=[ValueType.TEXT, ValueType.NUMBER],
+        ))
+        p = ast.Count(
+            ast.GetTable(),
+            ast.Compare(ast.RelOp.GT, col("x"), num(0)),
+        )
+        assert Evaluator(wb).run(p, place=False).value.payload == 1
+
+    def test_sum_skips_empty_cells(self):
+        wb = Workbook()
+        wb.add_table(Table.from_data(
+            "T", ["x"], [[1], [None], [3]], types=[ValueType.NUMBER],
+        ))
+        p = ast.Reduce(ast.ReduceOp.SUM, col("x"), ast.GetTable(), ast.TrueF())
+        assert Evaluator(wb).run(p, place=False).value.payload == 4
+
+    def test_run_without_cursor_returns_value_unplaced(self):
+        wb = Workbook()
+        wb.add_table(Table.from_data("T", ["x"], [[1]], types=[ValueType.NUMBER]))
+        p = ast.Count(ast.GetTable(), ast.TrueF())
+        result = Evaluator(wb).run(p)  # no cursor set
+        assert result.value.payload == 1
+        assert result.addresses == []
+
+    def test_empty_table_reduce(self):
+        from repro.sheet import Column
+
+        wb = Workbook()
+        wb.add_table(Table("T", [Column("x", ValueType.NUMBER)]))
+        p = ast.Reduce(ast.ReduceOp.SUM, col("x"), ast.GetTable(), ast.TrueF())
+        assert Evaluator(wb).run(p, place=False).value.payload == 0
+
+
+class TestProgramResultDisplay:
+    def test_selection_display(self, payroll):
+        p = ast.MakeActive(ast.SelectRows(ast.GetTable(), ast.TrueF()))
+        result = Evaluator(payroll).run(p)
+        assert "selected" in result.display()
+
+    def test_format_display(self, payroll):
+        p = ast.FormatCells(
+            ast.FormatSpec((FormatFn.bold(),)),
+            ast.SelectRows(ast.GetTable(), ast.TrueF()),
+        )
+        result = Evaluator(payroll).run(p)
+        assert "formatted" in result.display()
+
+    def test_vector_display(self, payroll):
+        p = ast.BinOp(ast.BinaryOp.ADD, col("hours"), col("othours"))
+        result = Evaluator(payroll).run(p, place=False)
+        assert result.display().startswith("[")
+
+
+class TestExcelEmitterEdges:
+    def test_empty_table_range(self):
+        from repro.sheet import Column
+
+        wb = Workbook()
+        wb.add_table(Table("T", [Column("x", ValueType.NUMBER)]))
+        p = ast.Reduce(ast.ReduceOp.SUM, col("x"), ast.GetTable(), ast.TrueF())
+        assert ExcelEmitter(wb).emit(p) == "=SUM(A2)"
+
+    def test_emit_unknown_expression_rejected(self, payroll):
+        with pytest.raises(EvaluationError):
+            ExcelEmitter(payroll).emit(ast.TrueF())
+
+    def test_select_cells_description(self, payroll):
+        p = ast.MakeActive(ast.SelectCells(
+            (col("hours"), col("othours")), ast.GetTable(), ast.TrueF(),
+        ))
+        out = ExcelEmitter(payroll).emit(p)
+        assert out.startswith("[select hours, othours of Employees")
+
+    def test_nested_or_inside_and_criteria_fallback(self, payroll):
+        chef = ast.Compare(ast.RelOp.EQ, col("title"),
+                           ast.Lit(CellValue.text("chef")))
+        barista = ast.Compare(ast.RelOp.EQ, col("title"),
+                              ast.Lit(CellValue.text("barista")))
+        hours = ast.Compare(ast.RelOp.GT, col("hours"), num(20))
+        p = ast.Reduce(
+            ast.ReduceOp.SUM, col("totalpay"), ast.GetTable(),
+            ast.And(ast.Or(chef, barista), hours),
+        )
+        out = ExcelEmitter(payroll).emit(p)
+        assert out.startswith("=SUMPRODUCT(")
+
+
+class TestParaphraseEdges:
+    def test_count_unconditional(self):
+        assert paraphrase(ast.Count(ast.GetTable(), ast.TrueF())) == (
+            "count the rows"
+        )
+
+    def test_double_negation_renders(self):
+        inner = ast.Compare(ast.RelOp.GT, col("hours"), num(1))
+        text = paraphrase(ast.Count(ast.GetTable(), ast.Not(ast.Not(inner))))
+        assert "not (" in text
+
+    def test_select_cells_paraphrase(self):
+        p = ast.MakeActive(ast.SelectCells(
+            (col("hours"),), ast.GetTable(), ast.TrueF(),
+        ))
+        assert paraphrase(p) == "select the hours cells"
+
+    def test_table_qualified_column(self):
+        assert paraphrase(col("payrate", "PayRates")) == "PayRates payrate"
+
+
+class TestTypeCheckerCaching:
+    def test_cache_consistency_across_scopes(self, payroll):
+        checker = TypeChecker(payroll)
+        # `title` resolves in both tables; scope decides which
+        t_default = checker.type_of(col("title"), "employees")
+        t_rates = checker.type_of(col("title"), "payrates")
+        assert t_default.table == "employees"
+        assert t_rates.table == "payrates"
+
+    def test_content_check_toggle(self, payroll):
+        loose = TypeChecker(payroll, content_check=False)
+        strict = TypeChecker(payroll, content_check=True)
+        bogus = ast.Compare(
+            ast.RelOp.EQ, col("title"), ast.Lit(CellValue.text("capitol hill"))
+        )
+        assert loose.valid(bogus)
+        assert not strict.valid(bogus)

@@ -1,0 +1,283 @@
+"""Integration tests for the DSL interpreter over the payroll workbook."""
+
+import pytest
+
+from repro.dsl import Evaluator, ast
+from repro.errors import EvaluationError
+from repro.sheet import CellValue, Color, FormatFn, ValueType
+
+
+@pytest.fixture
+def ev(payroll):
+    return Evaluator(payroll)
+
+
+def col(name, table=None):
+    return ast.ColumnRef(name, table)
+
+
+def num(x):
+    return ast.Lit(CellValue.number(x))
+
+
+def cur(x):
+    return ast.Lit(CellValue.currency(x))
+
+
+def text(s):
+    return ast.Lit(CellValue.text(s))
+
+
+def eq(c, v):
+    return ast.Compare(ast.RelOp.EQ, col(c), text(v))
+
+
+class TestReduce:
+    def test_conditional_sum(self, ev):
+        # The paper's running example on our 6-row payroll.
+        p = ast.Reduce(
+            ast.ReduceOp.SUM,
+            col("totalpay"),
+            ast.GetTable(),
+            ast.And(eq("location", "capitol hill"), eq("title", "barista")),
+        )
+        r = ev.run(p, place=False)
+        assert r.value == CellValue.currency(396 + 492)
+
+    def test_unconditional_sum(self, ev):
+        p = ast.Reduce(ast.ReduceOp.SUM, col("hours"), ast.GetTable(), ast.TrueF())
+        assert ev.run(p, place=False).value.payload == 30 + 40 + 25 + 18 + 35 + 38
+
+    def test_avg(self, ev):
+        p = ast.Reduce(
+            ast.ReduceOp.AVG,
+            col("hours"),
+            ast.GetTable(),
+            eq("location", "capitol hill"),
+        )
+        assert ev.run(p, place=False).value.payload == (30 + 40 + 35) / 3
+
+    def test_min_max(self, ev):
+        mn = ast.Reduce(ast.ReduceOp.MIN, col("hours"), ast.GetTable(), ast.TrueF())
+        mx = ast.Reduce(ast.ReduceOp.MAX, col("hours"), ast.GetTable(), ast.TrueF())
+        assert ev.run(mn, place=False).value.payload == 18
+        assert ev.run(mx, place=False).value.payload == 40
+
+    def test_sum_currency_keeps_unit(self, ev):
+        p = ast.Reduce(ast.ReduceOp.SUM, col("totalpay"), ast.GetTable(), ast.TrueF())
+        assert ev.run(p, place=False).value.type is ValueType.CURRENCY
+
+    def test_sum_empty_filter_is_zero(self, ev):
+        p = ast.Reduce(
+            ast.ReduceOp.SUM, col("hours"), ast.GetTable(), eq("title", "astronaut")
+        )
+        assert ev.run(p, place=False).value.payload == 0
+
+    def test_avg_empty_filter_raises(self, ev):
+        p = ast.Reduce(
+            ast.ReduceOp.AVG, col("hours"), ast.GetTable(), eq("title", "astronaut")
+        )
+        with pytest.raises(EvaluationError):
+            ev.run(p, place=False)
+
+    def test_numeric_comparison_filter(self, ev):
+        p = ast.Reduce(
+            ast.ReduceOp.SUM,
+            col("totalpay"),
+            ast.GetTable(),
+            ast.Compare(ast.RelOp.LT, col("hours"), num(20)),
+        )
+        assert ev.run(p, place=False).value == CellValue.currency(198)
+
+    def test_nested_reduce_in_comparison(self, ev):
+        # "which employees work more than the average hours" — filter side.
+        avg = ast.Reduce(ast.ReduceOp.AVG, col("hours"), ast.GetTable(), ast.TrueF())
+        p = ast.Count(
+            ast.GetTable(), ast.Compare(ast.RelOp.GT, col("hours"), avg)
+        )
+        # mean hours = 31; those above: 40, 35, 38 -> 3 employees
+        assert ev.run(p, place=False).value.payload == 3
+
+
+class TestCount:
+    def test_count_all(self, ev):
+        p = ast.Count(ast.GetTable(), ast.TrueF())
+        assert ev.run(p, place=False).value.payload == 6
+
+    def test_count_with_negation(self, ev):
+        p = ast.Count(ast.GetTable(), ast.Not(eq("location", "capitol hill")))
+        assert ev.run(p, place=False).value.payload == 3
+
+    def test_count_with_disjunction(self, ev):
+        p = ast.Count(
+            ast.GetTable(), ast.Or(eq("title", "chef"), eq("title", "cashier"))
+        )
+        assert ev.run(p, place=False).value.payload == 3
+
+
+class TestArithmetic:
+    def test_scalar_chain(self, ev):
+        p = ast.BinOp(
+            ast.BinaryOp.MULT,
+            ast.BinOp(ast.BinaryOp.ADD, num(2), num(3)),
+            num(4),
+        )
+        assert ev.run(p, place=False).value.payload == 20
+
+    def test_division_by_zero(self, ev):
+        p = ast.BinOp(ast.BinaryOp.DIV, num(1), num(0))
+        with pytest.raises(EvaluationError):
+            ev.run(p, place=False)
+
+    def test_cell_refs(self, ev, payroll):
+        payroll.set_value("J8", CellValue.number(10))
+        payroll.set_value("J9", CellValue.number(4))
+        p = ast.BinOp(ast.BinaryOp.DIV, ast.CellRef("J8"), ast.CellRef("J9"))
+        assert ev.run(p, place=False).value.payload == 2.5
+
+    def test_empty_cell_ref_raises(self, ev):
+        p = ast.BinOp(ast.BinaryOp.ADD, ast.CellRef("Z99"), num(1))
+        with pytest.raises(EvaluationError):
+            ev.run(p, place=False)
+
+    def test_vector_addition(self, ev):
+        p = ast.BinOp(ast.BinaryOp.ADD, col("hours"), col("othours"))
+        r = ev.run(p, place=False)
+        assert [v.payload for v in r.values] == [32, 40, 30, 18, 39, 44]
+
+    def test_vector_scalar_broadcast(self, ev):
+        p = ast.BinOp(ast.BinaryOp.MULT, col("payrate"), num(2))
+        r = ev.run(p, place=False)
+        assert r.values[0] == CellValue.currency(24)
+
+    def test_scalar_vector_broadcast(self, ev):
+        p = ast.BinOp(ast.BinaryOp.ADD, num(1), col("hours"))
+        r = ev.run(p, place=False)
+        assert r.values[0].payload == 31
+
+
+class TestLookup:
+    def test_scalar_lookup(self, ev):
+        p = ast.Lookup(
+            text("chef"), ast.GetTable("PayRates"), col("title"), col("payrate")
+        )
+        assert ev.run(p, place=False).value == CellValue.currency(20)
+
+    def test_lookup_miss_raises(self, ev):
+        p = ast.Lookup(
+            text("astronaut"),
+            ast.GetTable("PayRates"),
+            col("title"),
+            col("payrate"),
+        )
+        with pytest.raises(EvaluationError):
+            ev.run(p, place=False)
+
+    def test_vector_lookup_join(self, ev):
+        # For each employee look up the PayRates rate by title.
+        p = ast.Lookup(
+            col("title"), ast.GetTable("PayRates"), col("title"), col("payrate")
+        )
+        r = ev.run(p, place=False)
+        assert [v.payload for v in r.values] == [12, 20, 12, 11, 12, 21 - 1]
+
+    def test_join_composes_with_map(self, ev):
+        # "for each employee lookup the payrate and multiply by hours"
+        join = ast.Lookup(
+            col("title"), ast.GetTable("PayRates"), col("title"), col("payrate")
+        )
+        p = ast.BinOp(ast.BinaryOp.MULT, join, col("hours"))
+        r = ev.run(p, place=False)
+        assert r.values[0] == CellValue.currency(12 * 30)
+
+
+class TestPlacement:
+    def test_scalar_placed_at_cursor(self, ev, payroll):
+        payroll.set_cursor("J2")
+        p = ast.Count(ast.GetTable(), ast.TrueF())
+        r = ev.run(p)
+        assert [a.to_a1() for a in r.addresses] == ["J2"]
+        assert payroll.get_value("J2").payload == 6
+
+    def test_vector_placed_downward(self, ev, payroll):
+        payroll.set_cursor("K2")
+        p = ast.BinOp(ast.BinaryOp.ADD, col("hours"), col("othours"))
+        r = ev.run(p)
+        assert len(r.addresses) == 6
+        assert payroll.get_value("K2").payload == 32
+
+
+class TestSelectionsAndFormatting:
+    def test_make_active_selects_rows(self, ev, payroll):
+        p = ast.MakeActive(
+            ast.SelectRows(ast.GetTable(), eq("location", "queen anne"))
+        )
+        r = ev.run(p)
+        emp = payroll.table("Employees")
+        assert payroll.selected_row_indices(emp) == [2, 3]
+        assert r.kind == "selection"
+
+    def test_select_cells_projects_columns(self, ev, payroll):
+        p = ast.MakeActive(
+            ast.SelectCells((col("totalpay"),), ast.GetTable(), eq("title", "chef"))
+        )
+        r = ev.run(p)
+        assert len(r.addresses) == 2  # two chefs, one column
+
+    def test_get_active_feeds_next_step(self, ev, payroll):
+        # Step 1: select capitol hill baristas; step 2: sum totalpay of selection.
+        ev.run(
+            ast.MakeActive(
+                ast.SelectRows(
+                    ast.GetTable(),
+                    ast.And(eq("location", "capitol hill"), eq("title", "barista")),
+                )
+            )
+        )
+        p = ast.Reduce(
+            ast.ReduceOp.SUM, col("totalpay"), ast.GetActive(), ast.TrueF()
+        )
+        assert ev.run(p, place=False).value == CellValue.currency(888)
+
+    def test_format_then_get_format(self, ev, payroll):
+        spec = ast.FormatSpec((FormatFn.color("red"),))
+        ev.run(
+            ast.FormatCells(
+                spec,
+                ast.SelectCells((col("totalpay"),), ast.GetTable(), eq("title", "chef")),
+            )
+        )
+        emp = payroll.table("Employees")
+        assert emp.cell(1, 7).format.color is Color.RED
+        # "add up all the values in the red cells"
+        p = ast.Reduce(
+            ast.ReduceOp.SUM, col("totalpay"), ast.GetFormat(spec), ast.TrueF()
+        )
+        assert ev.run(p, place=False).value == CellValue.currency(800 + 984)
+
+    def test_format_extends_view(self, ev, payroll):
+        # Color chefs then baristas; GetFormat sees the union.
+        spec = ast.FormatSpec((FormatFn.color("red"),))
+        for title in ("chef", "barista"):
+            ev.run(
+                ast.FormatCells(
+                    spec,
+                    ast.SelectCells(
+                        (col("totalpay"),), ast.GetTable(), eq("title", title)
+                    ),
+                )
+            )
+        p = ast.Count(ast.GetFormat(spec), ast.TrueF())
+        assert ev.run(p, place=False).value.payload == 5
+
+
+class TestGuards:
+    def test_program_with_hole_rejected(self, ev):
+        p = ast.Reduce(ast.ReduceOp.SUM, col("hours"), ast.GetTable(), ast.Hole(1))
+        with pytest.raises(EvaluationError):
+            ev.run(p)
+
+    def test_ill_typed_program_rejected(self, ev):
+        p = ast.BinOp(ast.BinaryOp.MULT, cur(1), cur(2))
+        with pytest.raises(EvaluationError):
+            ev.run(p)

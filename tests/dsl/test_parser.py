@@ -1,0 +1,187 @@
+"""Tests for the DSL textual-form parser and round-trip printer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import ast, parse_expr, print_expr
+from repro.dsl.parser import DslParseError
+from repro.sheet import CellValue
+
+
+def col(name, table=None):
+    return ast.ColumnRef(name, table)
+
+
+def running_example():
+    return ast.Reduce(
+        ast.ReduceOp.SUM, col("totalpay"), ast.GetTable(),
+        ast.And(
+            ast.Compare(ast.RelOp.EQ, col("location"),
+                        ast.Lit(CellValue.text("capitol hill"))),
+            ast.Compare(ast.RelOp.EQ, col("title"),
+                        ast.Lit(CellValue.text("barista"))),
+        ),
+    )
+
+
+class TestParse:
+    def test_reduce(self):
+        expr = parse_expr("Sum(totalpay, GetTable(), True)")
+        assert expr == ast.Reduce(
+            ast.ReduceOp.SUM, col("totalpay"), ast.GetTable(), ast.TrueF()
+        )
+
+    def test_nested_filter(self):
+        expr = parse_expr('And(Lt(hours, 20), Eq(title, "chef"))')
+        assert isinstance(expr, ast.And)
+        assert expr.left == ast.Compare(
+            ast.RelOp.LT, col("hours"), ast.Lit(CellValue.number(20))
+        )
+
+    def test_quoted_multiword_value(self):
+        expr = parse_expr('Eq(location, "capitol hill")')
+        assert expr.right == ast.Lit(CellValue.text("capitol hill"))
+
+    def test_currency_literal(self):
+        expr = parse_expr("Lt($10, totalpay)")
+        assert expr.left.value == CellValue.currency(10)
+
+    def test_qualified_column(self):
+        expr = parse_expr("PayRates.payrate")
+        assert expr == col("payrate", "PayRates")
+
+    def test_get_table_with_name(self):
+        expr = parse_expr("GetTable(PayRates)")
+        assert expr == ast.GetTable("PayRates")
+
+    def test_lookup(self):
+        expr = parse_expr(
+            'Lookup("chef", GetTable(PayRates), title, payrate)'
+        )
+        assert isinstance(expr, ast.Lookup)
+
+    def test_make_active_select(self):
+        expr = parse_expr("MakeActive(SelectRows(GetTable(), True))")
+        assert isinstance(expr, ast.MakeActive)
+
+    def test_cell_ref(self):
+        expr = parse_expr("Div(I2, I3)")
+        assert expr.left == ast.CellRef("I2")
+
+    def test_holes(self):
+        expr = parse_expr("Sum(□C1, GetTable(), □G2)")
+        holes = [n for n in expr.walk() if isinstance(n, ast.Hole)]
+        assert [(h.ident, h.kind) for h in holes] == [
+            (1, ast.HoleKind.COLUMN), (2, ast.HoleKind.GENERAL)
+        ]
+
+    def test_count_and_getactive(self):
+        expr = parse_expr("Count(GetActive(), True)")
+        assert expr == ast.Count(ast.GetActive(), ast.TrueF())
+
+    @pytest.mark.parametrize("bad", [
+        "", "Sum(", "Sum)", "Unknown(1, 2)", "Sum(a, b", "1 2",
+    ])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(DslParseError):
+            parse_expr(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("expr_factory", [
+        running_example,
+        lambda: ast.Count(ast.GetTable(), ast.Not(ast.Compare(
+            ast.RelOp.EQ, col("title"), ast.Lit(CellValue.text("chef"))))),
+        lambda: ast.BinOp(ast.BinaryOp.MULT, ast.BinOp(
+            ast.BinaryOp.ADD, col("basepay"), col("otpay")),
+            ast.Lit(CellValue.number(1.1))),
+        lambda: ast.Lookup(col("title"), ast.GetTable("PayRates"),
+                           col("title"), col("payrate")),
+        lambda: ast.MakeActive(ast.SelectCells(
+            (col("hours"), col("othours")), ast.GetTable(), ast.TrueF())),
+        lambda: ast.Reduce(ast.ReduceOp.MAX, col("gdp"), ast.GetActive(),
+                           ast.TrueF()),
+        lambda: ast.Compare(ast.RelOp.GT, col("hours"), ast.Reduce(
+            ast.ReduceOp.AVG, col("hours"), ast.GetTable(), ast.TrueF())),
+    ])
+    def test_round_trips(self, expr_factory):
+        expr = expr_factory()
+        assert parse_expr(print_expr(expr)) == expr
+
+    def test_partial_expression_round_trips(self):
+        expr = ast.Reduce(
+            ast.ReduceOp.SUM, ast.Hole(1, ast.HoleKind.COLUMN),
+            ast.GetTable(), ast.Hole(2),
+        )
+        assert parse_expr(print_expr(expr)) == expr
+
+    @given(st.integers(min_value=-10**6, max_value=10**6))
+    @settings(max_examples=40)
+    def test_number_literals_round_trip(self, n):
+        expr = ast.Compare(
+            ast.RelOp.LT, col("hours"), ast.Lit(CellValue.number(n))
+        )
+        assert parse_expr(print_expr(expr)) == expr
+
+    @given(st.sampled_from(["chef", "capitol hill", "adventure works", "a b c"]))
+    def test_text_literals_round_trip(self, s):
+        expr = ast.Compare(
+            ast.RelOp.EQ, col("title"), ast.Lit(CellValue.text(s))
+        )
+        assert parse_expr(print_expr(expr)) == expr
+
+
+class TestFormatSublanguage:
+    def test_format_cells_round_trip(self):
+        from repro.sheet import FormatFn
+
+        program = ast.FormatCells(
+            ast.FormatSpec((FormatFn.color("red"), FormatFn.bold())),
+            ast.SelectRows(ast.GetTable(), ast.Compare(
+                ast.RelOp.GT, col("othours"), ast.Lit(CellValue.number(0)))),
+        )
+        assert parse_expr(print_expr(program)) == program
+
+    def test_get_format_round_trip(self):
+        from repro.sheet import FormatFn
+
+        source = ast.GetFormat(
+            ast.FormatSpec((FormatFn.underline(False), FormatFn.font_size(14))),
+            "Employees",
+        )
+        assert parse_expr(print_expr(source)) == source
+
+    def test_reduce_over_format_view_round_trip(self):
+        from repro.sheet import FormatFn
+
+        program = ast.Reduce(
+            ast.ReduceOp.SUM, col("totalpay"),
+            ast.GetFormat(ast.FormatSpec((FormatFn.color("red"),))),
+            ast.TrueF(),
+        )
+        assert parse_expr(print_expr(program)) == program
+
+    def test_bad_spec_argument_rejected(self):
+        with pytest.raises(DslParseError):
+            parse_expr("Format(totalpay, SelectRows(GetTable(), True))")
+        with pytest.raises(DslParseError):
+            parse_expr("Spec(totalpay)")
+
+
+class TestScriptWithFormatting:
+    def test_session_with_format_step_persists(self):
+        from repro.dataset import build_sheet
+        from repro.session import NLyzeSession, Script
+        from repro.sheet import Color
+
+        session = NLyzeSession(build_sheet("payroll"))
+        session.run("color the chef totalpay red")
+        session.run("add up the red totalpay cells")
+        script = Script.loads(Script.from_session(session).dumps())
+        target = build_sheet("payroll")
+        target.set_cursor("J2")
+        results = script.apply(target)
+        assert results[0].kind == "format"
+        assert results[1].value == CellValue.currency(800 + 984 + 832)
+        assert target.table("Employees").cell(1, 7).format.color is Color.RED

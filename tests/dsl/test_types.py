@@ -1,0 +1,254 @@
+"""Unit tests for the DSL type system (the paper's ``Valid``)."""
+
+import pytest
+
+from repro.dsl import TypeChecker, ast
+from repro.dsl.types import Kind
+from repro.sheet import CellValue, FormatFn, ValueType
+
+
+@pytest.fixture
+def tc(payroll):
+    return TypeChecker(payroll)
+
+
+def col(name, table=None):
+    return ast.ColumnRef(name, table)
+
+
+def num(x):
+    return ast.Lit(CellValue.number(x))
+
+
+def cur(x):
+    return ast.Lit(CellValue.currency(x))
+
+
+def text(s):
+    return ast.Lit(CellValue.text(s))
+
+
+class TestAtoms:
+    def test_literals(self, tc):
+        assert tc.type_of(num(5)).elem is ValueType.NUMBER
+        assert tc.type_of(cur(5)).elem is ValueType.CURRENCY
+        assert tc.type_of(text("chef")).elem is ValueType.TEXT
+
+    def test_column_in_default_scope(self, tc):
+        t = tc.type_of(col("hours"))
+        assert t.kind is Kind.COLUMN
+        assert t.elem is ValueType.NUMBER
+        assert t.table == "employees"
+
+    def test_column_with_explicit_table(self, tc):
+        t = tc.type_of(col("payrate", "PayRates"))
+        assert t.table == "payrates"
+        assert t.elem is ValueType.CURRENCY
+
+    def test_unknown_column_invalid(self, tc):
+        assert not tc.valid(col("salary"))
+
+    def test_cell_ref_types_from_contents(self, tc, payroll):
+        payroll.set_value("J9", CellValue.currency(5))
+        tc2 = TypeChecker(payroll)
+        assert tc2.type_of(ast.CellRef("J9")).elem is ValueType.CURRENCY
+
+    def test_empty_cell_ref_defaults_to_number(self, tc):
+        assert tc.type_of(ast.CellRef("Z99")).elem is ValueType.NUMBER
+
+    def test_hole_is_any(self, tc):
+        assert tc.type_of(ast.Hole(1)).kind is Kind.ANY
+
+
+class TestComparisons:
+    def test_currency_literal_disambiguation(self, tc):
+        # The paper's §3.2 example: Lt(5, totalpay) invalid, Lt($10, totalpay) valid.
+        assert not tc.valid(ast.Compare(ast.RelOp.LT, num(5), col("totalpay")))
+        assert tc.valid(ast.Compare(ast.RelOp.LT, cur(10), col("totalpay")))
+
+    def test_number_column_vs_number(self, tc):
+        assert tc.valid(ast.Compare(ast.RelOp.LT, col("hours"), num(20)))
+
+    def test_eq_text(self, tc):
+        assert tc.valid(ast.Compare(ast.RelOp.EQ, col("title"), text("chef")))
+
+    def test_eq_mismatched_types_invalid(self, tc):
+        assert not tc.valid(ast.Compare(ast.RelOp.EQ, col("title"), num(5)))
+
+    def test_text_ordering_invalid(self, tc):
+        assert not tc.valid(ast.Compare(ast.RelOp.LT, col("title"), text("a")))
+
+    def test_column_to_column(self, tc):
+        assert tc.valid(ast.Compare(ast.RelOp.GT, col("hours"), col("othours")))
+
+    def test_two_scalars_invalid(self, tc):
+        assert not tc.valid(ast.Compare(ast.RelOp.LT, num(1), num(2)))
+
+    def test_scalar_vs_nested_reduce(self, tc):
+        avg = ast.Reduce(ast.ReduceOp.AVG, col("hours"), ast.GetTable(), ast.TrueF())
+        assert tc.valid(ast.Compare(ast.RelOp.GT, col("hours"), avg))
+
+    def test_hole_side_is_permissive(self, tc):
+        assert tc.valid(ast.Compare(ast.RelOp.EQ, ast.Hole(1), text("chef")))
+
+
+class TestBooleans:
+    def test_connectives(self, tc):
+        f = ast.Compare(ast.RelOp.EQ, col("title"), text("chef"))
+        assert tc.valid(ast.And(f, ast.Not(f)))
+        assert tc.valid(ast.Or(f, ast.TrueF()))
+
+    def test_non_filter_operand_invalid(self, tc):
+        assert not tc.valid(ast.And(ast.TrueF(), num(3)))
+
+
+class TestReductions:
+    def test_sum_currency_column(self, tc):
+        e = ast.Reduce(ast.ReduceOp.SUM, col("totalpay"), ast.GetTable(), ast.TrueF())
+        assert tc.type_of(e).elem is ValueType.CURRENCY
+
+    def test_sum_text_column_invalid(self, tc):
+        e = ast.Reduce(ast.ReduceOp.SUM, col("title"), ast.GetTable(), ast.TrueF())
+        assert not tc.valid(e)
+
+    def test_reduce_filter_scoped_to_source_table(self, tc):
+        # payrate filter over the PayRates table scope resolves there.
+        e = ast.Reduce(
+            ast.ReduceOp.MAX,
+            col("payrate"),
+            ast.GetTable("PayRates"),
+            ast.Compare(ast.RelOp.EQ, col("title"), text("chef")),
+        )
+        assert tc.valid(e)
+
+    def test_count_is_number(self, tc):
+        e = ast.Count(ast.GetTable(), ast.TrueF())
+        assert tc.type_of(e).elem is ValueType.NUMBER
+
+    def test_reduce_over_hole_source(self, tc):
+        e = ast.Reduce(ast.ReduceOp.SUM, col("hours"), ast.Hole(1), ast.TrueF())
+        assert tc.valid(e)
+
+
+class TestArithmetic:
+    def test_number_plus_number(self, tc):
+        assert tc.type_of(ast.BinOp(ast.BinaryOp.ADD, num(1), num(2))).elem is ValueType.NUMBER
+
+    def test_currency_plus_currency(self, tc):
+        t = tc.type_of(ast.BinOp(ast.BinaryOp.ADD, cur(1), cur(2)))
+        assert t.elem is ValueType.CURRENCY
+
+    def test_currency_plus_number_invalid(self, tc):
+        assert not tc.valid(ast.BinOp(ast.BinaryOp.ADD, cur(1), num(2)))
+
+    def test_currency_times_currency_invalid(self, tc):
+        # The paper's headline type rule.
+        assert not tc.valid(ast.BinOp(ast.BinaryOp.MULT, cur(1), cur(2)))
+
+    def test_currency_times_number(self, tc):
+        t = tc.type_of(ast.BinOp(ast.BinaryOp.MULT, cur(1), num(2)))
+        assert t.elem is ValueType.CURRENCY
+
+    def test_currency_div_currency_is_number(self, tc):
+        t = tc.type_of(ast.BinOp(ast.BinaryOp.DIV, cur(1), cur(2)))
+        assert t.elem is ValueType.NUMBER
+
+    def test_number_div_currency_invalid(self, tc):
+        assert not tc.valid(ast.BinOp(ast.BinaryOp.DIV, num(1), cur(2)))
+
+    def test_arith_on_text_invalid(self, tc):
+        assert not tc.valid(ast.BinOp(ast.BinaryOp.ADD, text("a"), num(1)))
+
+    def test_vector_plus_vector(self, tc):
+        t = tc.type_of(ast.BinOp(ast.BinaryOp.ADD, col("hours"), col("othours")))
+        assert t.kind is Kind.VECTOR
+        assert t.elem is ValueType.NUMBER
+
+    def test_vector_times_scalar(self, tc):
+        t = tc.type_of(ast.BinOp(ast.BinaryOp.MULT, col("payrate"), num(2)))
+        assert t.kind is Kind.VECTOR
+        assert t.elem is ValueType.CURRENCY
+
+    def test_cross_table_vectors_invalid(self, tc):
+        e = ast.BinOp(
+            ast.BinaryOp.ADD, col("payrate"), col("payrate", "PayRates")
+        )
+        assert not tc.valid(e)
+
+
+class TestLookup:
+    def test_scalar_lookup(self, tc):
+        e = ast.Lookup(
+            text("chef"),
+            ast.GetTable("PayRates"),
+            col("title"),
+            col("payrate"),
+        )
+        t = tc.type_of(e)
+        assert t.kind is Kind.SCALAR
+        assert t.elem is ValueType.CURRENCY
+
+    def test_vector_lookup_is_join(self, tc):
+        e = ast.Lookup(
+            col("title"),
+            ast.GetTable("PayRates"),
+            col("title"),
+            col("payrate"),
+        )
+        t = tc.type_of(e)
+        assert t.kind is Kind.VECTOR
+        assert t.table == "employees"
+
+    def test_needle_key_mismatch_invalid(self, tc):
+        e = ast.Lookup(
+            num(5),
+            ast.GetTable("PayRates"),
+            col("title"),
+            col("payrate"),
+        )
+        assert not tc.valid(e)
+
+
+class TestQueriesAndPrograms:
+    def test_select_rows(self, tc):
+        q = ast.SelectRows(ast.GetTable(), ast.TrueF())
+        assert tc.type_of(q).kind is Kind.QUERY
+
+    def test_select_cells_columns_scoped(self, tc):
+        q = ast.SelectCells((col("hours"),), ast.GetTable(), ast.TrueF())
+        assert tc.valid(q)
+        bad = ast.SelectCells((col("nope"),), ast.GetTable(), ast.TrueF())
+        assert not tc.valid(bad)
+
+    def test_select_cells_requires_columns(self, tc):
+        assert not tc.valid(ast.SelectCells((), ast.GetTable(), ast.TrueF()))
+
+    def test_make_active(self, tc):
+        p = ast.MakeActive(ast.SelectRows(ast.GetTable(), ast.TrueF()))
+        assert tc.type_of(p).kind is Kind.PROGRAM
+
+    def test_format_program(self, tc):
+        spec = ast.FormatSpec((FormatFn.color("red"),))
+        p = ast.FormatCells(spec, ast.SelectRows(ast.GetTable(), ast.TrueF()))
+        assert tc.valid(p)
+
+    def test_empty_format_spec_invalid(self, tc):
+        assert not tc.valid(ast.FormatSpec(()))
+
+    def test_get_format_row_source(self, tc):
+        rs = ast.GetFormat(ast.FormatSpec((FormatFn.color("red"),)))
+        assert tc.type_of(rs).kind is Kind.ROWSET
+
+    def test_get_active_row_source(self, tc):
+        assert tc.type_of(ast.GetActive()).table == "employees"
+
+    def test_unknown_table_invalid(self, tc):
+        assert not tc.valid(ast.GetTable("Missing"))
+
+    def test_valid_program_rejects_holes(self, tc):
+        e = ast.Reduce(ast.ReduceOp.SUM, col("hours"), ast.GetTable(), ast.Hole(1))
+        assert tc.valid(e)
+        assert not tc.valid_program(e)
+
+    def test_valid_program_accepts_bare_column(self, tc):
+        assert tc.valid_program(col("hours"))

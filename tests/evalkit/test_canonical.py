@@ -1,0 +1,151 @@
+"""Unit tests for canonical program equivalence."""
+
+import pytest
+
+from repro.dataset import build_sheet
+from repro.dsl import ast
+from repro.evalkit import canonicalize, equivalent
+from repro.sheet import CellValue, FormatFn
+
+
+@pytest.fixture(scope="module")
+def wb():
+    return build_sheet("payroll")
+
+
+def eq(column, value, table=None):
+    return ast.Compare(
+        ast.RelOp.EQ, ast.ColumnRef(column, table),
+        ast.Lit(CellValue.text(value)),
+    )
+
+
+class TestColumns:
+    def test_column_resolved_to_table(self, wb):
+        canon = canonicalize(ast.ColumnRef("hours"), wb)
+        assert canon.table == "employees"
+
+    def test_explicit_default_table_equals_implicit(self, wb):
+        a = ast.ColumnRef("hours")
+        b = ast.ColumnRef("hours", "Employees")
+        assert equivalent(a, b, wb)
+
+    def test_lookup_scoped_column_qualification_irrelevant(self, wb):
+        base = ast.Lookup(
+            ast.Lit(CellValue.text("chef")), ast.GetTable("PayRates"),
+            ast.ColumnRef("title"), ast.ColumnRef("payrate"),
+        )
+        qualified = ast.Lookup(
+            ast.Lit(CellValue.text("chef")), ast.GetTable("PayRates"),
+            ast.ColumnRef("title", "PayRates"),
+            ast.ColumnRef("payrate", "PayRates"),
+        )
+        assert equivalent(base, qualified, wb)
+
+
+class TestCommutativity:
+    def test_and_commutes(self, wb):
+        a = ast.And(eq("title", "chef"), eq("location", "downtown"))
+        b = ast.And(eq("location", "downtown"), eq("title", "chef"))
+        assert equivalent(a, b, wb)
+
+    def test_or_commutes(self, wb):
+        a = ast.Or(eq("title", "chef"), eq("title", "barista"))
+        b = ast.Or(eq("title", "barista"), eq("title", "chef"))
+        assert equivalent(a, b, wb)
+
+    def test_and_chains_flatten(self, wb):
+        x, y, z = eq("title", "chef"), eq("location", "downtown"), eq(
+            "name", "frank")
+        a = ast.And(ast.And(x, y), z)
+        b = ast.And(x, ast.And(y, z))
+        assert equivalent(a, b, wb)
+
+    def test_add_and_mult_commute(self, wb):
+        a = ast.BinOp(ast.BinaryOp.ADD, ast.ColumnRef("hours"),
+                      ast.ColumnRef("othours"))
+        b = ast.BinOp(ast.BinaryOp.ADD, ast.ColumnRef("othours"),
+                      ast.ColumnRef("hours"))
+        assert equivalent(a, b, wb)
+
+    def test_sub_does_not_commute(self, wb):
+        a = ast.BinOp(ast.BinaryOp.SUB, ast.ColumnRef("hours"),
+                      ast.ColumnRef("othours"))
+        b = ast.BinOp(ast.BinaryOp.SUB, ast.ColumnRef("othours"),
+                      ast.ColumnRef("hours"))
+        assert not equivalent(a, b, wb)
+
+    def test_and_vs_or_not_equivalent(self, wb):
+        a = ast.And(eq("title", "chef"), eq("location", "downtown"))
+        b = ast.Or(eq("title", "chef"), eq("location", "downtown"))
+        assert not equivalent(a, b, wb)
+
+
+class TestComparisons:
+    def test_flipped_comparison(self, wb):
+        lit = ast.Lit(CellValue.number(20))
+        a = ast.Compare(ast.RelOp.LT, ast.ColumnRef("hours"), lit)
+        b = ast.Compare(ast.RelOp.GT, lit, ast.ColumnRef("hours"))
+        assert equivalent(a, b, wb)
+
+    def test_flipped_equality(self, wb):
+        lit = ast.Lit(CellValue.text("chef"))
+        a = ast.Compare(ast.RelOp.EQ, ast.ColumnRef("title"), lit)
+        b = ast.Compare(ast.RelOp.EQ, lit, ast.ColumnRef("title"))
+        assert equivalent(a, b, wb)
+
+    def test_lt_vs_gt_not_equivalent(self, wb):
+        lit = ast.Lit(CellValue.number(20))
+        a = ast.Compare(ast.RelOp.LT, ast.ColumnRef("hours"), lit)
+        b = ast.Compare(ast.RelOp.GT, ast.ColumnRef("hours"), lit)
+        assert not equivalent(a, b, wb)
+
+
+class TestPrograms:
+    def test_whole_program_equivalence(self, wb):
+        a = ast.Reduce(
+            ast.ReduceOp.SUM, ast.ColumnRef("totalpay"), ast.GetTable(),
+            ast.And(eq("location", "capitol hill"), eq("title", "barista")),
+        )
+        b = ast.Reduce(
+            ast.ReduceOp.SUM, ast.ColumnRef("totalpay", "Employees"),
+            ast.GetTable("Employees"),
+            ast.And(eq("title", "barista"), eq("location", "capitol hill")),
+        )
+        assert equivalent(a, b, wb)
+
+    def test_different_reduce_ops_differ(self, wb):
+        a = ast.Reduce(ast.ReduceOp.SUM, ast.ColumnRef("hours"),
+                       ast.GetTable(), ast.TrueF())
+        b = ast.Reduce(ast.ReduceOp.AVG, ast.ColumnRef("hours"),
+                       ast.GetTable(), ast.TrueF())
+        assert not equivalent(a, b, wb)
+
+    def test_select_cells_column_order_irrelevant(self, wb):
+        a = ast.SelectCells(
+            (ast.ColumnRef("hours"), ast.ColumnRef("othours")),
+            ast.GetTable(), ast.TrueF(),
+        )
+        b = ast.SelectCells(
+            (ast.ColumnRef("othours"), ast.ColumnRef("hours")),
+            ast.GetTable(), ast.TrueF(),
+        )
+        assert equivalent(a, b, wb)
+
+    def test_format_spec_order_irrelevant(self, wb):
+        q = ast.SelectRows(ast.GetTable(), ast.TrueF())
+        a = ast.FormatCells(
+            ast.FormatSpec((FormatFn.color("red"), FormatFn.bold())), q
+        )
+        b = ast.FormatCells(
+            ast.FormatSpec((FormatFn.bold(), FormatFn.color("red"))), q
+        )
+        assert equivalent(a, b, wb)
+
+    def test_canonicalization_idempotent(self, wb):
+        program = ast.Reduce(
+            ast.ReduceOp.SUM, ast.ColumnRef("totalpay"), ast.GetTable(),
+            ast.And(eq("title", "chef"), eq("location", "downtown")),
+        )
+        once = canonicalize(program, wb)
+        assert canonicalize(once, wb) == once

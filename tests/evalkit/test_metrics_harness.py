@@ -1,0 +1,153 @@
+"""Tests for the metrics, harness, and clustering experiment code."""
+
+import pytest
+
+from repro.dataset import Corpus, Description, all_tasks, build_sheet
+from repro.evalkit import (
+    Scoreboard,
+    TaskOracle,
+    cluster_descriptions,
+    evaluate_batch,
+    evaluate_description,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.evalkit.metrics import EvalOutcome
+from repro.translate import Translator
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return TaskOracle()
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return Corpus.default(total=200)
+
+
+class TestScoreboard:
+    def _outcome(self, rank, seconds=0.01):
+        d = Description(text="x", task_id="payroll-01", sheet_id="payroll")
+        return EvalOutcome(description=d, rank=rank, seconds=seconds)
+
+    def test_rates(self):
+        board = Scoreboard()
+        for rank in (0, 0, 1, 2, 5, None):
+            board.add(self._outcome(rank))
+        assert board.top1_rate == pytest.approx(2 / 6)
+        assert board.top3_rate == pytest.approx(4 / 6)
+        assert board.recall == pytest.approx(5 / 6)
+
+    def test_empty_board(self):
+        board = Scoreboard()
+        assert board.top1_rate == 0.0
+        assert board.f1 == 0.0
+        assert board.avg_seconds == 0.0
+
+    def test_f1_harmonic_mean(self):
+        board = Scoreboard()
+        board.add(self._outcome(0))
+        board.add(self._outcome(5))
+        p, r = board.top1_rate, board.recall
+        assert board.f1 == pytest.approx(2 * p * r / (p + r))
+
+    def test_avg_seconds(self):
+        board = Scoreboard()
+        board.add(self._outcome(0, seconds=0.1))
+        board.add(self._outcome(0, seconds=0.3))
+        assert board.avg_seconds == pytest.approx(0.2)
+
+
+class TestOracle:
+    def test_oracle_has_gold_for_all_tasks(self, oracle):
+        for task in all_tasks():
+            assert oracle.gold(task.task_id) is not None
+
+    def test_oracle_workbooks_per_sheet(self, oracle):
+        assert oracle.workbook("payroll").default_table.name == "Employees"
+
+
+class TestEvaluateDescription:
+    def test_correct_translation_scores_rank_zero(self, oracle):
+        translator = Translator(oracle.workbook("payroll"))
+        d = Description(
+            text="sum the totalpay for the capitol hill baristas",
+            task_id="payroll-01", sheet_id="payroll",
+        )
+        outcome = evaluate_description(translator, oracle, d)
+        assert outcome.rank == 0
+        assert outcome.seconds > 0
+
+    def test_nonsense_scores_none(self, oracle):
+        translator = Translator(oracle.workbook("payroll"))
+        d = Description(
+            text="count the cashiers", task_id="payroll-01",
+            sheet_id="payroll",
+        )
+        outcome = evaluate_description(translator, oracle, d)
+        assert outcome.rank != 0
+
+    def test_batch_reuses_translators(self, small_corpus, oracle):
+        board = evaluate_batch(small_corpus.test[:10], oracle=oracle)
+        assert board.n == 10
+
+
+class TestHarness:
+    def test_table2_small(self, small_corpus):
+        result = run_table2(small_corpus, limit_per_sheet=4)
+        assert set(result.per_sheet) == {
+            "payroll", "inventory", "countries", "invoices"
+        }
+        assert result.overall.n == 16
+        text = format_table2(result)
+        assert "payroll" in text and "F1" in text
+
+    def test_table3_small(self, small_corpus):
+        result = run_table3(
+            small_corpus, sample=8, modes=("rules_only", "complete")
+        )
+        assert set(result.per_mode) == {"rules_only", "complete"}
+        text = format_table3(result)
+        assert "Pattern Rule Only" in text
+
+    def test_table1_shapes(self):
+        data = run_table1(variants_per_task=5)
+        assert len(data["variations"]) == 5
+        assert len(data["tasks"]) >= 5
+        assert "totalpay" in format_table1(data)
+
+
+class TestClustering:
+    def test_identical_descriptions_one_cluster(self):
+        from repro.translate.context import SheetContext
+
+        ctx = SheetContext(build_sheet("payroll"))
+        d = Description(text="sum the hours", task_id="payroll-01",
+                        sheet_id="payroll")
+        assert cluster_descriptions([d, d, d], ctx) == 1
+
+    def test_different_content_order_splits(self):
+        from repro.translate.context import SheetContext
+
+        ctx = SheetContext(build_sheet("payroll"))
+        a = Description(text="sum hours for baristas",
+                        task_id="t", sheet_id="payroll")
+        b = Description(text="for baristas sum hours",
+                        task_id="t", sheet_id="payroll")
+        assert cluster_descriptions([a, b], ctx) == 2
+
+    def test_dissimilar_wording_splits(self):
+        from repro.translate.context import SheetContext
+
+        ctx = SheetContext(build_sheet("payroll"))
+        a = Description(text="sum the hours", task_id="t", sheet_id="payroll")
+        b = Description(
+            text="computer please calculate for me the total of all the hours",
+            task_id="t", sheet_id="payroll",
+        )
+        assert cluster_descriptions([a, b], ctx) == 2

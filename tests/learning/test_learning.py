@@ -1,0 +1,268 @@
+"""Tests for the rule-learning pipeline (§3.3.1)."""
+
+import pytest
+
+from repro.dataset import Corpus, all_tasks, build_sheet
+from repro.dsl import ast
+from repro.learning import (
+    LearningTarget,
+    TrainingExample,
+    cluster_templates,
+    default_targets,
+    extract_all,
+    extract_template,
+    find_unifying_subexpression,
+    generalize,
+    learn_rules,
+    prune,
+    score_rules,
+    unify,
+)
+from repro.learning.selection import RuleStats
+from repro.sheet import CellValue
+from repro.translate.patterns import MustPat, OptPat
+from repro.translate.rules import RuleSet
+
+_H = ast.Hole
+_C = ast.HoleKind.COLUMN
+_G = ast.HoleKind.GENERAL
+
+
+def sum_target():
+    return ast.Reduce(ast.ReduceOp.SUM, _H(1, _C), ast.GetTable(), _H(2, _G))
+
+
+def lt_filter():
+    return ast.Compare(
+        ast.RelOp.LT, ast.ColumnRef("hours"), ast.Lit(CellValue.number(20))
+    )
+
+
+def sum_program():
+    return ast.Reduce(
+        ast.ReduceOp.SUM, ast.ColumnRef("totalpay"), ast.GetTable(), lt_filter()
+    )
+
+
+class TestUnify:
+    def test_unifies_and_captures(self):
+        bindings = unify(sum_program(), sum_target())
+        assert bindings[1] == ast.ColumnRef("totalpay")
+        assert bindings[2] == lt_filter()
+
+    def test_mismatched_operator(self):
+        target = ast.Reduce(ast.ReduceOp.AVG, _H(1, _C), ast.GetTable(), _H(2, _G))
+        assert unify(sum_program(), target) is None
+
+    def test_restriction_enforced(self):
+        # a column hole cannot capture a filter
+        target = ast.Reduce(ast.ReduceOp.SUM, _H(1, _C), ast.GetTable(),
+                            _H(2, _C))
+        assert unify(sum_program(), target) is None
+
+    def test_shared_ident_must_capture_same_subtree(self):
+        target = ast.BinOp(ast.BinaryOp.ADD, _H(1, _G), _H(1, _G))
+        same = ast.BinOp(
+            ast.BinaryOp.ADD, ast.ColumnRef("hours"), ast.ColumnRef("hours")
+        )
+        different = ast.BinOp(
+            ast.BinaryOp.ADD, ast.ColumnRef("hours"), ast.ColumnRef("othours")
+        )
+        assert unify(same, target) is not None
+        assert unify(different, target) is None
+
+    def test_find_in_subexpression(self):
+        program = ast.MakeActive(ast.SelectRows(ast.GetTable(), lt_filter()))
+        target = ast.Compare(ast.RelOp.LT, _H(1, _C), _H(2, _G))
+        assert find_unifying_subexpression(program, target) is not None
+
+
+class TestExtraction:
+    def _example(self, text):
+        return TrainingExample(
+            text=text, program=sum_program(), workbook=build_sheet("payroll")
+        )
+
+    def test_extracts_template(self):
+        template = extract_template(
+            self._example("sum the totalpay where hours less than 20"),
+            sum_target(), "learned_sum", "sum",
+        )
+        assert template is not None
+        kinds = [k for k, _ in template.items]
+        assert "anchor" in kinds
+        assert ("slot", "%C1") in template.items
+        assert ("slot", "%2") in template.items
+
+    def test_anchor_required(self):
+        template = extract_template(
+            self._example("the totalpay where hours less than 20"),
+            sum_target(), "learned_sum", "sum",
+        )
+        assert template is None
+
+    def test_non_contiguous_slot_rejected(self):
+        # filter words on both sides of the column -> slot would be split
+        template = extract_template(
+            self._example("hours sum the totalpay less than 20"),
+            sum_target(), "learned_sum", "sum",
+        )
+        assert template is None
+
+    def test_signature_normalizes_anchor(self):
+        a = extract_template(
+            self._example("sum the totalpay where hours less than 20"),
+            sum_target(), "learned_sum", "sum",
+        )
+        b = extract_template(
+            self._example("total the totalpay where hours less than 20"),
+            sum_target(), "learned_sum", "sum",
+        )
+        assert a.signature() == b.signature()
+        assert a.anchor_words() != b.anchor_words()
+
+
+class TestClusteringAndGeneralization:
+    def _templates(self):
+        wb = build_sheet("payroll")
+        texts = [
+            "sum the totalpay where hours less than 20",
+            "total the totalpay where hours less than 20",
+            "sum all the totalpay for hours less than 20",
+        ]
+        out = []
+        for text in texts:
+            t = extract_template(
+                TrainingExample(text=text, program=sum_program(), workbook=wb),
+                sum_target(), "learned_sum", "sum",
+            )
+            assert t is not None
+            out.append(t)
+        return out
+
+    def test_same_shape_clusters_together(self):
+        clusters = cluster_templates(self._templates())
+        assert len(clusters) == 1
+        assert clusters[0].support == 3
+
+    def test_generalize_merges_anchors_and_fillers(self):
+        (cluster,) = cluster_templates(self._templates())
+        patterns = generalize(cluster, min_support=2)
+        assert patterns is not None
+        musts = [p for p in patterns if isinstance(p, MustPat)]
+        assert any(("sum",) in m.options and ("total",) in m.options
+                   for m in musts)
+        opts = [p for p in patterns if isinstance(p, OptPat)]
+        assert any("the" in o.words for o in opts)
+
+    def test_min_support(self):
+        (cluster,) = cluster_templates(self._templates()[:1])
+        assert generalize(cluster, min_support=2) is None
+
+
+class TestScoringAndPruning:
+    def _examples(self, n=30):
+        corpus = Corpus.default()
+        tasks = {t.task_id: t for t in all_tasks()}
+        workbooks = {}
+        out = []
+        for d in corpus.train:
+            if len(out) >= n:
+                break
+            wb = workbooks.setdefault(d.sheet_id, build_sheet(d.sheet_id))
+            out.append(TrainingExample(
+                text=d.text, program=tasks[d.task_id].gold(wb), workbook=wb
+            ))
+        return out
+
+    def test_goodness_formula(self):
+        from repro.translate.rules import make_rule
+
+        rule = make_rule("r", "sum %C1", sum_target())
+        st = RuleStats(rule=rule, pos={1, 2, 3}, neg={4})
+        assert st.goodness == pytest.approx(9 / 4)
+
+    def test_goodness_zero_when_never_applied(self):
+        from repro.translate.rules import make_rule
+
+        st = RuleStats(rule=make_rule("r", "sum %C1", sum_target()))
+        assert st.goodness == 0.0
+
+    def test_naive_bayes_score_clipped(self):
+        from repro.translate.rules import make_rule
+
+        rule = make_rule("r", "sum %C1", sum_target())
+        hi = RuleStats(rule=rule, pos=set(range(100)), neg=set())
+        lo = RuleStats(rule=rule, pos=set(), neg=set(range(100)))
+        assert hi.naive_bayes_score == 0.95
+        assert lo.naive_bayes_score == 0.3
+
+    def test_prune_drops_low_goodness(self):
+        from repro.translate.rules import make_rule
+
+        rule = make_rule("r", "sum %C1", sum_target())
+        bad = RuleStats(rule=rule, pos={1}, neg={2, 3, 4, 5})
+        assert prune([bad]) == []
+
+    def test_prune_subsumption(self):
+        from repro.translate.rules import make_rule
+
+        specific = RuleStats(
+            rule=make_rule("specific", "sum (the)* %C1", sum_target()),
+            pos={1, 2},
+        )
+        general = RuleStats(
+            rule=make_rule("general", "(sum|total) (the|all)* %C1", sum_target()),
+            pos={1, 2, 3},
+        )
+        survivors = prune([specific, general])
+        assert [s.rule.name for s in survivors] == ["general"]
+
+    def test_score_rules_on_real_examples(self):
+        from repro.translate.rules import make_rule
+
+        rule = make_rule(
+            "sum_where", "(sum|total|add) (up|all|the|of)*! %C1 %2", sum_target()
+        )
+        stats = score_rules([rule], self._examples(40))
+        assert stats[0].applied  # it fires on sum descriptions
+
+
+class TestEndToEnd:
+    def test_learn_rules_from_corpus(self):
+        corpus = Corpus.default()
+        tasks = {t.task_id: t for t in all_tasks()}
+        workbooks = {}
+        examples = []
+        for d in corpus.train[:350]:
+            wb = workbooks.setdefault(d.sheet_id, build_sheet(d.sheet_id))
+            examples.append(TrainingExample(
+                text=d.text, program=tasks[d.task_id].gold(wb), workbook=wb
+            ))
+        rules = learn_rules(examples, score_sample=50)
+        assert isinstance(rules, RuleSet)
+        assert len(rules) >= 3
+        assert all(0.3 <= r.score <= 0.95 for r in rules)
+
+    def test_learned_rules_usable_in_translator(self):
+        corpus = Corpus.default()
+        tasks = {t.task_id: t for t in all_tasks()}
+        wb = build_sheet("payroll")
+        examples = [
+            TrainingExample(
+                text=d.text, program=tasks[d.task_id].gold(wb), workbook=wb
+            )
+            for d in corpus.train
+            if d.sheet_id == "payroll"
+        ][:150]
+        learned = learn_rules(examples, score_sample=40)
+        from repro.translate import Translator
+
+        translator = Translator(build_sheet("payroll"), rules=learned)
+        candidates = translator.translate("sum the totalpay for the baristas")
+        assert candidates  # learned rules + synthesis produce programs
+
+    def test_default_targets_cover_reduce_family(self):
+        names = {t.name for t in default_targets()}
+        assert {"learned_sum", "learned_avg", "learned_min", "learned_max",
+                "learned_count"} <= names

@@ -1,0 +1,141 @@
+"""Unit tests for the mini Flash Fill learner."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PbeError
+from repro.pbe import fill_column, learn
+from repro.sheet import Table, ValueType
+
+
+class TestTokenPrograms:
+    def test_first_author(self):
+        program = learn([("harris, gulwani", "harris")])
+        assert program.apply("le, gulwani, su") == "le"
+        assert program.apply("gulwani, marron") == "gulwani"
+
+    def test_last_token(self):
+        program = learn([
+            ("a, b, c", "c"),
+            ("x, y", "y"),
+        ])
+        assert program.apply("p, q, r, s") == "s"
+
+    def test_single_token_input(self):
+        program = learn([("harris, gulwani", "harris")])
+        assert program.apply("solo") == "solo"
+
+    def test_domain_from_email_like(self):
+        program = learn([
+            ("alice/example", "example"),
+            ("bob/test", "test"),
+        ])
+        assert program.apply("carol/acme") == "acme"
+
+    def test_case_transform(self):
+        program = learn([
+            ("john smith", "JOHN"),
+            ("mary jones", "MARY"),
+        ])
+        assert program.apply("ada lovelace") == "ADA"
+
+
+class TestSubstringPrograms:
+    def test_prefix(self):
+        program = learn([
+            ("inv-001", "inv"),
+            ("inv-002", "inv"),
+        ])
+        assert program.apply("inv-999") == "inv"
+
+    def test_fixed_slice(self):
+        program = learn([
+            ("abcdef", "cd"),
+            ("qrstuv", "st"),
+        ])
+        assert program.apply("123456") == "34"
+
+
+class TestConcatPrograms:
+    def test_constant_suffix(self):
+        program = learn([
+            ("harris, gulwani", "harris!"),
+            ("le, gulwani", "le!"),
+        ])
+        assert program.apply("a, b") == "a!"
+
+    def test_constant_prefix(self):
+        program = learn([
+            ("smith, j", "dr smith"),
+            ("jones, m", "dr jones"),
+        ])
+        assert program.apply("brown, k") == "dr brown"
+
+
+class TestFailureModes:
+    def test_no_examples(self):
+        with pytest.raises(PbeError):
+            learn([])
+
+    def test_inconsistent_examples(self):
+        with pytest.raises(PbeError):
+            learn([("a, b", "a"), ("c, d", "x")])
+
+    def test_program_undefined_on_input(self):
+        program = learn([("a, b, c", "c")])  # third token (or last)
+        # "describe" should exist for UI purposes
+        assert program.describe()
+
+
+class TestFillColumn:
+    def _papers(self):
+        return Table.from_data(
+            "Papers",
+            ["title", "authors"],
+            [
+                ["p1", "harris, gulwani"],
+                ["p2", "gulwani, marron"],
+                ["p3", "le, gulwani, su"],
+            ],
+        )
+
+    def test_fills_whole_column(self):
+        table = self._papers()
+        fill_column(table, "authors", "firstauthor",
+                    [("harris, gulwani", "harris")])
+        values = [v.payload for v in table.column_values("firstauthor")]
+        assert values == ["harris", "gulwani", "le"]
+        assert table.column("firstauthor").dtype is ValueType.TEXT
+
+    def test_duplicate_column_rejected(self):
+        table = self._papers()
+        with pytest.raises(PbeError):
+            fill_column(table, "authors", "title", [("a, b", "a")])
+
+    def test_new_column_usable_by_translator(self):
+        from repro.sheet import Workbook
+        from repro.translate import Translator
+
+        table = self._papers()
+        fill_column(table, "authors", "firstauthor",
+                    [("harris, gulwani", "harris")])
+        workbook = Workbook()
+        workbook.add_table(table)
+        workbook.set_cursor("E2")
+        candidates = Translator(workbook).translate(
+            "how many rows have a firstauthor of gulwani"
+        )
+        result = candidates[0].execute(workbook, place=False)
+        assert result.value.payload == 1
+
+
+class TestProperties:
+    @given(st.lists(
+        st.text(alphabet="abcdef", min_size=1, max_size=6),
+        min_size=2, max_size=5,
+    ))
+    def test_first_token_always_learnable(self, tokens):
+        inputs = [", ".join(tokens)] * 2
+        program = learn([(inputs[0], tokens[0])])
+        assert program.apply(inputs[1]) == tokens[0]

@@ -1,0 +1,97 @@
+"""Tests for reusable step scripts (the §4 'similar spreadsheets' story)."""
+
+import pytest
+
+from repro.dataset import build_sheet
+from repro.dsl import ast
+from repro.session import NLyzeSession, Script, ScriptError
+from repro.sheet import CellValue, Table, ValueType, Workbook
+
+
+def recorded_session():
+    session = NLyzeSession(build_sheet("payroll"))
+    session.run("sum the totalpay for the baristas")
+    session.run("count the employees")
+    return session
+
+
+class TestCapture:
+    def test_from_session_captures_accepted_steps(self):
+        session = recorded_session()
+        session.ask("average the hours")  # asked but never accepted
+        script = Script.from_session(session)
+        assert len(script) == 2
+        assert "sum the totalpay" in script.description
+
+    def test_programs_are_dsl_expressions(self):
+        script = Script.from_session(recorded_session())
+        assert isinstance(script.programs[0], ast.Reduce)
+        assert isinstance(script.programs[1], ast.Count)
+
+
+class TestPersistence:
+    def test_round_trip(self):
+        script = Script.from_session(recorded_session())
+        loaded = Script.loads(script.dumps())
+        assert loaded.programs == script.programs
+        assert loaded.description == script.description
+
+    def test_dumps_is_line_oriented(self):
+        script = Script.from_session(recorded_session())
+        lines = [l for l in script.dumps().splitlines() if l.strip()]
+        assert len(lines) == 3  # description comment + 2 programs
+        assert lines[0].startswith("#")
+
+    def test_loads_skips_blank_lines(self):
+        loaded = Script.loads("\n\nCount(GetTable(), True)\n\n")
+        assert len(loaded) == 1
+
+
+class TestApplication:
+    def test_apply_to_similar_sheet(self):
+        script = Script.from_session(recorded_session())
+        target = build_sheet("payroll")  # a fresh copy = "similar sheet"
+        target.set_cursor("J2")
+        results = script.apply(target)
+        assert results[0].value == CellValue.currency(2154)
+        assert results[1].value.payload == 12
+
+    def test_apply_to_edited_similar_sheet(self):
+        script = Script.from_session(recorded_session())
+        target = build_sheet("payroll")
+        target.set_cursor("J2")
+        target.table("Employees").cell(0, 7).value = CellValue.currency(1000)
+        results = script.apply(target)
+        assert results[0].value == CellValue.currency(2154 - 396 + 1000)
+
+    def test_incompatible_schema_rejected_before_mutation(self):
+        script = Script.from_session(recorded_session())
+        target = build_sheet("countries")
+        with pytest.raises(ScriptError):
+            script.apply(target)
+        # nothing was written
+        assert not target.scratch_addresses
+
+    def test_check_reports_problems(self):
+        script = Script.from_session(recorded_session())
+        assert script.check(build_sheet("payroll")) == []
+        assert script.check(build_sheet("countries"))
+
+    def test_apply_to_renamed_compatible_table(self):
+        """'Similar' means same column names/types; the table name and data
+        may differ."""
+        script = Script.from_session(recorded_session())
+        other = Workbook()
+        other.add_table(Table.from_data(
+            "Staff",
+            ["name", "location", "title", "hours", "othours",
+             "basepay", "otpay", "totalpay"],
+            [["zoe", "uptown", "barista", 10, 0, 100, 0, 150]],
+            types=[ValueType.TEXT, ValueType.TEXT, ValueType.TEXT,
+                   ValueType.NUMBER, ValueType.NUMBER, ValueType.CURRENCY,
+                   ValueType.CURRENCY, ValueType.CURRENCY],
+        ))
+        other.set_cursor("J2")
+        results = script.apply(other)
+        assert results[0].value == CellValue.currency(150)
+        assert results[1].value.payload == 1

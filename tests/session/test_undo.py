@@ -1,0 +1,89 @@
+"""Tests for session undo and workbook snapshots."""
+
+import pytest
+
+from repro.dataset import build_sheet
+from repro.errors import TranslationError
+from repro.session import NLyzeSession
+from repro.sheet import CellValue, Color
+
+
+@pytest.fixture
+def session():
+    return NLyzeSession(build_sheet("payroll"))
+
+
+class TestWorkbookClone:
+    def test_clone_is_independent(self):
+        original = build_sheet("payroll")
+        twin = original.clone()
+        original.table("Employees").cell(0, 0).value = CellValue.text("zed")
+        assert twin.table("Employees").cell(0, 0).value.payload == "alice"
+
+    def test_clone_preserves_formats_and_state(self):
+        from repro.sheet import FormatFn
+
+        original = build_sheet("payroll")
+        original.table("Employees").cell(0, 7).apply_formats(
+            [FormatFn.color("red")]
+        )
+        original.set_value("J9", CellValue.number(5))
+        twin = original.clone()
+        assert twin.table("Employees").cell(0, 7).format.color is Color.RED
+        assert twin.get_value("J9").payload == 5
+        assert twin.cursor == original.cursor
+
+    def test_restore_round_trip(self):
+        original = build_sheet("payroll")
+        snapshot = original.clone()
+        original.set_value("J9", CellValue.number(5))
+        original.table("Employees").cell(0, 3).value = CellValue.number(99)
+        original.restore(snapshot)
+        assert original.get_value("J9").is_empty
+        assert original.table("Employees").cell(0, 3).value.payload == 30
+
+
+class TestUndo:
+    def test_undo_removes_placed_value(self, session):
+        result = session.run("sum the hours")
+        at = result.addresses[0]
+        session.undo()
+        assert session.workbook.get_value(at).is_empty
+        assert session.program == []
+
+    def test_undo_keeps_earlier_steps(self, session):
+        first = session.run("sum the hours")
+        session.run("count the employees")
+        session.undo()
+        assert session.workbook.get_value(first.addresses[0]).payload == 342
+        assert len(session.program) == 1
+
+    def test_undo_reverts_formatting(self, session):
+        session.run("color the chef totalpay red")
+        session.undo()
+        employees = session.workbook.table("Employees")
+        assert employees.cell(1, 7).format.color is Color.NONE
+
+    def test_undo_restores_cursor(self, session):
+        before = session.workbook.cursor
+        session.run("sum the hours")
+        session.undo()
+        assert session.workbook.cursor == before
+
+    def test_undo_then_new_step_lands_in_freed_cell(self, session):
+        first = session.run("sum the hours")
+        session.undo()
+        second = session.run("count the employees")
+        assert second.addresses[0] == first.addresses[0]
+
+    def test_undo_empty_session_raises(self, session):
+        with pytest.raises(TranslationError):
+            session.undo()
+
+    def test_undo_twice(self, session):
+        session.run("sum the hours")
+        session.run("sum the othours")
+        session.undo()
+        session.undo()
+        assert session.program == []
+        assert not session.workbook.scratch_addresses

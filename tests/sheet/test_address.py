@@ -1,0 +1,79 @@
+"""Unit tests for A1 addressing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.sheet.address import (
+    CellAddress,
+    column_index_to_letter,
+    column_letter_to_index,
+    is_cell_reference,
+)
+
+
+class TestColumnLetters:
+    @pytest.mark.parametrize(
+        "letters,index",
+        [("A", 0), ("B", 1), ("Z", 25), ("AA", 26), ("AZ", 51), ("BA", 52)],
+    )
+    def test_known_pairs(self, letters, index):
+        assert column_letter_to_index(letters) == index
+        assert column_index_to_letter(index) == letters
+
+    def test_lowercase_accepted(self):
+        assert column_letter_to_index("h") == 7
+
+    def test_bad_letters(self):
+        with pytest.raises(AddressError):
+            column_letter_to_index("A1")
+        with pytest.raises(AddressError):
+            column_letter_to_index("")
+
+    def test_negative_index(self):
+        with pytest.raises(AddressError):
+            column_index_to_letter(-1)
+
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_roundtrip(self, index):
+        assert column_letter_to_index(column_index_to_letter(index)) == index
+
+
+class TestCellAddress:
+    def test_parse(self):
+        a = CellAddress.parse("I2")
+        assert (a.col, a.row) == (8, 1)
+
+    def test_to_a1(self):
+        assert CellAddress(7, 13).to_a1() == "H14"
+
+    def test_parse_rejects_garbage(self):
+        for bad in ["", "I", "2", "I0", "1I", "I-2"]:
+            with pytest.raises(AddressError):
+                CellAddress.parse(bad)
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(AddressError):
+            CellAddress(-1, 0)
+
+    def test_ordering_is_total(self):
+        assert CellAddress(0, 0) < CellAddress(0, 1) < CellAddress(1, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_roundtrip(self, col, row):
+        a = CellAddress(col, row)
+        assert CellAddress.parse(a.to_a1()) == a
+
+
+class TestIsCellReference:
+    @pytest.mark.parametrize("token", ["D2", "I2", "AA10", "h14"])
+    def test_accepts(self, token):
+        assert is_cell_reference(token)
+
+    @pytest.mark.parametrize("token", ["hours", "20", "D0", "2D", ""])
+    def test_rejects(self, token):
+        assert not is_cell_reference(token)

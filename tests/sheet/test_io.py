@@ -1,0 +1,117 @@
+"""Tests for CSV workbook I/O."""
+
+import pytest
+
+from repro.errors import SheetError
+from repro.sheet import ValueType
+from repro.sheet.io import (
+    load_workbook,
+    read_table_csv,
+    save_workbook,
+    write_table_csv,
+)
+
+
+@pytest.fixture
+def sales_csv(tmp_path):
+    path = tmp_path / "sales.csv"
+    path.write_text(
+        "rep,region,amount,units,active\n"
+        "ann,west,$1200,10,true\n"
+        "ben,east,$900,7,false\n"
+        "cho,west,$450,3,true\n"
+    )
+    return path
+
+
+class TestRead:
+    def test_types_inferred(self, sales_csv):
+        table = read_table_csv(sales_csv)
+        assert table.name == "sales"
+        assert table.column("amount").dtype is ValueType.CURRENCY
+        assert table.column("units").dtype is ValueType.NUMBER
+        assert table.column("region").dtype is ValueType.TEXT
+        assert table.column("active").dtype is ValueType.BOOL
+
+    def test_values_parsed(self, sales_csv):
+        table = read_table_csv(sales_csv)
+        assert table.cell(0, 2).value.payload == 1200
+        assert table.cell(1, 3).value.payload == 7
+
+    def test_mixed_currency_and_bare_numbers(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("price\n$10\n20\n")
+        table = read_table_csv(path)
+        assert table.column("price").dtype is ValueType.CURRENCY
+        assert table.cell(1, 0).value.payload == 20
+
+    def test_empty_cells_allowed(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,\n,x\n")
+        table = read_table_csv(path)
+        assert table.cell(0, 1).value.is_empty
+        assert table.cell(1, 0).value.is_empty
+
+    def test_dates(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("due\n2014-06-22\n2014-01-05\n")
+        assert read_table_csv(path).column("due").dtype is ValueType.DATE
+
+    def test_inconsistent_types_fall_back_to_text(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("x\n1\nhello\n")
+        table = read_table_csv(path)
+        assert table.column("x").dtype is ValueType.TEXT
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(SheetError):
+            read_table_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        with pytest.raises(SheetError):
+            read_table_csv(path)
+
+
+class TestLoadWorkbook:
+    def test_first_file_is_primary(self, sales_csv, tmp_path):
+        other = tmp_path / "rates.csv"
+        other.write_text("region,target\nwest,2\neast,1\n")
+        workbook = load_workbook([sales_csv, other])
+        assert workbook.default_table.name == "sales"
+        assert workbook.has_table("rates")
+        assert workbook.has_cursor
+
+    def test_requires_files(self):
+        with pytest.raises(SheetError):
+            load_workbook([])
+
+    def test_loaded_workbook_translates(self, sales_csv):
+        from repro.translate import Translator
+
+        workbook = load_workbook([sales_csv])
+        candidates = Translator(workbook).translate(
+            "sum the amount for the west region"
+        )
+        result = candidates[0].execute(workbook, place=False)
+        assert result.value.payload == 1650
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, sales_csv, tmp_path):
+        table = read_table_csv(sales_csv)
+        out = tmp_path / "out.csv"
+        write_table_csv(table, out)
+        again = read_table_csv(out)
+        assert again.column_names == table.column_names
+        assert again.n_rows == table.n_rows
+        assert again.cell(0, 2).value.payload == 1200
+
+    def test_save_workbook_writes_every_table(self, sales_csv, tmp_path):
+        workbook = load_workbook([sales_csv])
+        written = save_workbook(workbook, tmp_path / "dump")
+        assert [p.name for p in written] == ["sales.csv"]
+        assert written[0].exists()

@@ -1,0 +1,138 @@
+"""Unit tests for typed cell values and literal parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sheet.values import (
+    CellValue,
+    ValueType,
+    parse_literal,
+    parse_word_number,
+)
+
+
+class TestConstruction:
+    def test_number(self):
+        v = CellValue.number(3)
+        assert v.type is ValueType.NUMBER
+        assert v.payload == 3
+
+    def test_currency(self):
+        v = CellValue.currency(10.5)
+        assert v.type is ValueType.CURRENCY
+        assert v.is_numeric
+
+    def test_text(self):
+        assert CellValue.text("chef").type is ValueType.TEXT
+
+    def test_bool(self):
+        assert CellValue.boolean(True).payload is True
+
+    def test_date_requires_iso(self):
+        assert CellValue.date("2014-06-22").payload == "2014-06-22"
+        with pytest.raises(ValueError):
+            CellValue.date("June 22")
+
+    def test_empty(self):
+        v = CellValue.empty()
+        assert v.is_empty
+        assert not v.is_numeric
+
+    def test_payload_type_enforced(self):
+        with pytest.raises(TypeError):
+            CellValue(ValueType.NUMBER, "not a number")
+        with pytest.raises(TypeError):
+            CellValue(ValueType.TEXT, 5)
+
+    def test_bool_is_not_number(self):
+        with pytest.raises(TypeError):
+            CellValue(ValueType.NUMBER, True)
+
+
+class TestEquality:
+    def test_numeric_cross_type_equality(self):
+        # $10 equals the bare number 10 for filtering purposes.
+        assert CellValue.currency(10).equals(CellValue.number(10))
+
+    def test_text_case_insensitive(self):
+        assert CellValue.text("Barista").equals(CellValue.text("barista"))
+
+    def test_text_whitespace_insensitive(self):
+        assert CellValue.text(" chef ").equals(CellValue.text("chef"))
+
+    def test_text_vs_number_not_equal(self):
+        assert not CellValue.text("10").equals(CellValue.number(10))
+
+    def test_ordering_numeric(self):
+        assert CellValue.number(5).less_than(CellValue.currency(6))
+        assert not CellValue.number(7).less_than(CellValue.number(7))
+
+    def test_ordering_dates(self):
+        early = CellValue.date("2014-01-02")
+        late = CellValue.date("2014-06-22")
+        assert early.less_than(late)
+
+    def test_ordering_text_raises(self):
+        with pytest.raises(TypeError):
+            CellValue.text("a").less_than(CellValue.text("b"))
+
+
+class TestDisplay:
+    def test_currency_integral(self):
+        assert CellValue.currency(1250).display() == "$1,250"
+
+    def test_currency_fractional(self):
+        assert CellValue.currency(10.5).display() == "$10.50"
+
+    def test_number_integral_float(self):
+        assert CellValue.number(20.0).display() == "20"
+
+    def test_bool(self):
+        assert CellValue.boolean(False).display() == "FALSE"
+
+    def test_empty(self):
+        assert CellValue.empty().display() == ""
+
+
+class TestParseLiteral:
+    @pytest.mark.parametrize(
+        "text,expected_type,expected_payload",
+        [
+            ("20", ValueType.NUMBER, 20),
+            ("3.5", ValueType.NUMBER, 3.5),
+            ("-4", ValueType.NUMBER, -4),
+            ("1,000", ValueType.NUMBER, 1000),
+            ("$10", ValueType.CURRENCY, 10),
+            ("$1,250.50", ValueType.CURRENCY, 1250.5),
+            ("15%", ValueType.NUMBER, 0.15),
+            ("true", ValueType.BOOL, True),
+            ("2014-06-22", ValueType.DATE, "2014-06-22"),
+        ],
+    )
+    def test_parses(self, text, expected_type, expected_payload):
+        v = parse_literal(text)
+        assert v is not None
+        assert v.type is expected_type
+        assert v.payload == expected_payload
+
+    @pytest.mark.parametrize("text", ["hello", "", "   ", "a1b", "$", "%"])
+    def test_rejects_non_literals(self, text):
+        assert parse_literal(text) is None
+
+    def test_word_numbers(self):
+        assert parse_word_number("twenty").payload == 20
+        assert parse_word_number("ZERO").payload == 0
+        assert parse_word_number("chef") is None
+
+    @given(st.integers(min_value=-10**9, max_value=10**9))
+    def test_number_roundtrip(self, n):
+        v = parse_literal(str(n))
+        assert v is not None and v.payload == n
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_currency_roundtrip(self, n):
+        v = parse_literal(f"${n}")
+        assert v is not None
+        assert v.type is ValueType.CURRENCY
+        assert v.payload == n

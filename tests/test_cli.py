@@ -1,0 +1,95 @@
+"""Tests for the package CLI (python -m repro ...)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, stdin=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=180, input=stdin,
+    )
+
+
+class TestTranslate:
+    def test_demo_sheet(self):
+        proc = run_cli("translate", "sum the hours", "--sheet", "payroll")
+        assert proc.returncode == 0, proc.stderr
+        assert "=SUM(D2:D13)" in proc.stdout
+
+    def test_execute_flag(self):
+        proc = run_cli(
+            "translate", "count the employees", "--sheet", "payroll",
+            "--execute",
+        )
+        assert "-> 12" in proc.stdout
+
+    def test_csv_input(self, tmp_path):
+        csv = tmp_path / "team.csv"
+        csv.write_text("name,points\nalpha,3\nbeta,5\n")
+        proc = run_cli(
+            "translate", "sum the points", "--csv", str(csv), "--execute"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "-> 8" in proc.stdout
+
+    def test_unknown_sheet_rejected(self):
+        proc = run_cli("translate", "sum the hours", "--sheet", "budget")
+        assert proc.returncode != 0
+
+
+class TestCorpus:
+    def test_head_prints_descriptions(self):
+        proc = run_cli("corpus", "--head", "5")
+        assert proc.returncode == 0
+        lines = proc.stdout.strip().splitlines()
+        assert len(lines) == 5
+        assert lines[0].startswith("payroll-01\tpayroll\t")
+
+    def test_dump_writes_file(self, tmp_path):
+        target = tmp_path / "corpus.tsv"
+        proc = run_cli("corpus", "--dump", str(target))
+        assert proc.returncode == 0
+        assert target.exists()
+        assert len(target.read_text().strip().splitlines()) == 3570
+
+
+class TestRules:
+    def test_prints_base_rules(self):
+        proc = run_cli("rules")
+        assert proc.returncode == 0
+        assert "Sum(□C1" in proc.stdout
+        assert "rules)" in proc.stderr
+
+
+class TestRepl:
+    def test_scripted_session(self):
+        proc = run_cli("repl", "--sheet", "payroll",
+                       stdin="sum the othours\n:quit\n")
+        assert proc.returncode == 0, proc.stderr
+        assert "-> 23" in proc.stdout  # sum of the othours column
+
+
+class TestEvalkitCli:
+    @pytest.mark.parametrize("experiment", ["fig1", "table1"])
+    def test_cheap_experiments(self, experiment):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.evalkit", experiment],
+            capture_output=True, text=True, timeout=180,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip()
+
+    def test_sampled_table2(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.evalkit", "table2",
+             "--sample", "16"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Table 2" in proc.stdout
+        assert "payroll" in proc.stdout

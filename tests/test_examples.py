@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs cleanly and prints its story."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = sorted(
+    p for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+    if p.name != "repl.py"  # interactive; exercised separately below
+)
+
+
+@pytest.mark.parametrize("script", _EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()
+
+
+def test_quickstart_shows_running_example():
+    script = Path(__file__).parent.parent / "examples" / "quickstart.py"
+    proc = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=180,
+    )
+    assert "SUMIFS" in proc.stdout
+    assert "$1,320" in proc.stdout
+
+
+def test_repl_session_scripted():
+    script = Path(__file__).parent.parent / "examples" / "repl.py"
+    stdin = "sum the hours\n\n:script\n:quit\n"
+    proc = subprocess.run(
+        [sys.executable, str(script), "payroll"],
+        input=stdin, capture_output=True, text=True, timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "342" in proc.stdout           # the executed sum
+    assert "Sum(hours" in proc.stdout     # :script output

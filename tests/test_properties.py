@@ -1,0 +1,219 @@
+"""Property-based tests on cross-cutting invariants.
+
+These pin the system-level contracts: the evaluator agrees with a reference
+computation on randomly generated programs, canonical equivalence is a
+congruence, translation never crashes on arbitrary input, and executing any
+returned candidate is safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import build_sheet
+from repro.dsl import Evaluator, TypeChecker, ast
+from repro.evalkit import canonicalize
+from repro.sheet import CellValue
+from repro.translate import Translator
+
+# -- strategies -------------------------------------------------------------
+
+_TEXT_COLUMNS = {
+    "location": ["capitol hill", "queen anne", "downtown"],
+    "title": ["barista", "chef", "cashier"],
+}
+_NUM_COLUMNS = ["hours", "othours"]
+_CUR_COLUMNS = ["basepay", "otpay", "totalpay"]
+
+
+def eq_filters():
+    return st.sampled_from(sorted(_TEXT_COLUMNS)).flatmap(
+        lambda c: st.sampled_from(_TEXT_COLUMNS[c]).map(
+            lambda v: ast.Compare(
+                ast.RelOp.EQ, ast.ColumnRef(c), ast.Lit(CellValue.text(v))
+            )
+        )
+    )
+
+
+def numeric_filters():
+    return st.tuples(
+        st.sampled_from(_NUM_COLUMNS),
+        st.sampled_from([ast.RelOp.LT, ast.RelOp.GT]),
+        st.integers(min_value=0, max_value=45),
+    ).map(
+        lambda t: ast.Compare(
+            t[1], ast.ColumnRef(t[0]), ast.Lit(CellValue.number(t[2]))
+        )
+    )
+
+
+def filters(depth=2):
+    base = st.one_of(eq_filters(), numeric_filters(), st.just(ast.TrueF()))
+    if depth == 0:
+        return base
+    sub = filters(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(sub, sub).map(lambda t: ast.And(*t)),
+        st.tuples(sub, sub).map(lambda t: ast.Or(*t)),
+        sub.map(ast.Not),
+    )
+
+
+def reduce_programs():
+    return st.tuples(
+        st.sampled_from(list(ast.ReduceOp)),
+        st.sampled_from(_NUM_COLUMNS + _CUR_COLUMNS),
+        filters(),
+    ).map(lambda t: ast.Reduce(t[0], ast.ColumnRef(t[1]), ast.GetTable(), t[2]))
+
+
+def count_programs():
+    return filters().map(lambda f: ast.Count(ast.GetTable(), f))
+
+
+# -- reference semantics ------------------------------------------------------
+
+def _rows(workbook):
+    table = workbook.default_table
+    return [
+        {name: table.cell(i, j).value
+         for j, name in enumerate(table.column_names)}
+        for i in range(table.n_rows)
+    ]
+
+
+def _holds(f, row):
+    if isinstance(f, ast.TrueF):
+        return True
+    if isinstance(f, ast.And):
+        return _holds(f.left, row) and _holds(f.right, row)
+    if isinstance(f, ast.Or):
+        return _holds(f.left, row) or _holds(f.right, row)
+    if isinstance(f, ast.Not):
+        return not _holds(f.operand, row)
+    value = row[f.left.name]
+    target = f.right.value
+    if f.op is ast.RelOp.EQ:
+        return value.equals(target)
+    if f.op is ast.RelOp.LT:
+        return float(value.payload) < float(target.payload)
+    return float(value.payload) > float(target.payload)
+
+
+class TestEvaluatorAgainstReference:
+    @given(count_programs())
+    @settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow])
+    def test_count_matches_reference(self, program):
+        workbook = build_sheet("payroll")
+        expected = sum(
+            1 for row in _rows(workbook) if _holds(program.condition, row)
+        )
+        result = Evaluator(workbook).run(program, place=False)
+        assert result.value.payload == expected
+
+    @given(reduce_programs())
+    @settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow])
+    def test_reduce_matches_reference(self, program):
+        from repro.errors import EvaluationError
+
+        workbook = build_sheet("payroll")
+        matching = [
+            float(row[program.column.name].payload)
+            for row in _rows(workbook)
+            if _holds(program.condition, row)
+        ]
+        evaluator = Evaluator(workbook)
+        if not matching and program.op is not ast.ReduceOp.SUM:
+            with pytest.raises(EvaluationError):
+                evaluator.run(program, place=False)
+            return
+        result = evaluator.run(program, place=False)
+        reference = {
+            ast.ReduceOp.SUM: sum(matching),
+            ast.ReduceOp.AVG: (sum(matching) / len(matching)) if matching else 0,
+            ast.ReduceOp.MIN: min(matching) if matching else 0,
+            ast.ReduceOp.MAX: max(matching) if matching else 0,
+        }[program.op]
+        assert float(result.value.payload) == pytest.approx(reference)
+
+
+class TestCanonicalCongruence:
+    @given(filters(), filters())
+    @settings(max_examples=60)
+    def test_and_commutes_under_canonicalization(self, f, g):
+        workbook = build_sheet("payroll")
+        a = canonicalize(ast.And(f, g), workbook)
+        b = canonicalize(ast.And(g, f), workbook)
+        assert a == b
+
+    @given(reduce_programs())
+    @settings(max_examples=60)
+    def test_canonicalization_idempotent(self, program):
+        workbook = build_sheet("payroll")
+        once = canonicalize(program, workbook)
+        assert canonicalize(once, workbook) == once
+
+    @given(reduce_programs())
+    @settings(max_examples=60)
+    def test_canonicalization_preserves_semantics(self, program):
+        from repro.errors import EvaluationError
+
+        workbook = build_sheet("payroll")
+        evaluator = Evaluator(workbook)
+        rewritten = canonicalize(program, workbook)
+        try:
+            original = evaluator.run(program, place=False).value
+        except EvaluationError:
+            with pytest.raises(EvaluationError):
+                evaluator.run(rewritten, place=False)
+            return
+        assert evaluator.run(rewritten, place=False).value.equals(original)
+
+
+class TestValidSoundness:
+    @given(reduce_programs())
+    @settings(max_examples=60)
+    def test_generated_programs_typecheck(self, program):
+        workbook = build_sheet("payroll")
+        assert TypeChecker(workbook).valid_program(program)
+
+
+_WORDS = st.sampled_from(
+    "sum average count the for where hours totalpay baristas capitol hill"
+    " less than greater 20 0 and or not red color rows select lookup per"
+    " please computer zzz qqq".split()
+)
+
+
+class TestTranslatorRobustness:
+    @given(st.lists(_WORDS, min_size=1, max_size=7))
+    @settings(
+        max_examples=30, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_translate_never_crashes(self, words):
+        translator = Translator(build_sheet("payroll"))
+        candidates = translator.translate(" ".join(words))
+        # whatever comes back must be complete, valid, executable programs
+        evaluator = Evaluator(translator.workbook)
+        for candidate in candidates[:3]:
+            from repro.errors import EvaluationError
+
+            try:
+                evaluator.run(candidate.program, place=False)
+            except EvaluationError:
+                pass  # runtime failure (lookup miss etc.) is acceptable
+
+    @given(st.lists(_WORDS, min_size=1, max_size=7))
+    @settings(
+        max_examples=15, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_scores_in_unit_interval(self, words):
+        translator = Translator(build_sheet("payroll"))
+        for candidate in translator.translate(" ".join(words)):
+            assert 0.0 <= candidate.score <= 1.0 + 1e-9

@@ -1,0 +1,105 @@
+"""Custom rule authoring: the extension surface users actually touch.
+
+The Rule/RuleSet API is public: a deployment can add domain rules ("ytd" =
+year-to-date sums, jargon verbs) without modifying the package.  These
+tests pin that workflow, plus the ColorPat pattern type available to
+custom formatting rules.
+"""
+
+import pytest
+
+from repro.dsl import ast
+from repro.rules import builtin_rules
+from repro.sheet import CellValue, Table, ValueType, Workbook
+from repro.translate import (
+    ColorPat,
+    RuleSet,
+    SheetContext,
+    Translator,
+    make_rule,
+)
+from repro.translate.tokenizer import tokenize
+
+_H = ast.Hole
+_C = ast.HoleKind.COLUMN
+_G = ast.HoleKind.GENERAL
+
+
+def finance_workbook():
+    workbook = Workbook()
+    workbook.add_table(Table.from_data(
+        "Ledger",
+        ["account", "quarter", "revenue"],
+        [
+            ["retail", "q1", 100],
+            ["retail", "q2", 120],
+            ["online", "q1", 80],
+            ["online", "q2", 95],
+        ],
+        types=[ValueType.TEXT, ValueType.TEXT, ValueType.CURRENCY],
+    ))
+    workbook.set_cursor("E2")
+    return workbook
+
+
+class TestCustomRuleSet:
+    def test_domain_jargon_rule(self):
+        """'book' is this team's jargon for summing revenue."""
+        rules = builtin_rules()
+        rules.add(make_rule(
+            "book_revenue",
+            "(book|booked) (the|total)* %C1 %2",
+            ast.Reduce(ast.ReduceOp.SUM, _H(1, _C), ast.GetTable(), _H(2, _G)),
+            score=0.9,
+        ))
+        translator = Translator(finance_workbook(), rules=rules)
+        top = translator.translate("book the revenue for the retail account")[0]
+        assert isinstance(top.program, ast.Reduce)
+        result = top.execute(translator.workbook, place=False)
+        assert result.value == CellValue.currency(220)
+
+    def test_rules_can_be_replaced_entirely(self):
+        only_rule = RuleSet([make_rule(
+            "sum_only", "(sum) (the)* %C1",
+            ast.Reduce(ast.ReduceOp.SUM, _H(1, _C), ast.GetTable(),
+                       ast.TrueF()),
+        )])
+        translator = Translator(finance_workbook(), rules=only_rule)
+        top = translator.translate("sum the revenue")[0]
+        assert top.execute(translator.workbook, place=False).value == (
+            CellValue.currency(395)
+        )
+
+    def test_custom_rule_composes_with_synthesis(self):
+        """A custom rule's unbound hole gets filled by synthesis like any
+        builtin — the uninterpreted-holes property the paper highlights."""
+        rules = builtin_rules()
+        rules.add(make_rule(
+            "booked_open",
+            "(booked) %C1",
+            ast.Reduce(ast.ReduceOp.SUM, _H(1, _C), ast.GetTable(), _H(2, _G)),
+            score=0.9,
+        ))
+        translator = Translator(finance_workbook(), rules=rules)
+        top = translator.translate("booked revenue where quarter is q2")[0]
+        result = top.execute(translator.workbook, place=False)
+        assert result.value == CellValue.currency(215)
+
+
+class TestColorPat:
+    def test_matches_color_words(self, payroll):
+        ctx = SheetContext(payroll)
+        pattern = ColorPat(1)
+        tokens = tokenize("red rows")
+        assert list(pattern.ends(tokens, 0, 2, ctx)) == [1]
+        assert list(pattern.ends(tokens, 1, 2, ctx)) == []
+
+    def test_render(self):
+        assert ColorPat(3).render() == "%K3"
+
+    def test_usable_in_parse_template(self):
+        from repro.translate import parse_template
+
+        (pattern,) = parse_template("%K2")
+        assert isinstance(pattern, ColorPat)
+        assert pattern.ident == 2

@@ -1,0 +1,126 @@
+"""Tests for Excel formula fragments mixed into NL input (§3.3.1)."""
+
+import pytest
+
+from repro.dataset import build_sheet
+from repro.dsl import ast
+from repro.evalkit import canonicalize
+from repro.sheet import CellValue
+from repro.translate import Translator, parse_range
+from repro.translate.context import SheetContext
+from repro.translate.excel_input import formula_seeds, resolve_range_column
+from repro.translate.tokenizer import tokenize
+
+
+@pytest.fixture(scope="module")
+def wb():
+    return build_sheet("payroll")
+
+
+@pytest.fixture(scope="module")
+def ctx(wb):
+    return SheetContext(wb)
+
+
+class TestRangeParsing:
+    def test_valid_range(self):
+        start, end = parse_range("H2:H13")
+        assert start.to_a1() == "H2"
+        assert end.to_a1() == "H13"
+
+    @pytest.mark.parametrize("bad", ["H2", "H2:", ":H13", "2:13", "H0:H9"])
+    def test_invalid_ranges(self, bad):
+        assert parse_range(bad) is None
+
+    def test_resolves_single_column_range(self, ctx):
+        start, end = parse_range("H2:H13")
+        column = resolve_range_column(ctx, start, end)
+        assert column == ast.ColumnRef("totalpay")
+
+    def test_partial_range_still_resolves(self, ctx):
+        start, end = parse_range("H3:H5")
+        assert resolve_range_column(ctx, start, end) == ast.ColumnRef("totalpay")
+
+    def test_multi_column_range_rejected(self, ctx):
+        start, end = parse_range("G2:H13")
+        assert resolve_range_column(ctx, start, end) is None
+
+    def test_range_outside_tables_rejected(self, ctx):
+        start, end = parse_range("Z2:Z13")
+        assert resolve_range_column(ctx, start, end) is None
+
+
+class TestFormulaSeeds:
+    def _seeds(self, ctx, text):
+        tokens = tokenize(text)
+        return formula_seeds(ctx, tokens, 0, len(tokens))
+
+    def test_average_seed(self, ctx):
+        (seed,) = self._seeds(ctx, "AVERAGE(H2:H13)")
+        assert seed.expr == ast.Reduce(
+            ast.ReduceOp.AVG, ast.ColumnRef("totalpay"), ast.GetTable(),
+            ast.TrueF(),
+        )
+        assert seed.used == frozenset([0, 1, 2, 3])
+
+    def test_sum_min_max(self, ctx):
+        for func, op in (("SUM", ast.ReduceOp.SUM), ("MIN", ast.ReduceOp.MIN),
+                         ("MAX", ast.ReduceOp.MAX)):
+            (seed,) = self._seeds(ctx, f"{func}(D2:D13)")
+            assert seed.expr.op is op
+
+    def test_count_seed(self, ctx):
+        (seed,) = self._seeds(ctx, "COUNT(A2:A13)")
+        assert isinstance(seed.expr, ast.Count)
+
+    def test_unknown_function_ignored(self, ctx):
+        assert self._seeds(ctx, "STDEV(H2:H13)") == []
+
+    def test_non_formula_span_ignored(self, ctx):
+        assert self._seeds(ctx, "sum the hours now") == []
+
+
+class TestMixedInput:
+    def test_paper_example_shape(self, wb):
+        """'highlight rows with totalpay > AVERAGE(H2:H13)' — the §3.3.1
+        motivating example (with AVERAGE standing in for MEDIAN, which has
+        no DSL reduction)."""
+        translator = Translator(wb)
+        top = translator.translate(
+            "highlight rows with totalpay > AVERAGE(H2:H13)"
+        )[0].program
+        expected = ast.MakeActive(ast.SelectRows(
+            ast.GetTable(),
+            ast.Compare(
+                ast.RelOp.GT, ast.ColumnRef("totalpay"),
+                ast.Reduce(ast.ReduceOp.AVG, ast.ColumnRef("totalpay"),
+                           ast.GetTable(), ast.TrueF()),
+            ),
+        ))
+        assert canonicalize(top, wb) == canonicalize(expected, wb)
+
+    def test_formula_as_filter_threshold(self, wb):
+        translator = Translator(wb)
+        candidates = translator.translate(
+            "count employees with hours over AVERAGE(D2:D13)"
+        )
+        expected = ast.Count(
+            ast.GetTable(),
+            ast.Compare(
+                ast.RelOp.GT, ast.ColumnRef("hours"),
+                ast.Reduce(ast.ReduceOp.AVG, ast.ColumnRef("hours"),
+                           ast.GetTable(), ast.TrueF()),
+            ),
+        )
+        programs = [canonicalize(c.program, wb) for c in candidates]
+        assert canonicalize(expected, wb) in programs
+
+    def test_no_retraining_needed(self, wb):
+        """The paper's point: the formula parser plugs in without touching
+        rules or synthesis — plain NL input is unaffected."""
+        translator = Translator(wb)
+        top = translator.translate("sum the hours")[0].program
+        assert top == ast.Reduce(
+            ast.ReduceOp.SUM, ast.ColumnRef("hours"), ast.GetTable(),
+            ast.TrueF(),
+        )

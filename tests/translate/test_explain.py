@@ -1,0 +1,55 @@
+"""Tests for the ranking-explanation diagnostics."""
+
+import pytest
+
+from repro.dataset import build_sheet
+from repro.translate import Translator, explain
+
+
+@pytest.fixture(scope="module")
+def translator():
+    return Translator(build_sheet("payroll"))
+
+
+@pytest.fixture(scope="module")
+def candidates(translator):
+    return translator.translate("sum the totalpay for the capitol hill baristas")
+
+
+class TestExplanation:
+    def test_score_decomposition_multiplies_back(self, translator, candidates):
+        for candidate in candidates[:3]:
+            report = explain(candidate, translator)
+            assert report.final_score == pytest.approx(
+                report.prod_score * report.cover_score * report.mix_score
+            )
+            assert report.final_score == pytest.approx(candidate.score)
+
+    def test_coverage_lines_cover_every_token(self, translator, candidates):
+        report = explain(candidates[0], translator)
+        assert [l.word for l in report.coverage] == [
+            "sum", "the", "totalpay", "for", "the", "capitol", "hill",
+            "baristas",
+        ]
+
+    def test_top_candidate_ignores_nothing(self, translator, candidates):
+        report = explain(candidates[0], translator)
+        assert all(line.used for line in report.coverage)
+        assert report.ignored_weight == 0.0
+
+    def test_lower_candidate_shows_ignored_content(self, translator, candidates):
+        report = explain(candidates[1], translator)
+        ignored = [l for l in report.coverage if not l.used]
+        assert ignored
+        assert report.cover_score < 1.0
+
+    def test_render_is_complete(self, translator, candidates):
+        text = explain(candidates[0], translator).render()
+        assert "ProdSc" in text and "CoverSc" in text and "MixSc" in text
+        assert "derivation:" in text
+        assert "Sum(totalpay" in text
+
+    def test_tree_shows_children(self, translator, candidates):
+        report = explain(candidates[0], translator)
+        assert any("atom" in line for line in report.tree_lines)
+        assert any("rule" in line for line in report.tree_lines)

@@ -1,0 +1,227 @@
+"""Unit tests for the lexicon, spell corrector, and sheet context."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sheet import Color
+from repro.translate.context import SheetContext
+from repro.translate.lexicon import (
+    SYNONYMS,
+    SpellCorrector,
+    concept_of,
+    damerau_levenshtein,
+    keyword_vocabulary,
+)
+
+
+class TestSynonyms:
+    def test_concepts_cover_operators(self):
+        for concept in ("sum", "avg", "min", "max", "count", "lt", "gt",
+                        "eq", "not", "and", "or"):
+            assert SYNONYMS[concept], concept
+
+    def test_concept_of_multi(self):
+        # "less" evokes both Lt and Sub
+        assert set(concept_of("less")) >= {"lt", "sub"}
+
+    def test_concept_of_unknown(self):
+        assert concept_of("zebra") == []
+
+    def test_keyword_vocabulary_is_alpha(self):
+        assert all(w.isalpha() for w in keyword_vocabulary())
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,d",
+        [
+            ("hours", "hours", 0),
+            ("huors", "hours", 1),   # transposition
+            ("hour", "hours", 1),    # insertion
+            ("hoursx", "hours", 1),  # deletion
+            ("haurs", "hours", 1),   # substitution
+            ("abc", "xyz", 3),
+        ],
+    )
+    def test_known_distances(self, a, b, d):
+        assert damerau_levenshtein(a, b) == d
+
+    def test_cap_short_circuits(self):
+        assert damerau_levenshtein("a", "abcdefgh", cap=2) > 2
+
+    @given(st.text(alphabet="abcde", max_size=8),
+           st.text(alphabet="abcde", max_size=8))
+    def test_symmetric(self, a, b):
+        assert damerau_levenshtein(a, b) == damerau_levenshtein(b, a)
+
+    @given(st.text(alphabet="abcde", max_size=8))
+    def test_identity(self, a):
+        assert damerau_levenshtein(a, a) == 0
+
+
+class TestSpellCorrector:
+    @pytest.fixture
+    def corrector(self):
+        return SpellCorrector(
+            {"hours", "totalpay", "barista", "units", "its"},
+            preferred={"hours", "totalpay", "barista", "units"},
+        )
+
+    def test_exact_member(self, corrector):
+        c = corrector.correct("hours")
+        assert c.word == "hours" and c.distance == 0
+
+    def test_transposition(self, corrector):
+        assert corrector.correct("huors").word == "hours"
+
+    def test_short_words_not_corrected(self, corrector):
+        assert corrector.correct("hrs") is None
+
+    def test_non_alpha_not_corrected(self, corrector):
+        assert corrector.correct("h0urs2") is None
+
+    def test_far_words_not_corrected(self, corrector):
+        assert corrector.correct("zzzzzz") is None
+
+    def test_preferred_wins_tie(self, corrector):
+        # "nits" is distance 1 from both "units" (preferred) and "its"
+        assert corrector.correct("nits").word == "units"
+
+    def test_contains(self, corrector):
+        assert "hours" in corrector
+        assert "huors" not in corrector
+
+
+class TestSheetContext:
+    @pytest.fixture
+    def ctx(self, payroll):
+        return SheetContext(payroll)
+
+    def test_match_column_direct(self, ctx):
+        matches = ctx.match_column(("hours",))
+        assert matches[0].column == "hours"
+        assert not matches[0].via_value
+
+    def test_match_column_squashed_multiword(self, ctx):
+        matches = ctx.match_column(("total", "pay"))
+        assert matches and matches[0].column == "totalpay"
+
+    def test_match_column_via_value(self, ctx):
+        matches = ctx.match_column(("barista",))
+        assert any(m.via_value and m.column == "title" for m in matches)
+
+    def test_match_column_across_tables(self, ctx):
+        matches = ctx.match_column(("payrate",))
+        assert any(m.table == "PayRates" for m in matches)
+
+    def test_match_column_empty_span(self, ctx):
+        assert ctx.match_column(()) == []
+
+    def test_column_by_letter(self, ctx):
+        match = ctx.column_by_letter("H")
+        assert match.column == "totalpay"
+
+    def test_column_by_letter_out_of_range(self, ctx):
+        assert ctx.column_by_letter("ZZ") is None
+        assert ctx.column_by_letter("7") is None
+
+    def test_match_value_single(self, ctx):
+        matches = ctx.match_value(("chef",))
+        assert {(m.table, m.column) for m in matches} == {
+            ("Employees", "title"), ("PayRates", "title")
+        }
+
+    def test_match_value_multiword(self, ctx):
+        matches = ctx.match_value(("capitol", "hill"))
+        assert matches[0].value == "capitol hill"
+        assert matches[0].column == "location"
+
+    def test_match_value_plural(self, ctx):
+        matches = ctx.match_value(("baristas",))
+        assert matches and matches[0].value == "barista"
+
+    def test_match_value_miss(self, ctx):
+        assert ctx.match_value(("astronaut",)) == []
+
+    def test_is_value_word(self, ctx):
+        assert ctx.is_value_word("capitol")
+        assert ctx.is_value_word("baristas")
+        assert not ctx.is_value_word("sum")
+
+    def test_is_column_word(self, ctx):
+        assert ctx.is_column_word("hours")
+        assert not ctx.is_column_word("capitol")
+
+    def test_match_color(self):
+        assert SheetContext.match_color("red") is Color.RED
+        assert SheetContext.match_color("plaid") is None
+        assert SheetContext.match_color("none") is None
+
+    def test_corrector_covers_sheet_vocabulary(self, ctx):
+        for word in ("totalpay", "capitol", "barista", "payrate"):
+            assert word in ctx.corrector
+
+
+class TestFuzzyColumns:
+    """The §7 similarity-matching extension (opt-in)."""
+
+    @pytest.fixture
+    def fuzzy_ctx(self, payroll):
+        return SheetContext(payroll, fuzzy_columns=True)
+
+    def test_abbreviation_prefix_match(self, fuzzy_ctx):
+        matches = fuzzy_ctx.match_column(("overtime", "hours"))
+        assert any(m.column == "othours" for m in matches)
+
+    def test_permuted_subset_match(self):
+        from repro.dataset import build_sheet
+
+        ctx = SheetContext(build_sheet("countries"), fuzzy_columns=True)
+        matches = ctx.match_column(("per", "capita", "gdp"))
+        assert any(m.column == "gdppercapita" for m in matches)
+
+    def test_connective_word_dropped(self):
+        from repro.dataset import build_sheet
+
+        ctx = SheetContext(build_sheet("invoices"), fuzzy_columns=True)
+        matches = ctx.match_column(("price", "per", "unit"))
+        assert any(m.column == "unitprice" for m in matches)
+
+    def test_disabled_by_default(self, payroll):
+        default_ctx = SheetContext(payroll)
+        assert not default_ctx.match_column(("overtime", "hours"))
+
+    def test_exact_matches_unaffected(self, fuzzy_ctx):
+        matches = fuzzy_ctx.match_column(("hours",))
+        assert matches and matches[0].column == "hours"
+
+    def test_no_false_positive_on_garbage(self, fuzzy_ctx):
+        assert not fuzzy_ctx.match_column(("zz", "qq"))
+
+
+class TestEditDistanceColumnJoin:
+    """Typos inside squashed multi-word headers ("unit pprice")."""
+
+    def test_typo_in_piece_still_joins(self):
+        from repro.dataset import build_sheet
+
+        ctx = SheetContext(build_sheet("invoices"))
+        matches = ctx.match_column(("unit", "pprice"))
+        assert matches and matches[0].column == "unitprice"
+
+    def test_transposition_in_three_word_join(self):
+        from repro.dataset import build_sheet
+
+        ctx = SheetContext(build_sheet("countries"))
+        matches = ctx.match_column(("gdp", "per", "captia"))
+        assert matches and matches[0].column == "gdppercapita"
+
+    def test_single_word_not_fuzzy_joined(self, payroll):
+        ctx = SheetContext(payroll)
+        # single tokens go through the spell corrector, not the join path
+        assert not ctx.match_column(("totlpayx",))
+
+    def test_short_joins_not_fuzzy(self, payroll):
+        ctx = SheetContext(payroll)
+        assert not ctx.match_column(("hx", "rs"))

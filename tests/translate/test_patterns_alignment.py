@@ -1,0 +1,159 @@
+"""Unit tests for the rule pattern language and alignment."""
+
+import pytest
+
+from repro.errors import RuleParseError
+from repro.translate.alignment import align, quick_reject
+from repro.translate.context import SheetContext
+from repro.translate.patterns import (
+    ColumnPat,
+    LiteralPat,
+    MustPat,
+    OptPat,
+    SpanPat,
+    ValuePat,
+    parse_template,
+)
+from repro.translate.tokenizer import tokenize
+
+
+@pytest.fixture
+def ctx(payroll):
+    return SheetContext(payroll)
+
+
+def toks(text):
+    return tokenize(text)
+
+
+class TestParseTemplate:
+    def test_bare_word_is_must(self):
+        (pattern,) = parse_template("sum")
+        assert isinstance(pattern, MustPat)
+        assert pattern.options == (("sum",),)
+
+    def test_alternation_with_phrases(self):
+        (pattern,) = parse_template("(sum|add up|total)")
+        assert ("add", "up") in pattern.options
+
+    def test_optional_group(self):
+        (pattern,) = parse_template("(all|the)*")
+        assert isinstance(pattern, OptPat)
+        assert pattern.words == frozenset({"all", "the"})
+        assert not pattern.slack
+
+    def test_slack_group(self):
+        (pattern,) = parse_template("(all|the)*!")
+        assert pattern.slack
+
+    def test_hole_patterns(self):
+        patterns = parse_template("%C1 %V2 %L3 %4")
+        assert isinstance(patterns[0], ColumnPat) and patterns[0].ident == 1
+        assert isinstance(patterns[1], ValuePat) and patterns[1].ident == 2
+        assert isinstance(patterns[2], LiteralPat) and patterns[2].ident == 3
+        assert isinstance(patterns[3], SpanPat) and patterns[3].ident == 4
+
+    def test_full_template(self):
+        patterns = parse_template("sum (all|the)* %C1 %2")
+        assert len(patterns) == 4
+
+    @pytest.mark.parametrize("bad", ["", "()", "(a|b", "%X1", "(a))"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(RuleParseError):
+            parse_template(bad)
+
+
+class TestPatternEnds:
+    def test_must_matches_phrase(self, ctx):
+        (pattern,) = parse_template("(add up|sum)")
+        tokens = toks("add up the hours")
+        assert list(pattern.ends(tokens, 0, len(tokens), ctx)) == [2]
+
+    def test_must_no_match(self, ctx):
+        (pattern,) = parse_template("(sum)")
+        tokens = toks("average hours")
+        assert list(pattern.ends(tokens, 0, len(tokens), ctx)) == []
+
+    def test_opt_yields_empty_and_prefixes(self, ctx):
+        (pattern,) = parse_template("(all|the)*")
+        tokens = toks("all the hours")
+        assert list(pattern.ends(tokens, 0, len(tokens), ctx)) == [0, 1, 2]
+
+    def test_opt_slack_skips_one_foreign_word(self, ctx):
+        (pattern,) = parse_template("(the)*!")
+        tokens = toks("the zzz the hours")
+        ends = list(pattern.ends(tokens, 0, len(tokens), ctx))
+        assert 3 in ends  # the + slack(zzz) + the
+
+    def test_literal_pattern(self, ctx):
+        pattern = LiteralPat(1)
+        assert list(pattern.ends(toks("20 hours"), 0, 2, ctx)) == [1]
+        assert list(pattern.ends(toks("I2 hours"), 0, 2, ctx)) == [1]
+        assert list(pattern.ends(toks("hours 20"), 0, 2, ctx)) == []
+
+    def test_value_pattern_multiword(self, ctx):
+        pattern = ValuePat(1)
+        tokens = toks("capitol hill baristas")
+        assert 2 in list(pattern.ends(tokens, 0, 3, ctx))
+
+    def test_column_pattern(self, ctx):
+        pattern = ColumnPat(1)
+        assert list(pattern.ends(toks("hours x"), 0, 2, ctx)) == [1]
+
+    def test_column_pattern_letter_form(self, ctx):
+        pattern = ColumnPat(1)
+        tokens = toks("column h is big")
+        assert 2 in list(pattern.ends(tokens, 0, 4, ctx))
+
+    def test_span_pattern_all_suffixes(self, ctx):
+        pattern = SpanPat(1)
+        tokens = toks("a b c")
+        assert list(pattern.ends(tokens, 0, 3, ctx)) == [1, 2, 3]
+
+
+class TestAlign:
+    def test_running_example(self, ctx):
+        template = parse_template("sum (all|the)* %C1 %2")
+        tokens = toks("sum the totalpay for the chef titles")
+        alignments = align(template, tokens, ctx)
+        assert alignments
+        must, opt, col, span = alignments[0]
+        assert must == (0, 1)
+        assert opt == (1, 2)
+        assert col == (2, 3)
+        assert span == (3, 7)
+
+    def test_alignment_covers_whole_fragment(self, ctx):
+        template = parse_template("sum (the)* %C1")
+        tokens = toks("sum the hours")
+        for alignment in align(template, tokens, ctx):
+            assert alignment[0][0] == 0
+            assert alignment[-1][1] == len(tokens)
+            for (l1, u1), (l2, u2) in zip(alignment, alignment[1:]):
+                assert u1 == l2
+
+    def test_no_alignment_when_words_left_over(self, ctx):
+        template = parse_template("sum %C1")
+        tokens = toks("sum the hours")  # "the" can't be tiled
+        assert align(template, tokens, ctx) == []
+
+    def test_multiple_alignments_possible(self, ctx):
+        # %1 and %2 can split anywhere around "and"
+        template = parse_template("%1 and %2")
+        tokens = toks("a b and c d")
+        assert len(align(template, tokens, ctx)) == 1  # single "and" split
+
+    def test_alignment_cap(self, ctx):
+        template = parse_template("%1 %2")
+        tokens = toks("a b c d e f g h")
+        assert len(align(template, tokens, ctx, cap=3)) == 3
+
+    def test_quick_reject(self, ctx):
+        template = parse_template("(sum|total) (the)* %C1")
+        assert quick_reject(template, frozenset({"average", "hours"}))
+        assert not quick_reject(template, frozenset({"sum", "hours"}))
+
+    def test_quick_reject_needs_full_phrase(self, ctx):
+        template = parse_template("(add up)")
+        assert quick_reject(template, frozenset({"add"}))
+        assert not quick_reject(template, frozenset({"add", "up"}))

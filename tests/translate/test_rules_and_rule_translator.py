@@ -1,0 +1,168 @@
+"""Tests for Rule objects, the builtin rule set, and Algo 3."""
+
+import pytest
+
+from repro.dsl import TypeChecker, ast
+from repro.errors import RuleParseError
+from repro.rules import builtin_rules
+from repro.sheet import CellValue
+from repro.translate import RuleSet, make_rule
+from repro.translate.context import SheetContext
+from repro.translate.rule_translator import RuleTranslator
+from repro.translate.tokenizer import tokenize
+
+_H = ast.Hole
+_C = ast.HoleKind.COLUMN
+_G = ast.HoleKind.GENERAL
+_V = ast.HoleKind.VALUE
+_L = ast.HoleKind.LITERAL
+
+
+def sum_expr(cond=None):
+    return ast.Reduce(
+        ast.ReduceOp.SUM, _H(1, _C), ast.GetTable(),
+        cond if cond is not None else _H(2, _G),
+    )
+
+
+@pytest.fixture
+def ctx(payroll):
+    return SheetContext(payroll)
+
+
+@pytest.fixture
+def checker(payroll):
+    return TypeChecker(payroll, content_check=True)
+
+
+def run_rule(rule, text, ctx, checker, tmap=None):
+    translator = RuleTranslator(RuleSet([rule]), ctx, checker)
+    tokens = tokenize(text)
+    return translator.translate_span(tokens, 0, len(tokens), tmap or {})
+
+
+class TestRuleValidation:
+    def test_score_range_checked(self):
+        with pytest.raises(RuleParseError):
+            make_rule("r", "sum %C1", sum_expr(), score=1.5)
+
+    def test_dangling_template_ident_rejected(self):
+        with pytest.raises(RuleParseError):
+            make_rule("r", "sum %C7", sum_expr())
+
+    def test_unbound_hole_allowed(self):
+        rule = make_rule("r", "sum %C1", sum_expr())
+        assert rule.bound_idents == frozenset({1})
+
+    def test_render_shows_template_and_expr(self):
+        rule = make_rule("r", "sum (the)* %C1", sum_expr(ast.TrueF()))
+        text = rule.render()
+        assert "sum" in text and "%C1" in text and "Sum" in text
+
+    def test_ruleset_by_name(self):
+        rules = RuleSet([make_rule("r1", "sum %C1", sum_expr())])
+        assert rules.by_name("r1").name == "r1"
+        with pytest.raises(KeyError):
+            rules.by_name("nope")
+
+
+class TestRuleApplication:
+    def test_column_hole_filled(self, ctx, checker):
+        rule = make_rule("r", "sum (the)* %C1", sum_expr(ast.TrueF()))
+        out = run_rule(rule, "sum the hours", ctx, checker)
+        assert any(
+            d.expr == ast.Reduce(ast.ReduceOp.SUM, ast.ColumnRef("hours"),
+                                 ast.GetTable(), ast.TrueF())
+            for d in out
+        )
+
+    def test_value_hole_filled(self, ctx, checker):
+        rule = make_rule(
+            "r", "%V1 %C2",
+            ast.Compare(ast.RelOp.EQ, _H(2, _C), _H(1, _V)),
+        )
+        out = run_rule(rule, "chef titles", ctx, checker)
+        exprs = {str(d.expr) for d in out}
+        assert "Eq(title, chef)" in exprs
+
+    def test_literal_hole_gets_both_typings(self, ctx, checker):
+        rule = make_rule(
+            "lt", "%C1 less than %L2",
+            ast.Compare(ast.RelOp.LT, _H(1, _C), _H(2, _L)),
+        )
+        out = run_rule(rule, "totalpay less than 500", ctx, checker)
+        # totalpay is currency -> only the currency literal survives Valid
+        exprs = {str(d.expr) for d in out}
+        assert "Lt(totalpay, $500)" in exprs
+        assert "Lt(totalpay, 500)" not in exprs
+
+    def test_general_hole_from_tmap(self, ctx, checker):
+        filt = ast.Compare(
+            ast.RelOp.EQ, ast.ColumnRef("title"), ast.Lit(CellValue.text("chef"))
+        )
+        from repro.translate.derivation import Derivation
+
+        tmap = {(2, 4): [Derivation(expr=filt, used=frozenset([2, 3]))]}
+        rule = make_rule("r", "sum %C1 %2", sum_expr())
+        out = run_rule(rule, "sum hours chef titles", ctx, checker, tmap)
+        assert any(
+            isinstance(d.expr, ast.Reduce)
+            and d.expr.condition == filt
+            for d in out
+        )
+
+    def test_unbound_hole_left_open(self, ctx, checker):
+        from repro.dsl.holes import is_complete
+
+        rule = make_rule("r", "sum (the)* %C1", sum_expr())
+        out = run_rule(rule, "sum the hours", ctx, checker)
+        assert any(not is_complete(d.expr) for d in out)
+
+    def test_used_words_include_pattern_matches(self, ctx, checker):
+        rule = make_rule("r", "sum (the)* %C1", sum_expr(ast.TrueF()))
+        (d,) = [
+            d for d in run_rule(rule, "sum the hours", ctx, checker)
+            if d.expr.condition == ast.TrueF()
+        ]
+        assert d.used == frozenset([0, 1, 2])
+        assert d.used_cols == frozenset([2])
+
+    def test_slack_word_not_marked_used(self, ctx, checker):
+        rule = make_rule("r", "sum (the)*! %C1", sum_expr(ast.TrueF()))
+        out = run_rule(rule, "sum zorp hours", ctx, checker)
+        assert out
+        assert all(1 not in d.used for d in out)
+
+    def test_shared_ident_binds_once(self, ctx, checker):
+        expr = ast.Compare(
+            ast.RelOp.EQ, _H(1, _C),
+            ast.Reduce(ast.ReduceOp.MAX, _H(1, _C), ast.GetTable(), ast.TrueF()),
+        )
+        rule = make_rule("argmax", "largest %C1", expr)
+        out = run_rule(rule, "largest totalpay", ctx, checker)
+        assert len(out) >= 1
+        d = out[0]
+        assert len(d.rule_children) == 1
+        assert d.mix_score == 1.0
+
+
+class TestBuiltinRules:
+    def test_rule_count_near_paper(self):
+        rules = builtin_rules()
+        assert 90 <= len(rules) <= 130  # paper: 105
+
+    def test_all_templates_parse_and_validate(self):
+        for rule in builtin_rules():
+            assert rule.template
+            assert 0 < rule.score <= 1
+
+    def test_names_unique(self):
+        names = [r.name for r in builtin_rules()]
+        assert len(names) == len(set(names))
+
+    def test_covers_operator_families(self):
+        names = {r.name for r in builtin_rules()}
+        for prefix in ("sum", "avg", "min", "max", "count", "lt", "gt",
+                       "eq", "not", "and", "or", "select", "argmax",
+                       "format_red", "getformat_red"):
+            assert any(n.startswith(prefix) for n in names), prefix

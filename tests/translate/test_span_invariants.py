@@ -1,0 +1,68 @@
+"""Property tests on translator-internal invariants (TMap spans)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import build_sheet
+from repro.dsl.holes import is_complete
+from repro.translate import Translator
+
+_WORDS = st.sampled_from(
+    "sum average count hours totalpay baristas capitol hill the for where"
+    " less than 20 red and".split()
+)
+
+
+@pytest.fixture(scope="module")
+def translator():
+    return Translator(build_sheet("payroll"))
+
+
+class TestSpanInvariants:
+    @given(st.lists(_WORDS, min_size=2, max_size=6))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_derivations_use_words_inside_their_span(self, translator, words):
+        tokens = translator.prepare_tokens(" ".join(words))
+        n = len(tokens)
+        tmap = {}
+        for width in range(1, n + 1):
+            for i in range(0, n - width + 1):
+                j = i + width
+                tmap[(i, j)] = translator._translate_span(tokens, i, j, tmap)
+                for d in tmap[(i, j)]:
+                    assert all(i <= k < j for k in d.used), (
+                        f"derivation {d.expr} at [{i},{j}) uses {sorted(d.used)}"
+                    )
+
+    @given(st.lists(_WORDS, min_size=2, max_size=6))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_used_cols_subset_of_used(self, translator, words):
+        tokens = translator.prepare_tokens(" ".join(words))
+        n = len(tokens)
+        tmap = {}
+        for width in range(1, n + 1):
+            for i in range(0, n - width + 1):
+                j = i + width
+                tmap[(i, j)] = translator._translate_span(tokens, i, j, tmap)
+                for d in tmap[(i, j)]:
+                    assert d.used_cols <= d.used
+
+    @given(st.lists(_WORDS, min_size=2, max_size=6))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_final_candidates_complete_and_valid(self, translator, words):
+        for candidate in translator.translate(" ".join(words)):
+            assert is_complete(candidate.program)
+            assert translator.checker.valid_program(candidate.program)
+
+    @given(st.lists(_WORDS, min_size=2, max_size=6))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_translation_is_deterministic(self, translator, words):
+        text = " ".join(words)
+        a = [c.program for c in translator.translate(text)]
+        b = [c.program for c in translator.translate(text)]
+        assert a == b

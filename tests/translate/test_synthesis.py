@@ -1,0 +1,202 @@
+"""Unit tests for the type-directed synthesis algorithm (Algo 2)."""
+
+import pytest
+
+from repro.dsl import TypeChecker, ast
+from repro.sheet import CellValue
+from repro.translate.derivation import ATOM, Derivation
+from repro.translate.synthesis import and_merge, comb_all, synthesize
+
+
+@pytest.fixture
+def checker(payroll):
+    return TypeChecker(payroll, content_check=True)
+
+
+def atom(expr, positions, score=1.0, cols=()):
+    return Derivation(
+        expr=expr, used=frozenset(positions), used_cols=frozenset(cols),
+        kind=ATOM, rule_score=score,
+    )
+
+
+def num(x):
+    return ast.Lit(CellValue.number(x))
+
+
+def cur(x):
+    return ast.Lit(CellValue.currency(x))
+
+
+def col(name):
+    return ast.ColumnRef(name)
+
+
+def sum_open():
+    return ast.Reduce(
+        ast.ReduceOp.SUM, col("totalpay"), ast.GetTable(), ast.Hole(2)
+    )
+
+
+def lt_filter():
+    return ast.Compare(ast.RelOp.LT, col("hours"), num(20))
+
+
+class TestCombAll:
+    def test_fills_matching_hole(self, checker):
+        receiver = atom(sum_open(), [0])
+        filler = atom(lt_filter(), [2, 3])
+        results = comb_all(receiver, filler, checker)
+        assert len(results) == 1
+        assert results[0].expr == ast.Reduce(
+            ast.ReduceOp.SUM, col("totalpay"), ast.GetTable(), lt_filter()
+        )
+        assert results[0].used == frozenset([0, 2, 3])
+
+    def test_type_mismatch_rejected(self, checker):
+        receiver = atom(sum_open(), [0])
+        filler = atom(num(3), [2])  # a number is not a filter
+        assert comb_all(receiver, filler, checker) == []
+
+    def test_word_overlap_rejected(self, checker):
+        receiver = atom(sum_open(), [0, 2])
+        filler = atom(lt_filter(), [2, 3])
+        assert comb_all(receiver, filler, checker) == []
+
+    def test_column_words_exempt_from_overlap(self, checker):
+        # Both use word 2, but as a *column* word on one side — allowed.
+        receiver = atom(sum_open(), [0, 2], cols=[2])
+        filler = atom(lt_filter(), [2, 3], cols=[2])
+        assert comb_all(receiver, filler, checker)
+
+    def test_open_filler_skipped(self, checker):
+        receiver = atom(ast.Not(ast.Hole(1)), [0])
+        open_filler = atom(
+            ast.Compare(ast.RelOp.LT, ast.Hole(1, ast.HoleKind.COLUMN), num(20)),
+            [1],
+        )
+        assert comb_all(receiver, open_filler, checker) == []
+
+    def test_currency_disambiguation(self, checker):
+        # The paper's §3.2 example: only the currency literal fits totalpay.
+        receiver = atom(
+            ast.Compare(
+                ast.RelOp.LT, ast.Hole(1, ast.HoleKind.LITERAL), col("totalpay")
+            ),
+            [1],
+        )
+        good = comb_all(receiver, atom(cur(10), [0]), checker)
+        bad = comb_all(receiver, atom(num(5), [2]), checker)
+        assert len(good) == 1
+        assert bad == []
+
+    def test_restriction_respected(self, checker):
+        receiver = atom(
+            ast.Compare(
+                ast.RelOp.EQ, ast.Hole(1, ast.HoleKind.COLUMN),
+                ast.Lit(CellValue.text("chef")),
+            ),
+            [0],
+        )
+        # literal cannot fill a column-restricted hole
+        assert comb_all(receiver, atom(num(5), [1]), checker) == []
+        assert comb_all(receiver, atom(col("title"), [1]), checker)
+
+    def test_nested_hole_filled(self, checker):
+        receiver = atom(ast.Not(ast.Hole(1)), [0])
+        filler = atom(lt_filter(), [1, 2])
+        results = comb_all(receiver, filler, checker)
+        assert results and isinstance(results[0].expr, ast.Not)
+
+
+class TestAndMerge:
+    def test_merges_two_filters(self, checker):
+        a = atom(
+            ast.Compare(ast.RelOp.EQ, col("location"),
+                        ast.Lit(CellValue.text("capitol hill"))),
+            [0, 1], score=0.85,
+        )
+        b = atom(
+            ast.Compare(ast.RelOp.EQ, col("title"),
+                        ast.Lit(CellValue.text("barista"))),
+            [2], score=0.85,
+        )
+        merged = and_merge(a, b, checker) or and_merge(b, a, checker)
+        assert merged is not None
+        assert isinstance(merged.expr, ast.And)
+        assert merged.used == frozenset([0, 1, 2])
+
+    def test_single_canonical_order(self, checker):
+        a = atom(
+            ast.Compare(ast.RelOp.EQ, col("location"),
+                        ast.Lit(CellValue.text("downtown"))),
+            [0],
+        )
+        b = atom(
+            ast.Compare(ast.RelOp.EQ, col("title"),
+                        ast.Lit(CellValue.text("chef"))),
+            [1],
+        )
+        produced = [m for m in (and_merge(a, b, checker),
+                                and_merge(b, a, checker)) if m]
+        assert len(produced) == 1
+
+    def test_non_filters_not_merged(self, checker):
+        a = atom(num(1), [0])
+        b = atom(num(2), [1])
+        assert and_merge(a, b, checker) is None
+
+    def test_overlapping_words_not_merged(self, checker):
+        f = ast.Compare(ast.RelOp.EQ, col("title"),
+                        ast.Lit(CellValue.text("chef")))
+        g = ast.Compare(ast.RelOp.EQ, col("location"),
+                        ast.Lit(CellValue.text("downtown")))
+        assert and_merge(atom(f, [0]), atom(g, [0]), checker) is None
+
+
+class TestSynthesize:
+    def test_paper_example(self, checker):
+        """'for all hours less than 20 sum the totalpay': combine the open
+        Sum with the Lt filter."""
+        sum_deriv = atom(sum_open(), [6, 8])
+        lt_deriv = atom(lt_filter(), [2, 3, 5])
+        created = synthesize(
+            [sum_deriv, lt_deriv], [lt_deriv], [sum_deriv], checker
+        )
+        exprs = {d.expr for d in created}
+        assert ast.Reduce(
+            ast.ReduceOp.SUM, col("totalpay"), ast.GetTable(), lt_filter()
+        ) in exprs
+
+    def test_multi_round_closure(self, checker):
+        """Not(□) + Lt(...) needs one round, then Sum(□) + Not(Lt) another."""
+        not_deriv = atom(ast.Not(ast.Hole(1)), [0])
+        lt_deriv = atom(lt_filter(), [1, 2])
+        sum_deriv = atom(sum_open(), [4])
+        created = synthesize(
+            [not_deriv, lt_deriv, sum_deriv],
+            [not_deriv], [lt_deriv, sum_deriv],
+            checker,
+        )
+        target = ast.Reduce(
+            ast.ReduceOp.SUM, col("totalpay"), ast.GetTable(),
+            ast.Not(lt_filter()),
+        )
+        assert target in {d.expr for d in created}
+
+    def test_max_new_bounds_output(self, checker):
+        fillers = [atom(num(i), [i]) for i in range(10)]
+        receiver = atom(ast.BinOp(ast.BinaryOp.ADD, ast.Hole(1), ast.Hole(2)), [20])
+        created = synthesize(
+            [receiver] + fillers, [receiver], fillers, checker, max_new=5
+        )
+        assert len(created) <= 5
+
+    def test_no_duplicates(self, checker):
+        sum_deriv = atom(sum_open(), [0])
+        lt_deriv = atom(lt_filter(), [1, 2])
+        created = synthesize(
+            [sum_deriv, lt_deriv], [sum_deriv], [lt_deriv], checker
+        )
+        keys = [d.key() for d in created]
+        assert len(keys) == len(set(keys))

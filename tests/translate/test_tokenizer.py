@@ -1,0 +1,119 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sheet import ValueType
+from repro.translate.tokenizer import Token, tokenize, words_of
+
+
+class TestBasics:
+    def test_simple_sentence(self):
+        tokens = tokenize("sum the hours")
+        assert words_of(tokens) == ["sum", "the", "hours"]
+
+    def test_lowercases(self):
+        assert words_of(tokenize("SUM The Hours")) == ["sum", "the", "hours"]
+
+    def test_strips_punctuation(self):
+        assert words_of(tokenize("sum, the hours!")) == ["sum", "the", "hours"]
+
+    def test_indices_are_sequential(self):
+        tokens = tokenize("a b c d")
+        assert [t.index for t in tokens] == [0, 1, 2, 3]
+
+    def test_empty_sentence(self):
+        assert tokenize("") == []
+        assert tokenize("   ") == []
+
+    def test_possessive_stripped(self):
+        assert words_of(tokenize("each employee's payrate"))[1] == "employee"
+
+
+class TestLiterals:
+    def test_integer(self):
+        token = tokenize("under 20")[1]
+        assert token.literal is not None
+        assert token.literal.payload == 20
+
+    def test_currency(self):
+        token = tokenize("over $1,250.50")[1]
+        assert token.literal.type is ValueType.CURRENCY
+        assert token.literal.payload == 1250.5
+
+    def test_percent(self):
+        token = tokenize("add 15%")[1]
+        assert token.literal.payload == 0.15
+
+    def test_word_number(self):
+        token = tokenize("less than twenty")[2]
+        assert token.literal is not None
+        assert token.literal.payload == 20
+
+    def test_decimal_not_split(self):
+        tokens = tokenize("times 1.10")
+        assert tokens[1].literal.payload == 1.1
+
+    def test_plain_word_has_no_literal(self):
+        assert tokenize("hours")[0].literal is None
+
+
+class TestCellRefs:
+    def test_cell_reference_detected(self):
+        token = tokenize("divide I2 by I3")[1]
+        assert token.is_cellref
+        assert token.text == "i2"
+
+    def test_number_is_not_cellref(self):
+        assert not tokenize("20")[0].is_cellref
+
+    def test_word_is_not_cellref(self):
+        assert not tokenize("hours")[0].is_cellref
+
+
+class TestSymbols:
+    def test_comparison_symbols_split(self):
+        assert words_of(tokenize("totalpay > 500")) == ["totalpay", ">", "500"]
+
+    def test_attached_symbols_split(self):
+        assert words_of(tokenize("totalpay>500")) == ["totalpay", ">", "500"]
+
+    def test_parens_split(self):
+        words = words_of(tokenize("(basepay + otpay) * 1.1"))
+        assert words == ["(", "basepay", "+", "otpay", ")", "*", "1.1"]
+
+    def test_symbol_flag(self):
+        tokens = tokenize("a > b")
+        assert tokens[1].is_symbol
+        assert not tokens[0].is_symbol
+
+
+class TestCorrectionState:
+    def test_with_correction(self):
+        token = tokenize("huors")[0]
+        corrected = token.with_correction("hours")
+        assert corrected.text == "hours"
+        assert corrected.corrected_from == "huors"
+        assert corrected.misspelled
+        assert not token.misspelled
+
+    def test_correction_drops_literal(self):
+        token = Token(text="20", raw="20", index=0)
+        assert token.with_correction("x").literal is None
+
+
+class TestProperties:
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Zs")),
+                   max_size=60))
+    def test_never_raises(self, text):
+        tokens = tokenize(text)
+        for t in tokens:
+            assert t.text == t.text.lower()
+            assert t.text.strip()
+
+    @given(st.lists(st.sampled_from(
+        ["sum", "hours", "20", "$10", "where", "less"]), max_size=8))
+    def test_token_count_matches_words(self, words):
+        sentence = " ".join(words)
+        assert len(tokenize(sentence)) == len(words)

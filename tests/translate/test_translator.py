@@ -1,0 +1,403 @@
+"""End-to-end tests for the full translation algorithm (Algo 1)."""
+
+import pytest
+
+from repro.dataset import build_sheet
+from repro.dsl import ast
+from repro.errors import TranslationError
+from repro.evalkit import canonicalize
+from repro.sheet import CellValue
+from repro.translate import Translator, TranslatorConfig, ablation_config
+
+
+@pytest.fixture(scope="module")
+def payroll_translator():
+    return Translator(build_sheet("payroll"))
+
+
+@pytest.fixture(scope="module")
+def countries_translator():
+    return Translator(build_sheet("countries"))
+
+
+def top(translator, text):
+    return translator.translate(text)[0].program
+
+
+def canon(translator, expr):
+    return canonicalize(expr, translator.workbook)
+
+
+def assert_top(translator, text, expected):
+    got = top(translator, text)
+    assert canon(translator, got) == canon(translator, expected), (
+        f"{text!r} -> {got}"
+    )
+
+
+def eq(column, value):
+    return ast.Compare(
+        ast.RelOp.EQ, ast.ColumnRef(column), ast.Lit(CellValue.text(value))
+    )
+
+
+class TestConditionalReductions:
+    def test_running_example(self, payroll_translator):
+        expected = ast.Reduce(
+            ast.ReduceOp.SUM, ast.ColumnRef("totalpay"), ast.GetTable(),
+            ast.And(eq("location", "capitol hill"), eq("title", "barista")),
+        )
+        assert_top(
+            payroll_translator,
+            "sum the totalpay for the capitol hill baristas",
+            expected,
+        )
+
+    def test_keyword_style(self, payroll_translator):
+        expected = ast.Reduce(
+            ast.ReduceOp.SUM, ast.ColumnRef("hours"), ast.GetTable(),
+            ast.And(eq("location", "capitol hill"), eq("title", "barista")),
+        )
+        assert_top(payroll_translator, "sum hours capitol hill baristas", expected)
+
+    def test_verbose_polite_style(self, payroll_translator):
+        expected = ast.Reduce(
+            ast.ReduceOp.SUM, ast.ColumnRef("hours"), ast.GetTable(),
+            ast.And(eq("location", "capitol hill"), eq("title", "barista")),
+        )
+        assert_top(
+            payroll_translator,
+            "computer please sum the hours for the capitol hill location baristas",
+            expected,
+        )
+
+    def test_filter_first_via_synthesis(self, payroll_translator):
+        expected = ast.Reduce(
+            ast.ReduceOp.SUM, ast.ColumnRef("totalpay"), ast.GetTable(),
+            ast.Compare(ast.RelOp.LT, ast.ColumnRef("hours"),
+                        ast.Lit(CellValue.number(20))),
+        )
+        assert_top(
+            payroll_translator,
+            "for all hours less than 20 sum the totalpay",
+            expected,
+        )
+
+    def test_unconditional_sum(self, payroll_translator):
+        expected = ast.Reduce(
+            ast.ReduceOp.SUM, ast.ColumnRef("hours"), ast.GetTable(), ast.TrueF()
+        )
+        assert_top(payroll_translator, "sum the hours", expected)
+
+    def test_column_letter_reference(self, payroll_translator):
+        expected = ast.Reduce(
+            ast.ReduceOp.SUM, ast.ColumnRef("totalpay"), ast.GetTable(),
+            ast.TrueF(),
+        )
+        assert_top(payroll_translator, "column H total", expected)
+
+    def test_misspelled_description(self, payroll_translator):
+        expected = ast.Reduce(
+            ast.ReduceOp.AVG, ast.ColumnRef("hours"), ast.GetTable(),
+            eq("location", "capitol hill"),
+        )
+        assert_top(
+            payroll_translator, "averge the huors at capitol hill", expected
+        )
+
+
+class TestCountsAndNegation:
+    def test_count_with_comparison(self, payroll_translator):
+        expected = ast.Count(
+            ast.GetTable(),
+            ast.Compare(ast.RelOp.GT, ast.ColumnRef("othours"),
+                        ast.Lit(CellValue.number(0))),
+        )
+        assert_top(
+            payroll_translator,
+            "how many employees have othours greater than 0",
+            expected,
+        )
+
+    def test_count_europe_not_euro(self, countries_translator):
+        expected = ast.Count(
+            ast.GetTable(),
+            ast.And(
+                eq("continent", "europe"),
+                ast.Not(eq("currency", "euro")),
+            ),
+        )
+        assert_top(
+            countries_translator,
+            "how many countries are in europe but do not use the euro",
+            expected,
+        )
+
+    def test_sum_not_in_europe(self, countries_translator):
+        expected = ast.Reduce(
+            ast.ReduceOp.SUM, ast.ColumnRef("gdp"), ast.GetTable(),
+            ast.Not(eq("continent", "europe")),
+        )
+        assert_top(
+            countries_translator,
+            "sum the gdp for all countries that are not in europe",
+            expected,
+        )
+
+
+class TestNestedReductions:
+    def test_above_average_select(self, countries_translator):
+        avg = ast.Reduce(
+            ast.ReduceOp.AVG, ast.ColumnRef("gdppercapita"), ast.GetTable(),
+            ast.TrueF(),
+        )
+        expected = ast.MakeActive(ast.SelectRows(
+            ast.GetTable(),
+            ast.Compare(ast.RelOp.GT, ast.ColumnRef("gdppercapita"), avg),
+        ))
+        assert_top(
+            countries_translator,
+            "which countries have a gdp per capita larger than the average",
+            expected,
+        )
+
+    def test_argmax(self, countries_translator):
+        mx = ast.Reduce(
+            ast.ReduceOp.MAX, ast.ColumnRef("gdppercapita"), ast.GetTable(),
+            ast.TrueF(),
+        )
+        expected = ast.MakeActive(ast.SelectRows(
+            ast.GetTable(),
+            ast.Compare(ast.RelOp.EQ, ast.ColumnRef("gdppercapita"), mx),
+        ))
+        assert_top(
+            countries_translator,
+            "which country has the largest gdp per capita",
+            expected,
+        )
+
+    def test_plain_max_without_row_noun(self, countries_translator):
+        expected = ast.Reduce(
+            ast.ReduceOp.MAX, ast.ColumnRef("population"), ast.GetTable(),
+            ast.TrueF(),
+        )
+        assert_top(
+            countries_translator, "find the largest population", expected
+        )
+
+
+class TestArithmeticAndLookup:
+    def test_vector_addition(self, payroll_translator):
+        expected = ast.BinOp(
+            ast.BinaryOp.ADD, ast.ColumnRef("hours"), ast.ColumnRef("othours")
+        )
+        assert_top(
+            payroll_translator, "add the hours and the othours columns", expected
+        )
+
+    def test_scalar_lookup(self, payroll_translator):
+        expected = ast.Lookup(
+            ast.Lit(CellValue.text("chef")),
+            ast.GetTable("PayRates"),
+            ast.ColumnRef("title"),
+            ast.ColumnRef("payrate", "PayRates"),
+        )
+        assert_top(payroll_translator, "lookup the payrate for chef", expected)
+
+    def test_join_map(self, payroll_translator):
+        join = ast.Lookup(
+            ast.ColumnRef("title"),
+            ast.GetTable("PayRates"),
+            ast.ColumnRef("title"),
+            ast.ColumnRef("payrate"),
+        )
+        expected = ast.BinOp(ast.BinaryOp.MULT, join, ast.ColumnRef("hours"))
+        assert_top(
+            payroll_translator,
+            "for each employee lookup the payrate and multiply by hours",
+            expected,
+        )
+
+    def test_cell_reference_arithmetic(self, payroll_translator):
+        wb = payroll_translator.workbook
+        wb.set_value("J2", CellValue.currency(100))
+        wb.set_value("J3", CellValue.currency(400))
+        expected = ast.BinOp(
+            ast.BinaryOp.DIV, ast.CellRef("J2"), ast.CellRef("J3")
+        )
+        assert_top(payroll_translator, "divide J2 by J3", expected)
+
+    def test_scaled_sum_in_top3(self, payroll_translator):
+        """'basepay plus otpay times 1.10' is genuinely ambiguous; the
+        intended (a+b)*1.1 reading must appear in the top 3."""
+        expected = ast.BinOp(
+            ast.BinaryOp.MULT,
+            ast.BinOp(ast.BinaryOp.ADD, ast.ColumnRef("basepay"),
+                      ast.ColumnRef("otpay")),
+            ast.Lit(CellValue.number(1.1)),
+        )
+        programs = [
+            canon(payroll_translator, c.program)
+            for c in payroll_translator.translate("basepay plus otpay times 1.10")[:3]
+        ]
+        assert canon(payroll_translator, expected) in programs
+
+
+class TestSelectionAndFormatting:
+    def test_select_with_two_filters(self, payroll_translator):
+        expected = ast.MakeActive(ast.SelectRows(
+            ast.GetTable(),
+            ast.And(
+                eq("location", "queen anne"),
+                ast.Compare(ast.RelOp.GT, ast.ColumnRef("hours"),
+                            ast.Lit(CellValue.number(20))),
+            ),
+        ))
+        assert_top(
+            payroll_translator,
+            "select rows with employees at queen anne with over 20 hours",
+            expected,
+        )
+
+    def test_conditional_formatting(self, payroll_translator):
+        from repro.sheet import FormatFn
+
+        expected = ast.FormatCells(
+            ast.FormatSpec((FormatFn.color("red"),)),
+            ast.SelectRows(
+                ast.GetTable(),
+                ast.Compare(ast.RelOp.GT, ast.ColumnRef("othours"),
+                            ast.Lit(CellValue.number(0))),
+            ),
+        )
+        assert_top(
+            payroll_translator,
+            "get the rows with othours bigger than 0 and color them red",
+            expected,
+        )
+
+
+class TestCandidateApi:
+    def test_candidates_sorted_by_score(self, payroll_translator):
+        candidates = payroll_translator.translate("sum the hours for the baristas")
+        scores = [c.score for c in candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_candidates_are_complete_programs(self, payroll_translator):
+        from repro.dsl.holes import is_complete
+
+        for c in payroll_translator.translate("sum the hours"):
+            assert is_complete(c.program)
+
+    def test_candidate_helpers(self, payroll_translator):
+        candidate = payroll_translator.translate("sum the hours")[0]
+        assert candidate.excel(payroll_translator.workbook).startswith("=SUM")
+        assert "sum up" in candidate.paraphrase()
+        result = candidate.execute(payroll_translator.workbook, place=False)
+        assert result.value.payload > 0
+
+    def test_empty_description_rejected(self, payroll_translator):
+        with pytest.raises(TranslationError):
+            payroll_translator.translate("   ")
+
+    def test_max_results_respected(self):
+        tr = Translator(
+            build_sheet("payroll"), config=TranslatorConfig(max_results=2)
+        )
+        assert len(tr.translate("sum the hours for the baristas")) <= 2
+
+
+class TestAblationConfigs:
+    def test_modes_resolve(self):
+        for mode in ("rules_only", "synthesis_only", "combined_prod_only",
+                     "complete", "no_cover", "no_mix"):
+            cfg = ablation_config(mode)
+            assert isinstance(cfg, TranslatorConfig)
+
+    def test_unknown_mode(self):
+        with pytest.raises(TranslationError):
+            ablation_config("everything")
+
+    def test_rules_only_misses_implicit_conjunction(self):
+        """Implicit conjunction needs synthesis (the paper's motivating gap
+        for combining the two algorithms)."""
+        tr = Translator(
+            build_sheet("payroll"), config=ablation_config("rules_only")
+        )
+        expected = ast.Reduce(
+            ast.ReduceOp.SUM, ast.ColumnRef("hours"), ast.GetTable(),
+            ast.And(eq("location", "capitol hill"), eq("title", "barista")),
+        )
+        wb = tr.workbook
+        got = [canonicalize(c.program, wb) for c in
+               tr.translate("sum hours capitol hill baristas")]
+        assert canonicalize(expected, wb) not in got
+
+    def test_synthesis_only_recovers_it(self):
+        tr = Translator(
+            build_sheet("payroll"), config=ablation_config("synthesis_only")
+        )
+        expected = ast.Reduce(
+            ast.ReduceOp.SUM, ast.ColumnRef("hours"), ast.GetTable(),
+            ast.And(eq("location", "capitol hill"), eq("title", "barista")),
+        )
+        wb = tr.workbook
+        got = [canonicalize(c.program, wb) for c in
+               tr.translate("sum hours capitol hill baristas")]
+        assert canonicalize(expected, wb) in got
+
+
+class TestSpellCorrection:
+    def test_corrected_tokens_flagged(self, payroll_translator):
+        tokens = payroll_translator.prepare_tokens("sum the huors")
+        assert tokens[2].text == "hours"
+        assert tokens[2].misspelled
+
+    def test_plural_not_flagged(self, payroll_translator):
+        tokens = payroll_translator.prepare_tokens("the baristas")
+        assert not tokens[1].misspelled
+
+    def test_joining_neighbors_not_corrected(self):
+        tr = Translator(build_sheet("invoices"))
+        tokens = tr.prepare_tokens("units times unit price")
+        assert [t.text for t in tokens] == ["units", "times", "unit", "price"]
+
+
+class TestRangeComparisons:
+    def test_between(self, payroll_translator):
+        top = payroll_translator.translate(
+            "count employees with hours between 20 and 35"
+        )[0]
+        result = top.execute(payroll_translator.workbook, place=False)
+        # strictly between: 30, 25, 22, 28, 33, 21 -> 6 employees
+        assert result.value.payload == 6
+
+    def test_at_most(self, payroll_translator):
+        top = payroll_translator.translate(
+            "count employees with hours at most 21"
+        )[0]
+        result = top.execute(payroll_translator.workbook, place=False)
+        assert result.value.payload == 3  # 18, 16, 21
+
+    def test_at_least(self, payroll_translator):
+        top = payroll_translator.translate(
+            "how many employees have hours of at least 36"
+        )[0]
+        result = top.execute(payroll_translator.workbook, place=False)
+        assert result.value.payload == 3  # 40, 38, 36
+
+    def test_before_after_dates(self):
+        from repro.sheet import Table, ValueType, Workbook
+
+        wb = Workbook()
+        wb.add_table(Table.from_data(
+            "Projects", ["project", "deadline"],
+            [["a", "2014-03-01"], ["b", "2014-06-15"], ["c", "2014-09-30"]],
+            types=[ValueType.TEXT, ValueType.DATE],
+        ))
+        wb.set_cursor("D2")
+        translator = Translator(wb)
+        top = translator.translate(
+            "count projects with deadline before 2014-06-01"
+        )[0]
+        assert top.execute(wb, place=False).value.payload == 1

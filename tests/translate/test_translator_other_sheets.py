@@ -1,0 +1,150 @@
+"""End-to-end translations on the inventory and invoices sheets.
+
+The payroll and countries sheets carry most targeted tests; these pin the
+remaining two domains, including vocabulary that only they exercise
+(warehouses, suppliers, invoice statuses, product names).
+"""
+
+import pytest
+
+from repro.dataset import build_sheet
+from repro.dsl import ast
+from repro.evalkit import canonicalize
+from repro.sheet import CellValue
+from repro.translate import Translator
+
+
+@pytest.fixture(scope="module")
+def inventory():
+    return Translator(build_sheet("inventory"))
+
+
+@pytest.fixture(scope="module")
+def invoices():
+    return Translator(build_sheet("invoices"))
+
+
+def eq(column, value):
+    return ast.Compare(
+        ast.RelOp.EQ, ast.ColumnRef(column), ast.Lit(CellValue.text(value))
+    )
+
+
+def assert_top(translator, text, expected):
+    got = translator.translate(text)[0].program
+    wb = translator.workbook
+    assert canonicalize(got, wb) == canonicalize(expected, wb), (
+        f"{text!r} -> {got}"
+    )
+
+
+class TestInventory:
+    def test_sum_by_category(self, inventory):
+        assert_top(
+            inventory,
+            "sum the stockvalue for the coffee items",
+            ast.Reduce(ast.ReduceOp.SUM, ast.ColumnRef("stockvalue"),
+                       ast.GetTable(), eq("category", "coffee")),
+        )
+
+    def test_column_to_column_comparison(self, inventory):
+        assert_top(
+            inventory,
+            "count the items where quantity is below reorder",
+            ast.Count(
+                ast.GetTable(),
+                ast.Compare(ast.RelOp.LT, ast.ColumnRef("quantity"),
+                            ast.ColumnRef("reorder")),
+            ),
+        )
+
+    def test_disjunction(self, inventory):
+        assert_top(
+            inventory,
+            "how many items are supplies or dairy",
+            ast.Count(
+                ast.GetTable(),
+                ast.Or(eq("category", "supplies"), eq("category", "dairy")),
+            ),
+        )
+
+    def test_multiword_supplier_value(self, inventory):
+        assert_top(
+            inventory,
+            "average the unitprice for the leaf co items",
+            ast.Reduce(ast.ReduceOp.AVG, ast.ColumnRef("unitprice"),
+                       ast.GetTable(), eq("supplier", "leaf co")),
+        )
+
+    def test_warehouse_locative(self, inventory):
+        assert_top(
+            inventory,
+            "sum the quantity for items in the south warehouse",
+            ast.Reduce(ast.ReduceOp.SUM, ast.ColumnRef("quantity"),
+                       ast.GetTable(), eq("warehouse", "south")),
+        )
+
+    def test_recompute_stock_value(self, inventory):
+        assert_top(
+            inventory,
+            "quantity times unit price",
+            ast.BinOp(ast.BinaryOp.MULT, ast.ColumnRef("quantity"),
+                      ast.ColumnRef("unitprice")),
+        )
+
+
+class TestInvoices:
+    def test_sum_unpaid(self, invoices):
+        assert_top(
+            invoices,
+            "sum the total for the unpaid invoices",
+            ast.Reduce(ast.ReduceOp.SUM, ast.ColumnRef("total"),
+                       ast.GetTable(), eq("status", "unpaid")),
+        )
+
+    def test_count_overdue(self, invoices):
+        assert_top(
+            invoices,
+            "how many invoices are overdue",
+            ast.Count(ast.GetTable(), eq("status", "overdue")),
+        )
+
+    def test_two_filters(self, invoices):
+        assert_top(
+            invoices,
+            "sum the total for the paid invoices in the east region",
+            ast.Reduce(
+                ast.ReduceOp.SUM, ast.ColumnRef("total"), ast.GetTable(),
+                ast.And(eq("status", "paid"), eq("region", "east")),
+            ),
+        )
+
+    def test_customer_filter(self, invoices):
+        assert_top(
+            invoices,
+            "select the rows for contoso",
+            ast.MakeActive(ast.SelectRows(ast.GetTable(),
+                                          eq("customer", "contoso"))),
+        )
+
+    def test_numeric_and_value_filter(self, invoices):
+        assert_top(
+            invoices,
+            "count the widget orders with more than 10 units",
+            ast.Count(
+                ast.GetTable(),
+                ast.And(
+                    eq("product", "widget"),
+                    ast.Compare(ast.RelOp.GT, ast.ColumnRef("units"),
+                                ast.Lit(CellValue.number(10))),
+                ),
+            ),
+        )
+
+    def test_multiword_customer(self, invoices):
+        assert_top(
+            invoices,
+            "sum the total for adventure works",
+            ast.Reduce(ast.ReduceOp.SUM, ast.ColumnRef("total"),
+                       ast.GetTable(), eq("customer", "adventure works")),
+        )
