@@ -1,0 +1,85 @@
+"""Resilience — TranslationService latency and degradation under deadlines.
+
+Runs the test-split sample through the deadline-aware service twice: once
+under a tight 50 ms deadline (real-time UI budget; degradation expected,
+crashes forbidden) and once under a generous 5 s deadline (no degradation
+expected, rankings must match the unbounded translator).  Reports p50/p95
+latency, degradation rate, and error rate per deadline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalkit import evaluate_batch, format_resilience
+from repro.evalkit.harness import ResilienceResult
+from repro.runtime import TranslationService
+
+TIGHT = 0.05  # 50 ms: the paper's real-time claim, with no slack
+GENEROUS = 5.0  # effectively unbounded for these sheets
+
+
+@pytest.fixture(scope="module")
+def split(corpus, sample_size):
+    descriptions = corpus.test
+    if sample_size is not None and sample_size < len(descriptions):
+        step = len(descriptions) / sample_size
+        descriptions = [
+            descriptions[int(k * step)] for k in range(sample_size)
+        ]
+    return descriptions
+
+
+@pytest.fixture(scope="module")
+def sweep(split, oracle):
+    result = ResilienceResult()
+    for deadline in (TIGHT, GENEROUS):
+        result.per_deadline[deadline] = evaluate_batch(
+            split, oracle=oracle, deadline=deadline
+        )
+    return result
+
+
+def test_print_resilience(benchmark, sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Resilience (measured, test-split sample)")
+    print(format_resilience(sweep))
+
+
+def test_zero_uncaught_exceptions(benchmark, sweep, split):
+    """The never-crash contract: every outcome at every deadline is either
+    ranked candidates or a structured error — evaluate_batch would have
+    propagated anything else."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for board in sweep.per_deadline.values():
+        assert board.n == len(split)
+        for outcome in board.outcomes:
+            assert outcome.error_code in (None, "deadline_exhausted")
+
+
+def test_tight_deadline_bounds_tail_latency(benchmark, sweep):
+    """Under the 50 ms deadline the p95 must stay within a small multiple
+    of the deadline (ladder overhead + the last cooperative checkpoint),
+    far below the unbounded worst case (~1 s verbose compositions)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    tight = sweep.per_deadline[TIGHT]
+    assert tight.percentile_seconds(0.95) <= 8 * TIGHT
+
+
+def test_generous_deadline_is_not_degraded(benchmark, sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    generous = sweep.per_deadline[GENEROUS]
+    assert generous.error_rate == 0.0
+    assert generous.degraded_rate <= 0.02
+    board_tight = sweep.per_deadline[TIGHT]
+    # the tight deadline trades accuracy for latency, never correctness
+    assert generous.top1_rate >= board_tight.top1_rate
+
+
+def test_service_latency_running_example(benchmark, oracle):
+    service = TranslationService(oracle.workbook("payroll"), deadline=TIGHT)
+    result = benchmark(
+        service.translate, "sum the totalpay for the capitol hill baristas"
+    )
+    assert result.ok

@@ -19,20 +19,25 @@ Quickstart::
 
 from .dsl import Evaluator, ExcelEmitter, TypeChecker, paraphrase
 from .errors import ReproError
+from .runtime import Budget
+from .runtime.service import ServiceResult, TranslationService
 from .session import NLyzeSession
 from .sheet import CellValue, Table, ValueType, Workbook
 from .translate import Candidate, Translator, TranslatorConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Budget",
     "Candidate",
     "CellValue",
     "Evaluator",
     "ExcelEmitter",
     "NLyzeSession",
     "ReproError",
+    "ServiceResult",
     "Table",
+    "TranslationService",
     "Translator",
     "TranslatorConfig",
     "TypeChecker",

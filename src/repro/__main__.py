@@ -17,6 +17,7 @@ import argparse
 import sys
 
 from .dataset import SHEET_ORDER, build_sheet
+from .errors import ReproError
 from .session import NLyzeSession
 from .sheet import Workbook
 
@@ -29,9 +30,14 @@ def _workbook(args: argparse.Namespace) -> Workbook:
     return build_sheet(args.sheet)
 
 
+def _deadline(args: argparse.Namespace) -> float | None:
+    ms = getattr(args, "deadline", None)
+    return ms / 1000.0 if ms is not None else None
+
+
 def _cmd_translate(args: argparse.Namespace) -> None:
     workbook = _workbook(args)
-    session = NLyzeSession(workbook)
+    session = NLyzeSession(workbook, deadline=_deadline(args))
     step = session.ask(args.description)
     print(step.render())
     if args.execute and step.views:
@@ -42,7 +48,7 @@ def _cmd_translate(args: argparse.Namespace) -> None:
 def _cmd_repl(args: argparse.Namespace) -> None:
     workbook = _workbook(args)
     print(workbook.default_table.render(max_rows=10))
-    session = NLyzeSession(workbook)
+    session = NLyzeSession(workbook, deadline=_deadline(args))
     print("\nDescribe a task (:quit to exit).")
     while True:
         try:
@@ -55,8 +61,8 @@ def _cmd_repl(args: argparse.Namespace) -> None:
             break
         try:
             step = session.ask(line)
-        except Exception as exc:  # surface, keep the loop alive
-            print(f"error: {exc}")
+        except ReproError as exc:  # surface, keep the loop alive
+            print(f"error [{exc.code}]: {exc}")
             continue
         print(step.render())
         if step.views:
@@ -113,11 +119,15 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--csv", nargs="*", help="CSV files instead of a demo sheet")
     p.add_argument("--execute", action="store_true",
                    help="execute the top candidate")
+    p.add_argument("--deadline", type=float, default=None, metavar="MS",
+                   help="wall-clock budget per translation (milliseconds)")
     p.set_defaults(func=_cmd_translate)
 
     p = sub.add_parser("repl", help="interactive session")
     p.add_argument("--sheet", choices=SHEET_ORDER, default="payroll")
     p.add_argument("--csv", nargs="*")
+    p.add_argument("--deadline", type=float, default=None, metavar="MS",
+                   help="wall-clock budget per translation (milliseconds)")
     p.set_defaults(func=_cmd_repl)
 
     p = sub.add_parser("corpus", help="print or dump the evaluation corpus")
@@ -132,7 +142,13 @@ def main(argv: list[str] | None = None) -> None:
     p.set_defaults(func=_cmd_rules)
 
     args = parser.parse_args(argv)
-    args.func(args)
+    try:
+        args.func(args)
+    except ReproError as exc:
+        # A library error is a user-facing condition (bad CSV, bad
+        # description, budget exhausted...), not a crash: one line, exit 2.
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        sys.exit(2)
 
 
 if __name__ == "__main__":

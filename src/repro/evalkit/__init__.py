@@ -8,13 +8,16 @@ from .harness import (
     PAPER_TABLE2,
     PAPER_TABLE3,
     PAPER_USER_STUDY,
+    ResilienceResult,
     Table2Result,
     Table3Result,
+    format_resilience,
     format_table1,
     format_table2,
     format_table3,
     format_user_study,
     run_fig1,
+    run_resilience,
     run_table1,
     run_table2,
     run_table3,
@@ -35,6 +38,7 @@ __all__ = [
     "PAPER_TABLE2",
     "PAPER_TABLE3",
     "PAPER_USER_STUDY",
+    "ResilienceResult",
     "Scoreboard",
     "Table2Result",
     "Table3Result",
@@ -44,12 +48,14 @@ __all__ = [
     "equivalent",
     "evaluate_batch",
     "evaluate_description",
+    "format_resilience",
     "format_table1",
     "format_table2",
     "format_table3",
     "format_user_study",
     "run_clusters",
     "run_fig1",
+    "run_resilience",
     "run_table1",
     "run_table2",
     "run_table3",

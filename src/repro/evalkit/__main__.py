@@ -55,6 +55,13 @@ def _userstudy(args: argparse.Namespace) -> None:
     print(harness.format_user_study(harness.run_user_study()))
 
 
+def _resilience(args: argparse.Namespace) -> None:
+    corpus = Corpus.default()
+    result = harness.run_resilience(corpus, sample=args.sample)
+    print("Resilience — service accuracy/latency under deadlines (measured)")
+    print(harness.format_resilience(result))
+
+
 def _clusters(args: argparse.Namespace) -> None:
     report = run_clusters(Corpus.default())
     print(
@@ -70,7 +77,7 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "fig1", "userstudy",
-                 "clusters", "all"],
+                 "clusters", "resilience", "all"],
     )
     parser.add_argument(
         "--sample", type=int, default=None,
@@ -84,6 +91,7 @@ def main(argv: list[str] | None = None) -> None:
         "fig1": _fig1,
         "userstudy": _userstudy,
         "clusters": _clusters,
+        "resilience": _resilience,
     }
     if args.experiment == "all":
         for name in ["table1", "fig1", "table2", "table3", "userstudy",

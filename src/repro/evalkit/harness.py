@@ -182,6 +182,56 @@ def format_table1(data: dict[str, list[str]]) -> str:
     return "\n".join(lines)
 
 
+@dataclass
+class ResilienceResult:
+    """Deadline sweep over the test split: one scoreboard per deadline."""
+
+    per_deadline: dict[float, Scoreboard] = field(default_factory=dict)
+
+
+def run_resilience(
+    corpus: Corpus | None = None,
+    deadlines: tuple[float, ...] = (0.05, 0.5),
+    sample: int | None = None,
+    config: TranslatorConfig | None = None,
+) -> ResilienceResult:
+    """Accuracy / latency / degradation under wall-clock deadlines.
+
+    Routes the test split through :class:`~repro.runtime.TranslationService`
+    at each deadline (seconds).  Under a tight deadline requests are
+    expected to degrade (anytime ranking or cheaper tiers) but never to
+    crash; under a generous deadline the numbers must match Table 2.
+    """
+    corpus = corpus or Corpus.default()
+    descriptions = corpus.test
+    if sample is not None and sample < len(descriptions):
+        step = len(descriptions) / sample
+        descriptions = [descriptions[int(k * step)] for k in range(sample)]
+    oracle = TaskOracle()
+    result = ResilienceResult()
+    for deadline in deadlines:
+        result.per_deadline[deadline] = evaluate_batch(
+            descriptions, config=config, oracle=oracle, deadline=deadline
+        )
+    return result
+
+
+def format_resilience(result: ResilienceResult) -> str:
+    lines = [
+        f"{'Deadline':>9} {'Top Rank':>9} {'All':>7} {'p50':>8} {'p95':>8} "
+        f"{'Degraded':>9} {'Errors':>7}",
+        "-" * 62,
+    ]
+    for deadline, board in sorted(result.per_deadline.items()):
+        lines.append(
+            f"{deadline * 1000:>7.0f}ms {board.top1_rate:>8.1%} "
+            f"{board.recall:>6.1%} {board.percentile_seconds(0.5):>7.3f}s "
+            f"{board.percentile_seconds(0.95):>7.3f}s "
+            f"{board.degraded_rate:>8.1%} {board.error_rate:>6.1%}"
+        )
+    return "\n".join(lines)
+
+
 def run_fig1() -> str:
     """Fig. 1 — the running example's annotated candidate list."""
     from ..session import NLyzeSession

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 
 from ..dataset import Description, all_tasks, build_sheet
 from ..dsl import ast
+from ..runtime.service import ServiceResult, TranslationService
 from ..sheet import Workbook
 from ..translate import Translator, TranslatorConfig
 from .canonical import canonicalize
@@ -19,6 +20,8 @@ class EvalOutcome:
     description: Description
     rank: int | None  # 0-based rank of the gold program, None = not found
     seconds: float
+    degraded: bool = False  # the service fell back to a cheaper tier/anytime
+    error_code: str | None = None  # structured failure instead of candidates
 
     @property
     def top1(self) -> bool:
@@ -70,6 +73,24 @@ class Scoreboard:
             return 0.0
         return sum(o.seconds for o in self.outcomes) / self.n
 
+    def percentile_seconds(self, q: float) -> float:
+        """Latency percentile (``q`` in [0, 1], nearest-rank)."""
+        if not self.outcomes:
+            return 0.0
+        ordered = sorted(o.seconds for o in self.outcomes)
+        k = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[k]
+
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of requests served by a fallback tier / anytime path."""
+        return self._rate(lambda o: o.degraded)
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of requests that ended in a structured error."""
+        return self._rate(lambda o: o.error_code is not None)
+
     @property
     def f1(self) -> float:
         """F1 with precision == top-1 rate and recall == the All column,
@@ -98,32 +119,55 @@ class TaskOracle:
 
 
 def evaluate_description(
-    translator: Translator,
+    translator: Translator | TranslationService,
     oracle: TaskOracle,
     description: Description,
 ) -> EvalOutcome:
     """Translate one description and locate the gold program in the ranked
-    candidate list."""
+    candidate list.  Accepts a bare :class:`Translator` or a resilient
+    :class:`TranslationService` (whose degradation diagnostics are folded
+    into the outcome)."""
     workbook = oracle.workbook(description.sheet_id)
     gold = oracle.gold(description.task_id)
+    degraded = False
+    error_code = None
     start = time.perf_counter()
-    candidates = translator.translate(description.text)
+    produced = translator.translate(description.text)
     elapsed = time.perf_counter() - start
+    if isinstance(produced, ServiceResult):
+        candidates = produced.candidates
+        degraded = produced.degraded
+        error_code = produced.error_code
+    else:
+        candidates = produced
     rank = None
     for k, candidate in enumerate(candidates):
         if canonicalize(candidate.program, workbook) == gold:
             rank = k
             break
-    return EvalOutcome(description=description, rank=rank, seconds=elapsed)
+    return EvalOutcome(
+        description=description,
+        rank=rank,
+        seconds=elapsed,
+        degraded=degraded,
+        error_code=error_code,
+    )
 
 
 def evaluate_batch(
     descriptions: list[Description],
     config: TranslatorConfig | None = None,
     oracle: TaskOracle | None = None,
-    translators: dict[str, Translator] | None = None,
+    translators: dict[str, Translator | TranslationService] | None = None,
+    deadline: float | None = None,
 ) -> Scoreboard:
-    """Evaluate a batch, reusing one translator per sheet."""
+    """Evaluate a batch, reusing one translation engine per sheet.
+
+    Engines are :class:`TranslationService` instances (so every experiment
+    inherits the runtime guarantees); with ``deadline=None`` the service is
+    behaviour-identical to the bare translator.  Pre-built engines (either
+    kind) can be passed via ``translators``.
+    """
     oracle = oracle or TaskOracle()
     if translators is None:
         translators = {}
@@ -131,8 +175,10 @@ def evaluate_batch(
     for description in descriptions:
         translator = translators.get(description.sheet_id)
         if translator is None:
-            translator = Translator(
-                oracle.workbook(description.sheet_id), config=config
+            translator = TranslationService(
+                oracle.workbook(description.sheet_id),
+                config=config,
+                deadline=deadline,
             )
             translators[description.sheet_id] = translator
         board.add(evaluate_description(translator, oracle, description))

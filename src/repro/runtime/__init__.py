@@ -1,0 +1,54 @@
+"""Runtime resilience layer: budgets, fault injection, and the
+deadline-aware :class:`TranslationService` with its degradation ladder.
+
+``budget`` and ``faults`` are dependency-free and imported eagerly (the
+translation core hooks into them); ``service`` sits *above* the translator,
+so it is loaded lazily to keep the package import-cycle free.
+"""
+
+from __future__ import annotations
+
+from .budget import Budget
+from .faults import (
+    STAGES,
+    FaultPlan,
+    FaultSpec,
+    clear,
+    fault_point,
+    inject,
+    install,
+    parse_plan,
+)
+
+__all__ = [
+    "AttemptReport",
+    "Budget",
+    "FaultPlan",
+    "FaultSpec",
+    "STAGES",
+    "ServiceResult",
+    "Tier",
+    "TranslationService",
+    "clear",
+    "degradation_ladder",
+    "fault_point",
+    "inject",
+    "install",
+    "parse_plan",
+]
+
+_SERVICE_NAMES = {
+    "AttemptReport",
+    "ServiceResult",
+    "Tier",
+    "TranslationService",
+    "degradation_ladder",
+}
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_NAMES:
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,130 @@
+"""Cooperative translation budgets.
+
+A :class:`Budget` bounds one translation request along two axes:
+
+* **wall-clock** — a deadline in seconds from construction, and
+* **work** — a cap on the number of derivations the pipeline creates.
+
+The budget is *cooperative*: the translator polls it at well-defined
+checkpoints (per DP span, per synthesis round, per rule) rather than being
+preempted, so every data structure stays consistent at the moment the
+budget trips and the anytime path can rank whatever complete programs
+exist so far.
+
+Two probes with different contracts:
+
+* :meth:`Budget.exceeded` is the non-raising check used inside inner loops
+  (synthesis rounds, rule application) — the loop breaks and returns its
+  partial output so nothing already computed is lost;
+* :meth:`Budget.checkpoint` raises :class:`BudgetExceededError` and is
+  called only by the top-level DP in ``Translator``, which catches it and
+  switches to anytime ranking.
+
+The default ``Budget()`` is unlimited and its probes are near-free, so the
+budget can be threaded unconditionally without a fast path fork.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..errors import BudgetExceededError
+
+__all__ = ["Budget"]
+
+
+class Budget:
+    """Wall-clock deadline plus derivation counter for one request."""
+
+    __slots__ = (
+        "deadline",
+        "max_derivations",
+        "clock",
+        "started",
+        "spent_derivations",
+        "checkpoints",
+        "exhausted",
+        "exhausted_stage",
+        "exhausted_reason",
+    )
+
+    def __init__(
+        self,
+        deadline: float | None = None,
+        max_derivations: int | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be >= 0")
+        if max_derivations is not None and max_derivations < 0:
+            raise ValueError("max_derivations must be >= 0")
+        self.deadline = deadline
+        self.max_derivations = max_derivations
+        self.clock = clock
+        self.started = clock()
+        self.spent_derivations = 0
+        self.checkpoints = 0
+        self.exhausted = False
+        self.exhausted_stage = ""
+        self.exhausted_reason = ""
+
+    # -- accounting -------------------------------------------------------------
+
+    @property
+    def unlimited(self) -> bool:
+        return self.deadline is None and self.max_derivations is None
+
+    def charge(self, n: int = 1) -> None:
+        """Record ``n`` derivations of work (never raises)."""
+        self.spent_derivations += n
+
+    def elapsed(self) -> float:
+        return self.clock() - self.started
+
+    def remaining_time(self) -> float | None:
+        """Seconds left before the deadline (``None`` when undeadlined)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self.elapsed())
+
+    # -- probes -----------------------------------------------------------------
+
+    def exceeded(self, stage: str = "") -> bool:
+        """Non-raising probe; latches (and remembers) the first trip."""
+        if self.exhausted:
+            return True
+        if (
+            self.max_derivations is not None
+            and self.spent_derivations > self.max_derivations
+        ):
+            self._trip(stage, "derivations")
+            return True
+        if self.deadline is not None and self.elapsed() > self.deadline:
+            self._trip(stage, "deadline")
+            return True
+        return False
+
+    def checkpoint(self, stage: str = "") -> None:
+        """Raising probe for the top-level DP loop."""
+        self.checkpoints += 1
+        if self.exceeded(stage):
+            raise BudgetExceededError(
+                f"translation budget exceeded at {self.exhausted_stage or stage!r}"
+                f" ({self.exhausted_reason}): "
+                f"{self.elapsed() * 1000:.1f} ms elapsed, "
+                f"{self.spent_derivations} derivations",
+                stage=self.exhausted_stage or stage,
+            )
+
+    def _trip(self, stage: str, reason: str) -> None:
+        self.exhausted = True
+        self.exhausted_stage = stage
+        self.exhausted_reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Budget(deadline={self.deadline}, "
+            f"max_derivations={self.max_derivations}, "
+            f"spent={self.spent_derivations}, exhausted={self.exhausted})"
+        )

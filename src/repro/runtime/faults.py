@@ -1,0 +1,201 @@
+"""Deterministic fault injection for the translation pipeline.
+
+The resilience guarantees of :class:`~repro.runtime.service.TranslationService`
+("never crash, degrade instead") are only testable if failures can be
+produced on demand.  This module plants named *fault points* inside the
+pipeline stages::
+
+    tokenize   after token preparation, before the DP starts
+    seeds      per span, before keyword-programming seeds
+    rules      per RuleTranslator.translate_span call
+    synthesis  per synthesize() call
+    ranking    before final ranking
+
+A :class:`FaultSpec` arms one stage with either a raised exception
+(``mode="raise"``; a :class:`ReproError` by default, or an arbitrary
+``RuntimeError`` with ``error="runtime"`` to model genuine bugs) or a
+wall-clock delay (``mode="delay"``) that makes deadline tests
+deterministic.  ``after``/``times`` shape *which* hits fire, so a test can
+fail the first service tier and let the retry succeed.
+
+Activation is explicit (``install``/``inject``) or environment-driven: set
+``REPRO_FAULTS="synthesis:raise"`` or ``"seeds:delay:0.05;rules:raise:runtime"``
+before importing to poison a live process.  When nothing is armed the fault
+points cost one global read and a ``None`` check.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import InjectedFaultError, ReproError
+
+__all__ = [
+    "STAGES",
+    "FaultPlan",
+    "FaultSpec",
+    "clear",
+    "fault_point",
+    "inject",
+    "install",
+    "parse_plan",
+]
+
+STAGES = ("tokenize", "seeds", "rules", "synthesis", "ranking")
+ENV_VAR = "REPRO_FAULTS"
+
+_MODES = ("raise", "delay")
+
+
+@dataclass
+class FaultSpec:
+    """One armed stage: what to do and on which hits to do it."""
+
+    stage: str
+    mode: str = "raise"
+    delay: float = 0.01
+    error: str = "repro"  # "repro" -> InjectedFaultError, "runtime" -> RuntimeError
+    after: int = 0  # skip the first `after` hits
+    times: int | None = None  # fire at most this many times (None = forever)
+    hits: int = field(default=0, init=False)
+    fired: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.stage not in STAGES:
+            raise ReproError(
+                f"unknown fault stage {self.stage!r} (known: {', '.join(STAGES)})",
+                code="bad_fault_spec",
+            )
+        if self.mode not in _MODES:
+            raise ReproError(
+                f"unknown fault mode {self.mode!r} (known: {', '.join(_MODES)})",
+                code="bad_fault_spec",
+            )
+
+    def trigger(self) -> None:
+        self.hits += 1
+        if self.hits <= self.after:
+            return
+        if self.times is not None and self.fired >= self.times:
+            return
+        self.fired += 1
+        if self.mode == "delay":
+            time.sleep(self.delay)
+            return
+        if self.error == "runtime":
+            raise RuntimeError(f"injected runtime fault at stage {self.stage!r}")
+        raise InjectedFaultError(self.stage)
+
+
+@dataclass
+class FaultPlan:
+    """A set of armed fault specs, indexed by stage."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_stage: dict[str, list[FaultSpec]] = {}
+        for spec in self.specs:
+            self._by_stage.setdefault(spec.stage, []).append(spec)
+
+    def hit(self, stage: str) -> None:
+        for spec in self._by_stage.get(stage, ()):
+            spec.trigger()
+
+    def reset(self) -> None:
+        for spec in self.specs:
+            spec.hits = spec.fired = 0
+
+
+_active: FaultPlan | None = None
+
+
+def install(plan: FaultPlan | None) -> None:
+    """Arm ``plan`` process-wide (``None`` disarms)."""
+    global _active
+    _active = plan
+
+
+def clear() -> None:
+    install(None)
+
+
+@contextmanager
+def installed(plan: FaultPlan | None) -> Iterator[FaultPlan | None]:
+    """Arm ``plan`` for the duration of a ``with`` block."""
+    previous = _active
+    install(plan)
+    try:
+        yield plan
+    finally:
+        install(previous)
+
+
+@contextmanager
+def inject(*specs: FaultSpec) -> Iterator[FaultPlan]:
+    """Arm the given specs for the duration of a ``with`` block."""
+    with installed(FaultPlan(list(specs))) as plan:
+        yield plan
+
+
+def fault_point(stage: str) -> None:
+    """Pipeline hook: no-op unless a plan armed this stage."""
+    plan = _active
+    if plan is not None:
+        plan.hit(stage)
+
+
+def parse_plan(text: str) -> FaultPlan:
+    """Parse the ``REPRO_FAULTS`` syntax: ``stage:mode[:arg]`` items
+    separated by ``;``.  The third field is the delay in seconds for
+    ``delay`` faults and the error kind (``repro``/``runtime``) for
+    ``raise`` faults."""
+    specs: list[FaultSpec] = []
+    for item in text.split(";"):
+        item = item.strip()
+        if not item:
+            continue
+        parts = item.split(":")
+        if len(parts) < 2:
+            raise ReproError(
+                f"bad fault spec {item!r}: want stage:mode[:arg]",
+                code="bad_fault_spec",
+            )
+        stage, mode = parts[0].strip(), parts[1].strip()
+        spec = FaultSpec(stage=stage, mode=mode)
+        if len(parts) > 2 and parts[2].strip():
+            arg = parts[2].strip()
+            if mode == "delay":
+                spec.delay = float(arg)
+            else:
+                spec.error = arg
+        specs.append(spec)
+    return FaultPlan(specs)
+
+
+def install_from_env(environ: dict[str, str] | None = None) -> FaultPlan | None:
+    """Arm a plan from ``REPRO_FAULTS`` if set; returns the plan.
+
+    A malformed value is reported on stderr and ignored rather than
+    raised: this runs at import time, and a debugging knob must never
+    take down the process that imports the package."""
+    text = (environ or os.environ).get(ENV_VAR, "").strip()
+    if not text:
+        return None
+    try:
+        plan = parse_plan(text)
+    except ReproError as exc:
+        print(
+            f"repro: ignoring {ENV_VAR}={text!r}: {exc}", file=sys.stderr
+        )
+        return None
+    install(plan)
+    return plan
+
+
+install_from_env()

@@ -1,0 +1,263 @@
+"""Deadline-aware translation with graceful degradation.
+
+:class:`TranslationService` wraps a :class:`~repro.translate.Translator`
+with the guarantees a production front end needs:
+
+* **never raises** — every failure (budget trip, injected fault, genuine
+  bug) is converted into a structured :class:`ServiceResult` carrying a
+  machine-readable error code;
+* **bounded** — a wall-clock ``deadline`` (and optional derivation cap) is
+  split across a *degradation ladder*: the full configuration first, then
+  a reduced-beam configuration, then rules-only.  A tier that times out
+  with no candidates is retried at the next-cheaper tier; a tier whose
+  budget trips but whose anytime ranking still found programs returns
+  them, marked ``degraded``;
+* **diagnosable** — the result records the tier used, elapsed time, budget
+  spend, and a per-tier attempt log.
+
+With no deadline and no faults the service is behaviour-preserving: tier 0
+runs the ordinary translator with an unlimited budget and returns its exact
+ranking.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..errors import ReproError
+from ..sheet import Workbook
+from ..translate import Candidate, Translator, TranslatorConfig
+from ..translate.rules import RuleSet
+from .budget import Budget
+from .faults import FaultPlan, installed
+
+__all__ = [
+    "AttemptReport",
+    "ServiceResult",
+    "Tier",
+    "TranslationService",
+    "degradation_ladder",
+]
+
+# Deterministic input rejections: retrying a cheaper tier cannot change the
+# outcome, so the ladder stops immediately.
+INPUT_ERROR_CODES = frozenset(
+    {"empty_description", "description_too_long", "symbols_only"}
+)
+
+
+@dataclass(frozen=True)
+class Tier:
+    """One rung of the degradation ladder."""
+
+    name: str
+    config: TranslatorConfig
+
+
+def degradation_ladder(config: TranslatorConfig | None = None) -> tuple[Tier, ...]:
+    """The default ladder: full fidelity, reduced search, rules-only.
+
+    The reduced tier shrinks the three work knobs (beam, synthesis closure,
+    alignment cap) by ~3x — in the beam ablation bench that costs a few
+    points of recall but roughly halves latency.  The rules-only tier drops
+    the synthesis closure entirely, which is the paper's cheapest ablation
+    row (Table 3) and is effectively immune to `CombAll` blow-ups.
+    """
+    full = config or TranslatorConfig()
+    reduced = replace(
+        full,
+        beam_size=max(24, full.beam_size // 3),
+        synth_max_new=max(16, full.synth_max_new // 3),
+        max_alignments=max(4, full.max_alignments // 2),
+    )
+    rules_only = replace(reduced, use_rules=True, use_synthesis=False)
+    return (
+        Tier("full", full),
+        Tier("reduced", reduced),
+        Tier("rules_only", rules_only),
+    )
+
+
+@dataclass
+class AttemptReport:
+    """Diagnostics for one tier attempt."""
+
+    tier: str
+    elapsed: float
+    derivations: int
+    exhausted: bool
+    candidates: int
+    error_code: str | None = None
+    error: str | None = None
+
+
+@dataclass
+class ServiceResult:
+    """Outcome of one service request: candidates plus diagnostics."""
+
+    candidates: list[Candidate]
+    tier: str | None
+    degraded: bool
+    anytime: bool
+    elapsed: float
+    budget_spent: int
+    attempts: list[AttemptReport] = field(default_factory=list)
+    error_code: str | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error_code is None
+
+    @property
+    def top(self) -> Candidate | None:
+        return self.candidates[0] if self.candidates else None
+
+
+class TranslationService:
+    """Resilient front end over the translator for one workbook.
+
+    ``deadline`` is the total wall-clock budget in seconds for a request
+    across all ladder tiers (``None`` = unbounded); ``max_derivations``
+    additionally caps the work per tier attempt.  ``faults`` arms a
+    :class:`FaultPlan` for the duration of each request (testing knob; the
+    ``REPRO_FAULTS`` env var arms one process-wide instead).
+    """
+
+    def __init__(
+        self,
+        workbook: Workbook,
+        rules: RuleSet | None = None,
+        config: TranslatorConfig | None = None,
+        deadline: float | None = None,
+        max_derivations: int | None = None,
+        tiers: tuple[Tier, ...] | None = None,
+        faults: FaultPlan | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.workbook = workbook
+        self.rules = rules
+        self.deadline = deadline
+        self.max_derivations = max_derivations
+        self.tiers = tiers or degradation_ladder(config)
+        self.faults = faults
+        self.clock = clock
+        self._translators: dict[str, Translator] = {}
+
+    # -- translators ------------------------------------------------------------
+
+    def translator_for(self, tier: Tier) -> Translator:
+        cached = self._translators.get(tier.name)
+        if cached is None:
+            cached = Translator(
+                self.workbook, rules=self.rules, config=tier.config
+            )
+            self._translators[tier.name] = cached
+        return cached
+
+    @property
+    def context(self):
+        """The full-fidelity sheet context (for annotation/explanations)."""
+        return self.translator_for(self.tiers[0]).ctx
+
+    # -- the request path -------------------------------------------------------
+
+    def translate(self, sentence: str) -> ServiceResult:
+        """Translate under the service guarantees (never raises)."""
+        if self.faults is not None:
+            with installed(self.faults):
+                return self._translate(sentence)
+        return self._translate(sentence)
+
+    def _translate(self, sentence: str) -> ServiceResult:
+        start = self.clock()
+        attempts: list[AttemptReport] = []
+        spent = 0
+
+        for k, tier in enumerate(self.tiers):
+            budget = self._budget_for(k, start)
+            t0 = self.clock()
+            error: str | None = None
+            code: str | None = None
+            candidates: list[Candidate] = []
+            try:
+                candidates = self.translator_for(tier).translate(
+                    sentence, budget=budget
+                )
+            except ReproError as exc:
+                error, code = str(exc), exc.code
+            except Exception as exc:  # noqa: BLE001 - the never-crash contract
+                error, code = f"{type(exc).__name__}: {exc}", "internal_error"
+            spent += budget.spent_derivations
+            attempts.append(
+                AttemptReport(
+                    tier=tier.name,
+                    elapsed=self.clock() - t0,
+                    derivations=budget.spent_derivations,
+                    exhausted=budget.exhausted,
+                    candidates=len(candidates),
+                    error_code=code,
+                    error=error,
+                )
+            )
+
+            if code is None and candidates:
+                return ServiceResult(
+                    candidates=candidates,
+                    tier=tier.name,
+                    degraded=k > 0 or budget.exhausted,
+                    anytime=budget.exhausted,
+                    elapsed=self.clock() - start,
+                    budget_spent=spent,
+                    attempts=attempts,
+                )
+            if code is None and not budget.exhausted:
+                # A clean, fully-searched run found nothing; cheaper tiers
+                # search strictly less, so stop here.
+                return ServiceResult(
+                    candidates=[],
+                    tier=tier.name,
+                    degraded=k > 0,
+                    anytime=False,
+                    elapsed=self.clock() - start,
+                    budget_spent=spent,
+                    attempts=attempts,
+                )
+            if code in INPUT_ERROR_CODES:
+                break
+            # Timed out empty or faulted: fall through to the next tier.
+
+        last = attempts[-1]
+        code = last.error_code or "deadline_exhausted"
+        error = last.error or (
+            f"no complete translation within the "
+            f"{self.deadline * 1000:.0f} ms deadline"
+            if self.deadline is not None
+            else "no complete translation within budget"
+        )
+        return ServiceResult(
+            candidates=[],
+            tier=None,
+            degraded=True,
+            anytime=False,
+            elapsed=self.clock() - start,
+            budget_spent=spent,
+            attempts=attempts,
+            error_code=code,
+            error=error,
+        )
+
+    def _budget_for(self, k: int, start: float) -> Budget:
+        """An even split of the remaining deadline over the remaining
+        tiers (the last tier inherits everything left)."""
+        if self.deadline is None:
+            return Budget(max_derivations=self.max_derivations)
+        remaining = max(0.0, self.deadline - (self.clock() - start))
+        slice_ = remaining / (len(self.tiers) - k)
+        return Budget(
+            deadline=slice_,
+            max_derivations=self.max_derivations,
+            clock=self.clock,
+        )

@@ -20,6 +20,7 @@ from ..dsl import ProgramResult, paraphrase
 from ..dsl.evaluator import Evaluator
 from ..dsl.excel import ExcelEmitter
 from ..errors import TranslationError
+from ..runtime.service import ServiceResult, TranslationService
 from ..sheet import Workbook
 from ..translate import Candidate, Translator, TranslatorConfig
 from .annotate import WordAnnotation, annotate, render_annotations
@@ -54,6 +55,7 @@ class Step:
     views: list[CandidateView]
     accepted: Candidate | None = None
     result: ProgramResult | None = None
+    diagnostics: ServiceResult | None = None
 
     def render(self) -> str:
         lines = [f"> {self.description}"]
@@ -62,17 +64,31 @@ class Step:
             lines.append(f"{i}. {body}")
         if not self.views:
             lines.append("   (no interpretation found)")
+        if self.diagnostics is not None and self.diagnostics.degraded:
+            lines.append(
+                f"   [degraded: tier {self.diagnostics.tier}, "
+                f"{self.diagnostics.elapsed * 1000:.0f} ms]"
+            )
         return "\n".join(lines)
 
 
 @dataclass
 class NLyzeSession:
-    """Interactive NL programming over one workbook."""
+    """Interactive NL programming over one workbook.
+
+    Every ask is routed through the runtime
+    :class:`~repro.runtime.service.TranslationService`, so sessions inherit
+    the never-crash/degradation guarantees; ``deadline`` (seconds, optional)
+    bounds each translation's wall clock.  Without a deadline the service
+    is behaviour-identical to calling the translator directly.
+    """
 
     workbook: Workbook
     config: TranslatorConfig | None = None
+    deadline: float | None = None
     steps: list[Step] = field(default_factory=list)
     _translator: Translator | None = field(default=None, repr=False)
+    _service: TranslationService | None = field(default=None, repr=False)
 
     _initial: Workbook | None = field(default=None, repr=False)
 
@@ -81,17 +97,28 @@ class NLyzeSession:
         self._refresh_translator()
 
     def _refresh_translator(self) -> None:
-        """Rebuild the translator so the sheet context reflects the current
+        """Rebuild the service so the sheet context reflects the current
         workbook state (values, formats, and selections change per step —
         the temporal context of §4)."""
-        self._translator = Translator(self.workbook, config=self.config)
+        self._service = TranslationService(
+            self.workbook, config=self.config, deadline=self.deadline
+        )
+        self._translator = self._service.translator_for(
+            self._service.tiers[0]
+        )
 
     # -- asking ----------------------------------------------------------------
 
     def ask(self, description: str) -> Step:
         """Translate a description into a candidate list (no execution)."""
         self._refresh_translator()
-        candidates = self._translator.translate(description)
+        outcome = self._service.translate(description)
+        if not outcome.ok and not outcome.candidates:
+            raise TranslationError(
+                outcome.error or "translation failed",
+                code=outcome.error_code,
+            )
+        candidates = outcome.candidates
         shown = [
             c for c in candidates[:MAX_SHOWN]
             if c.score >= CONFIDENCE_THRESHOLD
@@ -106,7 +133,9 @@ class NLyzeSession:
             )
             for c in shown
         ]
-        step = Step(description=description, views=views)
+        step = Step(
+            description=description, views=views, diagnostics=outcome
+        )
         self.steps.append(step)
         return step
 

@@ -51,19 +51,30 @@ def _coerce(value: CellValue, target: ValueType) -> CellValue:
 
 
 def read_table_csv(path: str | Path, name: str | None = None) -> Table:
-    """Read one CSV file into a typed table."""
+    """Read one CSV file into a typed table.
+
+    Real-world CSVs are ragged: trailing cells are routinely omitted, so
+    short rows are repaired by padding with empty cells.  A row *longer*
+    than the header is genuinely ambiguous (which cells belong to which
+    column?) and still raises a :class:`SheetError` (code ``ragged_row``).
+    """
     path = Path(path)
     with open(path, newline="") as handle:
         rows = list(csv.reader(handle))
     if not rows or not rows[0]:
-        raise SheetError(f"{path} has no header row")
+        raise SheetError(f"{path} has no header row", code="no_header")
     header = [h.strip() for h in rows[0]]
     parsed = [[_parse_cell(c) for c in row] for row in rows[1:] if row]
     for i, row in enumerate(parsed):
-        if len(row) != len(header):
+        if len(row) > len(header):
             raise SheetError(
                 f"{path} row {i + 2}: {len(row)} cells, header has "
-                f"{len(header)}"
+                f"{len(header)}",
+                code="ragged_row",
+            )
+        if len(row) < len(header):
+            row.extend(
+                CellValue.empty() for _ in range(len(header) - len(row))
             )
     types = [
         _column_type(row[j] for row in parsed) for j in range(len(header))

@@ -20,6 +20,8 @@ import itertools
 from ..dsl import ast
 from ..dsl.holes import holes_of, substitute
 from ..dsl.types import TypeChecker
+from ..runtime.budget import Budget
+from ..runtime.faults import fault_point
 from ..sheet import CellValue
 from .alignment import align, quick_reject
 from .context import SheetContext
@@ -54,22 +56,36 @@ class RuleTranslator:
     # -- entry point ----------------------------------------------------------
 
     def translate_span(
-        self, tokens: list[Token], start: int, end: int, tmap: SpanMap
+        self,
+        tokens: list[Token],
+        start: int,
+        end: int,
+        tmap: SpanMap,
+        budget: Budget | None = None,
     ) -> list[Derivation]:
-        """All rule-derived derivations for ``tokens[start:end]``."""
+        """All rule-derived derivations for ``tokens[start:end]``.
+
+        A tripped ``budget`` stops the rule loop between rules; the
+        derivations produced so far are returned so the anytime path can
+        still rank them.
+        """
+        fault_point("rules")
         fragment = tokens[start:end]
         fragment_words = frozenset(t.text for t in fragment)
         out: list[Derivation] = []
         for rule in self.rules:
+            if budget is not None and budget.exceeded("rules"):
+                break
             if quick_reject(rule.template, fragment_words):
                 continue
             alignments = align(
                 rule.template, fragment, self.ctx, cap=self.max_alignments
             )
             for alignment in alignments:
-                out.extend(
-                    self._apply(rule, alignment, fragment, start, tmap)
-                )
+                produced = self._apply(rule, alignment, fragment, start, tmap)
+                if budget is not None:
+                    budget.charge(len(produced))
+                out.extend(produced)
         return out
 
     # -- rule application ---------------------------------------------------------

@@ -22,6 +22,8 @@ from ..dsl import ast
 from ..dsl.holes import consistent, holes_of, substitute_unchecked
 from ..dsl.types import Kind, TypeChecker
 from ..errors import DslTypeError
+from ..runtime.budget import Budget
+from ..runtime.faults import fault_point
 from .derivation import RULE, SYNTH, Derivation
 
 # Rule-equivalent weight of an implicit And between adjacent filters.
@@ -121,6 +123,7 @@ def synthesize(
     checker: TypeChecker,
     max_new: int = 96,
     max_rounds: int = 4,
+    budget: Budget | None = None,
 ) -> list[Derivation]:
     """Close the span's derivations under combination.
 
@@ -130,7 +133,12 @@ def synthesize(
     pairs — every other pair lies inside a sub-span and was combined there
     already (semi-naive closure).  Later rounds combine each newly created
     derivation against everything.  Returns the new derivations only.
+
+    When ``budget`` trips mid-closure the loops break and the derivations
+    created so far are returned (never lost); the caller's checkpoint then
+    raises and triggers the anytime path.
     """
+    fault_point("synthesis")
     known: set[tuple] = {d.key() for d in pool}
     everything: list[Derivation] = list(pool)
     created: list[Derivation] = []
@@ -143,10 +151,14 @@ def synthesize(
             if key not in known:
                 known.add(key)
                 sink.append(item)
+                if budget is not None:
+                    budget.charge()
 
     frontier: list[Derivation] = []
     for a in left:
         if len(created) + len(frontier) >= max_new:
+            break
+        if budget is not None and budget.exceeded("synthesis"):
             break
         for b in right:
             if a.key() == b.key():
@@ -160,8 +172,12 @@ def synthesize(
     for _ in range(max_rounds - 1):
         if not frontier or len(created) >= max_new:
             break
+        if budget is not None and budget.exceeded("synthesis"):
+            break
         new_round: list[Derivation] = []
         for d in frontier:
+            if budget is not None and budget.exceeded("synthesis"):
+                break
             for other in everything:
                 absorb(_combine_pair(d, other, checker), new_round)
                 if len(created) + len(new_round) >= max_new:

@@ -25,7 +25,9 @@ from ..dsl.evaluator import Evaluator, ProgramResult
 from ..dsl.excel import ExcelEmitter
 from ..dsl.paraphrase import paraphrase
 from ..dsl.types import TypeChecker
-from ..errors import TranslationError
+from ..errors import BudgetExceededError, TranslationError
+from ..runtime.budget import Budget
+from ..runtime.faults import fault_point
 from ..sheet import Workbook
 from .context import SheetContext
 from .derivation import Derivation
@@ -110,21 +112,61 @@ class Translator:
 
     # -- public API --------------------------------------------------------------
 
-    def translate(self, sentence: str) -> list[Candidate]:
-        """A ranked list of candidate programs for ``sentence``."""
+    def translate(
+        self, sentence: str, budget: Budget | None = None
+    ) -> list[Candidate]:
+        """A ranked list of candidate programs for ``sentence``.
+
+        ``budget`` (optional) bounds the work: the DP polls it at span and
+        stage checkpoints, and when it trips the translator switches to the
+        *anytime* path — ranking every complete program derived so far
+        (across all spans, including the partially processed one) instead
+        of raising.  Callers detect the switch via ``budget.exhausted``.
+        An unlimited budget is behaviour-identical to no budget.
+        """
         tokens = self.prepare_tokens(sentence)
-        if not tokens:
-            raise TranslationError("empty description")
+        self._validate_tokens(tokens)
+        if budget is None:
+            budget = Budget()
+        fault_point("tokenize")
         n = len(tokens)
         tmap: dict[tuple[int, int], list[Derivation]] = {}
 
-        for width in range(1, n + 1):
-            for i in range(0, n - width + 1):
-                j = i + width
-                tmap[(i, j)] = self._translate_span(tokens, i, j, tmap)
+        try:
+            for width in range(1, n + 1):
+                for i in range(0, n - width + 1):
+                    j = i + width
+                    budget.checkpoint("span")
+                    tmap[(i, j)] = self._translate_span(
+                        tokens, i, j, tmap, budget
+                    )
+        except BudgetExceededError:
+            return self._rank_anytime(tmap, tokens)
 
+        fault_point("ranking")
         final = tmap[(0, n)]
         return self._rank(final, tokens)
+
+    # Guard rails for degenerate input: the DP is O(n^3) in sentence length,
+    # so a runaway description must be rejected up front, and a description
+    # with no translatable words can never produce a program.
+    MAX_TOKENS = 200
+
+    def _validate_tokens(self, tokens: list[Token]) -> None:
+        if not tokens:
+            raise TranslationError(
+                "empty description", code="empty_description"
+            )
+        if len(tokens) > self.MAX_TOKENS:
+            raise TranslationError(
+                f"description too long: {len(tokens)} tokens "
+                f"(limit {self.MAX_TOKENS})",
+                code="description_too_long",
+            )
+        if not any(ch.isalnum() for t in tokens for ch in t.text):
+            raise TranslationError(
+                "description contains only symbols", code="symbols_only"
+            )
 
     def prepare_tokens(self, sentence: str) -> list[Token]:
         """Tokenize and spell-correct against the sheet + operator
@@ -188,40 +230,63 @@ class Translator:
         i: int,
         j: int,
         tmap: dict[tuple[int, int], list[Derivation]],
+        budget: Budget | None = None,
     ) -> list[Derivation]:
+        if budget is None:
+            budget = Budget()
         derivations: list[Derivation] = []
+        base: list[Derivation] = []
+        new: list[Derivation] = []
 
-        # 1. keyword-programming seeds
-        if j - i == 1:
-            token = tokens[i]
-            derivations += literal_seeds(token, i)
-            derivations += table_seeds(self.ctx, token, i)
-            if self.config.use_synthesis:
-                derivations += operator_seeds(token, i)
-        derivations += column_seeds(self.ctx, tokens, i, j, 0)
-        derivations += value_seeds(self.ctx, tokens, i, j, 0)
-        if j - i == 4:
-            from .excel_input import formula_seeds
+        try:
+            # 1. keyword-programming seeds
+            fault_point("seeds")
+            if j - i == 1:
+                token = tokens[i]
+                derivations += literal_seeds(token, i)
+                derivations += table_seeds(self.ctx, token, i)
+                if self.config.use_synthesis:
+                    derivations += operator_seeds(token, i)
+            derivations += column_seeds(self.ctx, tokens, i, j, 0)
+            derivations += value_seeds(self.ctx, tokens, i, j, 0)
+            if j - i == 4:
+                from .excel_input import formula_seeds
 
-            derivations += formula_seeds(self.ctx, tokens, i, j)
+                derivations += formula_seeds(self.ctx, tokens, i, j)
+            budget.charge(len(derivations))
+            budget.checkpoint("seeds")
 
-        # 2. pattern rules
-        if self.config.use_rules:
-            derivations += self.rule_translator.translate_span(
-                tokens, i, j, tmap
-            )
-
-        # 3. union of sub-spans + synthesis closure
-        if j - i >= 2:
-            base = self._dedup(tmap[(i, j - 1)] + tmap[(i + 1, j)])
-            if self.config.use_synthesis:
-                left = [d for d in base if i in d.used]
-                right = [d for d in base if (j - 1) in d.used]
-                base = base + synthesize(
-                    base, left, right, self.checker,
-                    max_new=self.config.synth_max_new,
+            # 2. pattern rules
+            if self.config.use_rules:
+                derivations += self.rule_translator.translate_span(
+                    tokens, i, j, tmap, budget=budget
                 )
-            derivations = base + derivations
+                budget.checkpoint("rules")
+
+            # 3. union of sub-spans + synthesis closure
+            if j - i >= 2:
+                base = self._dedup(tmap[(i, j - 1)] + tmap[(i + 1, j)])
+                if self.config.use_synthesis:
+                    left = [d for d in base if i in d.used]
+                    right = [d for d in base if (j - 1) in d.used]
+                    new = synthesize(
+                        base, left, right, self.checker,
+                        max_new=self.config.synth_max_new,
+                        budget=budget,
+                    )
+                    budget.checkpoint("synthesis")
+        except BudgetExceededError:
+            # Anytime salvage: whatever this span produced before the trip
+            # is still a valid (if incomplete) span translation.  Store it
+            # so the anytime ranking sees every program derived so far,
+            # then let the DP loop unwind.
+            tmap[(i, j)] = self._prune(
+                self._dedup(base + new + derivations)
+            )
+            raise
+
+        if j - i >= 2:
+            derivations = base + new + derivations
 
         return self._prune(self._dedup(derivations))
 
@@ -326,6 +391,23 @@ class Translator:
             Candidate(program=expr, score=score, derivation=d, tokens=tokens)
             for expr, (score, d) in ranked[: self.config.max_results]
         ]
+
+    def _rank_anytime(
+        self,
+        tmap: dict[tuple[int, int], list[Derivation]],
+        tokens: list[Token],
+    ) -> list[Candidate]:
+        """Rank every complete program derived before the budget tripped.
+
+        The union over all spans (not just the final one, which may not
+        exist yet) is ranked with the ordinary scorer: complete wide
+        derivations dominate through CoverSc, so if the DP got far enough
+        to build the right program anywhere, it surfaces at the top.
+        """
+        pool: list[Derivation] = []
+        for derivations in tmap.values():
+            pool.extend(derivations)
+        return self._rank(pool, tokens)
 
 
 def _rule_vocabulary(rules: RuleSet) -> set[str]:

@@ -1,0 +1,132 @@
+"""Budget semantics: probes, latching, and the anytime translation path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BudgetExceededError, TranslationError
+from repro.runtime import Budget
+from repro.translate import Translator
+
+from ..conftest import make_payroll
+
+RUNNING_EXAMPLE = "sum the totalpay for the capitol hill baristas"
+RUNNING_ANSWER = '=SUMIFS(H2:H7, B2:B7, "capitol hill", C2:C7, "barista")'
+
+
+class FakeClock:
+    """Deterministic clock: advances a fixed amount per reading."""
+
+    def __init__(self, step: float = 0.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestBudget:
+    def test_unlimited_never_trips(self):
+        budget = Budget()
+        assert budget.unlimited
+        for _ in range(10_000):
+            budget.checkpoint("loop")
+        budget.charge(10**9)
+        assert not budget.exceeded()
+
+    def test_derivation_cap_trips_and_latches(self):
+        budget = Budget(max_derivations=10)
+        budget.charge(10)
+        assert not budget.exceeded("a")
+        budget.charge(1)
+        assert budget.exceeded("b")
+        assert budget.exhausted
+        assert budget.exhausted_stage == "b"
+        assert budget.exhausted_reason == "derivations"
+        # latched: stays exhausted even though nothing else changed
+        assert budget.exceeded("c")
+        assert budget.exhausted_stage == "b"
+
+    def test_deadline_trips_with_fake_clock(self):
+        clock = FakeClock(step=0.01)
+        budget = Budget(deadline=0.05, clock=clock)
+        with pytest.raises(BudgetExceededError) as err:
+            for _ in range(100):
+                budget.checkpoint("span")
+        assert err.value.code == "budget_exceeded"
+        assert err.value.stage == "span"
+        assert budget.exhausted_reason == "deadline"
+
+    def test_remaining_time(self):
+        clock = FakeClock(step=0.0)
+        budget = Budget(deadline=1.0, clock=clock)
+        assert budget.remaining_time() == pytest.approx(1.0)
+        clock.step = 0.4
+        assert budget.remaining_time() == pytest.approx(0.6)
+        assert Budget().remaining_time() is None
+
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(deadline=-1)
+        with pytest.raises(ValueError):
+            Budget(max_derivations=-1)
+
+
+class TestAnytimeTranslation:
+    """Budget-bounded translate never raises and ranks what exists."""
+
+    def test_unbounded_budget_is_behaviour_preserving(self):
+        translator = Translator(make_payroll())
+        plain = translator.translate(RUNNING_EXAMPLE)
+        budgeted = translator.translate(RUNNING_EXAMPLE, budget=Budget())
+        assert [(str(c.program), c.score) for c in plain] == [
+            (str(c.program), c.score) for c in budgeted
+        ]
+
+    def test_mid_dp_deadline_still_ranks_running_example_top1(self):
+        """The acceptance scenario: a budget tripping inside the final
+        span's synthesis closure (after the conditional-sum rule already
+        fired) must still surface the correct program via anytime
+        ranking."""
+        workbook = make_payroll()
+        translator = Translator(workbook)
+        probe = Budget()
+        full = translator.translate(RUNNING_EXAMPLE, budget=probe)
+        assert full[0].excel(workbook) == RUNNING_ANSWER
+        total = probe.spent_derivations
+
+        tight = Budget(max_derivations=total - 5)
+        anytime = translator.translate(RUNNING_EXAMPLE, budget=tight)
+        assert tight.exhausted, "budget was meant to trip mid-DP"
+        assert anytime, "anytime path must still produce candidates"
+        assert anytime[0].excel(workbook) == RUNNING_ANSWER
+
+    def test_anytime_never_raises_at_any_budget(self):
+        """Sweep the whole budget range: translate must return a (possibly
+        empty) list at every derivation cap, never raise."""
+        workbook = make_payroll()
+        translator = Translator(workbook)
+        probe = Budget()
+        translator.translate(RUNNING_EXAMPLE, budget=probe)
+        total = probe.spent_derivations
+        caps = sorted({0, 1, 2, 5, total // 4, total // 2, total - 1})
+        produced_any = False
+        for cap in caps:
+            budget = Budget(max_derivations=cap)
+            candidates = translator.translate(RUNNING_EXAMPLE, budget=budget)
+            assert isinstance(candidates, list)
+            produced_any = produced_any or bool(candidates)
+        assert produced_any
+
+    def test_zero_deadline_returns_immediately_and_empty_or_ranked(self):
+        translator = Translator(make_payroll())
+        budget = Budget(deadline=0.0)
+        candidates = translator.translate(RUNNING_EXAMPLE, budget=budget)
+        assert budget.exhausted
+        assert isinstance(candidates, list)
+
+    def test_budget_does_not_mask_input_errors(self):
+        translator = Translator(make_payroll())
+        with pytest.raises(TranslationError):
+            translator.translate("   ", budget=Budget(deadline=10.0))

@@ -1,0 +1,107 @@
+"""Fault-injection facility: spec parsing, arming, and firing rules."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import InjectedFaultError, ReproError
+from repro.runtime import FaultPlan, FaultSpec, parse_plan
+from repro.runtime.faults import clear, fault_point, inject, install
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    yield
+    clear()
+
+
+class TestFaultSpec:
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ReproError) as err:
+            FaultSpec("parser")
+        assert err.value.code == "bad_fault_spec"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSpec("seeds", "explode")
+
+    def test_raise_fires_repro_error(self):
+        spec = FaultSpec("seeds", "raise")
+        with pytest.raises(InjectedFaultError) as err:
+            spec.trigger()
+        assert err.value.code == "fault_injected"
+        assert err.value.stage == "seeds"
+
+    def test_raise_runtime_error_kind(self):
+        spec = FaultSpec("rules", "raise", error="runtime")
+        with pytest.raises(RuntimeError):
+            spec.trigger()
+
+    def test_after_skips_initial_hits(self):
+        spec = FaultSpec("seeds", "raise", after=2)
+        spec.trigger()
+        spec.trigger()
+        with pytest.raises(InjectedFaultError):
+            spec.trigger()
+
+    def test_times_limits_firings(self):
+        spec = FaultSpec("seeds", "raise", times=1)
+        with pytest.raises(InjectedFaultError):
+            spec.trigger()
+        spec.trigger()  # second hit: exhausted, no fire
+        assert spec.fired == 1
+
+    def test_delay_sleeps(self):
+        spec = FaultSpec("synthesis", "delay", delay=0.02)
+        start = time.perf_counter()
+        spec.trigger()
+        assert time.perf_counter() - start >= 0.015
+
+
+class TestArming:
+    def test_fault_point_is_noop_when_disarmed(self):
+        clear()
+        fault_point("seeds")  # must not raise
+
+    def test_install_and_clear(self):
+        install(FaultPlan([FaultSpec("seeds", "raise")]))
+        with pytest.raises(InjectedFaultError):
+            fault_point("seeds")
+        fault_point("rules")  # other stages unaffected
+        clear()
+        fault_point("seeds")
+
+    def test_inject_context_manager_restores(self):
+        with inject(FaultSpec("ranking", "raise")):
+            with pytest.raises(InjectedFaultError):
+                fault_point("ranking")
+        fault_point("ranking")  # disarmed again
+
+
+class TestParsePlan:
+    def test_raise_spec(self):
+        plan = parse_plan("synthesis:raise")
+        assert len(plan.specs) == 1
+        assert plan.specs[0].stage == "synthesis"
+        assert plan.specs[0].mode == "raise"
+
+    def test_delay_with_seconds_and_multiple(self):
+        plan = parse_plan("seeds:delay:0.05; rules:raise:runtime")
+        assert plan.specs[0].delay == pytest.approx(0.05)
+        assert plan.specs[1].error == "runtime"
+
+    def test_bad_syntax_rejected(self):
+        with pytest.raises(ReproError) as err:
+            parse_plan("synthesis")
+        assert err.value.code == "bad_fault_spec"
+
+    def test_env_var_arms_process(self, monkeypatch):
+        from repro.runtime import faults
+
+        monkeypatch.setenv(faults.ENV_VAR, "tokenize:raise")
+        plan = faults.install_from_env()
+        assert plan is not None
+        with pytest.raises(InjectedFaultError):
+            fault_point("tokenize")

@@ -1,0 +1,230 @@
+"""TranslationService: degradation ladder, never-crash contract,
+structured diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    Budget,
+    FaultPlan,
+    FaultSpec,
+    TranslationService,
+    degradation_ladder,
+)
+from repro.runtime.faults import clear
+from repro.translate import Translator, TranslatorConfig
+
+from ..conftest import make_payroll
+
+RUNNING_EXAMPLE = "sum the totalpay for the capitol hill baristas"
+RUNNING_ANSWER = '=SUMIFS(H2:H7, B2:B7, "capitol hill", C2:C7, "barista")'
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    yield
+    clear()
+
+
+class TestLadder:
+    def test_three_tiers_cheapening(self):
+        tiers = degradation_ladder()
+        assert [t.name for t in tiers] == ["full", "reduced", "rules_only"]
+        full, reduced, rules_only = (t.config for t in tiers)
+        assert reduced.beam_size < full.beam_size
+        assert reduced.synth_max_new < full.synth_max_new
+        assert rules_only.use_synthesis is False
+        assert rules_only.use_rules is True
+
+    def test_ladder_respects_caller_config(self):
+        config = TranslatorConfig(beam_size=300, fuzzy_columns=True)
+        tiers = degradation_ladder(config)
+        assert tiers[0].config.beam_size == 300
+        assert all(t.config.fuzzy_columns for t in tiers)
+
+
+class TestDefaultPath:
+    def test_no_deadline_matches_bare_translator_exactly(self):
+        workbook = make_payroll()
+        service = TranslationService(workbook)
+        translator = Translator(workbook)
+        result = service.translate(RUNNING_EXAMPLE)
+        plain = translator.translate(RUNNING_EXAMPLE)
+        assert result.ok and not result.degraded and not result.anytime
+        assert result.tier == "full"
+        assert [(str(c.program), c.score) for c in result.candidates] == [
+            (str(c.program), c.score) for c in plain
+        ]
+
+    def test_diagnostics_populated(self):
+        service = TranslationService(make_payroll())
+        result = service.translate(RUNNING_EXAMPLE)
+        assert result.elapsed > 0
+        assert result.budget_spent > 0
+        assert len(result.attempts) == 1
+        attempt = result.attempts[0]
+        assert attempt.tier == "full"
+        assert attempt.candidates == len(result.candidates)
+        assert attempt.error_code is None
+
+    def test_input_error_is_structured_not_raised(self):
+        service = TranslationService(make_payroll())
+        result = service.translate("   ")
+        assert not result.ok
+        assert result.error_code == "empty_description"
+        assert result.candidates == []
+        # deterministic input error: no pointless retries at cheaper tiers
+        assert len(result.attempts) == 1
+
+
+class TestDegradationLadder:
+    def test_synthesis_fault_falls_back_to_rules_only(self):
+        service = TranslationService(
+            make_payroll(),
+            faults=FaultPlan([FaultSpec("synthesis", "raise")]),
+        )
+        result = service.translate(RUNNING_EXAMPLE)
+        assert result.ok
+        assert result.degraded
+        assert result.tier == "rules_only"
+        assert [a.tier for a in result.attempts] == [
+            "full", "reduced", "rules_only"
+        ]
+        assert [a.error_code for a in result.attempts] == [
+            "fault_injected", "fault_injected", None
+        ]
+        assert result.candidates
+
+    def test_transient_fault_recovers_at_second_tier(self):
+        service = TranslationService(
+            make_payroll(),
+            faults=FaultPlan([FaultSpec("rules", "raise", times=1)]),
+        )
+        result = service.translate(RUNNING_EXAMPLE)
+        assert result.ok and result.degraded
+        assert result.tier == "reduced"
+        assert [a.tier for a in result.attempts] == ["full", "reduced"]
+
+    @pytest.mark.parametrize(
+        "stage", ["tokenize", "seeds", "rules", "synthesis", "ranking"]
+    )
+    def test_any_single_stage_fault_never_raises(self, stage):
+        """The acceptance contract: a persistent fault in any one pipeline
+        stage yields candidates or a structured error — never an
+        exception."""
+        service = TranslationService(
+            make_payroll(), faults=FaultPlan([FaultSpec(stage, "raise")])
+        )
+        result = service.translate(RUNNING_EXAMPLE)
+        if result.ok:
+            assert result.candidates and result.degraded
+        else:
+            assert result.error_code == "fault_injected"
+            assert result.candidates == []
+
+    @pytest.mark.parametrize(
+        "stage", ["tokenize", "seeds", "rules", "synthesis", "ranking"]
+    )
+    def test_runtime_bug_in_any_stage_becomes_internal_error(self, stage):
+        service = TranslationService(
+            make_payroll(),
+            faults=FaultPlan([FaultSpec(stage, "raise", error="runtime")]),
+        )
+        result = service.translate(RUNNING_EXAMPLE)
+        if not result.ok:
+            assert result.error_code == "internal_error"
+
+    def test_all_tiers_fault_gives_structured_error(self):
+        service = TranslationService(
+            make_payroll(), faults=FaultPlan([FaultSpec("seeds", "raise")])
+        )
+        result = service.translate(RUNNING_EXAMPLE)
+        assert not result.ok
+        assert result.error_code == "fault_injected"
+        assert result.tier is None
+        assert len(result.attempts) == 3
+
+
+class TestDeadlines:
+    def test_generous_deadline_not_degraded(self):
+        service = TranslationService(make_payroll(), deadline=30.0)
+        result = service.translate(RUNNING_EXAMPLE)
+        assert result.ok and not result.degraded
+        assert result.top.excel(service.workbook) == RUNNING_ANSWER
+
+    def test_slow_stage_degrades_but_answers(self):
+        """A 20 ms injected delay per synthesis call blows a 100 ms
+        deadline at the full tier; the service must still answer (anytime
+        candidates or a cheaper tier), never raise."""
+        service = TranslationService(
+            make_payroll(),
+            deadline=0.1,
+            faults=FaultPlan([FaultSpec("synthesis", "delay", delay=0.02)]),
+        )
+        result = service.translate(RUNNING_EXAMPLE)
+        assert result.ok
+        assert result.degraded
+        assert result.candidates
+
+    def test_impossible_deadline_structured_error_or_candidates(self):
+        service = TranslationService(make_payroll(), deadline=0.0)
+        result = service.translate(RUNNING_EXAMPLE)
+        assert isinstance(result.elapsed, float)
+        if not result.ok:
+            assert result.error_code == "deadline_exhausted"
+        assert len(result.attempts) == 3
+
+    def test_derivation_cap_triggers_anytime(self):
+        workbook = make_payroll()
+        probe = Budget()
+        Translator(workbook).translate(RUNNING_EXAMPLE, budget=probe)
+        service = TranslationService(
+            workbook, max_derivations=probe.spent_derivations - 5
+        )
+        result = service.translate(RUNNING_EXAMPLE)
+        assert result.ok
+        assert result.degraded and result.anytime
+        assert result.tier == "full"
+        assert result.top.excel(workbook) == RUNNING_ANSWER
+        assert result.attempts[0].exhausted
+
+
+class TestSessionAndEvalkitWiring:
+    def test_session_reports_diagnostics(self):
+        from repro.session import NLyzeSession
+
+        session = NLyzeSession(make_payroll())
+        step = session.ask(RUNNING_EXAMPLE)
+        assert step.diagnostics is not None
+        assert step.diagnostics.ok and not step.diagnostics.degraded
+        assert step.views[0].excel == RUNNING_ANSWER
+
+    def test_session_survives_faulty_synthesis(self):
+        from repro.session import NLyzeSession
+
+        session = NLyzeSession(make_payroll())
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(
+                session, "_refresh_translator", lambda: None
+            )  # keep the armed service
+            session._service.faults = FaultPlan(
+                [FaultSpec("synthesis", "raise")]
+            )
+            step = session.ask(RUNNING_EXAMPLE)
+        assert step.diagnostics.degraded
+        assert step.diagnostics.tier == "rules_only"
+
+    def test_evaluate_batch_under_deadline_records_degradation(self):
+        from repro.dataset import Corpus
+        from repro.evalkit import TaskOracle, evaluate_batch
+
+        corpus = Corpus.default()
+        oracle = TaskOracle()
+        board = evaluate_batch(
+            corpus.test[:6], oracle=oracle, deadline=30.0
+        )
+        assert board.n == 6
+        assert board.error_rate == 0.0
+        assert 0.0 <= board.degraded_rate <= 1.0
+        assert board.percentile_seconds(0.5) <= board.percentile_seconds(0.95)

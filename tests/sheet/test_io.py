@@ -63,11 +63,22 @@ class TestRead:
         table = read_table_csv(path)
         assert table.column("x").dtype is ValueType.TEXT
 
-    def test_ragged_row_rejected(self, tmp_path):
+    def test_short_row_padded_with_empty_cells(self, tmp_path):
         path = tmp_path / "t.csv"
-        path.write_text("a,b\n1\n")
-        with pytest.raises(SheetError):
+        path.write_text("a,b,c\n1\n2,x\n")
+        table = read_table_csv(path)
+        assert table.n_rows == 2
+        assert table.cell(0, 1).value.is_empty
+        assert table.cell(0, 2).value.is_empty
+        assert not table.cell(1, 1).value.is_empty
+        assert table.cell(1, 2).value.is_empty
+
+    def test_overlong_row_rejected_with_code(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2,3\n")
+        with pytest.raises(SheetError) as err:
             read_table_csv(path)
+        assert err.value.code == "ragged_row"
 
     def test_empty_file_rejected(self, tmp_path):
         path = tmp_path / "t.csv"

@@ -41,6 +41,38 @@ class TestTranslate:
         proc = run_cli("translate", "sum the hours", "--sheet", "budget")
         assert proc.returncode != 0
 
+    def test_translation_error_exits_2_one_line(self):
+        proc = run_cli("translate", "   ", "--sheet", "payroll")
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        assert len(proc.stderr.strip().splitlines()) == 1
+        assert "empty_description" in proc.stderr
+
+    def test_bad_csv_exits_2_one_line(self, tmp_path):
+        csv = tmp_path / "bad.csv"
+        csv.write_text("a,b\n1,2,3\n")  # over-long row
+        proc = run_cli("translate", "sum the a", "--csv", str(csv))
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        assert "ragged_row" in proc.stderr
+
+    def test_short_csv_rows_are_repaired(self, tmp_path):
+        csv = tmp_path / "team.csv"
+        csv.write_text("name,points\nalpha,3\nbeta\ngamma,5\n")
+        proc = run_cli(
+            "translate", "sum the points", "--csv", str(csv), "--execute"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "-> 8" in proc.stdout
+
+    def test_deadline_flag_accepted(self):
+        proc = run_cli(
+            "translate", "sum the hours", "--sheet", "payroll",
+            "--deadline", "30000",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "=SUM(D2:D13)" in proc.stdout
+
 
 class TestCorpus:
     def test_head_prints_descriptions(self):
@@ -72,6 +104,15 @@ class TestRepl:
                        stdin="sum the othours\n:quit\n")
         assert proc.returncode == 0, proc.stderr
         assert "-> 23" in proc.stdout  # sum of the othours column
+
+    def test_translation_error_keeps_loop_alive(self):
+        proc = run_cli(
+            "repl", "--sheet", "payroll",
+            stdin="> > >\nsum the othours\n:quit\n",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "error [symbols_only]" in proc.stdout
+        assert "-> 23" in proc.stdout  # the loop survived the error
 
 
 class TestEvalkitCli:

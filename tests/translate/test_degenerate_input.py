@@ -1,0 +1,102 @@
+"""Hardening against degenerate input: whitespace, symbols, oversized and
+garbage descriptions must produce a clean TranslationError (with a stable
+code) or a candidate list — never IndexError/MemoryError/crashes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ReproError, TranslationError
+from repro.runtime import Budget
+from repro.translate import Translator
+
+from ..conftest import make_payroll
+
+
+@pytest.fixture(scope="module")
+def translator() -> Translator:
+    return Translator(make_payroll())
+
+
+class TestDegenerateInput:
+    @pytest.mark.parametrize("text", ["", "   ", "\t\n", "...", "?!,;:"])
+    def test_empty_or_whitespace(self, translator, text):
+        with pytest.raises(TranslationError) as err:
+            translator.translate(text)
+        assert err.value.code == "empty_description"
+
+    @pytest.mark.parametrize(
+        "text", [">", "> > >", "( ) + * / < > =", "%%% @@@ !!!"]
+    )
+    def test_symbols_only(self, translator, text):
+        with pytest.raises(TranslationError) as err:
+            translator.translate(text)
+        assert err.value.code == "symbols_only"
+
+    def test_over_long_description(self, translator):
+        text = "sum " * 201
+        with pytest.raises(TranslationError) as err:
+            translator.translate(text)
+        assert err.value.code == "description_too_long"
+
+    def test_exactly_at_limit_is_accepted(self, translator):
+        # A 200-token all-noise description is legal input; a tight budget
+        # keeps the O(n^3) DP from dominating the suite (the anytime path
+        # returns whatever exists, possibly nothing).
+        text = " ".join(["noise"] * Translator.MAX_TOKENS)
+        candidates = translator.translate(
+            text, budget=Budget(deadline=1.0, max_derivations=5000)
+        )
+        assert isinstance(candidates, list)
+
+    def test_long_unicode_repeats(self, translator):
+        with pytest.raises(TranslationError):
+            translator.translate("ä " * 500)
+
+
+class TestFuzzNoCrash:
+    """Random garbage through the full pipeline: the only acceptable
+    outcomes are a ranked list or a TranslationError."""
+
+    ALPHABETS = [
+        "abcdefghijklmnopqrstuvwxyz",
+        "0123456789$%.,",
+        "<>=+*/()",
+        "äöüßéèñ中文字日本語",
+        "\x00\x01\x07\x1b\x7f",  # control characters
+        " \t",
+    ]
+
+    def _garbage(self, rng: random.Random) -> str:
+        n = rng.randint(1, 60)
+        out = []
+        for _ in range(n):
+            alphabet = rng.choice(self.ALPHABETS)
+            word = "".join(
+                rng.choice(alphabet) for _ in range(rng.randint(1, 12))
+            )
+            # long repeats stress the spell corrector and the DP
+            if rng.random() < 0.1:
+                word = word * rng.randint(2, 30)
+            out.append(word)
+        return " ".join(out)
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_garbage(self, translator, seed):
+        rng = random.Random(seed)
+        text = self._garbage(rng)
+        budget = Budget(deadline=0.5, max_derivations=10_000)
+        try:
+            candidates = translator.translate(text, budget=budget)
+        except TranslationError:
+            return
+        except ReproError as exc:  # pragma: no cover - would be a bug
+            pytest.fail(f"non-translation ReproError for {text!r}: {exc}")
+        assert isinstance(candidates, list)
+
+    def test_mixed_valid_and_garbage(self, translator):
+        text = "sum the \x07\x07 totalpay ￿ for ((((("
+        candidates = translator.translate(text)
+        assert isinstance(candidates, list)
