@@ -1,0 +1,65 @@
+"""Gateway — serving throughput and latency through the worker pool.
+
+Pushes a test-split sample (all four sheets, so the pool juggles several
+workbook fingerprints) through the crash-isolated
+:class:`repro.serve.TranslationGateway` and reports throughput, shed
+rate, and p50/p95 end-to-end latency.  The zero-lost-requests assertion
+mirrors the chaos suite: every submitted request must come back as a
+coded result, even here under healthy load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalkit import format_gateway, run_gateway
+
+WORKERS = 2
+DEADLINE = 10.0  # generous: healthy-load run, sheds should not happen
+
+
+@pytest.fixture(scope="module")
+def report(corpus, sample_size):
+    sample = 48 if sample_size is not None else None
+    return run_gateway(
+        corpus, sample=sample, workers=WORKERS, deadline=DEADLINE
+    )
+
+
+def test_print_gateway(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Gateway (measured, test-split sample)")
+    print(format_gateway(report))
+
+
+def test_zero_lost_requests(benchmark, report):
+    """Every submitted request resolves to exactly one coded result."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(report.outcomes) == report.n
+    for outcome in report.outcomes:
+        assert outcome.ok or outcome.error_code is not None
+
+
+def test_throughput_and_latency_reported(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert report.throughput > 0
+    assert 0.0 < report.percentile_seconds(0.5) <= report.percentile_seconds(0.95)
+
+
+def test_healthy_load_is_not_shed(benchmark, report):
+    """With a generous deadline and a deep queue, admission control must
+    not shed anything and the pool must not burn restarts."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert report.shed_rate == 0.0
+    assert report.stats.crashed == 0
+    assert report.stats.restarts == 0
+    assert report.ok_rate == 1.0
+
+
+def test_warm_affinity_reuses_translators(benchmark, report):
+    """Repeat fingerprints should mostly land on warm workers: with 4
+    workbooks and 2 workers, at most ~workers x workbooks cold hits."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cold = sum(1 for outcome in report.outcomes if not outcome.warm)
+    assert cold <= WORKERS * report.stats.registered_workbooks

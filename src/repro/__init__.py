@@ -25,7 +25,7 @@ from .session import NLyzeSession
 from .sheet import CellValue, Table, ValueType, Workbook
 from .translate import Candidate, Translator, TranslatorConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Budget",
@@ -33,10 +33,12 @@ __all__ = [
     "CellValue",
     "Evaluator",
     "ExcelEmitter",
+    "GatewayResult",
     "NLyzeSession",
     "ReproError",
     "ServiceResult",
     "Table",
+    "TranslationGateway",
     "TranslationService",
     "Translator",
     "TranslatorConfig",
@@ -46,3 +48,15 @@ __all__ = [
     "paraphrase",
     "__version__",
 ]
+
+_SERVE_NAMES = {"TranslationGateway", "GatewayResult"}
+
+
+def __getattr__(name: str):
+    # The serving layer spawns processes and threads; load it only when
+    # a caller actually reaches for it.
+    if name in _SERVE_NAMES:
+        from . import serve
+
+        return getattr(serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -5,8 +5,14 @@ Usage::
     python -m repro translate "sum the hours" --sheet payroll [--top 3]
     python -m repro translate "total the amount" --csv data.csv [...]
     python -m repro repl [--sheet payroll] [--csv data.csv ...]
+    python -m repro serve [--workers N] [--deadline MS]
+    python -m repro batch FILE [--workers N] [--deadline MS] [--repeat K]
     python -m repro corpus --dump out.txt [--seed 2014]
     python -m repro rules [--learned]
+
+``serve`` and ``batch`` route requests through the crash-isolated
+:class:`repro.serve.TranslationGateway` (worker pool + admission control
++ per-workbook circuit breakers) instead of an in-process translator.
 
 Experiments live under ``python -m repro.evalkit`` (see README).
 """
@@ -70,6 +76,104 @@ def _cmd_repl(args: argparse.Namespace) -> None:
             print(f"-> {result.display()}")
 
 
+def _render_gateway_result(result) -> str:
+    if not result.ok:
+        return f"error [{result.error_code}]: {result.error}"
+    label = result.tier or "?"
+    if result.degraded:
+        label += ",degraded"
+    formula = result.top_formula or result.top_program or "(no candidates)"
+    return f"[{label}] {formula}"
+
+
+def _print_gateway_stats(gateway) -> None:
+    stats = gateway.stats()
+    print(
+        f"# queue={stats.queue_depth} in_flight={stats.in_flight} "
+        f"submitted={stats.submitted} ok={stats.ok} shed={stats.shed} "
+        f"crashed={stats.crashed} timed_out={stats.timed_out} "
+        f"circuit_open={stats.circuit_rejected} restarts={stats.restarts}"
+    )
+    for worker in stats.workers:
+        print(
+            f"#   worker {worker.worker_id}: alive={worker.alive} "
+            f"served={worker.served} restarts={worker.restarts} "
+            f"warm={worker.warm_fingerprints}"
+        )
+
+
+def _make_gateway(args: argparse.Namespace):
+    from .serve import TranslationGateway
+
+    return TranslationGateway(
+        _workbook(args),
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        default_deadline=_deadline(args),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    """Line-oriented gateway service: one description in, one result out."""
+    gateway = _make_gateway(args)
+    print(
+        f"# gateway up: {args.workers} workers, queue limit "
+        f"{args.queue_limit} (:stats for diagnostics, :quit to exit)",
+        flush=True,
+    )
+    try:
+        while True:
+            try:
+                line = input()
+            except (EOFError, KeyboardInterrupt):
+                break
+            line = line.strip()
+            if not line:
+                continue
+            if line in (":quit", ":q"):
+                break
+            if line == ":stats":
+                _print_gateway_stats(gateway)
+                continue
+            print(_render_gateway_result(gateway.translate(line)), flush=True)
+    finally:
+        gateway.close(drain=True)
+
+
+def _cmd_batch(args: argparse.Namespace) -> None:
+    """Push a file of descriptions through the gateway; report serving stats."""
+    import time
+
+    if args.file == "-":
+        lines = [line.strip() for line in sys.stdin]
+    else:
+        with open(args.file) as handle:
+            lines = [line.strip() for line in handle]
+    sentences = [line for line in lines if line] * max(1, args.repeat)
+    if not sentences:
+        print("error [empty_batch]: no descriptions in input", file=sys.stderr)
+        sys.exit(2)
+    gateway = _make_gateway(args)
+    try:
+        start = time.perf_counter()
+        results = gateway.translate_many(sentences)
+        wall = time.perf_counter() - start
+        for sentence, result in zip(sentences, results):
+            print(f"{_render_gateway_result(result)}  <- {sentence}")
+        latencies = sorted(r.total_seconds for r in results)
+        p = lambda q: latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+        stats = gateway.stats()
+        print(
+            f"# {len(results)} requests in {wall:.2f}s "
+            f"({len(results) / wall:.1f} req/s), "
+            f"ok {sum(r.ok for r in results)}, shed {stats.shed} "
+            f"({stats.shed_rate:.1%}), crashed {stats.crashed}, "
+            f"p50 {p(0.5) * 1000:.1f}ms, p95 {p(0.95) * 1000:.1f}ms"
+        )
+    finally:
+        gateway.close(drain=True)
+
+
 def _cmd_corpus(args: argparse.Namespace) -> None:
     from .dataset import Corpus
 
@@ -129,6 +233,31 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--deadline", type=float, default=None, metavar="MS",
                    help="wall-clock budget per translation (milliseconds)")
     p.set_defaults(func=_cmd_repl)
+
+    def add_gateway_options(p):
+        p.add_argument("--sheet", choices=SHEET_ORDER, default="payroll")
+        p.add_argument("--csv", nargs="*")
+        p.add_argument("--workers", type=int, default=2,
+                       help="worker processes in the gateway pool")
+        p.add_argument("--queue-limit", type=int, default=64,
+                       help="bounded admission queue depth")
+        p.add_argument("--deadline", type=float, default=None, metavar="MS",
+                       help="per-request deadline (milliseconds)")
+
+    p = sub.add_parser(
+        "serve", help="line-oriented gateway service on stdin/stdout"
+    )
+    add_gateway_options(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "batch", help="run a file of descriptions through the gateway"
+    )
+    p.add_argument("file", help="one description per line ('-' for stdin)")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="duplicate the batch K times (load testing)")
+    add_gateway_options(p)
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("corpus", help="print or dump the evaluation corpus")
     p.add_argument("--seed", type=int, default=2014)

@@ -62,6 +62,13 @@ def _resilience(args: argparse.Namespace) -> None:
     print(harness.format_resilience(result))
 
 
+def _gateway(args: argparse.Namespace) -> None:
+    corpus = Corpus.default()
+    result = harness.run_gateway(corpus, sample=args.sample or 60)
+    print("Gateway — serving throughput/latency via the worker pool (measured)")
+    print(harness.format_gateway(result))
+
+
 def _clusters(args: argparse.Namespace) -> None:
     report = run_clusters(Corpus.default())
     print(
@@ -77,7 +84,7 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "fig1", "userstudy",
-                 "clusters", "resilience", "all"],
+                 "clusters", "resilience", "gateway", "all"],
     )
     parser.add_argument(
         "--sample", type=int, default=None,
@@ -92,6 +99,7 @@ def main(argv: list[str] | None = None) -> None:
         "userstudy": _userstudy,
         "clusters": _clusters,
         "resilience": _resilience,
+        "gateway": _gateway,
     }
     if args.experiment == "all":
         for name in ["table1", "fig1", "table2", "table3", "userstudy",

@@ -232,6 +232,115 @@ def format_resilience(result: ResilienceResult) -> str:
     return "\n".join(lines)
 
 
+@dataclass
+class GatewayReport:
+    """One gateway load run: outcomes plus the closing stats snapshot."""
+
+    n: int = 0
+    workers: int = 0
+    deadline: float | None = None
+    wall_seconds: float = 0.0
+    outcomes: list = field(default_factory=list)  # GatewayResult, in order
+    stats: object | None = None  # closing GatewayStats
+
+    @property
+    def throughput(self) -> float:
+        return self.n / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def ok_rate(self) -> float:
+        return sum(r.ok for r in self.outcomes) / self.n if self.n else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.stats.shed_rate if self.stats is not None else 0.0
+
+    def percentile_seconds(self, q: float) -> float:
+        if not self.outcomes:
+            return 0.0
+        latencies = sorted(r.total_seconds for r in self.outcomes)
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    def code_histogram(self) -> dict[str, int]:
+        histogram: dict[str, int] = {}
+        for outcome in self.outcomes:
+            code = outcome.error_code or "ok"
+            histogram[code] = histogram.get(code, 0) + 1
+        return dict(sorted(histogram.items()))
+
+
+def run_gateway(
+    corpus: Corpus | None = None,
+    sample: int | None = 60,
+    workers: int = 2,
+    deadline: float | None = 5.0,
+    queue_limit: int = 256,
+    repeat: int = 1,
+) -> GatewayReport:
+    """Serving throughput/latency through the crash-isolated gateway.
+
+    Routes a test-split sample (all four sheets, so the gateway juggles
+    four workbook fingerprints) through
+    :class:`~repro.serve.TranslationGateway` and reports throughput, shed
+    rate, and latency percentiles — the queue → breaker → pool path the
+    chaos tests exercise, measured under healthy load.
+    """
+    import time
+
+    from ..serve import TranslationGateway
+
+    corpus = corpus or Corpus.default()
+    descriptions = corpus.test
+    if sample is not None and sample < len(descriptions):
+        step = len(descriptions) / sample
+        descriptions = [descriptions[int(k * step)] for k in range(sample)]
+    descriptions = list(descriptions) * max(1, repeat)
+    workbooks = {
+        sheet_id: build_sheet(sheet_id)
+        for sheet_id in {d.sheet_id for d in descriptions}
+    }
+    report = GatewayReport(
+        n=len(descriptions), workers=workers, deadline=deadline
+    )
+    gateway = TranslationGateway(
+        workers=workers, queue_limit=queue_limit, default_deadline=deadline
+    )
+    try:
+        start = time.perf_counter()
+        pendings = [
+            gateway.submit(d.text, workbooks[d.sheet_id])
+            for d in descriptions
+        ]
+        report.outcomes = [p.result(timeout=120.0) for p in pendings]
+        report.wall_seconds = time.perf_counter() - start
+        report.stats = gateway.stats()
+    finally:
+        gateway.close(drain=True)
+    return report
+
+
+def format_gateway(report: GatewayReport) -> str:
+    stats = report.stats
+    lines = [
+        f"{report.n} requests / {report.workers} workers / "
+        f"deadline {report.deadline * 1000:.0f}ms"
+        if report.deadline is not None
+        else f"{report.n} requests / {report.workers} workers / no deadline",
+        f"throughput {report.throughput:>6.1f} req/s   "
+        f"ok {report.ok_rate:.1%}   shed {report.shed_rate:.1%}",
+        f"latency p50 {report.percentile_seconds(0.5) * 1000:>7.1f}ms   "
+        f"p95 {report.percentile_seconds(0.95) * 1000:>7.1f}ms",
+        f"outcomes: {report.code_histogram()}",
+    ]
+    if stats is not None:
+        lines.append(
+            f"workers: restarts {stats.restarts}, crashed {stats.crashed}, "
+            f"timed out {stats.timed_out}, "
+            f"workbooks {stats.registered_workbooks}"
+        )
+    return "\n".join(lines)
+
+
 def run_fig1() -> str:
     """Fig. 1 — the running example's annotated candidate list."""
     from ..session import NLyzeSession

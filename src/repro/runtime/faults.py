@@ -5,11 +5,15 @@ The resilience guarantees of :class:`~repro.runtime.service.TranslationService`
 produced on demand.  This module plants named *fault points* inside the
 pipeline stages::
 
-    tokenize   after token preparation, before the DP starts
-    seeds      per span, before keyword-programming seeds
-    rules      per RuleTranslator.translate_span call
-    synthesis  per synthesize() call
-    ranking    before final ranking
+    tokenize      after token preparation, before the DP starts
+    seeds         per span, before keyword-programming seeds
+    rules         per RuleTranslator.translate_span call
+    synthesis     per synthesize() call
+    ranking       before final ranking
+    worker_crash  per gateway worker request, before translation starts
+                  (a ``raise`` fault here makes the worker process exit
+                  abruptly — the segfault/OOM-kill stand-in used by the
+                  crash-containment tests of :mod:`repro.serve`)
 
 A :class:`FaultSpec` arms one stage with either a raised exception
 (``mode="raise"``; a :class:`ReproError` by default, or an arbitrary
@@ -46,7 +50,9 @@ __all__ = [
     "parse_plan",
 ]
 
-STAGES = ("tokenize", "seeds", "rules", "synthesis", "ranking")
+STAGES = (
+    "tokenize", "seeds", "rules", "synthesis", "ranking", "worker_crash"
+)
 ENV_VAR = "REPRO_FAULTS"
 
 _MODES = ("raise", "delay")
@@ -171,7 +177,19 @@ def parse_plan(text: str) -> FaultPlan:
         if len(parts) > 2 and parts[2].strip():
             arg = parts[2].strip()
             if mode == "delay":
-                spec.delay = float(arg)
+                try:
+                    spec.delay = float(arg)
+                except ValueError:
+                    raise ReproError(
+                        f"bad fault spec {item!r}: delay {arg!r} is not "
+                        f"a number of seconds",
+                        code="bad_fault_spec",
+                    ) from None
+                if spec.delay < 0:
+                    raise ReproError(
+                        f"bad fault spec {item!r}: delay must be >= 0",
+                        code="bad_fault_spec",
+                    )
             else:
                 spec.error = arg
         specs.append(spec)

@@ -22,6 +22,7 @@ ranking.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable
@@ -64,6 +65,12 @@ def degradation_ladder(config: TranslatorConfig | None = None) -> tuple[Tier, ..
     points of recall but roughly halves latency.  The rules-only tier drops
     the synthesis closure entirely, which is the paper's cheapest ablation
     row (Table 3) and is effectively immune to `CombAll` blow-ups.
+
+    The ladder respects the caller's ablation choices: a config with rules
+    disabled never grows a rules-only rung, and rungs whose configuration
+    is identical to an earlier one are dropped — re-running the exact same
+    search cannot find anything new and only burns deadline (a base config
+    that is already rules-only collapses to one or two rungs).
     """
     full = config or TranslatorConfig()
     reduced = replace(
@@ -72,12 +79,14 @@ def degradation_ladder(config: TranslatorConfig | None = None) -> tuple[Tier, ..
         synth_max_new=max(16, full.synth_max_new // 3),
         max_alignments=max(4, full.max_alignments // 2),
     )
-    rules_only = replace(reduced, use_rules=True, use_synthesis=False)
-    return (
-        Tier("full", full),
-        Tier("reduced", reduced),
-        Tier("rules_only", rules_only),
-    )
+    rungs = [Tier("full", full), Tier("reduced", reduced)]
+    if full.use_rules:
+        rungs.append(Tier("rules_only", replace(reduced, use_synthesis=False)))
+    tiers: list[Tier] = []
+    for rung in rungs:
+        if all(rung.config != kept.config for kept in tiers):
+            tiers.append(rung)
+    return tuple(tiers)
 
 
 @dataclass
@@ -145,16 +154,23 @@ class TranslationService:
         self.faults = faults
         self.clock = clock
         self._translators: dict[str, Translator] = {}
+        self._translators_lock = threading.Lock()
 
     # -- translators ------------------------------------------------------------
 
     def translator_for(self, tier: Tier) -> Translator:
+        # Double-checked: the dict read is lock-free on the hot path, and
+        # the lock ensures concurrent first calls build one translator per
+        # tier instead of racing on construction.
         cached = self._translators.get(tier.name)
         if cached is None:
-            cached = Translator(
-                self.workbook, rules=self.rules, config=tier.config
-            )
-            self._translators[tier.name] = cached
+            with self._translators_lock:
+                cached = self._translators.get(tier.name)
+                if cached is None:
+                    cached = Translator(
+                        self.workbook, rules=self.rules, config=tier.config
+                    )
+                    self._translators[tier.name] = cached
         return cached
 
     @property

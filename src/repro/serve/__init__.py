@@ -1,0 +1,63 @@
+"""Crash-isolated serving layer: the translation gateway.
+
+``repro.serve`` puts :class:`~repro.runtime.TranslationService` behind a
+multiprocessing worker pool with the properties a multi-user deployment
+needs (ROADMAP: distribute the service):
+
+* **crash containment** — a worker that dies or hangs mid-request yields
+  a coded result (``worker_crashed`` / ``worker_timeout``) and the slot
+  respawns with exponential backoff (:mod:`repro.serve.pool`);
+* **admission control & load shedding** — a bounded deadline-aware queue
+  that sheds doomed requests immediately (``shed_overload``)
+  (:mod:`repro.serve.gateway`);
+* **per-workbook circuit breakers** keyed by ``Workbook.fingerprint()``
+  (``circuit_open``) (:mod:`repro.serve.breaker`), with the same
+  fingerprint driving warm-worker routing and the worker-side translator
+  cache (:mod:`repro.serve.fingerprint`).
+
+Quickstart::
+
+    from repro.serve import TranslationGateway
+    from repro.dataset import build_sheet
+
+    with TranslationGateway(build_sheet("payroll"), workers=2) as gw:
+        result = gw.translate("sum the hours", deadline=0.5)
+        print(result.top_formula, gw.stats().shed_rate)
+"""
+
+from .breaker import BreakerBoard, CircuitBreaker
+from .fingerprint import (
+    WorkbookRegistry,
+    load_payload,
+    workbook_fingerprint,
+    workbook_payload,
+)
+from .gateway import (
+    GatewayConfig,
+    GatewayResult,
+    GatewayStats,
+    PendingResult,
+    TranslationGateway,
+)
+from .pool import WorkerCrashed, WorkerPool, WorkerStats, WorkerTimedOut
+from .worker import CRASH_EXIT_CODE, worker_main
+
+__all__ = [
+    "BreakerBoard",
+    "CRASH_EXIT_CODE",
+    "CircuitBreaker",
+    "GatewayConfig",
+    "GatewayResult",
+    "GatewayStats",
+    "PendingResult",
+    "TranslationGateway",
+    "WorkbookRegistry",
+    "WorkerCrashed",
+    "WorkerPool",
+    "WorkerStats",
+    "WorkerTimedOut",
+    "load_payload",
+    "worker_main",
+    "workbook_fingerprint",
+    "workbook_payload",
+]

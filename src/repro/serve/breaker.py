@@ -1,0 +1,137 @@
+"""Per-workbook circuit breakers for the translation gateway.
+
+A workbook whose requests repeatedly crash or hang workers (a pathological
+sheet, a poisoned cache entry, an adversarial payload) must not keep
+burning worker restarts while healthy traffic queues behind it.  The
+gateway keys one :class:`CircuitBreaker` per workbook fingerprint:
+
+* **closed** — requests flow; worker-level failures (crashes, hangs)
+  increment a consecutive-failure counter, successes reset it;
+* **open** — after ``failure_threshold`` consecutive failures the breaker
+  opens and the gateway fast-fails requests for that fingerprint with a
+  ``circuit_open`` coded result, without touching the queue or a worker;
+* **half-open** — after ``reset_timeout`` seconds one probe request is
+  admitted; success closes the breaker, failure re-opens it (and restarts
+  the reset clock).
+
+Only *worker-level* failures trip the breaker.  A structured translation
+error (``deadline_exhausted``, ``empty_description``, ...) is a healthy
+worker doing its job and counts as a success.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["BreakerBoard", "CircuitBreaker", "CLOSED", "HALF_OPEN", "OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single half-open probe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request for this key proceed right now?
+
+        In the open state, the first call after ``reset_timeout`` flips to
+        half-open and admits exactly one probe; concurrent calls keep
+        failing fast until the probe reports back.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self.clock() - self._opened_at >= self.reset_timeout:
+                    self._state = HALF_OPEN
+                    self._probe_in_flight = True
+                    return True
+                return False
+            # half-open: one probe at a time
+            if not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN or self._failures >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = self.clock()
+            self._probe_in_flight = False
+
+
+class BreakerBoard:
+    """A lazy registry of one breaker per workbook fingerprint."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, key: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self.failure_threshold, self.reset_timeout, self.clock
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def allow(self, key: str) -> bool:
+        return self.breaker(key).allow()
+
+    def record_success(self, key: str) -> None:
+        self.breaker(key).record_success()
+
+    def record_failure(self, key: str) -> None:
+        self.breaker(key).record_failure()
+
+    def states(self) -> dict[str, str]:
+        """Fingerprint → state snapshot for diagnostics."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return {key: breaker.state for key, breaker in items}

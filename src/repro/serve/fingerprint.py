@@ -1,0 +1,82 @@
+"""Workbook identity and transport for the translation gateway.
+
+The gateway and its worker processes never share memory; a workbook
+crosses the process boundary as a pickled payload and is identified on
+both sides by :meth:`repro.sheet.Workbook.fingerprint` — a stable content
+hash.  The fingerprint keys three things at once:
+
+* the worker-side translator cache (a repeat fingerprint reuses the warm
+  :class:`~repro.runtime.TranslationService` instead of rebuilding the
+  sheet context),
+* warm-worker routing in the gateway (repeat fingerprints prefer workers
+  that already served them),
+* the per-workbook circuit breaker (:mod:`repro.serve.breaker`).
+
+:class:`WorkbookRegistry` memoises the fingerprint → payload mapping on
+the gateway side so each distinct workbook is pickled exactly once no
+matter how many requests reference it.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+from ..sheet import Workbook
+
+__all__ = [
+    "WorkbookRegistry",
+    "load_payload",
+    "workbook_fingerprint",
+    "workbook_payload",
+]
+
+
+def workbook_fingerprint(workbook: Workbook) -> str:
+    """The workbook's stable content hash (see ``Workbook.fingerprint``)."""
+    return workbook.fingerprint()
+
+
+def workbook_payload(workbook: Workbook) -> bytes:
+    """Serialize a workbook for shipping to a worker process."""
+    return pickle.dumps(workbook, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_payload(payload: bytes) -> Workbook:
+    """Worker-side inverse of :func:`workbook_payload`."""
+    return pickle.loads(payload)
+
+
+class WorkbookRegistry:
+    """Thread-safe fingerprint → payload memo used by the gateway.
+
+    ``register`` is called on every submit; the pickle (the expensive
+    part) runs only the first time a given content hash is seen.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._payloads: dict[str, bytes] = {}
+
+    def register(self, workbook: Workbook) -> tuple[str, bytes]:
+        """Return ``(fingerprint, payload)`` for a workbook, memoised."""
+        fingerprint = workbook_fingerprint(workbook)
+        with self._lock:
+            payload = self._payloads.get(fingerprint)
+            if payload is None:
+                payload = workbook_payload(workbook)
+                self._payloads[fingerprint] = payload
+        return fingerprint, payload
+
+    def payload(self, fingerprint: str) -> bytes | None:
+        with self._lock:
+            return self._payloads.get(fingerprint)
+
+    @property
+    def fingerprints(self) -> list[str]:
+        with self._lock:
+            return sorted(self._payloads)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._payloads)

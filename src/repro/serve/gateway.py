@@ -1,0 +1,572 @@
+"""The crash-isolated translation gateway: queue → breaker → pool.
+
+:class:`TranslationGateway` is the multi-user front end over
+:class:`~repro.runtime.TranslationService`.  Requests flow through three
+stages, each with its own guarantee:
+
+1. **Admission control** (``submit``) — a bounded queue.  A request is
+   shed *immediately* with a ``shed_overload`` coded result when the
+   queue is full, when its deadline has already expired, or when the
+   predicted dispatch wait (queue depth × observed service time ÷
+   workers) would outlast the deadline — queuing a request only to watch
+   it die is strictly worse than telling the caller now.  A fingerprint
+   whose circuit breaker is open fast-fails with ``circuit_open``.
+2. **Dispatch** — one runner thread per pool slot pulls work, preferring
+   requests whose workbook fingerprint the slot's worker has already
+   served (warm translator-cache affinity), and re-checks the deadline at
+   dispatch time.
+3. **Execution** — the request runs in a worker *process*.  A worker that
+   dies mid-request yields a structured ``worker_crashed`` result; one
+   that hangs past the deadline (plus grace) is killed and yields
+   ``worker_timeout``.  Either failure feeds the workbook's circuit
+   breaker and the slot respawns with exponential backoff.
+
+The invariant the chaos tests assert: **every submitted request resolves
+to exactly one coded** :class:`GatewayResult` — across worker kills,
+hangs, overload, open breakers, and shutdown.  ``close(drain=True)``
+serves everything already queued before stopping; ``drain=False`` fails
+queued requests with ``gateway_closed`` (in-flight requests still finish).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from ..sheet import Workbook
+from ..translate import TranslatorConfig
+from .breaker import BreakerBoard
+from .fingerprint import WorkbookRegistry
+from .pool import WorkerCrashed, WorkerPool, WorkerStats, WorkerTimedOut
+
+__all__ = [
+    "GatewayConfig",
+    "GatewayResult",
+    "GatewayStats",
+    "PendingResult",
+    "TranslationGateway",
+]
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tuning knobs for one gateway instance."""
+
+    workers: int = 2
+    queue_limit: int = 64
+    default_deadline: float | None = None  # seconds per request
+    max_derivations: int | None = None
+    top_k: int = 5
+    translator_config: TranslatorConfig | None = None
+    breaker_threshold: int = 5
+    breaker_reset: float = 2.0
+    request_timeout: float = 30.0  # poll cap for undeadlined requests
+    timeout_grace: float = 1.0  # slack past the deadline before declaring a hang
+    restart_backoff: float = 0.05
+    restart_backoff_cap: float = 2.0
+    worker_faults: str | None = None  # REPRO_FAULTS plan armed in every worker
+    start_method: str | None = None  # fork/spawn/forkserver; None = best
+
+
+@dataclass
+class GatewayResult:
+    """One request's outcome: translation payload plus serving diagnostics.
+
+    ``error_code`` is ``None`` on success; gateway-level codes are
+    ``shed_overload``, ``circuit_open``, ``worker_crashed``,
+    ``worker_timeout``, ``gateway_closed``, and ``gateway_error``;
+    service-level codes (``deadline_exhausted``, ``empty_description``,
+    ...) pass through unchanged.
+    """
+
+    ok: bool
+    error_code: str | None = None
+    error: str | None = None
+    tier: str | None = None
+    degraded: bool = False
+    anytime: bool = False
+    programs: list[tuple[str, float]] = field(default_factory=list)
+    n_candidates: int = 0
+    top_formula: str | None = None
+    elapsed: float = 0.0  # worker-side service time
+    budget_spent: int = 0
+    queue_seconds: float = 0.0
+    total_seconds: float = 0.0
+    worker_id: int | None = None
+    fingerprint: str | None = None
+    warm: bool = False
+
+    @property
+    def top_program(self) -> str | None:
+        return self.programs[0][0] if self.programs else None
+
+
+class PendingResult:
+    """A one-shot future resolved exactly once by the gateway."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: GatewayResult | None = None
+
+    def _resolve(self, result: GatewayResult) -> None:
+        if self._event.is_set():  # pragma: no cover - defensive
+            return
+        self._result = result
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> GatewayResult:
+        if not self._event.wait(timeout):
+            raise TimeoutError("gateway request still pending")
+        return self._result
+
+
+@dataclass
+class _Request:
+    id: int
+    sentence: str
+    fingerprint: str
+    payload: bytes
+    submitted_at: float
+    expires_at: float | None
+    faults: str | None
+    pending: PendingResult
+
+
+@dataclass
+class GatewayStats:
+    """A diagnostics snapshot (``TranslationGateway.stats()``)."""
+
+    queue_depth: int
+    in_flight: int
+    submitted: int
+    completed: int
+    ok: int
+    failed: int
+    shed: int
+    crashed: int
+    timed_out: int
+    circuit_rejected: int
+    closed_rejected: int
+    restarts: int
+    avg_call_seconds: float
+    registered_workbooks: int
+    workers: list[WorkerStats] = field(default_factory=list)
+    breakers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.submitted if self.submitted else 0.0
+
+    @property
+    def crash_rate(self) -> float:
+        return self.crashed / self.submitted if self.submitted else 0.0
+
+
+class TranslationGateway:
+    """Serve translation requests on a crash-isolated worker pool."""
+
+    def __init__(
+        self,
+        workbook: Workbook | None = None,
+        config: GatewayConfig | None = None,
+        **overrides,
+    ) -> None:
+        self.config = replace(config or GatewayConfig(), **overrides)
+        self.default_workbook = workbook
+        self._registry = WorkbookRegistry()
+        self._breakers = BreakerBoard(
+            self.config.breaker_threshold, self.config.breaker_reset
+        )
+        self._pool = WorkerPool(
+            self.config.workers,
+            worker_faults=self.config.worker_faults,
+            start_method=self.config.start_method,
+            restart_backoff=self.config.restart_backoff,
+            restart_backoff_cap=self.config.restart_backoff_cap,
+        )
+        self._cond = threading.Condition()
+        self._queue: deque[_Request] = deque()
+        self._ids = itertools.count(1)
+        self._in_flight = 0
+        self._closed = False
+        self._stopping = False
+        self._stats_lock = threading.Lock()
+        self._counters = {
+            "submitted": 0, "completed": 0, "ok": 0, "failed": 0,
+            "shed": 0, "crashed": 0, "timed_out": 0,
+            "circuit_rejected": 0, "closed_rejected": 0,
+        }
+        self._ema_call_seconds = 0.0
+        self._runners = [
+            threading.Thread(
+                target=self._runner, args=(slot,), daemon=True,
+                name=f"repro-gateway-runner-{slot}",
+            )
+            for slot in range(self.config.workers)
+        ]
+        for thread in self._runners:
+            thread.start()
+
+    # -- the public request path -------------------------------------------------
+
+    def submit(
+        self,
+        sentence: str,
+        workbook: Workbook | None = None,
+        deadline: float | None | object = _UNSET,
+        faults: str | None = None,
+    ) -> PendingResult:
+        """Enqueue one request; always returns a resolvable future.
+
+        ``deadline`` (seconds) defaults to the gateway's
+        ``default_deadline``; ``faults`` arms a ``REPRO_FAULTS``-style
+        plan inside the worker for this request only (chaos-testing
+        knob — this is how tests crash or hang a worker on demand).
+        """
+        wb = workbook or self.default_workbook
+        if wb is None:
+            raise ValueError("no workbook: pass one or set a default")
+        if deadline is _UNSET:
+            deadline = self.config.default_deadline
+        fingerprint, payload = self._registry.register(wb)
+        pending = PendingResult()
+        now = time.monotonic()
+        request = _Request(
+            id=next(self._ids),
+            sentence=sentence,
+            fingerprint=fingerprint,
+            payload=payload,
+            submitted_at=now,
+            expires_at=(now + deadline) if deadline is not None else None,
+            faults=faults,
+            pending=pending,
+        )
+        with self._cond:
+            if self._closed:
+                self._reject(
+                    request, "gateway_closed",
+                    "gateway is shut down", "closed_rejected",
+                )
+                return pending
+            if not self._breakers.allow(fingerprint):
+                self._reject(
+                    request, "circuit_open",
+                    "circuit breaker open for this workbook "
+                    "(repeated worker crashes/timeouts)",
+                    "circuit_rejected",
+                )
+                return pending
+            if len(self._queue) >= self.config.queue_limit:
+                self._reject(
+                    request, "shed_overload",
+                    f"queue full ({self.config.queue_limit} waiting)", "shed",
+                )
+                return pending
+            if request.expires_at is not None:
+                remaining = request.expires_at - now
+                if remaining <= 0 or remaining <= self._predicted_wait():
+                    self._reject(
+                        request, "shed_overload",
+                        f"deadline ({remaining * 1000:.0f} ms left) cannot "
+                        f"survive the predicted queue wait",
+                        "shed",
+                    )
+                    return pending
+            self._count("submitted")
+            self._queue.append(request)
+            self._cond.notify()
+        return pending
+
+    def translate(
+        self,
+        sentence: str,
+        workbook: Workbook | None = None,
+        deadline: float | None | object = _UNSET,
+        faults: str | None = None,
+        wait: float | None = None,
+    ) -> GatewayResult:
+        """Synchronous ``submit`` + ``result``."""
+        return self.submit(sentence, workbook, deadline, faults).result(wait)
+
+    def translate_many(
+        self,
+        sentences: Iterable[str],
+        workbook: Workbook | None = None,
+        deadline: float | None | object = _UNSET,
+        wait: float | None = None,
+    ) -> list[GatewayResult]:
+        """Submit a batch, then wait for every result (submission order)."""
+        pendings = [
+            self.submit(sentence, workbook, deadline) for sentence in sentences
+        ]
+        return [pending.result(wait) for pending in pendings]
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the gateway.
+
+        ``drain=True`` serves every already-queued request first;
+        ``drain=False`` fails them with ``gateway_closed``.  In-flight
+        requests always run to completion either way.
+        """
+        with self._cond:
+            self._closed = True
+            if not drain:
+                while self._queue:
+                    request = self._queue.popleft()
+                    self._reject(
+                        request, "gateway_closed",
+                        "gateway closed before dispatch", "closed_rejected",
+                        count_submitted=False,  # counted at admission
+                    )
+            self._stopping = True
+            self._cond.notify_all()
+        for thread in self._runners:
+            thread.join(timeout=timeout)
+        self._pool.shutdown()
+
+    def __enter__(self) -> "TranslationGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(drain=True)
+
+    # -- chaos knobs ---------------------------------------------------------------
+
+    def kill_worker(self, slot: int | None = None) -> bool:
+        """SIGKILL one live worker process (chaos injection).
+
+        With ``slot=None`` the first live worker is killed.  Returns
+        ``True`` if a process was killed.  The affected request (if any)
+        resolves to ``worker_crashed``; the slot respawns with backoff.
+        """
+        slots = [slot] if slot is not None else range(self._pool.size)
+        for s in slots:
+            if self._pool.kill(s):
+                return True
+        return False
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def stats(self) -> GatewayStats:
+        with self._stats_lock:
+            counters = dict(self._counters)
+            ema = self._ema_call_seconds
+        with self._cond:
+            depth = len(self._queue)
+            in_flight = self._in_flight
+        workers = self._pool.stats()
+        return GatewayStats(
+            queue_depth=depth,
+            in_flight=in_flight,
+            restarts=sum(w.restarts for w in workers),
+            avg_call_seconds=ema,
+            registered_workbooks=len(self._registry),
+            workers=workers,
+            breakers=self._breakers.states(),
+            **counters,
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _predicted_wait(self) -> float:
+        """Expected seconds before a new request reaches a worker."""
+        return (
+            len(self._queue) / self._pool.size
+        ) * self._ema_call_seconds
+
+    def _count(self, *names: str) -> None:
+        with self._stats_lock:
+            for name in names:
+                self._counters[name] += 1
+
+    def _reject(
+        self,
+        request: _Request,
+        code: str,
+        message: str,
+        bucket: str,
+        count_submitted: bool = True,
+    ) -> None:
+        """Resolve a request that never reached a worker (counts itself)."""
+        if count_submitted:
+            self._count("submitted")
+        self._count("completed", bucket)
+        request.pending._resolve(
+            GatewayResult(
+                ok=False,
+                error_code=code,
+                error=message,
+                fingerprint=request.fingerprint,
+                queue_seconds=time.monotonic() - request.submitted_at,
+                total_seconds=time.monotonic() - request.submitted_at,
+            )
+        )
+
+    def _runner(self, slot: int) -> None:
+        while True:
+            request = self._next(slot)
+            if request is None:
+                return
+            try:
+                self._serve(slot, request)
+            except Exception as exc:  # noqa: BLE001 - never lose a request
+                self._finish(
+                    request,
+                    GatewayResult(
+                        ok=False,
+                        error_code="gateway_error",
+                        error=f"{type(exc).__name__}: {exc}",
+                        fingerprint=request.fingerprint,
+                        worker_id=slot,
+                    ),
+                    "failed",
+                )
+
+    def _next(self, slot: int) -> _Request | None:
+        """Block for the slot's next request (warm-affinity preferred)."""
+        with self._cond:
+            while True:
+                if self._queue:
+                    request = self._take(slot)
+                    self._in_flight += 1
+                    return request
+                if self._stopping:
+                    return None
+                self._cond.wait(timeout=0.1)
+
+    def _take(self, slot: int) -> _Request:
+        warm = self._pool.handles[slot].warm
+        if warm:
+            for i, request in enumerate(self._queue):
+                if request.fingerprint in warm:
+                    del self._queue[i]
+                    return request
+        return self._queue.popleft()
+
+    def _serve(self, slot: int, request: _Request) -> None:
+        now = time.monotonic()
+        queue_seconds = now - request.submitted_at
+        if request.expires_at is not None:
+            remaining = request.expires_at - now
+            if remaining <= 0:
+                self._finish(
+                    request,
+                    GatewayResult(
+                        ok=False,
+                        error_code="shed_overload",
+                        error="deadline expired while queued",
+                        fingerprint=request.fingerprint,
+                        queue_seconds=queue_seconds,
+                        total_seconds=queue_seconds,
+                    ),
+                    "shed",
+                )
+                return
+            timeout = remaining + self.config.timeout_grace
+        else:
+            remaining = None
+            timeout = self.config.request_timeout
+        message = {
+            "id": request.id,
+            "sentence": request.sentence,
+            "fingerprint": request.fingerprint,
+            "payload": request.payload,
+            "deadline": remaining,
+            "max_derivations": self.config.max_derivations,
+            "top_k": self.config.top_k,
+            "config": self.config.translator_config,
+            "faults": request.faults,
+        }
+        fingerprint = request.fingerprint
+        try:
+            handle = self._pool.ensure(slot)
+            started = time.monotonic()
+            reply = handle.call(message, timeout)
+        except WorkerTimedOut as exc:
+            self._pool.note_crash(slot)  # a hung worker is killed, not reused
+            self._breakers.record_failure(fingerprint)
+            self._finish(
+                request,
+                self._worker_failure(
+                    request, slot, queue_seconds, "worker_timeout", str(exc)
+                ),
+                "timed_out",
+            )
+        except WorkerCrashed as exc:
+            self._pool.note_crash(slot)
+            self._breakers.record_failure(fingerprint)
+            self._finish(
+                request,
+                self._worker_failure(
+                    request, slot, queue_seconds, "worker_crashed", str(exc)
+                ),
+                "crashed",
+            )
+        else:
+            duration = time.monotonic() - started
+            self._pool.note_success(slot)
+            handle.served += 1
+            handle.warm.add(fingerprint)
+            self._breakers.record_success(fingerprint)
+            with self._stats_lock:
+                self._ema_call_seconds = (
+                    duration
+                    if self._ema_call_seconds == 0.0
+                    else 0.8 * self._ema_call_seconds + 0.2 * duration
+                )
+            result = GatewayResult(
+                ok=reply["ok"],
+                error_code=reply["error_code"],
+                error=reply["error"],
+                tier=reply["tier"],
+                degraded=reply["degraded"],
+                anytime=reply["anytime"],
+                programs=[tuple(p) for p in reply["programs"]],
+                n_candidates=reply["n_candidates"],
+                top_formula=reply["top_formula"],
+                elapsed=reply["elapsed"],
+                budget_spent=reply["budget_spent"],
+                queue_seconds=queue_seconds,
+                total_seconds=time.monotonic() - request.submitted_at,
+                worker_id=slot,
+                fingerprint=fingerprint,
+                warm=reply["warm"],
+            )
+            self._finish(request, result, "ok" if result.ok else "failed")
+
+    def _worker_failure(
+        self,
+        request: _Request,
+        slot: int,
+        queue_seconds: float,
+        code: str,
+        message: str,
+    ) -> GatewayResult:
+        return GatewayResult(
+            ok=False,
+            error_code=code,
+            error=message,
+            fingerprint=request.fingerprint,
+            queue_seconds=queue_seconds,
+            total_seconds=time.monotonic() - request.submitted_at,
+            worker_id=slot,
+        )
+
+    def _finish(
+        self, request: _Request, result: GatewayResult, bucket: str
+    ) -> None:
+        self._count("completed", bucket)
+        with self._cond:
+            self._in_flight -= 1
+        request.pending._resolve(result)

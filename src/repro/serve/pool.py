@@ -1,0 +1,236 @@
+"""Crash-isolated worker pool for the translation gateway.
+
+Each pool slot owns at most one OS process running
+:func:`repro.serve.worker.worker_main` and the parent end of its pipe.
+The slot's :class:`WorkerHandle` is permanent — it survives any number of
+process deaths and carries the slot's history (restart count, consecutive
+crashes, warm fingerprints) across respawns.
+
+Crash containment contract:
+
+* :meth:`WorkerHandle.call` either returns a reply dict or raises
+  :class:`WorkerCrashed` (the process died mid-request: killed, crashed,
+  or exited) / :class:`WorkerTimedOut` (no reply within the allotted
+  wall clock — a hung worker is killed and treated like a crash);
+* a dead slot is respawned lazily by :meth:`WorkerPool.ensure` with
+  exponential backoff proportional to the slot's *consecutive* crash
+  count (a successful call resets it), so a crash-looping workload
+  cannot melt the host with fork storms;
+* :meth:`WorkerPool.kill` SIGKILLs a live worker on purpose — the chaos
+  tests use it as the external "segfault" injector.
+
+The pool prefers the ``fork`` start method when the platform offers it
+(workers inherit the already-imported translation stack instead of
+re-importing it); ``spawn`` works too and is selected automatically
+elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .worker import worker_main
+
+__all__ = [
+    "WorkerCrashed",
+    "WorkerHandle",
+    "WorkerPool",
+    "WorkerTimedOut",
+    "pick_start_method",
+]
+
+
+class WorkerCrashed(Exception):
+    """The worker process died before replying."""
+
+
+class WorkerTimedOut(Exception):
+    """The worker process failed to reply within the allotted time."""
+
+
+def pick_start_method(preferred: str | None = None) -> str:
+    """``preferred`` if given, else ``fork`` when available, else spawn."""
+    available = multiprocessing.get_all_start_methods()
+    if preferred is not None:
+        if preferred not in available:
+            raise ValueError(
+                f"start method {preferred!r} not available (have: {available})"
+            )
+        return preferred
+    return "fork" if "fork" in available else "spawn"
+
+
+@dataclass
+class WorkerStats:
+    """One slot's diagnostics snapshot."""
+
+    worker_id: int
+    alive: bool
+    restarts: int
+    served: int
+    warm_fingerprints: int
+
+
+@dataclass
+class WorkerHandle:
+    """Permanent per-slot state wrapping the current (if any) process."""
+
+    slot: int
+    process: object | None = None
+    conn: object | None = None
+    restarts: int = -1  # first spawn brings it to 0
+    consecutive_crashes: int = 0
+    served: int = 0
+    warm: set = field(default_factory=set)
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+    def call(self, request: dict, timeout: float) -> dict:
+        """Send one request and wait for its reply (see module docstring)."""
+        try:
+            self.conn.send(request)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashed(f"worker {self.slot}: send failed: {exc}")
+        try:
+            if not self.conn.poll(timeout):
+                raise WorkerTimedOut(
+                    f"worker {self.slot}: no reply within {timeout:.2f}s"
+                )
+            reply = self.conn.recv()
+        except WorkerTimedOut:
+            raise
+        except (EOFError, ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise WorkerCrashed(f"worker {self.slot}: died mid-request: {exc}")
+        if not isinstance(reply, dict) or reply.get("id") != request["id"]:
+            raise WorkerCrashed(
+                f"worker {self.slot}: protocol violation in reply"
+            )
+        return reply
+
+
+class WorkerPool:
+    """Spawn, respawn, kill, and drain the gateway's worker processes."""
+
+    def __init__(
+        self,
+        size: int,
+        worker_faults: str | None = None,
+        start_method: str | None = None,
+        restart_backoff: float = 0.05,
+        restart_backoff_cap: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.worker_faults = worker_faults
+        self.restart_backoff = restart_backoff
+        self.restart_backoff_cap = restart_backoff_cap
+        self._sleep = sleep
+        self._ctx = multiprocessing.get_context(pick_start_method(start_method))
+        self.handles = [WorkerHandle(slot) for slot in range(size)]
+
+    @property
+    def size(self) -> int:
+        return len(self.handles)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def ensure(self, slot: int) -> WorkerHandle:
+        """The slot's handle, respawning the process first if it is dead.
+
+        A respawn after ``n`` consecutive crashes sleeps
+        ``min(cap, backoff * 2**(n-1))`` before forking — exponential
+        backoff against crash loops.  The very first spawn is free.
+        """
+        handle = self.handles[slot]
+        if handle.alive:
+            return handle
+        self._retire(handle)
+        if handle.consecutive_crashes > 0 and self.restart_backoff > 0:
+            delay = min(
+                self.restart_backoff_cap,
+                self.restart_backoff * 2 ** (handle.consecutive_crashes - 1),
+            )
+            self._sleep(delay)
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, slot, self.worker_faults),
+            daemon=True,
+            name=f"repro-gateway-worker-{slot}",
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.restarts += 1
+        # A fresh process has a cold service cache regardless of history.
+        handle.warm = set()
+        return handle
+
+    def note_crash(self, slot: int) -> None:
+        """Record a mid-request death and tear the process down."""
+        handle = self.handles[slot]
+        handle.consecutive_crashes += 1
+        self._retire(handle)
+
+    def note_success(self, slot: int) -> None:
+        self.handles[slot].consecutive_crashes = 0
+
+    def kill(self, slot: int) -> bool:
+        """SIGKILL a live worker (chaos injection). True if one was killed."""
+        handle = self.handles[slot]
+        process = handle.process
+        if process is None or not process.is_alive():
+            return False
+        process.kill()
+        return True
+
+    def _retire(self, handle: WorkerHandle) -> None:
+        if handle.process is not None:
+            if handle.process.is_alive():
+                handle.process.kill()
+            handle.process.join(timeout=1.0)
+            handle.process = None
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.conn = None
+
+    def shutdown(self) -> None:
+        """Politely stop every live worker, then force the stragglers."""
+        for handle in self.handles:
+            if handle.alive and handle.conn is not None:
+                try:
+                    handle.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        for handle in self.handles:
+            if handle.process is not None:
+                handle.process.join(timeout=1.0)
+            self._retire(handle)
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def stats(self) -> list[WorkerStats]:
+        return [
+            WorkerStats(
+                worker_id=h.slot,
+                alive=h.alive,
+                restarts=max(0, h.restarts),
+                served=h.served,
+                warm_fingerprints=len(h.warm),
+            )
+            for h in self.handles
+        ]

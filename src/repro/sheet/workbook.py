@@ -14,6 +14,7 @@ This is the spreadsheet state a DSL program reads and updates (paper §2):
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Sequence
 
 from ..errors import SheetError, UnknownTableError
@@ -65,6 +66,48 @@ class Workbook:
         }
         self._cursor = snapshot._cursor
         self._selection = snapshot._selection
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the whole interactive state.
+
+        Two workbooks with identical tables (names, origins, column
+        schemas, cell values and formats), scratch cells, cursor, and
+        selection share a fingerprint; any visible difference changes it.
+        Serving layers key shared translator caches, warm-worker routing,
+        and per-workbook circuit breakers on this value.
+        """
+        digest = hashlib.sha256()
+
+        def put(*parts: object) -> None:
+            for part in parts:
+                digest.update(str(part).encode("utf-8", "replace"))
+                digest.update(b"\x1f")
+
+        def put_cell(cell: Cell) -> None:
+            put(cell.value.type.value, repr(cell.value.payload))
+            fmt = cell.format
+            if not fmt.is_default:
+                put(
+                    fmt.bold, fmt.italics, fmt.underline,
+                    fmt.color.value, fmt.font_size,
+                )
+
+        for key in sorted(self._tables):
+            table = self._tables[key]
+            put("table", table.name, table.origin.col, table.origin.row)
+            for column in table.columns:
+                put("col", column.name, column.dtype.value)
+            for i in range(table.n_rows):
+                for j in range(table.n_cols):
+                    put_cell(table.cell(i, j))
+        for address in sorted(self._scratch):
+            put("scratch", address.col, address.row)
+            put_cell(self._scratch[address])
+        if self._cursor is not None:
+            put("cursor", self._cursor.col, self._cursor.row)
+        for address in self._selection:
+            put("select", address.col, address.row)
+        return digest.hexdigest()
 
     # -- tables --------------------------------------------------------------
 

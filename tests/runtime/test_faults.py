@@ -105,3 +105,49 @@ class TestParsePlan:
         assert plan is not None
         with pytest.raises(InjectedFaultError):
             fault_point("tokenize")
+
+
+class TestBadDelaySpecs:
+    def test_malformed_delay_is_structured(self):
+        with pytest.raises(ReproError) as err:
+            parse_plan("seeds:delay:abc")
+        assert err.value.code == "bad_fault_spec"
+        assert "abc" in str(err.value)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ReproError) as err:
+            parse_plan("seeds:delay:-0.5")
+        assert err.value.code == "bad_fault_spec"
+
+    def test_good_items_before_the_bad_one_do_not_arm(self):
+        with pytest.raises(ReproError):
+            parse_plan("rules:raise; seeds:delay:soon")
+
+    def test_env_var_with_malformed_delay_is_ignored(self, monkeypatch, capsys):
+        from repro.runtime import faults
+
+        monkeypatch.setenv(faults.ENV_VAR, "seeds:delay:abc")
+        assert faults.install_from_env() is None
+        assert "ignoring" in capsys.readouterr().err
+        fault_point("seeds")  # nothing armed
+
+
+class TestWorkerCrashStage:
+    def test_worker_crash_is_a_known_stage(self):
+        from repro.runtime.faults import STAGES
+
+        assert "worker_crash" in STAGES
+        spec = FaultSpec("worker_crash", "raise")
+        assert spec.stage == "worker_crash"
+
+    def test_parse_plan_accepts_worker_crash(self):
+        plan = parse_plan("worker_crash:raise")
+        assert plan.specs[0].stage == "worker_crash"
+
+    def test_worker_crash_point_raises_when_armed(self):
+        install(parse_plan("worker_crash:raise"))
+        try:
+            with pytest.raises(InjectedFaultError):
+                fault_point("worker_crash")
+        finally:
+            clear()

@@ -228,3 +228,169 @@ class TestSessionAndEvalkitWiring:
         assert board.error_rate == 0.0
         assert 0.0 <= board.degraded_rate <= 1.0
         assert board.percentile_seconds(0.5) <= board.percentile_seconds(0.95)
+
+
+class ManualClock:
+    """A clock advanced explicitly by the test."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TickingClock:
+    """A clock where *every* read costs ``step`` seconds — any deadline
+    is blown before real work happens, deterministically."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestLadderDedupe:
+    def test_synthesis_free_base_drops_redundant_rules_only(self):
+        # reduced already equals rules_only when synthesis is off at the
+        # base: re-running the identical config would only burn deadline
+        tiers = degradation_ladder(TranslatorConfig(use_synthesis=False))
+        assert [t.name for t in tiers] == ["full", "reduced"]
+
+    def test_no_rules_means_no_rules_only_rung(self):
+        tiers = degradation_ladder(TranslatorConfig(use_rules=False))
+        assert [t.name for t in tiers] == ["full", "reduced"]
+        assert all(t.config.use_rules is False for t in tiers)
+
+    def test_floor_knobs_collapse_reduced_into_full(self):
+        config = TranslatorConfig(
+            beam_size=24, synth_max_new=16, max_alignments=4
+        )
+        tiers = degradation_ladder(config)
+        assert [t.name for t in tiers] == ["full", "rules_only"]
+
+    def test_floor_knobs_without_synthesis_collapse_to_one_tier(self):
+        config = TranslatorConfig(
+            beam_size=24, synth_max_new=16, max_alignments=4,
+            use_synthesis=False,
+        )
+        tiers = degradation_ladder(config)
+        assert [t.name for t in tiers] == ["full"]
+
+    def test_deduped_ladder_still_translates(self):
+        service = TranslationService(
+            make_payroll(), config=TranslatorConfig(use_synthesis=False)
+        )
+        result = service.translate(RUNNING_EXAMPLE)
+        assert result.ok and not result.degraded
+        assert result.tier == "full"
+        # rules alone cannot stack both conditions, but still answer
+        assert result.top.excel(service.workbook).startswith("=SUM")
+
+
+class TestThreadSafety:
+    def test_translator_for_builds_one_instance_under_contention(self):
+        import threading
+
+        service = TranslationService(make_payroll())
+        tier = service.tiers[0]
+        n = 8
+        barrier = threading.Barrier(n)
+        seen: list[object] = []
+
+        def hit():
+            barrier.wait()
+            seen.append(service.translator_for(tier))
+
+        threads = [threading.Thread(target=hit) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert len(seen) == n
+        assert all(translator is seen[0] for translator in seen)
+        assert len(service._translators) == 1
+
+    def test_concurrent_translate_is_consistent(self):
+        import threading
+
+        service = TranslationService(make_payroll())
+        errors: list[BaseException] = []
+        answers: list[str] = []
+        lock = threading.Lock()
+
+        def work():
+            try:
+                for _ in range(3):
+                    result = service.translate(RUNNING_EXAMPLE)
+                    assert result.ok
+                    formula = result.top.excel(service.workbook)
+                    with lock:
+                        answers.append(formula)
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                with lock:
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        assert errors == []
+        assert len(answers) == 18
+        assert set(answers) == {RUNNING_ANSWER}
+
+
+class TestDeadlineExhaustedDeterministic:
+    def test_ticking_clock_exhausts_every_tier(self):
+        service = TranslationService(
+            make_payroll(), deadline=0.5, clock=TickingClock(step=1.0)
+        )
+        result = service.translate(RUNNING_EXAMPLE)
+        assert not result.ok
+        assert result.error_code == "deadline_exhausted"
+        assert result.tier is None
+        assert result.degraded and not result.anytime
+        assert result.candidates == []
+        assert len(result.attempts) == len(service.tiers)
+        assert all(a.exhausted for a in result.attempts)
+        assert all(a.candidates == 0 for a in result.attempts)
+        assert "500 ms" in result.error
+
+
+class TestBudgetSlicing:
+    def test_even_split_and_last_tier_inherits_remainder(self):
+        clock = ManualClock()
+        service = TranslationService(make_payroll(), deadline=3.0, clock=clock)
+        assert len(service.tiers) == 3
+
+        first = service._budget_for(0, start=0.0)
+        assert first.deadline == pytest.approx(1.0)  # 3.0 remaining / 3 tiers
+
+        clock.advance(1.0)
+        second = service._budget_for(1, start=0.0)
+        assert second.deadline == pytest.approx(1.0)  # 2.0 remaining / 2 tiers
+
+        clock.advance(1.5)  # second tier overran its slice
+        last = service._budget_for(2, start=0.0)
+        assert last.deadline == pytest.approx(0.5)  # full remainder, no split
+
+    def test_zero_remaining_is_exhausted_not_negative(self):
+        clock = ManualClock()
+        service = TranslationService(make_payroll(), deadline=1.0, clock=clock)
+        clock.advance(5.0)  # way past the deadline before the last tier
+        budget = service._budget_for(len(service.tiers) - 1, start=0.0)
+        assert budget.deadline == 0.0  # clamped, never negative
+        clock.advance(0.001)
+        assert budget.exceeded("test")
+        assert budget.exhausted
+
+    def test_no_deadline_gives_unlimited_budget(self):
+        service = TranslationService(make_payroll())
+        assert service._budget_for(0, start=0.0).unlimited

@@ -1,0 +1,102 @@
+"""Circuit breaker state machine: closed → open → half-open → closed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+class TestCircuitBreaker:
+    def test_closed_allows_and_failures_below_threshold_stay_closed(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never saw 2 consecutive
+
+    def test_threshold_opens_and_open_fast_fails(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock.advance(4.9)
+        assert not breaker.allow()
+
+    def test_half_open_admits_exactly_one_probe(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # concurrent requests keep failing fast
+
+    def test_probe_success_closes(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_the_clock(self, clock):
+        breaker = CircuitBreaker(failure_threshold=5, reset_timeout=1.0, clock=clock)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed: reopen immediately
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()  # next probe window
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=-1)
+
+
+class TestBreakerBoard:
+    def test_keys_are_independent(self, clock):
+        board = BreakerBoard(failure_threshold=1, clock=clock)
+        board.record_failure("poisoned")
+        assert not board.allow("poisoned")
+        assert board.allow("healthy")
+        assert board.states() == {"poisoned": OPEN, "healthy": CLOSED}
+
+    def test_success_heals_only_its_key(self, clock):
+        board = BreakerBoard(failure_threshold=1, reset_timeout=0.0, clock=clock)
+        board.record_failure("a")
+        board.record_failure("b")
+        assert board.allow("a")  # zero reset_timeout: immediate probe
+        board.record_success("a")
+        assert board.states()["a"] == CLOSED
+        assert board.states()["b"] == OPEN

@@ -1,0 +1,127 @@
+"""Chaos: kill workers at random under sustained concurrent load.
+
+The headline robustness guarantee for the gateway — with processes dying
+underneath it, every submitted request still resolves to exactly one
+coded result.  Nothing is lost, nothing raises, and with generous
+deadlines nothing is shed (the only legitimate shed is a deadline the
+gateway could not meet).
+
+``REPRO_CHAOS_REQUESTS`` scales the load (default 200, the acceptance
+floor; CI sets it lower for speed).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+import pytest
+
+from repro.serve import TranslationGateway
+from repro.sheet import CellValue
+
+from ..conftest import make_payroll
+
+N_REQUESTS = int(os.environ.get("REPRO_CHAOS_REQUESTS", "200"))
+WORKERS = 3
+DEADLINE = 60.0  # generous: any shed under chaos would be a real bug
+
+SENTENCES = [
+    "sum the hours",
+    "count the employees",
+    "sum the totalpay for the capitol hill baristas",
+    "average the rate",
+]
+
+
+def _other_payroll():
+    workbook = make_payroll()
+    workbook.table("Employees").cell(0, 3).value = CellValue.number(99)
+    return workbook
+
+
+@pytest.mark.slow
+def test_random_worker_kills_lose_nothing():
+    workbooks = [make_payroll(), _other_payroll()]
+    rng = random.Random(20140622)  # NLyze's SIGMOD year, for reproducibility
+    gateway = TranslationGateway(
+        workers=WORKERS,
+        queue_limit=N_REQUESTS + WORKERS,
+        # chaos kills are environmental, not workbook poison: a breaker
+        # tripping on them would mask the invariant under test
+        breaker_threshold=10_000,
+        restart_backoff=0.01,
+        restart_backoff_cap=0.1,
+    )
+    stop_killing = threading.Event()
+
+    def killer():
+        while not stop_killing.wait(rng.uniform(0.05, 0.25)):
+            gateway.kill_worker(rng.randrange(WORKERS))
+
+    chaos = threading.Thread(target=killer, name="chaos-killer", daemon=True)
+    try:
+        pendings = [
+            gateway.submit(
+                SENTENCES[i % len(SENTENCES)],
+                workbooks[i % len(workbooks)],
+                deadline=DEADLINE,
+            )
+            for i in range(N_REQUESTS)
+        ]
+        chaos.start()
+        results = [p.result(timeout=300.0) for p in pendings]
+    finally:
+        stop_killing.set()
+        chaos.join(timeout=5.0)
+        gateway.close(drain=False)
+
+    # zero lost requests: one coded result per submission
+    assert len(results) == N_REQUESTS
+    for result in results:
+        assert result.ok or result.error_code is not None
+
+    stats = gateway.stats()
+    assert stats.submitted == N_REQUESTS
+    assert stats.completed == N_REQUESTS
+    assert stats.in_flight == 0 and stats.queue_depth == 0
+
+    # deadlines were generous, so admission control had no right to shed
+    assert stats.shed == 0
+
+    # the only failure codes chaos may produce are the crash-containment
+    # ones; anything else (gateway_error, internal_error) is a bug
+    codes = {r.error_code for r in results if not r.ok}
+    assert codes <= {"worker_crashed", "worker_timeout"}
+
+    # the chaos thread really did bite: workers died and were respawned,
+    # yet most requests still succeeded on healthy workers
+    assert stats.restarts >= 1
+    ok = sum(1 for r in results if r.ok)
+    assert ok + stats.crashed + stats.timed_out == N_REQUESTS
+    assert ok > 0
+
+
+@pytest.mark.slow
+def test_poststorm_recovery():
+    """After the storm, a fresh request on a respawned pool succeeds."""
+    with TranslationGateway(
+        make_payroll(), workers=2,
+        restart_backoff=0.01, restart_backoff_cap=0.1,
+    ) as gateway:
+        # workers spawn lazily on first dispatch: warm the pool up so the
+        # storm has live processes to kill
+        assert gateway.translate("sum the hours", wait=120.0).ok
+        killed = 0
+        for _ in range(4):
+            killed += gateway.kill_worker(0)
+            killed += gateway.kill_worker(1)
+            time.sleep(0.02)
+        assert killed >= 1
+        result = gateway.translate("sum the hours", wait=120.0)
+        assert result.ok
+        # respawn is lazy (per-slot, on next dispatch), so the follow-up
+        # request revives at least the slot that served it
+        assert gateway.stats().restarts >= 1

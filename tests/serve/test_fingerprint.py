@@ -1,0 +1,87 @@
+"""Workbook fingerprints: stability, sensitivity, and the payload registry."""
+
+from __future__ import annotations
+
+from repro.serve import (
+    WorkbookRegistry,
+    load_payload,
+    workbook_fingerprint,
+    workbook_payload,
+)
+from repro.sheet import CellValue, FormatFn
+
+from ..conftest import make_payroll
+
+
+class TestFingerprint:
+    def test_identical_content_identical_fingerprint(self):
+        assert make_payroll().fingerprint() == make_payroll().fingerprint()
+
+    def test_clone_preserves_fingerprint(self):
+        workbook = make_payroll()
+        assert workbook.clone().fingerprint() == workbook.fingerprint()
+
+    def test_value_change_changes_fingerprint(self):
+        workbook = make_payroll()
+        before = workbook.fingerprint()
+        workbook.table("Employees").cell(0, 3).value = CellValue.number(31)
+        assert workbook.fingerprint() != before
+
+    def test_format_change_changes_fingerprint(self):
+        workbook = make_payroll()
+        before = workbook.fingerprint()
+        workbook.table("Employees").cell(0, 0).apply_formats(
+            [FormatFn("bold", True)]
+        )
+        assert workbook.fingerprint() != before
+
+    def test_cursor_and_scratch_change_fingerprint(self):
+        workbook = make_payroll()
+        before = workbook.fingerprint()
+        workbook.set_cursor("Z9")
+        moved = workbook.fingerprint()
+        assert moved != before
+        workbook.set_value("Z9", CellValue.number(7))
+        assert workbook.fingerprint() != moved
+
+    def test_selection_changes_fingerprint(self):
+        workbook = make_payroll()
+        before = workbook.fingerprint()
+        table = workbook.table("Employees")
+        workbook.select_rows(table, [0, 2])
+        assert workbook.fingerprint() != before
+
+    def test_fingerprint_is_hex_digest(self):
+        fingerprint = make_payroll().fingerprint()
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)  # parses as hex
+
+
+class TestPayload:
+    def test_round_trip_preserves_fingerprint_and_answers(self):
+        workbook = make_payroll()
+        twin = load_payload(workbook_payload(workbook))
+        assert twin.fingerprint() == workbook.fingerprint()
+        assert twin.table("Employees").n_rows == 6
+        assert twin.cursor == workbook.cursor
+
+    def test_registry_memoises_payload(self):
+        registry = WorkbookRegistry()
+        workbook = make_payroll()
+        fp1, payload1 = registry.register(workbook)
+        fp2, payload2 = registry.register(make_payroll())
+        assert fp1 == fp2 == workbook_fingerprint(workbook)
+        assert payload1 is payload2  # pickled exactly once
+        assert len(registry) == 1
+        assert registry.fingerprints == [fp1]
+
+    def test_registry_distinguishes_different_workbooks(self):
+        registry = WorkbookRegistry()
+        first = make_payroll()
+        second = make_payroll()
+        second.table("Employees").cell(0, 3).value = CellValue.number(99)
+        fp1, _ = registry.register(first)
+        fp2, _ = registry.register(second)
+        assert fp1 != fp2
+        assert len(registry) == 2
+        assert registry.payload(fp1) is not None

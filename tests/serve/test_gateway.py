@@ -1,0 +1,251 @@
+"""TranslationGateway: admission control, crash containment, breakers,
+affinity, and shutdown — every path resolves to a coded result."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serve import TranslationGateway
+from repro.sheet import CellValue
+
+from ..conftest import make_payroll
+
+RUNNING_EXAMPLE = "sum the totalpay for the capitol hill baristas"
+RUNNING_ANSWER = '=SUMIFS(H2:H7, B2:B7, "capitol hill", C2:C7, "barista")'
+
+FAST = dict(restart_backoff=0.01, restart_backoff_cap=0.1)
+
+
+@pytest.fixture(scope="module")
+def payroll_wb():
+    return make_payroll()
+
+
+class TestHappyPath:
+    def test_translate_returns_formula_and_diagnostics(self, payroll_wb):
+        with TranslationGateway(payroll_wb, workers=1, **FAST) as gateway:
+            result = gateway.translate(RUNNING_EXAMPLE, wait=60.0)
+            assert result.ok
+            assert result.error_code is None
+            assert result.top_formula == RUNNING_ANSWER
+            assert result.top_program is not None
+            assert result.tier == "full" and not result.degraded
+            assert result.n_candidates >= 1
+            assert result.worker_id == 0
+            assert result.fingerprint == payroll_wb.fingerprint()
+            assert result.total_seconds >= result.queue_seconds >= 0.0
+
+    def test_repeat_fingerprint_hits_warm_worker(self, payroll_wb):
+        with TranslationGateway(payroll_wb, workers=1, **FAST) as gateway:
+            first = gateway.translate("sum the hours", wait=60.0)
+            second = gateway.translate("count the employees", wait=60.0)
+            assert not first.warm
+            assert second.warm
+            stats = gateway.stats()
+            assert stats.workers[0].warm_fingerprints == 1
+            assert stats.workers[0].served == 2
+
+    def test_translate_many_preserves_order(self, payroll_wb):
+        sentences = ["sum the hours", RUNNING_EXAMPLE, "count the employees"]
+        with TranslationGateway(payroll_wb, workers=2, **FAST) as gateway:
+            results = gateway.translate_many(sentences, wait=60.0)
+        assert [r.ok for r in results] == [True, True, True]
+        assert results[1].top_formula == RUNNING_ANSWER
+
+    def test_service_level_errors_pass_through(self, payroll_wb):
+        with TranslationGateway(payroll_wb, workers=1, **FAST) as gateway:
+            result = gateway.translate("   ", wait=60.0)
+            assert not result.ok
+            assert result.error_code == "empty_description"
+            stats = gateway.stats()
+            # a structured translation error is a healthy worker: the
+            # breaker stays closed and nothing counts as a crash
+            assert stats.crashed == 0
+            assert list(stats.breakers.values()) == ["closed"]
+
+    def test_multiple_workbooks_multiple_fingerprints(self, payroll_wb):
+        other = make_payroll()
+        other.table("Employees").cell(0, 3).value = CellValue.number(99)
+        with TranslationGateway(workers=1, **FAST) as gateway:
+            a = gateway.translate("sum the hours", payroll_wb, wait=60.0)
+            b = gateway.translate("sum the hours", other, wait=60.0)
+            assert a.ok and b.ok
+            assert a.fingerprint != b.fingerprint
+            assert gateway.stats().registered_workbooks == 2
+
+
+class TestCrashContainment:
+    def test_worker_crash_yields_coded_result_and_recovers(self, payroll_wb):
+        with TranslationGateway(payroll_wb, workers=1, **FAST) as gateway:
+            crashed = gateway.translate(
+                RUNNING_EXAMPLE, faults="worker_crash:raise", wait=60.0
+            )
+            assert not crashed.ok
+            assert crashed.error_code == "worker_crashed"
+            healthy = gateway.translate(RUNNING_EXAMPLE, wait=60.0)
+            assert healthy.ok
+            assert healthy.top_formula == RUNNING_ANSWER
+            stats = gateway.stats()
+            assert stats.crashed == 1
+            assert stats.restarts >= 1  # the slot respawned
+
+    def test_external_kill_mid_request(self, payroll_wb):
+        with TranslationGateway(payroll_wb, workers=1, **FAST) as gateway:
+            pending = gateway.submit(
+                "sum the hours", faults="tokenize:delay:2.0"
+            )
+            time.sleep(0.3)  # let the worker start sleeping inside the request
+            assert gateway.kill_worker(0)
+            result = pending.result(timeout=60.0)
+            assert not result.ok
+            assert result.error_code == "worker_crashed"
+            assert gateway.translate("sum the hours", wait=60.0).ok
+
+    def test_hung_worker_is_killed_and_coded_worker_timeout(self, payroll_wb):
+        with TranslationGateway(
+            payroll_wb, workers=1, timeout_grace=0.2, **FAST
+        ) as gateway:
+            result = gateway.translate(
+                "sum the hours", deadline=0.3,
+                faults="tokenize:delay:5.0", wait=60.0,
+            )
+            assert not result.ok
+            assert result.error_code == "worker_timeout"
+            assert gateway.stats().timed_out == 1
+            # the hung process was killed, not reused
+            follow_up = gateway.translate("sum the hours", wait=60.0)
+            assert follow_up.ok
+
+
+class TestAdmissionControl:
+    def test_expired_deadline_is_shed_at_submit(self, payroll_wb):
+        with TranslationGateway(payroll_wb, workers=1, **FAST) as gateway:
+            result = gateway.translate("sum the hours", deadline=0.0, wait=60.0)
+            assert not result.ok
+            assert result.error_code == "shed_overload"
+            assert gateway.stats().shed == 1
+
+    def test_full_queue_sheds_immediately(self, payroll_wb):
+        with TranslationGateway(
+            payroll_wb, workers=1, queue_limit=1, **FAST
+        ) as gateway:
+            slow = gateway.submit("sum the hours", faults="tokenize:delay:0.5")
+            time.sleep(0.15)  # the slow request is now in flight
+            queued = gateway.submit("count the employees")
+            shed = gateway.submit("sum the hours")
+            shed_result = shed.result(timeout=60.0)
+            assert shed_result.error_code == "shed_overload"
+            assert "queue full" in shed_result.error
+            assert slow.result(timeout=60.0).ok
+            assert queued.result(timeout=60.0).ok
+
+    def test_deadline_expiring_in_queue_is_shed_at_dispatch(self, payroll_wb):
+        with TranslationGateway(payroll_wb, workers=1, **FAST) as gateway:
+            slow = gateway.submit("sum the hours", faults="tokenize:delay:0.5")
+            time.sleep(0.15)
+            doomed = gateway.submit("count the employees", deadline=0.1)
+            result = doomed.result(timeout=60.0)
+            assert result.error_code == "shed_overload"
+            assert "deadline expired" in result.error
+            assert slow.result(timeout=60.0).ok
+
+
+class TestCircuitBreaker:
+    def test_breaker_opens_fast_fails_then_heals(self, payroll_wb):
+        with TranslationGateway(
+            payroll_wb, workers=1,
+            breaker_threshold=2, breaker_reset=0.3, **FAST,
+        ) as gateway:
+            for _ in range(2):
+                crashed = gateway.translate(
+                    "sum the hours", faults="worker_crash:raise", wait=60.0
+                )
+                assert crashed.error_code == "worker_crashed"
+            fingerprint = payroll_wb.fingerprint()
+            assert gateway.stats().breakers[fingerprint] == "open"
+
+            rejected = gateway.translate("sum the hours", wait=60.0)
+            assert rejected.error_code == "circuit_open"
+            assert rejected.worker_id is None  # fast-failed before dispatch
+            assert gateway.stats().circuit_rejected == 1
+
+            time.sleep(0.35)  # reset window: one half-open probe admitted
+            probe = gateway.translate("sum the hours", wait=60.0)
+            assert probe.ok
+            assert gateway.stats().breakers[fingerprint] == "closed"
+
+    def test_failed_probe_reopens(self, payroll_wb):
+        with TranslationGateway(
+            payroll_wb, workers=1,
+            breaker_threshold=1, breaker_reset=0.2, **FAST,
+        ) as gateway:
+            gateway.translate(
+                "sum the hours", faults="worker_crash:raise", wait=60.0
+            )
+            time.sleep(0.25)
+            probe = gateway.translate(
+                "sum the hours", faults="worker_crash:raise", wait=60.0
+            )
+            assert probe.error_code == "worker_crashed"
+            fingerprint = payroll_wb.fingerprint()
+            assert gateway.stats().breakers[fingerprint] == "open"
+            assert gateway.translate("sum the hours", wait=60.0).error_code == (
+                "circuit_open"
+            )
+
+
+class TestShutdown:
+    def test_submit_after_close_is_coded(self, payroll_wb):
+        gateway = TranslationGateway(payroll_wb, workers=1, **FAST)
+        gateway.close(drain=True)
+        result = gateway.translate("sum the hours", wait=60.0)
+        assert result.error_code == "gateway_closed"
+
+    def test_drain_serves_queued_requests(self, payroll_wb):
+        gateway = TranslationGateway(payroll_wb, workers=1, **FAST)
+        pendings = [
+            gateway.submit("sum the hours"),
+            gateway.submit("count the employees"),
+            gateway.submit(RUNNING_EXAMPLE),
+        ]
+        gateway.close(drain=True)
+        results = [p.result(timeout=60.0) for p in pendings]
+        assert all(r.ok for r in results)
+
+    def test_no_drain_fails_queued_but_finishes_in_flight(self, payroll_wb):
+        gateway = TranslationGateway(payroll_wb, workers=1, **FAST)
+        in_flight = gateway.submit("sum the hours", faults="tokenize:delay:0.5")
+        time.sleep(0.15)
+        queued = gateway.submit("count the employees")
+        gateway.close(drain=False)
+        assert queued.result(timeout=60.0).error_code == "gateway_closed"
+        assert in_flight.result(timeout=60.0).ok
+
+
+class TestStatsAccounting:
+    def test_every_submit_is_completed_exactly_once(self, payroll_wb):
+        with TranslationGateway(payroll_wb, workers=2, **FAST) as gateway:
+            outcomes = []
+            outcomes.append(gateway.translate("sum the hours", wait=60.0))
+            outcomes.append(gateway.translate(
+                "sum the hours", faults="worker_crash:raise", wait=60.0
+            ))
+            outcomes.append(gateway.translate(
+                "sum the hours", deadline=0.0, wait=60.0
+            ))
+            outcomes.append(gateway.translate("   ", wait=60.0))
+            stats = gateway.stats()
+            assert stats.submitted == 4
+            assert stats.completed == 4
+            assert stats.queue_depth == 0
+            assert stats.in_flight == 0
+            assert stats.ok == 1
+            assert stats.crashed == 1
+            assert stats.shed == 1
+            assert stats.failed == 1
+            assert stats.shed_rate == pytest.approx(0.25)
+            assert all(
+                o.ok or o.error_code is not None for o in outcomes
+            )

@@ -134,3 +134,52 @@ class TestEvalkitCli:
         assert proc.returncode == 0, proc.stderr
         assert "Table 2" in proc.stdout
         assert "payroll" in proc.stdout
+
+
+class TestServe:
+    def test_line_oriented_session(self):
+        proc = run_cli(
+            "serve", "--sheet", "payroll", "--workers", "1",
+            stdin="sum the hours\n:stats\n:quit\n",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "# gateway up: 1 workers" in proc.stdout
+        assert "[full] =SUM(D2:D13)" in proc.stdout
+        assert "submitted=1 ok=1" in proc.stdout
+        assert "worker 0:" in proc.stdout
+
+    def test_error_lines_are_coded_not_raised(self):
+        proc = run_cli(
+            "serve", "--sheet", "payroll", "--workers", "1",
+            stdin="???\n:q\n",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "error [empty_description]:" in proc.stdout
+
+
+class TestBatch:
+    def test_file_batch_reports_summary(self, tmp_path):
+        batch = tmp_path / "requests.txt"
+        batch.write_text("sum the hours\ncount the employees\n")
+        proc = run_cli(
+            "batch", str(batch), "--workers", "1", "--repeat", "2"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.count("<- sum the hours") == 2
+        assert proc.stdout.count("<- count the employees") == 2
+        assert "# 4 requests in" in proc.stdout
+        assert "ok 4, shed 0 (0.0%), crashed 0" in proc.stdout
+        assert "p50" in proc.stdout and "p95" in proc.stdout
+
+    def test_stdin_batch(self):
+        proc = run_cli(
+            "batch", "-", "--workers", "1",
+            stdin="sum the hours\n",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "[full] =SUM(D2:D13)" in proc.stdout
+
+    def test_empty_batch_is_an_error(self):
+        proc = run_cli("batch", "-", stdin="\n\n")
+        assert proc.returncode == 2
+        assert "empty_batch" in proc.stderr
