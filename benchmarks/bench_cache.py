@@ -1,0 +1,55 @@
+"""Cache — cold vs memoised throughput through the gateway.
+
+Runs the same test-split sample twice through a cache-enabled
+:class:`repro.serve.TranslationGateway`: the cold pass computes every
+answer in the worker pool and populates the cache, the warm pass should
+resolve entirely in the gateway front end.  The acceptance bar from the
+caching issue: the warm pass is at least 5x faster *and* ranks
+byte-identical programs — a cache that changes answers is a bug, however
+fast it is.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalkit import format_cache, run_cache
+
+WORKERS = 2
+MIN_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def report(corpus, sample_size):
+    sample = 32 if sample_size is not None else None
+    return run_cache(corpus, sample=sample, workers=WORKERS)
+
+
+def test_print_cache(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Cache (measured, test-split sample twice)")
+    print(format_cache(report))
+
+
+def test_warm_pass_is_memoised(benchmark, report):
+    """After a cold pass, every repeat request hits the front-end cache."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert report.hit_rate == 1.0
+    assert report.stats.cache is not None
+    assert report.stats.cache.hits >= report.n
+
+
+def test_warm_speedup(benchmark, report):
+    """The memoised pass beats the cold pass by at least MIN_SPEEDUP."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert report.speedup >= MIN_SPEEDUP, (
+        f"warm pass only {report.speedup:.1f}x faster "
+        f"(cold {report.cold_seconds:.3f}s, warm {report.warm_seconds:.3f}s)"
+    )
+
+
+def test_cached_rankings_are_identical(benchmark, report):
+    """The differential claim: memoisation never changes an answer."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert report.identical

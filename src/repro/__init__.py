@@ -17,6 +17,7 @@ Quickstart::
     print(result.display())
 """
 
+from .cache import CacheStats, ResultCache
 from .dsl import Evaluator, ExcelEmitter, TypeChecker, paraphrase
 from .errors import ReproError
 from .runtime import Budget
@@ -25,10 +26,11 @@ from .session import NLyzeSession
 from .sheet import CellValue, Table, ValueType, Workbook
 from .translate import Candidate, Translator, TranslatorConfig
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Budget",
+    "CacheStats",
     "Candidate",
     "CellValue",
     "Evaluator",
@@ -36,6 +38,7 @@ __all__ = [
     "GatewayResult",
     "NLyzeSession",
     "ReproError",
+    "ResultCache",
     "ServiceResult",
     "Table",
     "TranslationGateway",

@@ -94,6 +94,13 @@ def _print_gateway_stats(gateway) -> None:
         f"crashed={stats.crashed} timed_out={stats.timed_out} "
         f"circuit_open={stats.circuit_rejected} restarts={stats.restarts}"
     )
+    if stats.cache is not None:
+        print(
+            f"#   cache: hits={stats.cache.hits} misses={stats.cache.misses} "
+            f"hit_rate={stats.cache.hit_rate:.1%} size={stats.cache.size}/"
+            f"{stats.cache.capacity} evictions={stats.cache.evictions} "
+            f"invalidated={stats.cache.invalidated}"
+        )
     for worker in stats.workers:
         print(
             f"#   worker {worker.worker_id}: alive={worker.alive} "
@@ -110,6 +117,7 @@ def _make_gateway(args: argparse.Namespace):
         workers=args.workers,
         queue_limit=args.queue_limit,
         default_deadline=_deadline(args),
+        cache=args.cache,
     )
 
 
@@ -168,6 +176,7 @@ def _cmd_batch(args: argparse.Namespace) -> None:
             f"({len(results) / wall:.1f} req/s), "
             f"ok {sum(r.ok for r in results)}, shed {stats.shed} "
             f"({stats.shed_rate:.1%}), crashed {stats.crashed}, "
+            f"cache hits {stats.cache_hits} ({stats.cache_hit_rate:.1%}), "
             f"p50 {p(0.5) * 1000:.1f}ms, p95 {p(0.95) * 1000:.1f}ms"
         )
     finally:
@@ -243,6 +252,10 @@ def main(argv: list[str] | None = None) -> None:
                        help="bounded admission queue depth")
         p.add_argument("--deadline", type=float, default=None, metavar="MS",
                        help="per-request deadline (milliseconds)")
+        p.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="memoise translation results per "
+                            "(sentence, workbook) [default: on]")
 
     p = sub.add_parser(
         "serve", help="line-oriented gateway service on stdin/stdout"

@@ -1,0 +1,75 @@
+"""Cache keys: what makes two translation requests "the same request".
+
+NLyze's translation pipeline (paper Algos 1-3) is a deterministic dynamic
+program: for a fixed sentence, a fixed spreadsheet state, and a fixed
+configuration, the ranked candidate list is a pure function of its inputs.
+That makes the memoisation key three-dimensional:
+
+* **sentence** — normalised with exactly the transformations the tokenizer
+  already applies to every word (lowercasing, whitespace collapse), so two
+  phrasings that tokenize identically share one entry;
+* **fingerprint** — ``Workbook.fingerprint()``, the stable content hash of
+  the whole interactive state.  Any visible mutation (cell edit, cursor
+  move, selection change, format change) changes the fingerprint, which is
+  what makes stale entries unreachable;
+* **options** — a signature of every knob that can change the output: the
+  translator configuration, the rule set, and serving-level options such
+  as ``top_k``.
+
+Nothing time-dependent belongs in the key: results are only ever cached
+from *clean, fully-searched* runs (see :mod:`repro.cache.result_cache`),
+whose output is provably independent of the deadline that happened to be
+in force.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["CacheKey", "normalise_sentence", "options_signature"]
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """One memoisation slot: (normalised sentence, fingerprint, options)."""
+
+    sentence: str
+    fingerprint: str
+    options: str
+
+
+def normalise_sentence(sentence: str) -> str:
+    """Collapse a description to its cache-equivalence representative.
+
+    Lowercases and collapses runs of whitespace — both are transformations
+    the tokenizer applies per word anyway (``_normalize`` lowercases,
+    ``str.split`` ignores whitespace runs), so normalised-equal sentences
+    produce token streams with identical ``text``/``literal`` content and
+    therefore identical ranked programs.  Only ``Token.raw`` (a
+    display-only field) can differ between two phrasings sharing an entry.
+    """
+    return " ".join(sentence.split()).lower()
+
+
+def options_signature(*parts: object) -> str:
+    """A stable signature over configuration objects and primitives.
+
+    Dataclasses are rendered field-by-field in declaration order (so two
+    equal configs always sign identically); everything else falls back to
+    ``repr``.  The result is digested so keys stay small regardless of how
+    many knobs a layer folds in.
+    """
+    rendered: list[str] = []
+    for part in parts:
+        if dataclasses.is_dataclass(part) and not isinstance(part, type):
+            fields = ",".join(
+                f"{f.name}={getattr(part, f.name)!r}"
+                for f in dataclasses.fields(part)
+            )
+            rendered.append(f"{type(part).__name__}({fields})")
+        else:
+            rendered.append(repr(part))
+    digest = hashlib.sha256("|".join(rendered).encode("utf-8", "replace"))
+    return digest.hexdigest()[:16]

@@ -1,0 +1,218 @@
+"""A bounded, thread-safe LRU+TTL cache for translation results.
+
+:class:`ResultCache` stores ranked-candidate payloads under a
+:class:`~repro.cache.keys.CacheKey`.  It is deliberately generic about the
+payload — the in-process service layer stores candidate tuples, the
+gateway stores the flat serialised reply that crossed the worker pipe —
+and strict about everything else:
+
+* **bounded** — at most ``capacity`` entries; inserting past the bound
+  evicts the least-recently-used entry (a ``get`` refreshes recency);
+* **TTL** — entries older than ``ttl`` seconds are dropped on access
+  (``stale_drops``) instead of being served;
+* **invalidation** — :meth:`invalidate` removes every entry for one
+  workbook fingerprint in O(entries for that fingerprint), via a
+  secondary fingerprint index.  This is the hook serving layers pull when
+  a workbook mutates (its fingerprint changes) or its circuit breaker
+  trips;
+* **thread-safe** — one lock around all state; callers on any number of
+  threads never observe a partially-committed entry;
+* **observable** — :meth:`stats` returns a :class:`CacheStats` snapshot
+  including caller-reported hit vs miss latency.
+
+Payloads must be treated as immutable by callers: the cache hands back
+the stored object itself, so integration layers store tuples / frozen
+payloads and copy on the way out where mutation is possible.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .keys import CacheKey
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """An immutable diagnostics snapshot of one :class:`ResultCache`."""
+
+    hits: int
+    misses: int
+    puts: int
+    evictions: int
+    stale_drops: int
+    invalidated: int
+    size: int
+    capacity: int
+    hit_seconds_total: float
+    miss_seconds_total: float
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def avg_hit_seconds(self) -> float:
+        return self.hit_seconds_total / self.hits if self.hits else 0.0
+
+    @property
+    def avg_miss_seconds(self) -> float:
+        return self.miss_seconds_total / self.misses if self.misses else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Observed miss latency over hit latency (0 until both observed)."""
+        if not self.hits or not self.misses or self.hit_seconds_total == 0.0:
+            return 0.0
+        return self.avg_miss_seconds / self.avg_hit_seconds
+
+
+class ResultCache:
+    """Bounded thread-safe LRU+TTL map from :class:`CacheKey` to payload."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None for no expiry)")
+        self.capacity = capacity
+        self.ttl = ttl
+        self.clock = clock
+        self._lock = threading.Lock()
+        # Insertion order doubles as recency order (moved-to-end on get).
+        self._entries: dict[CacheKey, tuple[Any, float | None]] = {}
+        self._by_fingerprint: dict[str, set[CacheKey]] = {}
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._evictions = 0
+        self._stale_drops = 0
+        self._invalidated = 0
+        self._hit_seconds = 0.0
+        self._miss_seconds = 0.0
+
+    # -- the data path -----------------------------------------------------------
+
+    def get(self, key: CacheKey) -> Any | None:
+        """The payload for ``key``, or ``None`` (miss / expired)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            value, expires_at = entry
+            if expires_at is not None and self.clock() >= expires_at:
+                self._remove(key)
+                self._stale_drops += 1
+                self._misses += 1
+                return None
+            # LRU touch: re-insert at the most-recent end.
+            del self._entries[key]
+            self._entries[key] = entry
+            self._hits += 1
+            return value
+
+    def put(self, key: CacheKey, value: Any) -> None:
+        """Commit ``value`` under ``key`` (refreshes TTL and recency)."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+            expires_at = (
+                self.clock() + self.ttl if self.ttl is not None else None
+            )
+            self._entries[key] = (value, expires_at)
+            self._by_fingerprint.setdefault(key.fingerprint, set()).add(key)
+            self._puts += 1
+            while len(self._entries) > self.capacity:
+                oldest = next(iter(self._entries))
+                self._remove(oldest)
+                self._evictions += 1
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop every entry for one workbook fingerprint; returns count."""
+        with self._lock:
+            keys = self._by_fingerprint.get(fingerprint)
+            if not keys:
+                return 0
+            dropped = 0
+            for key in list(keys):
+                self._remove(key)
+                dropped += 1
+            self._invalidated += dropped
+            return dropped
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries removed."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._by_fingerprint.clear()
+            self._invalidated += dropped
+            return dropped
+
+    def _remove(self, key: CacheKey) -> None:
+        self._entries.pop(key, None)
+        keys = self._by_fingerprint.get(key.fingerprint)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_fingerprint[key.fingerprint]
+
+    # -- latency accounting (reported by the layer that owns the timer) ----------
+
+    def observe_hit(self, seconds: float) -> None:
+        with self._lock:
+            self._hit_seconds += seconds
+
+    def observe_miss(self, seconds: float) -> None:
+        with self._lock:
+            self._miss_seconds += seconds
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                puts=self._puts,
+                evictions=self._evictions,
+                stale_drops=self._stale_drops,
+                invalidated=self._invalidated,
+                size=len(self._entries),
+                capacity=self.capacity,
+                hit_seconds_total=self._hit_seconds,
+                miss_seconds_total=self._miss_seconds,
+            )
+
+    def entries(self) -> list[tuple[CacheKey, Any]]:
+        """A point-in-time snapshot (recency order, oldest first)."""
+        with self._lock:
+            return [(k, v) for k, (v, _) in self._entries.items()]
+
+    def keys(self) -> list[CacheKey]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        """Membership without touching recency, TTL, or hit counters."""
+        with self._lock:
+            return key in self._entries

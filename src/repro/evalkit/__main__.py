@@ -69,6 +69,13 @@ def _gateway(args: argparse.Namespace) -> None:
     print(harness.format_gateway(result))
 
 
+def _cache(args: argparse.Namespace) -> None:
+    corpus = Corpus.default()
+    result = harness.run_cache(corpus, sample=args.sample or 40)
+    print("Cache — cold vs memoised pass through the gateway (measured)")
+    print(harness.format_cache(result))
+
+
 def _clusters(args: argparse.Namespace) -> None:
     report = run_clusters(Corpus.default())
     print(
@@ -84,7 +91,7 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "fig1", "userstudy",
-                 "clusters", "resilience", "gateway", "all"],
+                 "clusters", "resilience", "gateway", "cache", "all"],
     )
     parser.add_argument(
         "--sample", type=int, default=None,
@@ -100,6 +107,7 @@ def main(argv: list[str] | None = None) -> None:
         "clusters": _clusters,
         "resilience": _resilience,
         "gateway": _gateway,
+        "cache": _cache,
     }
     if args.experiment == "all":
         for name in ["table1", "fig1", "table2", "table3", "userstudy",

@@ -341,6 +341,109 @@ def format_gateway(report: GatewayReport) -> str:
     return "\n".join(lines)
 
 
+@dataclass
+class CacheReport:
+    """A cold pass vs a warm (fully memoised) pass through one gateway."""
+
+    n: int = 0
+    workers: int = 0
+    cold_seconds: float = 0.0
+    warm_seconds: float = 0.0
+    cache_hits: int = 0
+    identical: bool = True
+    stats: object | None = None  # closing GatewayStats
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.cold_seconds / self.warm_seconds if self.warm_seconds else 0.0
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.n if self.n else 0.0
+
+
+def run_cache(
+    corpus: Corpus | None = None,
+    sample: int | None = 40,
+    workers: int = 2,
+    queue_limit: int = 256,
+) -> CacheReport:
+    """The memoisation experiment: the same test-split sample twice
+    through a cache-enabled gateway.  The first (cold) pass populates the
+    cache through the workers; the second (warm) pass should resolve in
+    the gateway front end.  The report records the wall-clock ratio, the
+    warm hit rate, and whether both passes ranked byte-identical
+    programs — the differential-correctness claim of :mod:`repro.cache`.
+    """
+    import time
+
+    from ..serve import TranslationGateway
+
+    corpus = corpus or Corpus.default()
+    descriptions = corpus.test
+    if sample is not None and sample < len(descriptions):
+        step = len(descriptions) / sample
+        descriptions = [descriptions[int(k * step)] for k in range(sample)]
+    descriptions = list(descriptions)
+    workbooks = {
+        sheet_id: build_sheet(sheet_id)
+        for sheet_id in {d.sheet_id for d in descriptions}
+    }
+    report = CacheReport(n=len(descriptions), workers=workers)
+    gateway = TranslationGateway(
+        workers=workers, queue_limit=queue_limit, cache=True
+    )
+    try:
+        start = time.perf_counter()
+        cold = [
+            p.result(timeout=120.0)
+            for p in [
+                gateway.submit(d.text, workbooks[d.sheet_id])
+                for d in descriptions
+            ]
+        ]
+        report.cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = [
+            p.result(timeout=120.0)
+            for p in [
+                gateway.submit(d.text, workbooks[d.sheet_id])
+                for d in descriptions
+            ]
+        ]
+        report.warm_seconds = time.perf_counter() - start
+        report.cache_hits = sum(r.cached for r in warm)
+        report.identical = all(
+            a.programs == b.programs and a.error_code == b.error_code
+            for a, b in zip(cold, warm)
+        )
+        report.stats = gateway.stats()
+    finally:
+        gateway.close(drain=True)
+    return report
+
+
+def format_cache(report: CacheReport) -> str:
+    lines = [
+        f"{report.n} requests twice / {report.workers} workers / cache on",
+        f"cold pass {report.cold_seconds * 1000:>8.1f}ms   "
+        f"warm pass {report.warm_seconds * 1000:>8.1f}ms   "
+        f"speedup {report.speedup:>5.1f}x",
+        f"warm hit rate {report.hit_rate:.1%}   "
+        f"identical rankings: {'yes' if report.identical else 'NO'}",
+    ]
+    if report.stats is not None and report.stats.cache is not None:
+        c = report.stats.cache
+        lines.append(
+            f"cache: hits {c.hits}, misses {c.misses}, size {c.size}/"
+            f"{c.capacity}, avg hit {c.avg_hit_seconds * 1e6:.0f}us, "
+            f"avg miss {c.avg_miss_seconds * 1000:.1f}ms"
+        )
+    return "\n".join(lines)
+
+
 def run_fig1() -> str:
     """Fig. 1 — the running example's annotated candidate list."""
     from ..session import NLyzeSession

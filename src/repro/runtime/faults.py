@@ -43,6 +43,7 @@ __all__ = [
     "STAGES",
     "FaultPlan",
     "FaultSpec",
+    "active_plan",
     "clear",
     "fault_point",
     "inject",
@@ -129,6 +130,11 @@ def install(plan: FaultPlan | None) -> None:
 
 def clear() -> None:
     install(None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently armed plan, if any (``None`` = healthy process)."""
+    return _active
 
 
 @contextmanager

@@ -27,12 +27,13 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
+from ..cache import CacheKey, ResultCache, normalise_sentence, options_signature
 from ..errors import ReproError
 from ..sheet import Workbook
 from ..translate import Candidate, Translator, TranslatorConfig
 from ..translate.rules import RuleSet
 from .budget import Budget
-from .faults import FaultPlan, installed
+from .faults import FaultPlan, active_plan, installed
 
 __all__ = [
     "AttemptReport",
@@ -100,6 +101,7 @@ class AttemptReport:
     candidates: int
     error_code: str | None = None
     error: str | None = None
+    cached: bool = False
 
 
 @dataclass
@@ -115,6 +117,7 @@ class ServiceResult:
     attempts: list[AttemptReport] = field(default_factory=list)
     error_code: str | None = None
     error: str | None = None
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -133,6 +136,17 @@ class TranslationService:
     additionally caps the work per tier attempt.  ``faults`` arms a
     :class:`FaultPlan` for the duration of each request (testing knob; the
     ``REPRO_FAULTS`` env var arms one process-wide instead).
+
+    ``cache`` attaches a :class:`~repro.cache.ResultCache`: each ladder
+    rung is memoised independently under ``(normalised sentence, workbook
+    fingerprint, rung signature)``, so a repeat request short-circuits at
+    the first rung whose result is known — including cheap rungs seeded by
+    an earlier degraded request.  Only *clean, fully-searched* rungs are
+    committed (no error, budget not exhausted), whose output is provably
+    independent of the deadline in force, so a hit is byte-identical to
+    recomputing.  When the workbook mutates (its fingerprint changes), the
+    service invalidates every entry it cached for the old fingerprint.
+    Requests with a fault plan armed bypass the cache entirely.
     """
 
     def __init__(
@@ -144,6 +158,7 @@ class TranslationService:
         max_derivations: int | None = None,
         tiers: tuple[Tier, ...] | None = None,
         faults: FaultPlan | None = None,
+        cache: ResultCache | None = None,
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.workbook = workbook
@@ -152,9 +167,17 @@ class TranslationService:
         self.max_derivations = max_derivations
         self.tiers = tiers or degradation_ladder(config)
         self.faults = faults
+        self.cache = cache
         self.clock = clock
         self._translators: dict[str, Translator] = {}
         self._translators_lock = threading.Lock()
+        self._last_fingerprint: str | None = None
+        self._tier_signatures: dict[str, str] = {}
+        self._rules_signature = (
+            "builtin"
+            if rules is None
+            else options_signature(*[rule.render() for rule in rules])
+        )
 
     # -- translators ------------------------------------------------------------
 
@@ -178,6 +201,21 @@ class TranslationService:
         """The full-fidelity sheet context (for annotation/explanations)."""
         return self.translator_for(self.tiers[0]).ctx
 
+    # -- cache keying -----------------------------------------------------------
+
+    def _tier_signature(self, tier: Tier) -> str:
+        """The options signature for one rung: its full translator config
+        plus the rule set (``max_derivations``/``deadline`` are excluded on
+        purpose — committed entries come only from runs that never tripped
+        a budget, whose output those knobs cannot have influenced)."""
+        signature = self._tier_signatures.get(tier.name)
+        if signature is None:
+            signature = options_signature(
+                tier.name, tier.config, self._rules_signature
+            )
+            self._tier_signatures[tier.name] = signature
+        return signature
+
     # -- the request path -------------------------------------------------------
 
     def translate(self, sentence: str) -> ServiceResult:
@@ -191,8 +229,49 @@ class TranslationService:
         start = self.clock()
         attempts: list[AttemptReport] = []
         spent = 0
+        # Fault injection can perturb any stage, so an armed plan (per
+        # request or process-wide) disables memoisation for this request.
+        cache = self.cache if active_plan() is None else None
+        normalised = fingerprint = None
+        if cache is not None:
+            normalised = normalise_sentence(sentence)
+            fingerprint = self.workbook.fingerprint()
+            if self._last_fingerprint not in (None, fingerprint):
+                # The workbook mutated since the last request: everything
+                # this service committed for the old state is now garbage.
+                cache.invalidate(self._last_fingerprint)
+            self._last_fingerprint = fingerprint
 
         for k, tier in enumerate(self.tiers):
+            key = None
+            if cache is not None:
+                key = CacheKey(
+                    normalised, fingerprint, self._tier_signature(tier)
+                )
+                hit = cache.get(key)
+                if hit is not None:
+                    elapsed = self.clock() - start
+                    cache.observe_hit(elapsed)
+                    attempts.append(
+                        AttemptReport(
+                            tier=tier.name,
+                            elapsed=self.clock() - start,
+                            derivations=0,
+                            exhausted=False,
+                            candidates=len(hit),
+                            cached=True,
+                        )
+                    )
+                    return ServiceResult(
+                        candidates=list(hit),
+                        tier=tier.name,
+                        degraded=k > 0,
+                        anytime=False,
+                        elapsed=self.clock() - start,
+                        budget_spent=spent,
+                        attempts=attempts,
+                        cached=True,
+                    )
             budget = self._budget_for(k, start)
             t0 = self.clock()
             error: str | None = None
@@ -207,10 +286,11 @@ class TranslationService:
             except Exception as exc:  # noqa: BLE001 - the never-crash contract
                 error, code = f"{type(exc).__name__}: {exc}", "internal_error"
             spent += budget.spent_derivations
+            tier_elapsed = self.clock() - t0
             attempts.append(
                 AttemptReport(
                     tier=tier.name,
-                    elapsed=self.clock() - t0,
+                    elapsed=tier_elapsed,
                     derivations=budget.spent_derivations,
                     exhausted=budget.exhausted,
                     candidates=len(candidates),
@@ -218,6 +298,13 @@ class TranslationService:
                     error=error,
                 )
             )
+            if key is not None and code is None and not budget.exhausted:
+                # Clean, fully-searched rung: its ranking is a pure
+                # function of (sentence, workbook, rung config) —
+                # deadline-independent — so it is safe to memoise.  An
+                # exhausted (anytime) or errored rung never is.
+                cache.put(key, tuple(candidates))
+                cache.observe_miss(tier_elapsed)
 
             if code is None and candidates:
                 return ServiceResult(

@@ -13,7 +13,12 @@ needs (ROADMAP: distribute the service):
 * **per-workbook circuit breakers** keyed by ``Workbook.fingerprint()``
   (``circuit_open``) (:mod:`repro.serve.breaker`), with the same
   fingerprint driving warm-worker routing and the worker-side translator
-  cache (:mod:`repro.serve.fingerprint`).
+  cache (:mod:`repro.serve.fingerprint`);
+* **memoised results** — with ``GatewayConfig(cache=True)`` clean
+  rankings are cached under (normalised sentence, fingerprint, options)
+  and repeats are answered in the front end before admission control,
+  bypassing the pool entirely; breaker trips purge the offending
+  fingerprint's entries (:mod:`repro.cache`, docs/CACHING.md).
 
 Quickstart::
 

@@ -87,13 +87,17 @@ class CircuitBreaker:
             self._failures = 0
             self._probe_in_flight = False
 
-    def record_failure(self) -> None:
+    def record_failure(self) -> str:
+        """Count one worker-level failure; returns the resulting state (so
+        callers can react to the closed -> open trip, e.g. by purging the
+        fingerprint's cached results)."""
         with self._lock:
             self._failures += 1
             if self._state == HALF_OPEN or self._failures >= self.failure_threshold:
                 self._state = OPEN
                 self._opened_at = self.clock()
             self._probe_in_flight = False
+            return self._state
 
 
 class BreakerBoard:
@@ -127,8 +131,9 @@ class BreakerBoard:
     def record_success(self, key: str) -> None:
         self.breaker(key).record_success()
 
-    def record_failure(self, key: str) -> None:
-        self.breaker(key).record_failure()
+    def record_failure(self, key: str) -> str:
+        """Record a failure for ``key``; returns the breaker's new state."""
+        return self.breaker(key).record_failure()
 
     def states(self) -> dict[str, str]:
         """Fingerprint → state snapshot for diagnostics."""

@@ -37,9 +37,10 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
+from ..cache import CacheKey, CacheStats, ResultCache, normalise_sentence, options_signature
 from ..sheet import Workbook
 from ..translate import TranslatorConfig
-from .breaker import BreakerBoard
+from .breaker import OPEN, BreakerBoard
 from .fingerprint import WorkbookRegistry
 from .pool import WorkerCrashed, WorkerPool, WorkerStats, WorkerTimedOut
 
@@ -72,6 +73,11 @@ class GatewayConfig:
     restart_backoff_cap: float = 2.0
     worker_faults: str | None = None  # REPRO_FAULTS plan armed in every worker
     start_method: str | None = None  # fork/spawn/forkserver; None = best
+    # Memoised results (repro.cache): hits resolve in the front end before
+    # admission control; workers additionally memoise per ladder rung.
+    cache: bool = False
+    cache_capacity: int = 4096
+    cache_ttl: float | None = None  # seconds; None = entries never expire
 
 
 @dataclass
@@ -101,6 +107,8 @@ class GatewayResult:
     worker_id: int | None = None
     fingerprint: str | None = None
     warm: bool = False
+    cached: bool = False  # answered from the gateway cache, no worker touched
+    service_cached: bool = False  # worker hit its in-process rung memo
 
     @property
     def top_program(self) -> str | None:
@@ -139,6 +147,7 @@ class _Request:
     expires_at: float | None
     faults: str | None
     pending: PendingResult
+    cache_key: CacheKey | None = None  # set iff this request may commit
 
 
 @dataclass
@@ -156,11 +165,13 @@ class GatewayStats:
     timed_out: int
     circuit_rejected: int
     closed_rejected: int
+    cache_hits: int
     restarts: int
     avg_call_seconds: float
     registered_workbooks: int
     workers: list[WorkerStats] = field(default_factory=list)
     breakers: dict[str, str] = field(default_factory=dict)
+    cache: CacheStats | None = None  # None when the gateway cache is off
 
     @property
     def shed_rate(self) -> float:
@@ -169,6 +180,10 @@ class GatewayStats:
     @property
     def crash_rate(self) -> float:
         return self.crashed / self.submitted if self.submitted else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.submitted if self.submitted else 0.0
 
 
 class TranslationGateway:
@@ -193,6 +208,19 @@ class TranslationGateway:
             restart_backoff=self.config.restart_backoff,
             restart_backoff_cap=self.config.restart_backoff_cap,
         )
+        self._cache = (
+            ResultCache(
+                capacity=self.config.cache_capacity,
+                ttl=self.config.cache_ttl,
+            )
+            if self.config.cache
+            else None
+        )
+        self._cache_options = options_signature(
+            self.config.translator_config or TranslatorConfig(),
+            self.config.max_derivations,
+            self.config.top_k,
+        )
         self._cond = threading.Condition()
         self._queue: deque[_Request] = deque()
         self._ids = itertools.count(1)
@@ -203,7 +231,7 @@ class TranslationGateway:
         self._counters = {
             "submitted": 0, "completed": 0, "ok": 0, "failed": 0,
             "shed": 0, "crashed": 0, "timed_out": 0,
-            "circuit_rejected": 0, "closed_rejected": 0,
+            "circuit_rejected": 0, "closed_rejected": 0, "cache_hits": 0,
         }
         self._ema_call_seconds = 0.0
         self._runners = [
@@ -240,6 +268,13 @@ class TranslationGateway:
         fingerprint, payload = self._registry.register(wb)
         pending = PendingResult()
         now = time.monotonic()
+        # Fault-armed requests are chaos probes: they must reach a worker
+        # and must never commit what they produce.
+        cache_key = None
+        if self._cache is not None and faults is None:
+            cache_key = CacheKey(
+                normalise_sentence(sentence), fingerprint, self._cache_options
+            )
         request = _Request(
             id=next(self._ids),
             sentence=sentence,
@@ -249,6 +284,7 @@ class TranslationGateway:
             expires_at=(now + deadline) if deadline is not None else None,
             faults=faults,
             pending=pending,
+            cache_key=cache_key,
         )
         with self._cond:
             if self._closed:
@@ -257,6 +293,13 @@ class TranslationGateway:
                     "gateway is shut down", "closed_rejected",
                 )
                 return pending
+            if cache_key is not None:
+                entry = self._cache.get(cache_key)
+                if entry is not None:
+                    # A known-good answer beats every admission check: the
+                    # hit bypasses the breaker, the queue, and the pool.
+                    self._resolve_hit(request, entry)
+                    return pending
             if not self._breakers.allow(fingerprint):
                 self._reject(
                     request, "circuit_open",
@@ -374,6 +417,7 @@ class TranslationGateway:
             registered_workbooks=len(self._registry),
             workers=workers,
             breakers=self._breakers.states(),
+            cache=self._cache.stats() if self._cache is not None else None,
             **counters,
         )
 
@@ -389,6 +433,27 @@ class TranslationGateway:
         with self._stats_lock:
             for name in names:
                 self._counters[name] += 1
+
+    def _resolve_hit(self, request: _Request, entry: dict) -> None:
+        """Resolve a front-end cache hit without touching queue or pool."""
+        now = time.monotonic()
+        self._count("submitted", "completed", "ok", "cache_hits")
+        self._cache.observe_hit(now - request.submitted_at)
+        request.pending._resolve(
+            GatewayResult(
+                ok=True,
+                tier=entry["tier"],
+                programs=list(entry["programs"]),
+                n_candidates=entry["n_candidates"],
+                top_formula=entry["top_formula"],
+                elapsed=entry["elapsed"],
+                budget_spent=entry["budget_spent"],
+                queue_seconds=0.0,
+                total_seconds=now - request.submitted_at,
+                fingerprint=request.fingerprint,
+                cached=True,
+            )
+        )
 
     def _reject(
         self,
@@ -487,6 +552,7 @@ class TranslationGateway:
             "top_k": self.config.top_k,
             "config": self.config.translator_config,
             "faults": request.faults,
+            "cache": self.config.cache,
         }
         fingerprint = request.fingerprint
         try:
@@ -495,7 +561,7 @@ class TranslationGateway:
             reply = handle.call(message, timeout)
         except WorkerTimedOut as exc:
             self._pool.note_crash(slot)  # a hung worker is killed, not reused
-            self._breakers.record_failure(fingerprint)
+            self._note_breaker_failure(fingerprint)
             self._finish(
                 request,
                 self._worker_failure(
@@ -505,7 +571,7 @@ class TranslationGateway:
             )
         except WorkerCrashed as exc:
             self._pool.note_crash(slot)
-            self._breakers.record_failure(fingerprint)
+            self._note_breaker_failure(fingerprint)
             self._finish(
                 request,
                 self._worker_failure(
@@ -542,8 +608,36 @@ class TranslationGateway:
                 worker_id=slot,
                 fingerprint=fingerprint,
                 warm=reply["warm"],
+                service_cached=reply.get("cached", False),
             )
+            if (
+                request.cache_key is not None
+                and result.ok
+                and not result.degraded
+                and not result.anytime
+            ):
+                # Clean full-fidelity answer: deadline-independent, safe
+                # to replay verbatim for the next identical request.
+                self._cache.put(
+                    request.cache_key,
+                    {
+                        "tier": result.tier,
+                        "programs": tuple(result.programs),
+                        "n_candidates": result.n_candidates,
+                        "top_formula": result.top_formula,
+                        "elapsed": result.elapsed,
+                        "budget_spent": result.budget_spent,
+                    },
+                )
+                self._cache.observe_miss(duration)
             self._finish(request, result, "ok" if result.ok else "failed")
+
+    def _note_breaker_failure(self, fingerprint: str) -> None:
+        """Feed the breaker; a closed → open trip declares every cached
+        result for this workbook suspect and purges them."""
+        state = self._breakers.record_failure(fingerprint)
+        if state == OPEN and self._cache is not None:
+            self._cache.invalidate(fingerprint)
 
     def _worker_failure(
         self,

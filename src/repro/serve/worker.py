@@ -4,9 +4,10 @@
 pickled-dict protocol over a duplex pipe:
 
 * request — ``{"id", "sentence", "fingerprint", "payload", "deadline",
-  "max_derivations", "top_k", "faults"}`` (``payload`` is the pickled
-  workbook; ``faults`` an optional ``REPRO_FAULTS``-style plan armed for
-  this request only);
+  "max_derivations", "top_k", "faults", "cache"}`` (``payload`` is the
+  pickled workbook; ``faults`` an optional ``REPRO_FAULTS``-style plan
+  armed for this request only; ``cache`` asks the service for a
+  per-process rung memo, :mod:`repro.cache`);
 * reply — a flat dict of primitives mirroring
   :class:`~repro.runtime.service.ServiceResult` (no DSL objects cross the
   boundary, so a reply never fails to unpickle);
@@ -33,15 +34,22 @@ from contextlib import nullcontext
 
 # Imported eagerly so a fork()ed worker never takes the import lock for
 # the translation stack mid-flight (the parent is multi-threaded).
+from ..cache import ResultCache
 from ..rules import builtin_rules  # noqa: F401  (warms the import cache)
 from ..runtime.faults import fault_point, install, installed, parse_plan
 from ..runtime.service import TranslationService
 from ..translate import TranslatorConfig  # noqa: F401  (warms the import cache)
 
-__all__ = ["CRASH_EXIT_CODE", "SERVICE_CACHE_SIZE", "worker_main"]
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "SERVICE_CACHE_SIZE",
+    "WORKER_CACHE_CAPACITY",
+    "worker_main",
+]
 
 CRASH_EXIT_CODE = 23
 SERVICE_CACHE_SIZE = 8
+WORKER_CACHE_CAPACITY = 512  # per-service rung memo when the gateway caches
 
 
 def _build_reply(request: dict, services: dict) -> dict:
@@ -52,7 +60,15 @@ def _build_reply(request: dict, services: dict) -> dict:
         workbook, service = services[fingerprint]
     else:
         workbook = pickle.loads(request["payload"])
-        service = TranslationService(workbook, config=request.get("config"))
+        service = TranslationService(
+            workbook,
+            config=request.get("config"),
+            cache=(
+                ResultCache(capacity=WORKER_CACHE_CAPACITY)
+                if request.get("cache")
+                else None
+            ),
+        )
         if len(services) >= SERVICE_CACHE_SIZE:
             services.pop(next(iter(services)))
         services[fingerprint] = (workbook, service)
@@ -86,6 +102,7 @@ def _build_reply(request: dict, services: dict) -> dict:
         "programs": programs,
         "top_formula": top_formula,
         "warm": warm,
+        "cached": result.cached,
     }
 
 
@@ -125,6 +142,7 @@ def worker_main(conn, worker_id: int, worker_faults: str | None = None) -> None:
                     "programs": [],
                     "top_formula": None,
                     "warm": False,
+                    "cached": False,
                 }
         try:
             conn.send(reply)

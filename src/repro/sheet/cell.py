@@ -2,15 +2,42 @@
 
 Cells are the unit of mutation: DSL programs overwrite values (placing a
 computed scalar/vector at the cursor) and change formats (``Format(fe, Q)``).
+
+This module also owns the process-wide **sheet revision counter** that
+makes ``Workbook.fingerprint()`` memoisable.  Every attribute write on a
+:class:`Cell` (and on :class:`~repro.sheet.table.Table` / workbook-level
+mutators) bumps the counter, so a memoised fingerprint is provably fresh
+whenever the counter has not moved — even for mutations that bypass the
+workbook API entirely (``table.cell(i, j).value = ...``).  The counter is
+deliberately global and coarse: a bump anywhere invalidates every
+workbook's memo, which only ever costs a recompute, never staleness.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable
 
 from .formatting import CellFormat, FormatFn
 from .values import CellValue
+
+_revision_lock = threading.Lock()
+_revision = 0
+
+
+def bump_revision() -> int:
+    """Record that some sheet state changed; returns the new revision."""
+    global _revision
+    with _revision_lock:
+        _revision += 1
+        return _revision
+
+
+def current_revision() -> int:
+    """The revision as of now (compare to detect any intervening change)."""
+    with _revision_lock:
+        return _revision
 
 
 @dataclass
@@ -19,6 +46,10 @@ class Cell:
 
     value: CellValue = field(default_factory=CellValue.empty)
     format: CellFormat = field(default_factory=CellFormat)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        object.__setattr__(self, name, value)
+        bump_revision()
 
     def apply_formats(self, fns: Iterable[FormatFn]) -> None:
         """Apply each formatting function in order."""

@@ -13,7 +13,7 @@ from typing import Iterable, Iterator, Sequence
 
 from ..errors import SheetError, UnknownColumnError
 from .address import CellAddress
-from .cell import Cell
+from .cell import Cell, bump_revision
 from .column import Column, infer_column_type
 from .formatting import FormatFn
 from .values import CellValue, ValueType
@@ -21,6 +21,12 @@ from .values import CellValue, ValueType
 
 class Table:
     """A named table of typed columns and mutable cells."""
+
+    # Structural mutations (rename, re-anchor, row/column surgery) must
+    # invalidate memoised workbook fingerprints just like cell writes do.
+    def __setattr__(self, name: str, value: object) -> None:
+        object.__setattr__(self, name, value)
+        bump_revision()
 
     def __init__(
         self,

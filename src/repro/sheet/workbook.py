@@ -19,7 +19,7 @@ from typing import Iterable, Sequence
 
 from ..errors import SheetError, UnknownTableError
 from .address import CellAddress
-from .cell import Cell
+from .cell import Cell, bump_revision, current_revision
 from .table import Table
 from .values import CellValue
 
@@ -32,6 +32,17 @@ class Workbook:
         self._scratch: dict[CellAddress, Cell] = {}
         self._cursor: CellAddress | None = None
         self._selection: tuple[CellAddress, ...] = ()
+        self._fp_digest: str | None = None
+        self._fp_revision: int = -1
+
+    def _touch(self) -> None:
+        """Record a workbook-level mutation (cursor, selection, tables).
+
+        Cell- and table-level mutations bump the shared revision counter
+        on their own via ``__setattr__`` hooks; this covers the workbook
+        state those hooks cannot see.
+        """
+        bump_revision()
 
     def clone(self) -> "Workbook":
         """A deep copy of the whole interactive state (tables, scratch
@@ -66,6 +77,7 @@ class Workbook:
         }
         self._cursor = snapshot._cursor
         self._selection = snapshot._selection
+        self._touch()
 
     def fingerprint(self) -> str:
         """A stable content hash of the whole interactive state.
@@ -74,8 +86,17 @@ class Workbook:
         schemas, cell values and formats), scratch cells, cursor, and
         selection share a fingerprint; any visible difference changes it.
         Serving layers key shared translator caches, warm-worker routing,
-        and per-workbook circuit breakers on this value.
+        per-workbook circuit breakers, and memoised translation results
+        (:mod:`repro.cache`) on this value.
+
+        The hash is memoised against the sheet revision counter
+        (:func:`repro.sheet.cell.current_revision`): any mutation anywhere
+        — a cell write, a table re-anchor, a cursor move — forces a
+        recompute, so serving layers can call this per request for free.
         """
+        revision = current_revision()
+        if self._fp_digest is not None and self._fp_revision == revision:
+            return self._fp_digest
         digest = hashlib.sha256()
 
         def put(*parts: object) -> None:
@@ -107,7 +128,12 @@ class Workbook:
             put("cursor", self._cursor.col, self._cursor.row)
         for address in self._selection:
             put("select", address.col, address.row)
-        return digest.hexdigest()
+        # Revision captured *before* hashing: a concurrent mutation during
+        # the walk leaves the memo conservatively stale (next call
+        # recomputes), never wrongly fresh.
+        self._fp_digest = digest.hexdigest()
+        self._fp_revision = revision
+        return self._fp_digest
 
     # -- tables --------------------------------------------------------------
 
@@ -129,6 +155,7 @@ class Workbook:
             )
             table.origin = CellAddress(0, last.origin.row + last.n_rows + 3)
         self._tables[key] = table
+        self._touch()
         return table
 
     def table(self, name: str) -> Table:
@@ -167,6 +194,7 @@ class Workbook:
         if isinstance(address, str):
             address = CellAddress.parse(address)
         self._cursor = address
+        self._touch()
 
     @property
     def has_cursor(self) -> bool:
@@ -237,9 +265,11 @@ class Workbook:
 
     def select(self, addresses: Iterable[CellAddress]) -> None:
         self._selection = tuple(sorted(set(addresses)))
+        self._touch()
 
     def clear_selection(self) -> None:
         self._selection = ()
+        self._touch()
 
     def selected_row_indices(self, table: Table) -> list[int]:
         """Rows of ``table`` containing at least one actively-selected cell —

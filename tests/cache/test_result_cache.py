@@ -1,0 +1,314 @@
+"""Property-based tests for the bounded LRU+TTL :class:`ResultCache`.
+
+Hypothesis drives random operation sequences against the invariants that
+the serving layers depend on: the bound is never exceeded, eviction is
+exactly least-recently-used, TTL expiry is observable only as a miss,
+invalidation removes *every* entry for a fingerprint, and concurrent
+readers/writers never lose a committed entry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheKey, ResultCache, normalise_sentence, options_signature
+
+# -- strategies -------------------------------------------------------------
+
+_sentences = st.text(
+    alphabet="abc XY\t", min_size=0, max_size=12
+)
+_fingerprints = st.sampled_from(["fp0", "fp1", "fp2"])
+_options = st.sampled_from(["optA", "optB"])
+
+_keys = st.builds(CacheKey, _sentences, _fingerprints, _options)
+
+
+def _make_key(i: int, fingerprint: str = "fp") -> CacheKey:
+    return CacheKey(f"sentence {i}", fingerprint, "opts")
+
+
+# -- construction ------------------------------------------------------------
+
+def test_rejects_bad_capacity_and_ttl():
+    with pytest.raises(ValueError):
+        ResultCache(capacity=0)
+    with pytest.raises(ValueError):
+        ResultCache(ttl=0.0)
+    with pytest.raises(ValueError):
+        ResultCache(ttl=-1.0)
+
+
+# -- the bound ---------------------------------------------------------------
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["put", "get"]), st.integers(0, 15)),
+        max_size=60,
+    ),
+)
+def test_never_exceeds_capacity(capacity, ops):
+    cache = ResultCache(capacity=capacity)
+    for op, i in ops:
+        key = _make_key(i)
+        if op == "put":
+            cache.put(key, i)
+        else:
+            cache.get(key)
+        assert len(cache) <= capacity
+    stats = cache.stats()
+    assert stats.size == len(cache) <= capacity
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=6),
+    n=st.integers(min_value=1, max_value=20),
+)
+def test_distinct_puts_evict_exactly_the_overflow(capacity, n):
+    cache = ResultCache(capacity=capacity)
+    for i in range(n):
+        cache.put(_make_key(i), i)
+    stats = cache.stats()
+    assert stats.size == min(n, capacity)
+    assert stats.evictions == max(0, n - capacity)
+
+
+# -- LRU order ---------------------------------------------------------------
+
+@given(
+    touched=st.lists(st.integers(0, 3), min_size=0, max_size=10),
+)
+def test_lru_eviction_order(touched):
+    """Fill to capacity, replay a random access pattern, then overflow:
+    the evicted keys must be exactly the least-recently-used ones."""
+    capacity = 4
+    cache = ResultCache(capacity=capacity)
+    for i in range(capacity):
+        cache.put(_make_key(i), i)
+    recency = list(range(capacity))  # oldest first
+    for i in touched:
+        cache.get(_make_key(i))
+        recency.remove(i)
+        recency.append(i)
+    # Overflow by two: the two oldest by our model must be gone.
+    cache.put(_make_key(100), 100)
+    cache.put(_make_key(101), 101)
+    survivors = {key.sentence for key in cache.keys()}
+    for i in recency[:2]:
+        assert _make_key(i).sentence not in survivors
+    for i in recency[2:]:
+        assert _make_key(i).sentence in survivors
+
+
+def test_put_refreshes_recency():
+    cache = ResultCache(capacity=2)
+    cache.put(_make_key(0), 0)
+    cache.put(_make_key(1), 1)
+    cache.put(_make_key(0), 42)  # re-put: key 0 becomes most recent
+    cache.put(_make_key(2), 2)  # evicts key 1, not key 0
+    assert cache.get(_make_key(0)) == 42
+    assert cache.get(_make_key(1)) is None
+
+
+# -- TTL ---------------------------------------------------------------------
+
+@given(advance=st.floats(min_value=0.0, max_value=20.0))
+def test_ttl_expiry_with_fake_clock(advance):
+    now = [0.0]
+    cache = ResultCache(capacity=8, ttl=5.0, clock=lambda: now[0])
+    key = _make_key(0)
+    cache.put(key, "payload")
+    now[0] += advance
+    value = cache.get(key)
+    if advance < 5.0:
+        assert value == "payload"
+        assert cache.stats().stale_drops == 0
+    else:
+        assert value is None
+        stats = cache.stats()
+        assert stats.stale_drops == 1
+        assert stats.size == 0  # expired entries are removed, not served
+
+
+def test_put_refreshes_ttl():
+    now = [0.0]
+    cache = ResultCache(capacity=8, ttl=5.0, clock=lambda: now[0])
+    key = _make_key(0)
+    cache.put(key, "old")
+    now[0] = 4.0
+    cache.put(key, "new")  # fresh TTL from t=4
+    now[0] = 8.0  # stale relative to the first put, fresh to the second
+    assert cache.get(key) == "new"
+
+
+# -- invalidation -------------------------------------------------------------
+
+@given(
+    entries=st.lists(
+        st.tuples(_sentences, _fingerprints, _options),
+        min_size=0,
+        max_size=24,
+    ),
+    victim=_fingerprints,
+)
+def test_invalidate_removes_every_entry_for_a_fingerprint(entries, victim):
+    cache = ResultCache(capacity=64)
+    for sentence, fingerprint, options in entries:
+        cache.put(CacheKey(sentence, fingerprint, options), sentence)
+    expected_gone = {
+        key for key in cache.keys() if key.fingerprint == victim
+    }
+    dropped = cache.invalidate(victim)
+    assert dropped == len(expected_gone)
+    remaining = cache.keys()
+    assert all(key.fingerprint != victim for key in remaining)
+    # Entries for other fingerprints are untouched.
+    assert len(remaining) == len(set(remaining))
+    for key in remaining:
+        assert cache.get(key) is not None
+    assert cache.stats().invalidated == dropped
+
+
+def test_invalidate_unknown_fingerprint_is_a_noop():
+    cache = ResultCache(capacity=4)
+    cache.put(_make_key(0, "fpA"), 0)
+    assert cache.invalidate("fp-not-there") == 0
+    assert len(cache) == 1
+
+
+def test_clear_empties_everything():
+    cache = ResultCache(capacity=8)
+    for i in range(5):
+        cache.put(_make_key(i, f"fp{i % 2}"), i)
+    assert cache.clear() == 5
+    assert len(cache) == 0
+    assert cache.invalidate("fp0") == 0  # index cleared too
+
+
+# -- concurrency --------------------------------------------------------------
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(0, 2**16))
+def test_concurrent_get_put_loses_no_committed_entry(seed):
+    """8 threads hammer a shared cache; every key a thread committed and
+    nobody could have evicted or invalidated must still be readable."""
+    capacity = 10_000  # large: no evictions, so commits must all survive
+    cache = ResultCache(capacity=capacity)
+    n_threads, per_thread = 8, 50
+    errors: list[str] = []
+    barrier = threading.Barrier(n_threads)
+
+    def worker(tid: int) -> None:
+        barrier.wait()
+        for i in range(per_thread):
+            key = _make_key(i, fingerprint=f"fp-{tid}")
+            cache.put(key, (tid, i))
+            got = cache.get(key)
+            if got != (tid, i):
+                errors.append(f"thread {tid} lost {key}")
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,))
+        for tid in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) == n_threads * per_thread
+    stats = cache.stats()
+    assert stats.puts == n_threads * per_thread
+    assert stats.hits == n_threads * per_thread
+    assert stats.evictions == 0
+    # Every committed entry is still present and correct.
+    for tid in range(n_threads):
+        for i in range(per_thread):
+            assert cache.get(_make_key(i, f"fp-{tid}")) == (tid, i)
+
+
+def test_concurrent_invalidate_is_consistent():
+    """Concurrent put/invalidate on one fingerprint: afterwards the cache
+    holds either 0 entries or exactly the puts that landed after the
+    invalidation — never a dangling index entry."""
+    cache = ResultCache(capacity=1024)
+    stop = threading.Event()
+
+    def writer() -> None:
+        i = 0
+        while not stop.is_set():
+            cache.put(_make_key(i % 20, "fp-shared"), i)
+            i += 1
+
+    def invalidator() -> None:
+        while not stop.is_set():
+            cache.invalidate("fp-shared")
+
+    threads = [threading.Thread(target=writer) for _ in range(4)] + [
+        threading.Thread(target=invalidator) for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    import time
+
+    time.sleep(0.2)
+    stop.set()
+    for t in threads:
+        t.join()
+    cache.invalidate("fp-shared")
+    assert len(cache) == 0
+    # The secondary index holds no orphans: re-invalidating finds nothing.
+    assert cache.invalidate("fp-shared") == 0
+
+
+# -- stats and misc -----------------------------------------------------------
+
+def test_contains_does_not_touch_counters_or_recency():
+    cache = ResultCache(capacity=2)
+    cache.put(_make_key(0), 0)
+    cache.put(_make_key(1), 1)
+    assert _make_key(0) in cache
+    cache.put(_make_key(2), 2)  # key 0 is still LRU -> evicted
+    assert _make_key(0) not in cache
+    stats = cache.stats()
+    assert stats.hits == 0 and stats.misses == 0
+
+
+def test_latency_accounting():
+    cache = ResultCache()
+    cache.observe_miss(0.10)
+    cache.observe_miss(0.30)
+    cache.put(_make_key(0), 0)
+    cache.get(_make_key(0))
+    cache.get(_make_key(1))  # miss
+    cache.get(_make_key(2))  # miss
+    cache.get(_make_key(0))
+    cache.observe_hit(0.001)
+    cache.observe_hit(0.001)
+    stats = cache.stats()
+    assert stats.hits == 2 and stats.misses == 2
+    assert stats.avg_miss_seconds == pytest.approx(0.2)
+    assert stats.avg_hit_seconds == pytest.approx(0.001)
+    assert stats.speedup == pytest.approx(200.0)
+    assert stats.hit_rate == pytest.approx(0.5)
+
+
+def test_normalise_sentence():
+    assert normalise_sentence("  Sum THE\t hours ") == "sum the hours"
+    assert normalise_sentence("") == ""
+
+
+def test_options_signature_is_stable_and_discriminating():
+    from repro.translate import TranslatorConfig
+
+    a = options_signature(TranslatorConfig(), 5)
+    b = options_signature(TranslatorConfig(), 5)
+    c = options_signature(TranslatorConfig(beam_size=7), 5)
+    d = options_signature(TranslatorConfig(), 3)
+    assert a == b
+    assert len({a, c, d}) == 3

@@ -1,0 +1,105 @@
+"""The service-layer cache contract: hits are byte-identical, mutation
+invalidates, and nothing nondeterministic is ever committed."""
+
+from __future__ import annotations
+
+from repro.cache import ResultCache
+from repro.runtime import FaultSpec, FaultPlan, TranslationService
+from repro.sheet import CellValue
+
+from ..conftest import make_payroll
+
+
+def _service(**kwargs) -> TranslationService:
+    return TranslationService(make_payroll(), cache=ResultCache(), **kwargs)
+
+
+def test_repeat_request_hits_and_is_identical():
+    service = _service()
+    first = service.translate("sum the hours")
+    second = service.translate("sum the hours")
+    assert not first.cached and second.cached
+    assert second.attempts[-1].cached
+    assert [(str(c.program), c.score) for c in first.candidates] == [
+        (str(c.program), c.score) for c in second.candidates
+    ]
+    assert second.tier == first.tier
+    assert not second.degraded and not second.anytime
+    stats = service.cache.stats()
+    assert stats.hits == 1 and stats.puts >= 1
+
+
+def test_normalised_phrasings_share_one_entry():
+    service = _service()
+    service.translate("sum the hours")
+    hit = service.translate("  SUM   the HOURS ")
+    assert hit.cached
+
+
+def test_uncached_service_unaffected():
+    service = TranslationService(make_payroll())
+    assert service.cache is None
+    assert not service.translate("sum the hours").cached
+    assert not service.translate("sum the hours").cached
+
+
+def test_workbook_mutation_invalidates():
+    service = _service()
+    service.translate("sum the hours")
+    assert service.translate("sum the hours").cached
+    # Direct cell mutation, bypassing every Workbook mutator.
+    service.workbook.table("Employees").cell(0, 3).value = CellValue.number(99)
+    after = service.translate("sum the hours")
+    assert not after.cached
+    assert service.cache.stats().invalidated >= 1
+    # The new state memoises independently.
+    assert service.translate("sum the hours").cached
+
+
+def test_clean_empty_result_is_cached():
+    service = _service()
+    first = service.translate("sum the nonexistentcolumn")
+    second = service.translate("sum the nonexistentcolumn")
+    assert first.ok and not first.candidates
+    assert second.cached and not second.candidates
+
+
+def test_fault_plan_bypasses_cache():
+    plan = FaultPlan([FaultSpec(stage="ranking", mode="delay", delay=0.0)])
+    service = TranslationService(
+        make_payroll(), cache=ResultCache(), faults=plan
+    )
+    service.translate("sum the hours")
+    repeat = service.translate("sum the hours")
+    assert not repeat.cached
+    stats = service.cache.stats()
+    assert stats.puts == 0 and stats.lookups == 0
+
+
+def test_exhausted_run_is_not_committed():
+    """A deadline-starved (anytime/errored) run must never be memoised:
+    its output depends on wall clock."""
+    service = TranslationService(
+        make_payroll(), cache=ResultCache(), deadline=0.0
+    )
+    starved = service.translate("sum the hours")
+    assert starved.error_code is not None or starved.anytime
+    assert service.cache.stats().puts == 0
+    # Lifting the deadline computes and commits cleanly.
+    service.deadline = None
+    clean = service.translate("sum the hours")
+    assert not clean.cached and clean.ok
+    assert service.translate("sum the hours").cached
+
+
+def test_different_configs_do_not_share_entries():
+    from repro.translate import TranslatorConfig
+
+    cache = ResultCache()
+    wb = make_payroll()
+    a = TranslationService(wb, cache=cache)
+    b = TranslationService(
+        wb, cache=cache, config=TranslatorConfig(beam_size=24)
+    )
+    a.translate("sum the hours")
+    assert not b.translate("sum the hours").cached

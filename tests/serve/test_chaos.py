@@ -15,7 +15,6 @@ from __future__ import annotations
 import os
 import random
 import threading
-import time
 
 import pytest
 
@@ -23,6 +22,7 @@ from repro.serve import TranslationGateway
 from repro.sheet import CellValue
 
 from ..conftest import make_payroll
+from .waiters import wait_until
 
 N_REQUESTS = int(os.environ.get("REPRO_CHAOS_REQUESTS", "200"))
 WORKERS = 3
@@ -105,20 +105,117 @@ def test_random_worker_kills_lose_nothing():
 
 
 @pytest.mark.slow
+def test_random_worker_kills_with_cache_enabled():
+    """The chaos invariant must survive memoisation: with the cache warm
+    and workers dying at random, nothing is lost, nothing is shed, cached
+    repeats keep answering, and no crashed worker leaves a partial entry
+    behind (commits happen in the parent, only on complete replies)."""
+    workbooks = [make_payroll(), _other_payroll()]
+    rng = random.Random(20140622)
+    n_requests = max(40, N_REQUESTS // 2)
+    gateway = TranslationGateway(
+        workers=WORKERS,
+        queue_limit=n_requests + WORKERS,
+        breaker_threshold=10_000,  # chaos kills must not trip a purge here
+        restart_backoff=0.01,
+        restart_backoff_cap=0.1,
+        cache=True,
+    )
+    stop_killing = threading.Event()
+
+    def killer():
+        while not stop_killing.wait(rng.uniform(0.05, 0.25)):
+            gateway.kill_worker(rng.randrange(WORKERS))
+
+    chaos = threading.Thread(target=killer, name="chaos-killer", daemon=True)
+    try:
+        # Warm the cache with one clean pass before the storm.
+        for workbook in workbooks:
+            for sentence in SENTENCES:
+                result = gateway.translate(
+                    sentence, workbook, deadline=DEADLINE, wait=300.0
+                )
+                assert result.ok or result.error_code is not None
+        warmed = gateway.stats().cache.size
+        assert warmed > 0
+        chaos.start()
+        # Half the storm repeats warmed sentences (front-end hits), half
+        # is fresh work that must cross the dying worker pool.
+        pendings = [
+            gateway.submit(
+                SENTENCES[i % len(SENTENCES)]
+                if i % 2 == 0
+                else f"{SENTENCES[i % len(SENTENCES)]} {i}",
+                workbooks[i % len(workbooks)],
+                deadline=DEADLINE,
+            )
+            for i in range(n_requests)
+        ]
+        results = [p.result(timeout=300.0) for p in pendings]
+    finally:
+        stop_killing.set()
+        chaos.join(timeout=5.0)
+        gateway.close(drain=False)
+
+    # Zero lost, zero shed — same bar as the uncached storm.
+    assert len(results) == n_requests
+    for result in results:
+        assert result.ok or result.error_code is not None
+    stats = gateway.stats()
+    assert stats.completed == stats.submitted
+    assert stats.in_flight == 0 and stats.queue_depth == 0
+    assert stats.shed == 0
+    codes = {r.error_code for r in results if not r.ok}
+    assert codes <= {"worker_crashed", "worker_timeout"}
+
+    # The warm half really was answered from the front end, and a cached
+    # answer is by construction a success.
+    assert stats.cache_hits > 0
+    for result in results:
+        if result.cached:
+            assert result.ok and result.worker_id is None
+
+    # No crashed worker committed a partial entry: every entry in the
+    # cache is a complete, well-formed reply payload.
+    expected_fields = {
+        "tier", "programs", "n_candidates", "top_formula",
+        "elapsed", "budget_spent",
+    }
+    entries = gateway._cache.entries()
+    assert entries, "the clean warm pass must have committed entries"
+    for key, payload in entries:
+        assert set(payload) == expected_fields, f"partial entry under {key}"
+        assert isinstance(payload["programs"], tuple)
+        assert payload["n_candidates"] >= len(payload["programs"]) >= 0
+        assert payload["tier"] is not None
+
+
+@pytest.mark.slow
 def test_poststorm_recovery():
     """After the storm, a fresh request on a respawned pool succeeds."""
     with TranslationGateway(
         make_payroll(), workers=2,
         restart_backoff=0.01, restart_backoff_cap=0.1,
     ) as gateway:
-        # workers spawn lazily on first dispatch: warm the pool up so the
-        # storm has live processes to kill
-        assert gateway.translate("sum the hours", wait=120.0).ok
+        # Workers spawn lazily on first dispatch: occupy both slots
+        # concurrently so the storm has two live processes to kill — and
+        # so the post-storm request must *re*spawn a used slot rather
+        # than first-spawn a fresh one.
+        warmup = [
+            gateway.submit("sum the hours", faults="tokenize:delay:0.3")
+            for _ in range(2)
+        ]
+        wait_until(lambda: gateway.stats().in_flight == 2)
+        assert all(p.result(timeout=120.0).ok for p in warmup)
         killed = 0
         for _ in range(4):
             killed += gateway.kill_worker(0)
             killed += gateway.kill_worker(1)
-            time.sleep(0.02)
+            # SIGKILL is asynchronous: wait until no worker is observably
+            # alive before the next round, so repeat kills are real.
+            wait_until(
+                lambda: not any(w.alive for w in gateway.stats().workers)
+            )
         assert killed >= 1
         result = gateway.translate("sum the hours", wait=120.0)
         assert result.ok

@@ -3,14 +3,13 @@ affinity, and shutdown — every path resolves to a coded result."""
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.serve import TranslationGateway
 from repro.sheet import CellValue
 
 from ..conftest import make_payroll
+from .waiters import wait_dispatched, wait_for_result
 
 RUNNING_EXAMPLE = "sum the totalpay for the capitol hill baristas"
 RUNNING_ANSWER = '=SUMIFS(H2:H7, B2:B7, "capitol hill", C2:C7, "barista")'
@@ -96,7 +95,7 @@ class TestCrashContainment:
             pending = gateway.submit(
                 "sum the hours", faults="tokenize:delay:2.0"
             )
-            time.sleep(0.3)  # let the worker start sleeping inside the request
+            wait_dispatched(gateway)  # the request is now inside the worker
             assert gateway.kill_worker(0)
             result = pending.result(timeout=60.0)
             assert not result.ok
@@ -132,7 +131,7 @@ class TestAdmissionControl:
             payroll_wb, workers=1, queue_limit=1, **FAST
         ) as gateway:
             slow = gateway.submit("sum the hours", faults="tokenize:delay:0.5")
-            time.sleep(0.15)  # the slow request is now in flight
+            wait_dispatched(gateway)  # the slow request left the queue
             queued = gateway.submit("count the employees")
             shed = gateway.submit("sum the hours")
             shed_result = shed.result(timeout=60.0)
@@ -144,7 +143,7 @@ class TestAdmissionControl:
     def test_deadline_expiring_in_queue_is_shed_at_dispatch(self, payroll_wb):
         with TranslationGateway(payroll_wb, workers=1, **FAST) as gateway:
             slow = gateway.submit("sum the hours", faults="tokenize:delay:0.5")
-            time.sleep(0.15)
+            wait_dispatched(gateway)
             doomed = gateway.submit("count the employees", deadline=0.1)
             result = doomed.result(timeout=60.0)
             assert result.error_code == "shed_overload"
@@ -171,8 +170,13 @@ class TestCircuitBreaker:
             assert rejected.worker_id is None  # fast-failed before dispatch
             assert gateway.stats().circuit_rejected == 1
 
-            time.sleep(0.35)  # reset window: one half-open probe admitted
-            probe = gateway.translate("sum the hours", wait=60.0)
+            # The reset window opens lazily on the next admission check:
+            # keep probing until one is admitted past the open breaker.
+            probe = wait_for_result(
+                lambda: gateway.translate("sum the hours", wait=60.0),
+                lambda r: r.error_code != "circuit_open",
+                message="breaker reset window never admitted a probe",
+            )
             assert probe.ok
             assert gateway.stats().breakers[fingerprint] == "closed"
 
@@ -184,9 +188,12 @@ class TestCircuitBreaker:
             gateway.translate(
                 "sum the hours", faults="worker_crash:raise", wait=60.0
             )
-            time.sleep(0.25)
-            probe = gateway.translate(
-                "sum the hours", faults="worker_crash:raise", wait=60.0
+            probe = wait_for_result(
+                lambda: gateway.translate(
+                    "sum the hours", faults="worker_crash:raise", wait=60.0
+                ),
+                lambda r: r.error_code != "circuit_open",
+                message="breaker reset window never admitted a probe",
             )
             assert probe.error_code == "worker_crashed"
             fingerprint = payroll_wb.fingerprint()
@@ -217,7 +224,7 @@ class TestShutdown:
     def test_no_drain_fails_queued_but_finishes_in_flight(self, payroll_wb):
         gateway = TranslationGateway(payroll_wb, workers=1, **FAST)
         in_flight = gateway.submit("sum the hours", faults="tokenize:delay:0.5")
-        time.sleep(0.15)
+        wait_dispatched(gateway)
         queued = gateway.submit("count the employees")
         gateway.close(drain=False)
         assert queued.result(timeout=60.0).error_code == "gateway_closed"

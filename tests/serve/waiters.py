@@ -1,0 +1,89 @@
+"""Deterministic wait helpers for the serving tests.
+
+Raw ``time.sleep(<guess>)`` waits are both slow (the guess must be
+generous enough for the slowest CI box) and flaky (a loaded box can
+outlast any guess).  These helpers poll an observable condition under a
+hard deadline instead: a test waits exactly as long as the condition
+takes, and a genuine hang fails *at the wait* with a message naming the
+condition, not three assertions later with a confusing counter value.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+DEFAULT_TIMEOUT = 10.0
+DEFAULT_INTERVAL = 0.005
+
+__all__ = ["wait_until", "wait_for_result", "wait_dispatched"]
+
+
+def wait_until(
+    predicate: Callable[[], T],
+    timeout: float = DEFAULT_TIMEOUT,
+    interval: float = DEFAULT_INTERVAL,
+    message: str | None = None,
+) -> T:
+    """Poll ``predicate`` until it returns something truthy (returned).
+
+    Raises ``AssertionError`` if ``timeout`` seconds pass first.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                message or f"condition not met within {timeout:.1f}s"
+            )
+        time.sleep(interval)
+
+
+def wait_for_result(
+    produce: Callable[[], T],
+    accept: Callable[[T], object],
+    timeout: float = DEFAULT_TIMEOUT,
+    interval: float = 0.02,
+    message: str | None = None,
+) -> T:
+    """Call ``produce`` until ``accept(result)`` is truthy; returns it.
+
+    For conditions that are only observable by performing an operation —
+    e.g. probing a circuit breaker's reset window, where the state flips
+    lazily on the next admission check.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        result = produce()
+        if accept(result):
+            return result
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                message or f"no accepted result within {timeout:.1f}s"
+            )
+        time.sleep(interval)
+
+
+def wait_dispatched(
+    gateway, n: int = 1, timeout: float = DEFAULT_TIMEOUT
+) -> None:
+    """Wait until ``n`` requests are in flight on live worker processes.
+
+    The live-process check matters for kill tests: once a slot's worker
+    is observably alive with the request dispatched, a SIGKILL lands
+    mid-request rather than before the (lazy) spawn.
+    """
+    def dispatched():
+        stats = gateway.stats()
+        return stats.in_flight >= n and any(w.alive for w in stats.workers)
+
+    wait_until(
+        dispatched,
+        timeout=timeout,
+        message=f"fewer than {n} requests reached a live worker "
+                f"within {timeout:.1f}s",
+    )

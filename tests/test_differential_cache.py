@@ -1,0 +1,127 @@
+"""Differential harness: memoisation must never change an answer.
+
+Runs the Table 2 test split through :class:`TranslationService` with the
+cache off, then twice with the cache on (a cold populating pass and a
+fully warm pass), and asserts the three rankings serialise to identical
+bytes — programs, scores, tiers, and error codes.  A second differential
+pushes a batch through two gateways (cache on vs off) and compares the
+wire-level replies the same way.
+
+``REPRO_DIFF_LIMIT`` caps the number of descriptions per differential
+(evenly subsampled; default: the full test split, which is what the
+acceptance bar requires).  CI's quick lane sets a low limit; the slow
+lane and local runs take the full split.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.dataset import SHEET_ORDER, Corpus, build_sheet
+from repro.runtime import TranslationService
+from repro.serve import GatewayConfig, TranslationGateway
+
+pytestmark = pytest.mark.slow
+
+_LIMIT = os.environ.get("REPRO_DIFF_LIMIT")
+
+
+@pytest.fixture(scope="module")
+def test_split():
+    descriptions = Corpus.default().test
+    if _LIMIT:
+        n = int(_LIMIT)
+        if 0 < n < len(descriptions):
+            step = len(descriptions) / n
+            descriptions = [descriptions[int(k * step)] for k in range(n)]
+    return descriptions
+
+
+def _serialise_service(result) -> bytes:
+    """Everything observable about a ranking, as bytes."""
+    lines = [f"tier={result.tier} code={result.error_code}"]
+    lines += [
+        f"{c.program}\t{c.score!r}" for c in result.candidates
+    ]
+    return "\n".join(lines).encode()
+
+
+def _serialise_gateway(result) -> bytes:
+    lines = [f"tier={result.tier} code={result.error_code}"]
+    lines += [
+        f"{program}\t{score!r}" for program, score in result.programs
+    ]
+    lines.append(f"top_formula={result.top_formula}")
+    return "\n".join(lines).encode()
+
+
+def test_service_cached_equals_uncached(test_split):
+    """Three passes over the full split: uncached, cache-cold, cache-warm.
+    All three must serialise byte-identically, and the warm pass must be
+    answered from the cache."""
+    workbooks = {sheet_id: build_sheet(sheet_id) for sheet_id in SHEET_ORDER}
+    plain = {
+        sheet_id: TranslationService(wb)
+        for sheet_id, wb in workbooks.items()
+    }
+    cached = {
+        sheet_id: TranslationService(wb, cache=ResultCache(capacity=4096))
+        for sheet_id, wb in workbooks.items()
+    }
+    mismatches = []
+    warm_misses = 0
+    for d in test_split:
+        baseline = _serialise_service(plain[d.sheet_id].translate(d.text))
+        cold = _serialise_service(cached[d.sheet_id].translate(d.text))
+        warm_result = cached[d.sheet_id].translate(d.text)
+        warm = _serialise_service(warm_result)
+        if not (baseline == cold == warm):
+            mismatches.append((d.sheet_id, d.text))
+        # Only clean fully-searched runs are committed; with no deadline
+        # every run is, so the repeat must be a hit.
+        if not warm_result.cached:
+            warm_misses += 1
+    assert not mismatches, (
+        f"{len(mismatches)}/{len(test_split)} rankings changed under "
+        f"memoisation, e.g. {mismatches[:3]}"
+    )
+    assert warm_misses == 0
+
+
+def test_gateway_batch_cached_equals_uncached(test_split):
+    """The same batch through a cache-on and a cache-off gateway must
+    produce byte-identical wire-level replies."""
+    # A subsample keeps the four-pass gateway differential proportionate;
+    # the service-level differential above already covers the full split.
+    sample = test_split[:: max(1, len(test_split) // 120)]
+    workbooks = {sheet_id: build_sheet(sheet_id) for sheet_id in SHEET_ORDER}
+
+    def run(cache: bool, repeat: int):
+        gateway = TranslationGateway(
+            config=GatewayConfig(workers=2, queue_limit=1024, cache=cache)
+        )
+        try:
+            out = []
+            for _ in range(repeat):
+                pendings = [
+                    gateway.submit(d.text, workbooks[d.sheet_id])
+                    for d in sample
+                ]
+                out.append([p.result(timeout=120.0) for p in pendings])
+            stats = gateway.stats()
+        finally:
+            gateway.close(drain=True)
+        return out, stats
+
+    (baseline,), _ = run(cache=False, repeat=1)
+    (cold, warm), stats = run(cache=True, repeat=2)
+    for b, c, w in zip(baseline, cold, warm):
+        assert _serialise_gateway(b) == _serialise_gateway(c) == \
+            _serialise_gateway(w)
+    # The warm wave ran after the cold wave completed, so it must have
+    # been answered from the front-end cache.
+    assert sum(r.cached for r in warm) == len(sample)
+    assert stats.cache_hits >= len(sample)
