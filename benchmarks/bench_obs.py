@@ -1,0 +1,116 @@
+"""Observability overhead — tracing must be (nearly) free when off.
+
+The instrumented DP loop calls ``tracer.span(...)`` hundreds of times per
+translation (one per sentence-span stage).  With the default
+:data:`~repro.obs.NULL_TRACER` each call returns one shared no-op span:
+no allocation, no clock read, no lock.  These benches enforce the bar
+stated in docs/OBSERVABILITY.md:
+
+* **disabled**: < 5 % median-latency overhead versus a conceptual
+  uninstrumented translator — bounded here by measuring the per-call
+  cost of the null span directly and scaling it by the span count of a
+  real translation (the instrumented-vs-instrumented diff of a single
+  build cannot measure "before", so the bound is computed, not eyeballed);
+* **enabled**: overhead stays bounded (a live tracer costs real clock
+  reads and record appends; the budget is generous but finite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import build_sheet
+from repro.obs import NULL_TRACER, Tracer
+from repro.translate import Translator
+
+_SENTENCE = "sum the totalpay where the location is capitol hill"
+
+
+@pytest.fixture(scope="module")
+def translator():
+    return Translator(build_sheet("payroll"))
+
+
+@pytest.fixture(scope="module")
+def spans_per_translation(translator):
+    """How many spans one traced translation of the bench sentence emits."""
+    tracer = Tracer()
+    translator.translate(_SENTENCE, tracer=tracer)
+    count = len(tracer.finished())
+    assert count > 10  # the DP loop really is instrumented
+    return count
+
+
+def test_null_span_cost(benchmark):
+    """Median cost of one disabled ``span()`` call (enter+exit included)."""
+
+    def hot():
+        with NULL_TRACER.span("stage", i=0, j=1):
+            pass
+
+    benchmark(hot)
+
+
+def test_translate_untraced(benchmark, translator):
+    result = benchmark(translator.translate, _SENTENCE)
+    assert result
+
+
+def test_translate_traced(benchmark, translator):
+    def traced():
+        tracer = Tracer()
+        return translator.translate(_SENTENCE, tracer=tracer)
+
+    result = benchmark(traced)
+    assert result
+
+
+def test_disabled_overhead_under_five_percent(
+    benchmark, translator, spans_per_translation
+):
+    """The <5 % bar: (null-span cost x span count) / median latency.
+
+    This is the *whole* cost tracing-off adds to a translation — every
+    other instruction in the instrumented paths ran before this PR too.
+    """
+    import time
+
+    # Median null-span cost over a tight loop (amortises the timer).
+    n = 200_000
+    start = time.perf_counter()
+    span = NULL_TRACER.span
+    for _ in range(n):
+        with span("stage", i=0, j=1):
+            pass
+    per_call = (time.perf_counter() - start) / n
+
+    # Median translation latency, measured by pytest-benchmark.
+    benchmark(translator.translate, _SENTENCE)
+    median = benchmark.stats.stats.median
+
+    overhead = per_call * spans_per_translation
+    assert overhead / median < 0.05, (
+        f"disabled tracing adds {overhead * 1e6:.0f}us over a "
+        f"{median * 1e3:.1f}ms translation "
+        f"({overhead / median:.2%}, bar is 5%)"
+    )
+
+
+def test_enabled_overhead_bounded(translator):
+    """A live tracer may cost real work, but must stay within 2x."""
+    import statistics
+    import time
+
+    def median_of(fn, rounds=7):
+        samples = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+        return statistics.median(samples)
+
+    translator.translate(_SENTENCE)  # warm every cache first
+    off = median_of(lambda: translator.translate(_SENTENCE))
+    tracer = Tracer()
+    on = median_of(lambda: translator.translate(_SENTENCE, tracer=tracer))
+    assert on / off < 2.0, f"tracing on costs {on / off:.2f}x (bar is 2x)"

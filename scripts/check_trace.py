@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Schema-check emitted trace files (JSONL span logs and Chrome traces).
+
+Usage::
+
+    python scripts/check_trace.py trace.jsonl trace.json [...]
+
+Exit 0 when every file validates, 1 with one line per violation
+otherwise.  CI runs this over the files a traced smoke translation
+emits, so a drive-by change to the span record shape (a renamed field, a
+non-JSON-safe attribute) fails the quick lane rather than silently
+producing traces Perfetto will not load.
+
+Checks, per format:
+
+* ``.jsonl`` span logs — every line is a JSON object carrying the
+  required span fields (``repro.obs.export.SPAN_REQUIRED_FIELDS``) with
+  sane types: monotone ``end >= start``, ``duration`` consistent,
+  ``status`` in {ok, error}, ``attrs`` a JSON object, parent links that
+  resolve within the file's trace (a worker span's parent must exist
+  once the tree is stitched), exactly one root per trace id.
+* Chrome trace JSON — a ``traceEvents`` document whose events carry the
+  Trace Event Format essentials (``ph``, ``ts``, ``pid``, ``name``;
+  ``dur`` for complete ``"X"`` events) with numeric non-negative
+  timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+REQUIRED = (
+    "name", "trace_id", "span_id", "parent_id", "start", "end",
+    "duration", "status", "attrs", "pid", "thread",
+)
+
+
+def check_spans_jsonl(path: Path) -> list[str]:
+    errors: list[str] = []
+    records = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{path}:{lineno}: not JSON: {exc}")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"{path}:{lineno}: not an object")
+            continue
+        records.append((lineno, record))
+        for field in REQUIRED:
+            if field not in record:
+                errors.append(f"{path}:{lineno}: missing field {field!r}")
+        if record.get("status") not in ("ok", "error"):
+            errors.append(
+                f"{path}:{lineno}: bad status {record.get('status')!r}"
+            )
+        if not isinstance(record.get("attrs"), dict):
+            errors.append(f"{path}:{lineno}: attrs is not an object")
+        start, end = record.get("start"), record.get("end")
+        if isinstance(start, (int, float)) and isinstance(end, (int, float)):
+            if end < start:
+                errors.append(f"{path}:{lineno}: end < start")
+            duration = record.get("duration")
+            if isinstance(duration, (int, float)) and abs(
+                (end - start) - duration
+            ) > 1e-6:
+                errors.append(f"{path}:{lineno}: duration != end - start")
+    # Tree shape: parent links resolve, one root per trace.
+    by_trace: dict[str, list[dict]] = defaultdict(list)
+    for _, record in records:
+        by_trace[record.get("trace_id", "?")].append(record)
+    for trace_id, spans in by_trace.items():
+        ids = {s.get("span_id") for s in spans}
+        roots = [s for s in spans if not s.get("parent_id")]
+        if len(roots) != 1:
+            errors.append(
+                f"{path}: trace {trace_id[:8]} has {len(roots)} roots "
+                f"(want exactly 1)"
+            )
+        for span in spans:
+            parent = span.get("parent_id")
+            if parent and parent not in ids:
+                errors.append(
+                    f"{path}: trace {trace_id[:8]} span "
+                    f"{span.get('name')!r} has dangling parent {parent[:8]}"
+                )
+    return errors
+
+
+def check_chrome_trace(path: Path) -> list[str]:
+    errors: list[str] = []
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not JSON: {exc}"]
+    events = doc.get("traceEvents") if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        return [f"{path}: no traceEvents array"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"{path}: event {i} is not an object")
+            continue
+        for field in ("ph", "pid", "name"):
+            if field not in event:
+                errors.append(f"{path}: event {i} missing {field!r}")
+        if event.get("ph") == "X":
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    errors.append(
+                        f"{path}: event {i} ({event.get('name')!r}) has "
+                        f"bad {field}: {value!r}"
+                    )
+    return errors
+
+
+def check(path: Path) -> list[str]:
+    if not path.exists():
+        return [f"{path}: no such file"]
+    if path.suffix == ".jsonl":
+        return check_spans_jsonl(path)
+    return check_chrome_trace(path)
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip().splitlines()[0])
+        print("usage: python scripts/check_trace.py FILE [FILE ...]")
+        return 2
+    failures = 0
+    for arg in argv:
+        errors = check(Path(arg))
+        if errors:
+            failures += 1
+            for error in errors:
+                print(error, file=sys.stderr)
+        else:
+            print(f"{arg}: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -41,14 +41,44 @@ def _deadline(args: argparse.Namespace) -> float | None:
     return ms / 1000.0 if ms is not None else None
 
 
+def _make_tracer(args: argparse.Namespace):
+    """A live Tracer when any observability output is requested, else None."""
+    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
+        from .obs import Tracer
+
+        return Tracer()
+    return None
+
+
+def _write_obs(args: argparse.Namespace, tracer, registry=None) -> None:
+    """Flush ``--trace-out`` / ``--metrics-out`` files, if requested.
+
+    Without a registry of its own (the single-translation path), metrics
+    are derived from the trace (``span_seconds`` by span name).
+    """
+    from .obs import span_duration_metrics, write_metrics, write_trace
+
+    if getattr(args, "trace_out", None) and tracer is not None:
+        n = write_trace(tracer, args.trace_out)
+        print(f"# wrote {n} trace records to {args.trace_out}", file=sys.stderr)
+    if getattr(args, "metrics_out", None):
+        if registry is None and tracer is not None:
+            registry = span_duration_metrics(tracer)
+        if registry is not None:
+            write_metrics(registry, args.metrics_out)
+            print(f"# wrote metrics to {args.metrics_out}", file=sys.stderr)
+
+
 def _cmd_translate(args: argparse.Namespace) -> None:
     workbook = _workbook(args)
-    session = NLyzeSession(workbook, deadline=_deadline(args))
+    tracer = _make_tracer(args)
+    session = NLyzeSession(workbook, deadline=_deadline(args), tracer=tracer)
     step = session.ask(args.description)
     print(step.render())
     if args.execute and step.views:
         result = session.accept(step)
         print(f"-> {result.display()}")
+    _write_obs(args, tracer)
 
 
 def _cmd_repl(args: argparse.Namespace) -> None:
@@ -109,7 +139,7 @@ def _print_gateway_stats(gateway) -> None:
         )
 
 
-def _make_gateway(args: argparse.Namespace):
+def _make_gateway(args: argparse.Namespace, tracer=None):
     from .serve import TranslationGateway
 
     return TranslationGateway(
@@ -118,12 +148,14 @@ def _make_gateway(args: argparse.Namespace):
         queue_limit=args.queue_limit,
         default_deadline=_deadline(args),
         cache=args.cache,
+        tracer=tracer,
     )
 
 
 def _cmd_serve(args: argparse.Namespace) -> None:
     """Line-oriented gateway service: one description in, one result out."""
-    gateway = _make_gateway(args)
+    tracer = _make_tracer(args)
+    gateway = _make_gateway(args, tracer=tracer)
     print(
         f"# gateway up: {args.workers} workers, queue limit "
         f"{args.queue_limit} (:stats for diagnostics, :quit to exit)",
@@ -146,11 +178,12 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             print(_render_gateway_result(gateway.translate(line)), flush=True)
     finally:
         gateway.close(drain=True)
+        _write_obs(args, tracer, gateway.metrics)
 
 
 def _cmd_batch(args: argparse.Namespace) -> None:
     """Push a file of descriptions through the gateway; report serving stats."""
-    import time
+    from .obs.clock import perf
 
     if args.file == "-":
         lines = [line.strip() for line in sys.stdin]
@@ -161,11 +194,12 @@ def _cmd_batch(args: argparse.Namespace) -> None:
     if not sentences:
         print("error [empty_batch]: no descriptions in input", file=sys.stderr)
         sys.exit(2)
-    gateway = _make_gateway(args)
+    tracer = _make_tracer(args)
+    gateway = _make_gateway(args, tracer=tracer)
     try:
-        start = time.perf_counter()
+        start = perf()
         results = gateway.translate_many(sentences)
-        wall = time.perf_counter() - start
+        wall = perf() - start
         for sentence, result in zip(sentences, results):
             print(f"{_render_gateway_result(result)}  <- {sentence}")
         latencies = sorted(r.total_seconds for r in results)
@@ -181,6 +215,7 @@ def _cmd_batch(args: argparse.Namespace) -> None:
         )
     finally:
         gateway.close(drain=True)
+        _write_obs(args, tracer, gateway.metrics)
 
 
 def _cmd_corpus(args: argparse.Namespace) -> None:
@@ -226,6 +261,13 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(prog="python -m repro")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs_options(p):
+        p.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write spans on exit (.jsonl -> span log, "
+                            "else Chrome trace JSON for Perfetto)")
+        p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write Prometheus-style metrics text on exit")
+
     p = sub.add_parser("translate", help="translate one description")
     p.add_argument("description")
     p.add_argument("--sheet", choices=SHEET_ORDER, default="payroll")
@@ -234,6 +276,7 @@ def main(argv: list[str] | None = None) -> None:
                    help="execute the top candidate")
     p.add_argument("--deadline", type=float, default=None, metavar="MS",
                    help="wall-clock budget per translation (milliseconds)")
+    add_obs_options(p)
     p.set_defaults(func=_cmd_translate)
 
     p = sub.add_parser("repl", help="interactive session")
@@ -256,6 +299,7 @@ def main(argv: list[str] | None = None) -> None:
                        default=True,
                        help="memoise translation results per "
                             "(sentence, workbook) [default: on]")
+        add_obs_options(p)
 
     p = sub.add_parser(
         "serve", help="line-oriented gateway service on stdin/stdout"

@@ -15,10 +15,14 @@ and strict about everything else:
   secondary fingerprint index.  This is the hook serving layers pull when
   a workbook mutates (its fingerprint changes) or its circuit breaker
   trips;
-* **thread-safe** — one lock around all state; callers on any number of
-  threads never observe a partially-committed entry;
-* **observable** — :meth:`stats` returns a :class:`CacheStats` snapshot
-  including caller-reported hit vs miss latency.
+* **thread-safe** — one lock around all map state; callers on any number
+  of threads never observe a partially-committed entry;
+* **observable** — every event feeds a
+  :class:`~repro.obs.metrics.MetricsRegistry` (``cache_*`` metrics, each
+  mutation under the metric's own lock — no unlocked read-modify-write
+  anywhere).  :meth:`stats` returns the typed :class:`CacheStats` view
+  over the registry, and both the cache and the snapshot speak the
+  ``snapshot()`` protocol of :mod:`repro.obs.metrics`.
 
 Payloads must be treated as immutable by callers: the cache hands back
 the stored object itself, so integration layers store tuples / frozen
@@ -28,10 +32,11 @@ payloads and copy on the way out where mutation is possible.
 from __future__ import annotations
 
 import threading
-import time
-from dataclasses import dataclass
-from typing import Any, Callable
+from dataclasses import dataclass, fields
+from typing import Any
 
+from ..obs.clock import Clock, monotonic
+from ..obs.metrics import MetricsRegistry
 from .keys import CacheKey
 
 __all__ = ["CacheStats", "ResultCache"]
@@ -75,15 +80,35 @@ class CacheStats:
             return 0.0
         return self.avg_miss_seconds / self.avg_hit_seconds
 
+    def snapshot(self) -> dict[str, Any]:
+        """The ``snapshot()`` protocol: fields plus derived rates."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out.update(
+            lookups=self.lookups,
+            hit_rate=self.hit_rate,
+            avg_hit_seconds=self.avg_hit_seconds,
+            avg_miss_seconds=self.avg_miss_seconds,
+            speedup=self.speedup,
+        )
+        return out
+
 
 class ResultCache:
-    """Bounded thread-safe LRU+TTL map from :class:`CacheKey` to payload."""
+    """Bounded thread-safe LRU+TTL map from :class:`CacheKey` to payload.
+
+    ``metrics`` attaches the cache to a shared
+    :class:`~repro.obs.metrics.MetricsRegistry` (the gateway passes its
+    own, so one scrape covers admission, pool, and cache); by default the
+    cache owns a private registry.  All ``cache_*`` metric names are
+    documented in docs/OBSERVABILITY.md.
+    """
 
     def __init__(
         self,
         capacity: int = 1024,
         ttl: float | None = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Clock = monotonic,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -92,18 +117,27 @@ class ResultCache:
         self.capacity = capacity
         self.ttl = ttl
         self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry(clock)
         self._lock = threading.Lock()
         # Insertion order doubles as recency order (moved-to-end on get).
         self._entries: dict[CacheKey, tuple[Any, float | None]] = {}
         self._by_fingerprint: dict[str, set[CacheKey]] = {}
-        self._hits = 0
-        self._misses = 0
-        self._puts = 0
-        self._evictions = 0
-        self._stale_drops = 0
-        self._invalidated = 0
-        self._hit_seconds = 0.0
-        self._miss_seconds = 0.0
+        m = self.metrics
+        self._hits = m.counter("cache_hits_total", "lookups served from cache")
+        self._misses = m.counter("cache_misses_total", "lookups not in cache")
+        self._puts = m.counter("cache_puts_total", "entries committed")
+        self._evictions = m.counter("cache_evictions_total", "LRU evictions")
+        self._stale = m.counter("cache_stale_drops_total", "TTL expiries")
+        self._invalidated = m.counter(
+            "cache_invalidated_total", "entries dropped by invalidation"
+        )
+        self._size = m.gauge("cache_size", "entries resident")
+        self._hit_seconds = m.histogram(
+            "cache_hit_seconds", "caller-reported latency of cache hits"
+        )
+        self._miss_seconds = m.histogram(
+            "cache_miss_seconds", "caller-reported latency of cache misses"
+        )
 
     # -- the data path -----------------------------------------------------------
 
@@ -112,18 +146,19 @@ class ResultCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self._misses += 1
+                self._misses.inc()
                 return None
             value, expires_at = entry
             if expires_at is not None and self.clock() >= expires_at:
                 self._remove(key)
-                self._stale_drops += 1
-                self._misses += 1
+                self._stale.inc()
+                self._misses.inc()
+                self._size.set(len(self._entries))
                 return None
             # LRU touch: re-insert at the most-recent end.
             del self._entries[key]
             self._entries[key] = entry
-            self._hits += 1
+            self._hits.inc()
             return value
 
     def put(self, key: CacheKey, value: Any) -> None:
@@ -136,11 +171,12 @@ class ResultCache:
             )
             self._entries[key] = (value, expires_at)
             self._by_fingerprint.setdefault(key.fingerprint, set()).add(key)
-            self._puts += 1
+            self._puts.inc()
             while len(self._entries) > self.capacity:
                 oldest = next(iter(self._entries))
                 self._remove(oldest)
-                self._evictions += 1
+                self._evictions.inc()
+            self._size.set(len(self._entries))
 
     def invalidate(self, fingerprint: str) -> int:
         """Drop every entry for one workbook fingerprint; returns count."""
@@ -152,7 +188,8 @@ class ResultCache:
             for key in list(keys):
                 self._remove(key)
                 dropped += 1
-            self._invalidated += dropped
+            self._invalidated.inc(dropped)
+            self._size.set(len(self._entries))
             return dropped
 
     def clear(self) -> int:
@@ -161,7 +198,8 @@ class ResultCache:
             dropped = len(self._entries)
             self._entries.clear()
             self._by_fingerprint.clear()
-            self._invalidated += dropped
+            self._invalidated.inc(dropped)
+            self._size.set(0)
             return dropped
 
     def _remove(self, key: CacheKey) -> None:
@@ -175,29 +213,33 @@ class ResultCache:
     # -- latency accounting (reported by the layer that owns the timer) ----------
 
     def observe_hit(self, seconds: float) -> None:
-        with self._lock:
-            self._hit_seconds += seconds
+        self._hit_seconds.observe(seconds)
 
     def observe_miss(self, seconds: float) -> None:
-        with self._lock:
-            self._miss_seconds += seconds
+        self._miss_seconds.observe(seconds)
 
     # -- diagnostics -------------------------------------------------------------
 
     def stats(self) -> CacheStats:
+        """The typed snapshot, assembled from the metrics registry."""
         with self._lock:
-            return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                puts=self._puts,
-                evictions=self._evictions,
-                stale_drops=self._stale_drops,
-                invalidated=self._invalidated,
-                size=len(self._entries),
-                capacity=self.capacity,
-                hit_seconds_total=self._hit_seconds,
-                miss_seconds_total=self._miss_seconds,
-            )
+            size = len(self._entries)
+        return CacheStats(
+            hits=int(self._hits.total()),
+            misses=int(self._misses.total()),
+            puts=int(self._puts.total()),
+            evictions=int(self._evictions.total()),
+            stale_drops=int(self._stale.total()),
+            invalidated=int(self._invalidated.total()),
+            size=size,
+            capacity=self.capacity,
+            hit_seconds_total=self._hit_seconds.sum(),
+            miss_seconds_total=self._miss_seconds.sum(),
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``snapshot()`` protocol (same shape as ``stats().snapshot()``)."""
+        return self.stats().snapshot()
 
     def entries(self) -> list[tuple[CacheKey, Any]]:
         """A point-in-time snapshot (recency order, oldest first)."""

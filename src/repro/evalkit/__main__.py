@@ -8,6 +8,7 @@ Usage::
     python -m repro.evalkit fig1
     python -m repro.evalkit userstudy
     python -m repro.evalkit clusters
+    python -m repro.evalkit profile [--sample N]
     python -m repro.evalkit all [--sample N]
 """
 
@@ -76,6 +77,13 @@ def _cache(args: argparse.Namespace) -> None:
     print(harness.format_cache(result))
 
 
+def _profile(args: argparse.Namespace) -> None:
+    corpus = Corpus.default()
+    result = harness.run_profile(corpus, sample=args.sample or 40)
+    print("Profile — per-stage time breakdown over the test split (traced)")
+    print(harness.format_profile(result))
+
+
 def _clusters(args: argparse.Namespace) -> None:
     report = run_clusters(Corpus.default())
     print(
@@ -91,7 +99,8 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "fig1", "userstudy",
-                 "clusters", "resilience", "gateway", "cache", "all"],
+                 "clusters", "resilience", "gateway", "cache", "profile",
+                 "all"],
     )
     parser.add_argument(
         "--sample", type=int, default=None,
@@ -108,6 +117,7 @@ def main(argv: list[str] | None = None) -> None:
         "resilience": _resilience,
         "gateway": _gateway,
         "cache": _cache,
+        "profile": _profile,
     }
     if args.experiment == "all":
         for name in ["table1", "fig1", "table2", "table3", "userstudy",

@@ -18,6 +18,7 @@ from ..dataset import (
     generate_descriptions,
     user_study_descriptions,
 )
+from ..obs.clock import perf
 from ..translate import TranslatorConfig, ablation_config
 from .metrics import Scoreboard, TaskOracle, evaluate_batch
 
@@ -285,8 +286,6 @@ def run_gateway(
     rate, and latency percentiles — the queue → breaker → pool path the
     chaos tests exercise, measured under healthy load.
     """
-    import time
-
     from ..serve import TranslationGateway
 
     corpus = corpus or Corpus.default()
@@ -306,13 +305,13 @@ def run_gateway(
         workers=workers, queue_limit=queue_limit, default_deadline=deadline
     )
     try:
-        start = time.perf_counter()
+        start = perf()
         pendings = [
             gateway.submit(d.text, workbooks[d.sheet_id])
             for d in descriptions
         ]
         report.outcomes = [p.result(timeout=120.0) for p in pendings]
-        report.wall_seconds = time.perf_counter() - start
+        report.wall_seconds = perf() - start
         report.stats = gateway.stats()
     finally:
         gateway.close(drain=True)
@@ -377,8 +376,6 @@ def run_cache(
     warm hit rate, and whether both passes ranked byte-identical
     programs — the differential-correctness claim of :mod:`repro.cache`.
     """
-    import time
-
     from ..serve import TranslationGateway
 
     corpus = corpus or Corpus.default()
@@ -396,7 +393,7 @@ def run_cache(
         workers=workers, queue_limit=queue_limit, cache=True
     )
     try:
-        start = time.perf_counter()
+        start = perf()
         cold = [
             p.result(timeout=120.0)
             for p in [
@@ -404,8 +401,8 @@ def run_cache(
                 for d in descriptions
             ]
         ]
-        report.cold_seconds = time.perf_counter() - start
-        start = time.perf_counter()
+        report.cold_seconds = perf() - start
+        start = perf()
         warm = [
             p.result(timeout=120.0)
             for p in [
@@ -413,7 +410,7 @@ def run_cache(
                 for d in descriptions
             ]
         ]
-        report.warm_seconds = time.perf_counter() - start
+        report.warm_seconds = perf() - start
         report.cache_hits = sum(r.cached for r in warm)
         report.identical = all(
             a.programs == b.programs and a.error_code == b.error_code
@@ -441,6 +438,130 @@ def format_cache(report: CacheReport) -> str:
             f"{c.capacity}, avg hit {c.avg_hit_seconds * 1e6:.0f}us, "
             f"avg miss {c.avg_miss_seconds * 1000:.1f}ms"
         )
+    return "\n".join(lines)
+
+
+_PROFILE_STAGES = {
+    # span name -> reported stage (the pipeline breakdown of §3.1/§5)
+    "translate.tokenize": "tokenize",
+    "translate.seeds": "seeds",
+    "translate.rules": "rules",
+    "translate.synthesis": "synthesis",
+    "translate.rank": "rank",
+    "cache.probe": "cache",
+    "cache.commit": "cache",
+    "gateway.queue": "queue-wait",
+    "worker.translate": "worker",
+}
+
+
+@dataclass
+class ProfileReport:
+    """Per-stage time breakdown of a traced pass over the test split."""
+
+    n: int = 0
+    workers: int = 0
+    wall_seconds: float = 0.0
+    spans: int = 0
+    traces: int = 0
+    # stage -> (calls, total seconds)
+    stages: dict[str, tuple[int, float]] = field(default_factory=dict)
+    ok: int = 0
+
+    def stage_seconds(self, stage: str) -> float:
+        return self.stages.get(stage, (0, 0.0))[1]
+
+
+def run_profile(
+    corpus: Corpus | None = None,
+    sample: int | None = 40,
+    workers: int = 2,
+    deadline: float | None = None,
+) -> ProfileReport:
+    """The observability experiment: a traced gateway pass over the
+    Table 2 split, aggregated into a per-stage time breakdown.
+
+    Every request flows through the full serving stack (admission →
+    queue → worker process → DP translation) with a live
+    :class:`~repro.obs.Tracer`; the report folds the stitched span trees
+    into seconds-per-stage (seeds / rules / synthesis / rank / cache /
+    queue-wait / worker) — where the paper's interactivity budget
+    actually goes.
+    """
+    from ..obs import Tracer
+    from ..serve import TranslationGateway
+
+    corpus = corpus or Corpus.default()
+    descriptions = corpus.test
+    if sample is not None and sample < len(descriptions):
+        step = len(descriptions) / sample
+        descriptions = [descriptions[int(k * step)] for k in range(sample)]
+    descriptions = list(descriptions)
+    workbooks = {
+        sheet_id: build_sheet(sheet_id)
+        for sheet_id in {d.sheet_id for d in descriptions}
+    }
+    tracer = Tracer()
+    report = ProfileReport(n=len(descriptions), workers=workers)
+    gateway = TranslationGateway(
+        workers=workers, queue_limit=max(256, len(descriptions)),
+        default_deadline=deadline, cache=True, tracer=tracer,
+    )
+    try:
+        start = perf()
+        pendings = [
+            gateway.submit(d.text, workbooks[d.sheet_id])
+            for d in descriptions
+        ]
+        results = [p.result(timeout=120.0) for p in pendings]
+        report.wall_seconds = perf() - start
+        report.ok = sum(r.ok for r in results)
+    finally:
+        gateway.close(drain=True)
+    records = tracer.finished()
+    report.spans = len(records)
+    report.traces = len({r["trace_id"] for r in records})
+    stages: dict[str, tuple[int, float]] = {}
+    for record in records:
+        stage = _PROFILE_STAGES.get(record["name"])
+        if stage is None:
+            continue
+        calls, total = stages.get(stage, (0, 0.0))
+        stages[stage] = (calls + 1, total + (record.get("duration") or 0.0))
+    report.stages = stages
+    return report
+
+
+_PROFILE_ORDER = (
+    "tokenize", "seeds", "rules", "synthesis", "rank",
+    "cache", "queue-wait", "worker",
+)
+
+
+def format_profile(report: ProfileReport) -> str:
+    worker_total = report.stage_seconds("worker")
+    lines = [
+        f"{report.n} requests / {report.workers} workers / "
+        f"{report.traces} traces, {report.spans} spans, ok {report.ok}",
+        f"{'stage':<12} {'calls':>6} {'total':>9} {'mean':>9} {'share':>7}",
+    ]
+    for stage in _PROFILE_ORDER:
+        calls, total = report.stages.get(stage, (0, 0.0))
+        mean_ms = (total / calls * 1000) if calls else 0.0
+        # Translation stages as a share of total worker-side time; the
+        # two non-worker rows (queue-wait and the front-end half of
+        # cache) are reported against wall clock instead.
+        base = worker_total if stage not in ("queue-wait",) else (
+            report.wall_seconds
+        )
+        share = (total / base) if base else 0.0
+        lines.append(
+            f"{stage:<12} {calls:>6} {total:>8.3f}s {mean_ms:>7.2f}ms "
+            f"{share:>6.1%}"
+        )
+    lines.append(
+        f"{'wall':<12} {'':>6} {report.wall_seconds:>8.3f}s"
+    )
     return "\n".join(lines)
 
 

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..dataset import Description, all_tasks, build_sheet
 from ..dsl import ast
+from ..obs.clock import Clock, perf
 from ..runtime.service import ServiceResult, TranslationService
 from ..sheet import Workbook
 from ..translate import Translator, TranslatorConfig
@@ -122,18 +122,20 @@ def evaluate_description(
     translator: Translator | TranslationService,
     oracle: TaskOracle,
     description: Description,
+    clock: Clock = perf,
 ) -> EvalOutcome:
     """Translate one description and locate the gold program in the ranked
     candidate list.  Accepts a bare :class:`Translator` or a resilient
     :class:`TranslationService` (whose degradation diagnostics are folded
-    into the outcome)."""
+    into the outcome).  ``clock`` is the injectable timing source
+    (:mod:`repro.obs.clock`)."""
     workbook = oracle.workbook(description.sheet_id)
     gold = oracle.gold(description.task_id)
     degraded = False
     error_code = None
-    start = time.perf_counter()
+    start = clock()
     produced = translator.translate(description.text)
-    elapsed = time.perf_counter() - start
+    elapsed = clock() - start
     if isinstance(produced, ServiceResult):
         candidates = produced.candidates
         degraded = produced.degraded

@@ -1,0 +1,63 @@
+"""Injectable monotonic clocks — the timing test seam.
+
+Every latency/stats component in the package (budgets, caches, breakers,
+the gateway, the tracer, the metrics registry) takes a ``clock`` callable
+instead of calling :func:`time.perf_counter` / :func:`time.monotonic`
+directly.  Production code passes nothing and gets the real clock;
+timing tests pass a :class:`ManualClock` and advance it explicitly, so
+assertions about elapsed seconds are exact instead of sleep-and-hope.
+
+Two real clocks are exposed by name so call sites document their intent:
+
+* :data:`monotonic` — coarse monotonic wall clock (deadlines, TTLs);
+* :data:`perf` — high-resolution monotonic clock (span timings, latency
+  histograms).
+
+Both are monotonic; the split mirrors the stdlib's own distinction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Clock", "ManualClock", "monotonic", "perf", "wall"]
+
+# A clock is any argument-less callable returning seconds as a float.
+Clock = Callable[[], float]
+
+monotonic: Clock = time.monotonic
+perf: Clock = time.perf_counter
+wall: Clock = time.time  # NOT monotonic; only for human-facing timestamps
+
+
+class ManualClock:
+    """A deterministic clock driven by the test, not the scheduler.
+
+    Reads return the current value; :meth:`advance` moves time forward.
+    ``tick`` (default 0) is added on *every read*, which lets code that
+    measures ``clock() - clock()`` style intervals observe non-zero
+    durations without the test scripting every read.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        if tick < 0:
+            raise ValueError("tick must be >= 0")
+        self.now = start
+        self.tick = tick
+        self.reads = 0
+
+    def __call__(self) -> float:
+        self.reads += 1
+        self.now += self.tick
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new now."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self.now += seconds
+        return self.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ManualClock(now={self.now}, tick={self.tick})"

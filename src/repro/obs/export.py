@@ -1,0 +1,173 @@
+"""Exporters: JSONL span logs, Chrome trace events, Prometheus text.
+
+Three formats, three audiences:
+
+* :func:`write_spans_jsonl` — one JSON object per line, the durable
+  machine-readable record (grep-able, diff-able, schema-checked by
+  ``scripts/check_trace.py``);
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` — the Trace
+  Event JSON that ``about:tracing`` / https://ui.perfetto.dev load
+  directly, giving a flamegraph of one request across the gateway
+  parent and its worker processes (each process a track, each span a
+  complete ``"ph": "X"`` slice);
+* :func:`write_metrics` — Prometheus-style text exposition of a
+  :class:`~repro.obs.metrics.MetricsRegistry` (also what a future HTTP
+  ``/metrics`` endpoint would serve).
+
+All writers accept a path or an open text handle and are atomic enough
+for CI use (single ``write`` of a fully rendered string).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, Iterable, Mapping
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "chrome_trace_events",
+    "span_duration_metrics",
+    "write_chrome_trace",
+    "write_metrics",
+    "write_spans_jsonl",
+    "write_trace",
+]
+
+SPAN_REQUIRED_FIELDS = (
+    "name", "trace_id", "span_id", "parent_id", "start", "end",
+    "duration", "status", "attrs", "pid", "thread",
+)
+
+
+def _records(spans: Any) -> list[dict[str, Any]]:
+    """Accept a Tracer, span dicts, or Span objects; return plain dicts."""
+    if hasattr(spans, "finished") and callable(spans.finished):
+        spans = spans.finished()
+    out = []
+    for span in spans:
+        if hasattr(span, "as_dict"):
+            span = span.as_dict()
+        out.append(span)
+    return out
+
+
+def _write(path_or_handle: str | IO[str], text: str) -> None:
+    if hasattr(path_or_handle, "write"):
+        path_or_handle.write(text)
+    else:
+        with open(path_or_handle, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def write_spans_jsonl(spans: Any, path: str | IO[str]) -> int:
+    """Write one span record per line; returns the number written."""
+    records = _records(spans)
+    text = "".join(
+        json.dumps(record, sort_keys=True, default=str) + "\n"
+        for record in records
+    )
+    _write(path, text)
+    return len(records)
+
+
+def chrome_trace_events(spans: Any) -> list[dict[str, Any]]:
+    """Convert span records to Chrome Trace Event ``"X"`` (complete) events.
+
+    Timestamps are microseconds relative to the earliest span, so the
+    viewer's time axis starts at zero regardless of the clock epoch.
+    Each OS process becomes a ``pid`` track and each thread a ``tid``
+    row, which is exactly how a stitched gateway trace shows the parent
+    and its workers side by side.
+    """
+    records = _records(spans)
+    if not records:
+        return []
+    epoch = min(r["start"] for r in records)
+    events: list[dict[str, Any]] = []
+    names_emitted: set[int] = set()
+    for record in records:
+        pid = record.get("pid", 0)
+        if pid not in names_emitted:
+            names_emitted.add(pid)
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            })
+        end = record.get("end")
+        duration = (end - record["start"]) if end is not None else 0.0
+        args = dict(record.get("attrs") or {})
+        args["trace_id"] = record.get("trace_id")
+        args["span_id"] = record.get("span_id")
+        if record.get("parent_id"):
+            args["parent_id"] = record["parent_id"]
+        if record.get("status") and record["status"] != "ok":
+            args["status"] = record["status"]
+        events.append({
+            "name": record["name"],
+            "cat": record.get("status", "ok"),
+            "ph": "X",
+            "ts": (record["start"] - epoch) * 1e6,
+            "dur": duration * 1e6,
+            "pid": pid,
+            "tid": record.get("thread", "main"),
+            "args": args,
+        })
+    return events
+
+
+def write_chrome_trace(spans: Any, path: str | IO[str]) -> int:
+    """Write the Trace Event JSON document; returns the event count."""
+    events = chrome_trace_events(spans)
+    _write(path, json.dumps(
+        {"traceEvents": events, "displayTimeUnit": "ms"}, default=str
+    ))
+    return len(events)
+
+
+def write_trace(spans: Any, path: str) -> int:
+    """Format-by-extension convenience: ``.jsonl`` → span log, anything
+    else (``.json``, ``.trace``) → Chrome trace events."""
+    if path.endswith(".jsonl"):
+        return write_spans_jsonl(spans, path)
+    return write_chrome_trace(spans, path)
+
+
+def span_duration_metrics(
+    spans: Any, registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Fold span records into ``span_seconds{name=...}`` histograms.
+
+    The bridge from traces to metrics: one histogram series per span
+    name, plus a ``span_errors_total`` counter.  This is how the CLI's
+    ``--metrics-out`` works for the single-translation path (no gateway,
+    so no registry of its own) and how ``evalkit profile`` aggregates a
+    per-stage breakdown.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    durations = registry.histogram(
+        "span_seconds", "span durations by span name"
+    )
+    errors = registry.counter("span_errors_total", "error-status spans by name")
+    for record in _records(spans):
+        durations.observe(record.get("duration") or 0.0, name=record["name"])
+        if record.get("status") == "error":
+            errors.inc(name=record["name"])
+    return registry
+
+
+def write_metrics(
+    registry: MetricsRegistry | Mapping[str, Any],
+    path: str | IO[str],
+    extra_lines: Iterable[str] = (),
+) -> None:
+    """Write a registry's Prometheus text exposition to ``path``."""
+    if isinstance(registry, MetricsRegistry):
+        text = registry.render()
+    else:  # pre-rendered snapshot mapping: emit as JSON for inspection
+        text = json.dumps(dict(registry), indent=2, sort_keys=True, default=str)
+    extras = "".join(line + "\n" for line in extra_lines)
+    _write(path, text + extras)

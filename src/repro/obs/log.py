@@ -1,0 +1,167 @@
+"""Structured logging on stdlib :mod:`logging` with a JSON formatter.
+
+The library never prints diagnostics; it logs under the ``repro.*``
+logger hierarchy and stays silent by default (warnings and errors still
+reach stderr through :data:`logging.lastResort`, so a malformed
+``REPRO_FAULTS`` value is not swallowed).  Emission is an application
+decision, controlled by the ``REPRO_LOG`` environment knob or an
+explicit :func:`configure` call::
+
+    REPRO_LOG=debug        # JSON records at DEBUG to stderr
+    REPRO_LOG=info         # JSON records at INFO
+    REPRO_LOG=text:debug   # human-readable one-liners instead of JSON
+    REPRO_LOG=off          # force-silence even warnings
+
+Records are one JSON object per line: ``ts`` (epoch seconds), ``level``,
+``logger``, ``msg``, plus any structured fields passed via
+``logger.info("...", extra={"fields": {...}})`` — the helper
+:func:`fields` builds that ``extra`` dict so call sites stay short::
+
+    log = get_logger("serve.pool")
+    log.warning("worker crashed", extra=fields(slot=3, restarts=2))
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import Any, IO
+
+__all__ = [
+    "ENV_VAR",
+    "JsonFormatter",
+    "TextFormatter",
+    "configure",
+    "configure_from_env",
+    "fields",
+    "get_logger",
+]
+
+ENV_VAR = "REPRO_LOG"
+ROOT = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro`` logger, or a dotted child (``get_logger("serve.pool")``)."""
+    return logging.getLogger(f"{ROOT}.{name}" if name else ROOT)
+
+
+def fields(**kv: Any) -> dict[str, Any]:
+    """Build the ``extra=`` mapping carrying structured fields."""
+    return {"fields": kv}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; structured fields inlined."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        out: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        extra = getattr(record, "fields", None)
+        if extra:
+            for key, value in extra.items():
+                if key not in out:
+                    out[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            out["exc"] = self.formatException(record.exc_info)
+        return json.dumps(out, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-readable one-liners with the structured fields appended."""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname).1s %(name)s %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        extra = getattr(record, "fields", None)
+        if extra:
+            rendered = " ".join(f"{k}={v}" for k, v in extra.items())
+            base = f"{base} [{rendered}]"
+        return base
+
+
+def configure(
+    level: int | str = logging.INFO,
+    stream: IO[str] | None = None,
+    json_format: bool = True,
+    force: bool = False,
+) -> logging.Handler | None:
+    """Attach one handler to the ``repro`` logger (idempotent).
+
+    Returns the handler attached, or ``None`` when one already exists
+    and ``force`` is false.  ``force=True`` replaces existing handlers —
+    the test seam for capturing output.
+    """
+    if isinstance(level, str):
+        level = _LEVELS.get(level.lower(), logging.INFO)
+    root = get_logger()
+    if root.handlers and not force:
+        return None
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_format else TextFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return handler
+
+
+def configure_from_env(environ: dict[str, str] | None = None) -> bool:
+    """Honor ``REPRO_LOG`` if set; returns True when logging was enabled."""
+    value = (environ or os.environ).get(ENV_VAR, "").strip().lower()
+    if not value:
+        return False
+    if value in ("off", "0", "none"):
+        root = get_logger()
+        root.addHandler(logging.NullHandler())
+        root.propagate = False
+        return False
+    json_format = True
+    if ":" in value:
+        fmt, _, value = value.partition(":")
+        json_format = fmt != "text"
+    elif value in ("json", "text"):
+        json_format = value == "json"
+        value = "info"
+    configure(level=value or "info", json_format=json_format)
+    return True
+
+
+class timed:  # noqa: N801 - context-manager, lowercase by convention
+    """Log how long a block took at DEBUG: ``with timed(log, "respawn"):``."""
+
+    def __init__(self, logger: logging.Logger, what: str, **kv: Any) -> None:
+        self.logger = logger
+        self.what = what
+        self.kv = kv
+
+    def __enter__(self) -> "timed":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self.start
+        self.logger.debug(
+            self.what,
+            extra=fields(seconds=round(elapsed, 6), **self.kv),
+        )
+
+
+configure_from_env()

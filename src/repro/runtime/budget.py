@@ -26,10 +26,10 @@ budget can be threaded unconditionally without a fast path fork.
 
 from __future__ import annotations
 
-import time
 from typing import Callable
 
 from ..errors import BudgetExceededError
+from ..obs.clock import perf
 
 __all__ = ["Budget"]
 
@@ -53,7 +53,7 @@ class Budget:
         self,
         deadline: float | None = None,
         max_derivations: int | None = None,
-        clock: Callable[[], float] = time.perf_counter,
+        clock: Callable[[], float] = perf,
     ) -> None:
         if deadline is not None and deadline < 0:
             raise ValueError("deadline must be >= 0")

@@ -31,7 +31,6 @@ points cost one global read and a ``None`` check.
 from __future__ import annotations
 
 import os
-import sys
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -205,17 +204,22 @@ def parse_plan(text: str) -> FaultPlan:
 def install_from_env(environ: dict[str, str] | None = None) -> FaultPlan | None:
     """Arm a plan from ``REPRO_FAULTS`` if set; returns the plan.
 
-    A malformed value is reported on stderr and ignored rather than
+    A malformed value is logged as a warning and ignored rather than
     raised: this runs at import time, and a debugging knob must never
-    take down the process that imports the package."""
+    take down the process that imports the package.  (The warning still
+    reaches stderr with logging unconfigured, via ``logging.lastResort``.)
+    """
     text = (environ or os.environ).get(ENV_VAR, "").strip()
     if not text:
         return None
     try:
         plan = parse_plan(text)
     except ReproError as exc:
-        print(
-            f"repro: ignoring {ENV_VAR}={text!r}: {exc}", file=sys.stderr
+        from ..obs.log import fields, get_logger
+
+        get_logger("runtime.faults").warning(
+            f"ignoring malformed {ENV_VAR}",
+            extra=fields(value=text, error=str(exc)),
         )
         return None
     install(plan)

@@ -23,12 +23,13 @@ ranking.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from ..cache import CacheKey, ResultCache, normalise_sentence, options_signature
 from ..errors import ReproError
+from ..obs.clock import perf
+from ..obs.trace import NULL_TRACER
 from ..sheet import Workbook
 from ..translate import Candidate, Translator, TranslatorConfig
 from ..translate.rules import RuleSet
@@ -159,7 +160,8 @@ class TranslationService:
         tiers: tuple[Tier, ...] | None = None,
         faults: FaultPlan | None = None,
         cache: ResultCache | None = None,
-        clock: Callable[[], float] = time.perf_counter,
+        clock: Callable[[], float] = perf,
+        tracer=None,
     ) -> None:
         self.workbook = workbook
         self.rules = rules
@@ -169,8 +171,13 @@ class TranslationService:
         self.faults = faults
         self.cache = cache
         self.clock = clock
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._translators: dict[str, Translator] = {}
         self._translators_lock = threading.Lock()
+        # Guards the read-compare-write on _last_fingerprint: two threads
+        # translating through one service must not race the mutation
+        # detection into a missed (or doubled) invalidation.
+        self._fingerprint_lock = threading.Lock()
         self._last_fingerprint: str | None = None
         self._tier_signatures: dict[str, str] = {}
         self._rules_signature = (
@@ -218,14 +225,19 @@ class TranslationService:
 
     # -- the request path -------------------------------------------------------
 
-    def translate(self, sentence: str) -> ServiceResult:
-        """Translate under the service guarantees (never raises)."""
+    def translate(self, sentence: str, tracer=None) -> ServiceResult:
+        """Translate under the service guarantees (never raises).
+
+        ``tracer`` overrides the service's tracer for this request (the
+        gateway worker passes a per-request tracer whose records travel
+        back across the process boundary — docs/OBSERVABILITY.md)."""
+        tracer = tracer if tracer is not None else self.tracer
         if self.faults is not None:
             with installed(self.faults):
-                return self._translate(sentence)
-        return self._translate(sentence)
+                return self._translate(sentence, tracer)
+        return self._translate(sentence, tracer)
 
-    def _translate(self, sentence: str) -> ServiceResult:
+    def _translate(self, sentence: str, tracer) -> ServiceResult:
         start = self.clock()
         attempts: list[AttemptReport] = []
         spent = 0
@@ -236,19 +248,49 @@ class TranslationService:
         if cache is not None:
             normalised = normalise_sentence(sentence)
             fingerprint = self.workbook.fingerprint()
-            if self._last_fingerprint not in (None, fingerprint):
+            with self._fingerprint_lock:
+                previous = self._last_fingerprint
+                self._last_fingerprint = fingerprint
+            if previous not in (None, fingerprint):
                 # The workbook mutated since the last request: everything
                 # this service committed for the old state is now garbage.
-                cache.invalidate(self._last_fingerprint)
-            self._last_fingerprint = fingerprint
+                cache.invalidate(previous)
 
+        with tracer.span("service.request") as root:
+            result = self._run_ladder(
+                sentence, start, attempts, spent, cache,
+                normalised, fingerprint, tracer,
+            )
+            root.set(
+                tier=result.tier,
+                degraded=result.degraded,
+                anytime=result.anytime,
+                cached=result.cached,
+            )
+            if result.error_code is not None:
+                root.error(result.error).set(error_code=result.error_code)
+            return result
+
+    def _run_ladder(
+        self,
+        sentence: str,
+        start: float,
+        attempts: list[AttemptReport],
+        spent: int,
+        cache: ResultCache | None,
+        normalised: str | None,
+        fingerprint: str | None,
+        tracer,
+    ) -> ServiceResult:
         for k, tier in enumerate(self.tiers):
             key = None
             if cache is not None:
                 key = CacheKey(
                     normalised, fingerprint, self._tier_signature(tier)
                 )
-                hit = cache.get(key)
+                with tracer.span("cache.probe", tier=tier.name) as probe:
+                    hit = cache.get(key)
+                    probe.set(hit=hit is not None)
                 if hit is not None:
                     elapsed = self.clock() - start
                     cache.observe_hit(elapsed)
@@ -277,14 +319,22 @@ class TranslationService:
             error: str | None = None
             code: str | None = None
             candidates: list[Candidate] = []
-            try:
-                candidates = self.translator_for(tier).translate(
-                    sentence, budget=budget
+            with tracer.span("service.tier", tier=tier.name) as tier_span:
+                try:
+                    candidates = self.translator_for(tier).translate(
+                        sentence, budget=budget, tracer=tracer
+                    )
+                except ReproError as exc:
+                    error, code = str(exc), exc.code
+                except Exception as exc:  # noqa: BLE001 - the never-crash contract
+                    error, code = f"{type(exc).__name__}: {exc}", "internal_error"
+                tier_span.set(
+                    candidates=len(candidates),
+                    derivations=budget.spent_derivations,
+                    exhausted=budget.exhausted,
                 )
-            except ReproError as exc:
-                error, code = str(exc), exc.code
-            except Exception as exc:  # noqa: BLE001 - the never-crash contract
-                error, code = f"{type(exc).__name__}: {exc}", "internal_error"
+                if code is not None:
+                    tier_span.error(error).set(error_code=code)
             spent += budget.spent_derivations
             tier_elapsed = self.clock() - t0
             attempts.append(
@@ -303,8 +353,9 @@ class TranslationService:
                 # function of (sentence, workbook, rung config) —
                 # deadline-independent — so it is safe to memoise.  An
                 # exhausted (anytime) or errored rung never is.
-                cache.put(key, tuple(candidates))
-                cache.observe_miss(tier_elapsed)
+                with tracer.span("cache.commit", tier=tier.name):
+                    cache.put(key, tuple(candidates))
+                    cache.observe_miss(tier_elapsed)
 
             if code is None and candidates:
                 return ServiceResult(

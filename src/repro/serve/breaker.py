@@ -22,8 +22,9 @@ worker doing its job and counts as a success.
 from __future__ import annotations
 
 import threading
-import time
 from typing import Callable
+
+from ..obs.clock import monotonic
 
 __all__ = ["BreakerBoard", "CircuitBreaker", "CLOSED", "HALF_OPEN", "OPEN"]
 
@@ -39,7 +40,7 @@ class CircuitBreaker:
         self,
         failure_threshold: int = 5,
         reset_timeout: float = 2.0,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = monotonic,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -107,7 +108,7 @@ class BreakerBoard:
         self,
         failure_threshold: int = 5,
         reset_timeout: float = 2.0,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = monotonic,
     ) -> None:
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout

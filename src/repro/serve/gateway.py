@@ -26,18 +26,34 @@ to exactly one coded** :class:`GatewayResult` — across worker kills,
 hangs, overload, open breakers, and shutdown.  ``close(drain=True)``
 serves everything already queued before stopping; ``drain=False`` fails
 queued requests with ``gateway_closed`` (in-flight requests still finish).
+
+Observability (docs/OBSERVABILITY.md): all counters live in a
+:class:`~repro.obs.metrics.MetricsRegistry` shared with the result cache
+(``gateway_*`` / ``cache_*`` metric names), timing uses an injectable
+monotonic clock, and when a :class:`~repro.obs.trace.Tracer` is attached
+every request grows one span tree — ``gateway.request`` over
+``gateway.queue`` and ``gateway.worker_call``, with the worker's own
+spans shipped back in the reply and stitched in via
+:meth:`~repro.obs.trace.Tracer.adopt`.  A request whose worker dies
+still yields a complete tree: the gateway synthesises a
+``worker_crashed`` / ``worker_timeout`` error span in the dead worker's
+place.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-import time
 from collections import deque
-from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
+from typing import Any, Iterable
 
 from ..cache import CacheKey, CacheStats, ResultCache, normalise_sentence, options_signature
+from ..obs.clock import Clock, monotonic
+from ..obs.log import fields as log_fields
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from ..sheet import Workbook
 from ..translate import TranslatorConfig
 from .breaker import OPEN, BreakerBoard
@@ -53,6 +69,14 @@ __all__ = [
 ]
 
 _UNSET = object()
+
+_log = get_logger("serve.gateway")
+
+# The lifecycle buckets counted per request (``gateway_events_total``).
+_EVENTS = (
+    "submitted", "completed", "ok", "failed", "shed", "crashed",
+    "timed_out", "circuit_rejected", "closed_rejected", "cache_hits",
+)
 
 
 @dataclass(frozen=True)
@@ -148,6 +172,11 @@ class _Request:
     faults: str | None
     pending: PendingResult
     cache_key: CacheKey | None = None  # set iff this request may commit
+    # Trace nodes (no-op spans when tracing is off).  ``span`` is the
+    # request's root; it opens at submit and finishes on whichever thread
+    # resolves the request.  ``queue_span`` covers admission → dispatch.
+    span: Any = None
+    queue_span: Any = None
 
 
 @dataclass
@@ -185,6 +214,21 @@ class GatewayStats:
     def cache_hit_rate(self) -> float:
         return self.cache_hits / self.submitted if self.submitted else 0.0
 
+    def snapshot(self) -> dict[str, Any]:
+        """The ``snapshot()`` protocol: plain data, nested stats included."""
+        out: dict[str, Any] = {}
+        for f in dataclass_fields(self):
+            out[f.name] = getattr(self, f.name)
+        out["workers"] = [w.snapshot() for w in self.workers]
+        out["breakers"] = dict(self.breakers)
+        out["cache"] = self.cache.snapshot() if self.cache is not None else None
+        out.update(
+            shed_rate=self.shed_rate,
+            crash_rate=self.crash_rate,
+            cache_hit_rate=self.cache_hit_rate,
+        )
+        return out
+
 
 class TranslationGateway:
     """Serve translation requests on a crash-isolated worker pool."""
@@ -193,10 +237,17 @@ class TranslationGateway:
         self,
         workbook: Workbook | None = None,
         config: GatewayConfig | None = None,
+        *,
+        clock: Clock = monotonic,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
         **overrides,
     ) -> None:
         self.config = replace(config or GatewayConfig(), **overrides)
         self.default_workbook = workbook
+        self.clock = clock
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry(clock)
         self._registry = WorkbookRegistry()
         self._breakers = BreakerBoard(
             self.config.breaker_threshold, self.config.breaker_reset
@@ -212,6 +263,8 @@ class TranslationGateway:
             ResultCache(
                 capacity=self.config.cache_capacity,
                 ttl=self.config.cache_ttl,
+                clock=clock,
+                metrics=self.metrics,
             )
             if self.config.cache
             else None
@@ -227,12 +280,28 @@ class TranslationGateway:
         self._in_flight = 0
         self._closed = False
         self._stopping = False
-        self._stats_lock = threading.Lock()
-        self._counters = {
-            "submitted": 0, "completed": 0, "ok": 0, "failed": 0,
-            "shed": 0, "crashed": 0, "timed_out": 0,
-            "circuit_rejected": 0, "closed_rejected": 0, "cache_hits": 0,
-        }
+        m = self.metrics
+        self._events = m.counter(
+            "gateway_events_total", "request lifecycle events by kind"
+        )
+        self._queue_depth_gauge = m.gauge(
+            "gateway_queue_depth", "requests waiting for dispatch"
+        )
+        self._in_flight_gauge = m.gauge(
+            "gateway_in_flight", "requests executing on workers"
+        )
+        self._call_seconds = m.histogram(
+            "gateway_call_seconds", "worker round-trip seconds"
+        )
+        self._queue_seconds = m.histogram(
+            "gateway_queue_seconds", "submit-to-dispatch wait seconds"
+        )
+        self._ema_gauge = m.gauge(
+            "gateway_ema_call_seconds", "EMA of worker round-trip seconds"
+        )
+        # The EMA is a genuine read-modify-write, so it keeps its own lock
+        # (gauges guard single writes, not compound updates).
+        self._ema_lock = threading.Lock()
         self._ema_call_seconds = 0.0
         self._runners = [
             threading.Thread(
@@ -267,7 +336,7 @@ class TranslationGateway:
             deadline = self.config.default_deadline
         fingerprint, payload = self._registry.register(wb)
         pending = PendingResult()
-        now = time.monotonic()
+        now = self.clock()
         # Fault-armed requests are chaos probes: they must reach a worker
         # and must never commit what they produce.
         cache_key = None
@@ -275,8 +344,9 @@ class TranslationGateway:
             cache_key = CacheKey(
                 normalise_sentence(sentence), fingerprint, self._cache_options
             )
+        request_id = next(self._ids)
         request = _Request(
-            id=next(self._ids),
+            id=request_id,
             sentence=sentence,
             fingerprint=fingerprint,
             payload=payload,
@@ -285,6 +355,13 @@ class TranslationGateway:
             faults=faults,
             pending=pending,
             cache_key=cache_key,
+            # The root span deliberately skips the with-statement: it is
+            # finished by whichever thread resolves the request.
+            span=self.tracer.span(
+                "gateway.request",
+                request_id=request_id,
+                fingerprint=fingerprint,
+            ),
         )
         with self._cond:
             if self._closed:
@@ -325,7 +402,11 @@ class TranslationGateway:
                     )
                     return pending
             self._count("submitted")
+            request.queue_span = self.tracer.span(
+                "gateway.queue", parent=request.span
+            )
             self._queue.append(request)
+            self._queue_depth_gauge.set(len(self._queue))
             self._cond.notify()
         return pending
 
@@ -372,6 +453,7 @@ class TranslationGateway:
                         "gateway closed before dispatch", "closed_rejected",
                         count_submitted=False,  # counted at admission
                     )
+                self._queue_depth_gauge.set(0)
             self._stopping = True
             self._cond.notify_all()
         for thread in self._runners:
@@ -402,8 +484,10 @@ class TranslationGateway:
     # -- diagnostics ----------------------------------------------------------------
 
     def stats(self) -> GatewayStats:
-        with self._stats_lock:
-            counters = dict(self._counters)
+        counters = {
+            name: int(self._events.value(event=name)) for name in _EVENTS
+        }
+        with self._ema_lock:
             ema = self._ema_call_seconds
         with self._cond:
             depth = len(self._queue)
@@ -421,39 +505,57 @@ class TranslationGateway:
             **counters,
         )
 
+    def snapshot(self) -> dict[str, Any]:
+        """The ``snapshot()`` protocol (same shape as ``stats().snapshot()``)."""
+        return self.stats().snapshot()
+
     # -- internals -----------------------------------------------------------------
 
     def _predicted_wait(self) -> float:
         """Expected seconds before a new request reaches a worker."""
-        return (
-            len(self._queue) / self._pool.size
-        ) * self._ema_call_seconds
+        with self._ema_lock:
+            ema = self._ema_call_seconds
+        return (len(self._queue) / self._pool.size) * ema
 
     def _count(self, *names: str) -> None:
-        with self._stats_lock:
-            for name in names:
-                self._counters[name] += 1
+        for name in names:
+            self._events.inc(event=name)
+
+    def _close_span(self, request: _Request, result: GatewayResult) -> None:
+        """Finish the request's root span with the outcome attached."""
+        span = request.span
+        if span is None:
+            return
+        if not result.ok:
+            span.error(result.error).set(error_code=result.error_code)
+        span.set(
+            tier=result.tier,
+            cached=result.cached,
+            degraded=result.degraded,
+            anytime=result.anytime,
+            worker_id=result.worker_id,
+        ).finish()
 
     def _resolve_hit(self, request: _Request, entry: dict) -> None:
         """Resolve a front-end cache hit without touching queue or pool."""
-        now = time.monotonic()
+        now = self.clock()
         self._count("submitted", "completed", "ok", "cache_hits")
         self._cache.observe_hit(now - request.submitted_at)
-        request.pending._resolve(
-            GatewayResult(
-                ok=True,
-                tier=entry["tier"],
-                programs=list(entry["programs"]),
-                n_candidates=entry["n_candidates"],
-                top_formula=entry["top_formula"],
-                elapsed=entry["elapsed"],
-                budget_spent=entry["budget_spent"],
-                queue_seconds=0.0,
-                total_seconds=now - request.submitted_at,
-                fingerprint=request.fingerprint,
-                cached=True,
-            )
+        result = GatewayResult(
+            ok=True,
+            tier=entry["tier"],
+            programs=list(entry["programs"]),
+            n_candidates=entry["n_candidates"],
+            top_formula=entry["top_formula"],
+            elapsed=entry["elapsed"],
+            budget_spent=entry["budget_spent"],
+            queue_seconds=0.0,
+            total_seconds=now - request.submitted_at,
+            fingerprint=request.fingerprint,
+            cached=True,
         )
+        self._close_span(request, result)
+        request.pending._resolve(result)
 
     def _reject(
         self,
@@ -467,16 +569,26 @@ class TranslationGateway:
         if count_submitted:
             self._count("submitted")
         self._count("completed", bucket)
-        request.pending._resolve(
-            GatewayResult(
-                ok=False,
-                error_code=code,
-                error=message,
+        _log.debug(
+            "request rejected",
+            extra=log_fields(
+                request_id=request.id, code=code,
                 fingerprint=request.fingerprint,
-                queue_seconds=time.monotonic() - request.submitted_at,
-                total_seconds=time.monotonic() - request.submitted_at,
-            )
+            ),
         )
+        if request.queue_span is not None:
+            request.queue_span.error(code).finish()
+        now = self.clock()
+        result = GatewayResult(
+            ok=False,
+            error_code=code,
+            error=message,
+            fingerprint=request.fingerprint,
+            queue_seconds=now - request.submitted_at,
+            total_seconds=now - request.submitted_at,
+        )
+        self._close_span(request, result)
+        request.pending._resolve(result)
 
     def _runner(self, slot: int) -> None:
         while True:
@@ -505,6 +617,8 @@ class TranslationGateway:
                 if self._queue:
                     request = self._take(slot)
                     self._in_flight += 1
+                    self._queue_depth_gauge.set(len(self._queue))
+                    self._in_flight_gauge.set(self._in_flight)
                     return request
                 if self._stopping:
                     return None
@@ -520,8 +634,11 @@ class TranslationGateway:
         return self._queue.popleft()
 
     def _serve(self, slot: int, request: _Request) -> None:
-        now = time.monotonic()
+        now = self.clock()
         queue_seconds = now - request.submitted_at
+        self._queue_seconds.observe(queue_seconds)
+        if request.queue_span is not None:
+            request.queue_span.set(seconds=round(queue_seconds, 6)).finish()
         if request.expires_at is not None:
             remaining = request.expires_at - now
             if remaining <= 0:
@@ -542,6 +659,9 @@ class TranslationGateway:
         else:
             remaining = None
             timeout = self.config.request_timeout
+        call_span = self.tracer.span(
+            "gateway.worker_call", parent=request.span, slot=slot
+        )
         message = {
             "id": request.id,
             "sentence": request.sentence,
@@ -554,43 +674,49 @@ class TranslationGateway:
             "faults": request.faults,
             "cache": self.config.cache,
         }
+        if self.tracer.enabled:
+            # The worker opens its spans under the worker_call span; the
+            # finished records come back in the reply for adoption.
+            message["trace"] = {
+                "trace_id": call_span.trace_id,
+                "parent_id": call_span.span_id,
+            }
         fingerprint = request.fingerprint
         try:
             handle = self._pool.ensure(slot)
-            started = time.monotonic()
+            started = self.clock()
             reply = handle.call(message, timeout)
         except WorkerTimedOut as exc:
-            self._pool.note_crash(slot)  # a hung worker is killed, not reused
-            self._note_breaker_failure(fingerprint)
-            self._finish(
-                request,
-                self._worker_failure(
-                    request, slot, queue_seconds, "worker_timeout", str(exc)
-                ),
-                "timed_out",
+            self._worker_died(
+                request, slot, call_span, queue_seconds,
+                "worker_timeout", str(exc), "timed_out",
             )
         except WorkerCrashed as exc:
-            self._pool.note_crash(slot)
-            self._note_breaker_failure(fingerprint)
-            self._finish(
-                request,
-                self._worker_failure(
-                    request, slot, queue_seconds, "worker_crashed", str(exc)
-                ),
-                "crashed",
+            self._worker_died(
+                request, slot, call_span, queue_seconds,
+                "worker_crashed", str(exc), "crashed",
             )
         else:
-            duration = time.monotonic() - started
+            duration = self.clock() - started
+            call_span.set(warm=reply["warm"]).finish()
+            spans = reply.get("spans")
+            if spans:
+                # Worker clocks share no epoch with ours: shift the
+                # records so the earliest lands at the call start (the
+                # residual skew is one pipe send, microseconds).
+                self.tracer.adopt(spans, align_to=call_span.start)
+            self._call_seconds.observe(duration)
             self._pool.note_success(slot)
             handle.served += 1
             handle.warm.add(fingerprint)
             self._breakers.record_success(fingerprint)
-            with self._stats_lock:
+            with self._ema_lock:
                 self._ema_call_seconds = (
                     duration
                     if self._ema_call_seconds == 0.0
                     else 0.8 * self._ema_call_seconds + 0.2 * duration
                 )
+                self._ema_gauge.set(self._ema_call_seconds)
             result = GatewayResult(
                 ok=reply["ok"],
                 error_code=reply["error_code"],
@@ -604,7 +730,7 @@ class TranslationGateway:
                 elapsed=reply["elapsed"],
                 budget_spent=reply["budget_spent"],
                 queue_seconds=queue_seconds,
-                total_seconds=time.monotonic() - request.submitted_at,
+                total_seconds=self.clock() - request.submitted_at,
                 worker_id=slot,
                 fingerprint=fingerprint,
                 warm=reply["warm"],
@@ -632,30 +758,60 @@ class TranslationGateway:
                 self._cache.observe_miss(duration)
             self._finish(request, result, "ok" if result.ok else "failed")
 
+    def _worker_died(
+        self,
+        request: _Request,
+        slot: int,
+        call_span,
+        queue_seconds: float,
+        code: str,
+        message: str,
+        bucket: str,
+    ) -> None:
+        """Resolve a request whose worker crashed or hung.
+
+        The trace tree stays complete: the worker's own spans died with
+        it, so the gateway plants a ``worker_crashed`` / ``worker_timeout``
+        error span where they would have been.
+        """
+        _log.warning(
+            code,
+            extra=log_fields(
+                request_id=request.id, slot=slot,
+                fingerprint=request.fingerprint,
+            ),
+        )
+        self.tracer.span(code, parent=call_span, slot=slot).error(
+            message
+        ).finish()
+        call_span.error(message).set(kind=code).finish()
+        self._pool.note_crash(slot)  # a hung worker is killed, not reused
+        self._note_breaker_failure(request.fingerprint)
+        self._finish(
+            request,
+            GatewayResult(
+                ok=False,
+                error_code=code,
+                error=message,
+                fingerprint=request.fingerprint,
+                queue_seconds=queue_seconds,
+                total_seconds=self.clock() - request.submitted_at,
+                worker_id=slot,
+            ),
+            bucket,
+        )
+
     def _note_breaker_failure(self, fingerprint: str) -> None:
         """Feed the breaker; a closed → open trip declares every cached
         result for this workbook suspect and purges them."""
         state = self._breakers.record_failure(fingerprint)
-        if state == OPEN and self._cache is not None:
-            self._cache.invalidate(fingerprint)
-
-    def _worker_failure(
-        self,
-        request: _Request,
-        slot: int,
-        queue_seconds: float,
-        code: str,
-        message: str,
-    ) -> GatewayResult:
-        return GatewayResult(
-            ok=False,
-            error_code=code,
-            error=message,
-            fingerprint=request.fingerprint,
-            queue_seconds=queue_seconds,
-            total_seconds=time.monotonic() - request.submitted_at,
-            worker_id=slot,
-        )
+        if state == OPEN:
+            _log.warning(
+                "circuit breaker opened",
+                extra=log_fields(fingerprint=fingerprint),
+            )
+            if self._cache is not None:
+                self._cache.invalidate(fingerprint)
 
     def _finish(
         self, request: _Request, result: GatewayResult, bucket: str
@@ -663,4 +819,6 @@ class TranslationGateway:
         self._count("completed", bucket)
         with self._cond:
             self._in_flight -= 1
+            self._in_flight_gauge.set(self._in_flight)
+        self._close_span(request, result)
         request.pending._resolve(result)

@@ -29,9 +29,11 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable
 
+from ..obs.log import fields as log_fields
+from ..obs.log import get_logger
 from .worker import worker_main
 
 __all__ = [
@@ -63,6 +65,9 @@ def pick_start_method(preferred: str | None = None) -> str:
     return "fork" if "fork" in available else "spawn"
 
 
+_log = get_logger("serve.pool")
+
+
 @dataclass
 class WorkerStats:
     """One slot's diagnostics snapshot."""
@@ -72,6 +77,10 @@ class WorkerStats:
     restarts: int
     served: int
     warm_fingerprints: int
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``snapshot()`` protocol (see :mod:`repro.obs.metrics`)."""
+        return asdict(self)
 
 
 @dataclass
@@ -160,6 +169,14 @@ class WorkerPool:
                 self.restart_backoff_cap,
                 self.restart_backoff * 2 ** (handle.consecutive_crashes - 1),
             )
+            _log.warning(
+                "respawning crashed worker",
+                extra=log_fields(
+                    slot=slot,
+                    consecutive_crashes=handle.consecutive_crashes,
+                    backoff_seconds=delay,
+                ),
+            )
             self._sleep(delay)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
@@ -181,6 +198,12 @@ class WorkerPool:
         """Record a mid-request death and tear the process down."""
         handle = self.handles[slot]
         handle.consecutive_crashes += 1
+        _log.warning(
+            "worker died mid-request",
+            extra=log_fields(
+                slot=slot, consecutive_crashes=handle.consecutive_crashes
+            ),
+        )
         self._retire(handle)
 
     def note_success(self, slot: int) -> None:

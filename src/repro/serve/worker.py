@@ -7,7 +7,12 @@ pickled-dict protocol over a duplex pipe:
   "max_derivations", "top_k", "faults", "cache"}`` (``payload`` is the
   pickled workbook; ``faults`` an optional ``REPRO_FAULTS``-style plan
   armed for this request only; ``cache`` asks the service for a
-  per-process rung memo, :mod:`repro.cache`);
+  per-process rung memo, :mod:`repro.cache`).  An optional ``trace``
+  entry — ``{"trace_id", "parent_id"}`` — carries the gateway's trace
+  context across the process boundary: the worker runs the request under
+  a local :class:`~repro.obs.trace.Tracer`, opens a ``worker.translate``
+  span as a child of the remote parent, and returns the finished span
+  records in the reply (``"spans"``) for the gateway to stitch in;
 * reply — a flat dict of primitives mirroring
   :class:`~repro.runtime.service.ServiceResult` (no DSL objects cross the
   boundary, so a reply never fails to unpickle);
@@ -35,6 +40,7 @@ from contextlib import nullcontext
 # Imported eagerly so a fork()ed worker never takes the import lock for
 # the translation stack mid-flight (the parent is multi-threaded).
 from ..cache import ResultCache
+from ..obs.trace import Tracer
 from ..rules import builtin_rules  # noqa: F401  (warms the import cache)
 from ..runtime.faults import fault_point, install, installed, parse_plan
 from ..runtime.service import TranslationService
@@ -76,7 +82,25 @@ def _build_reply(request: dict, services: dict) -> dict:
     # deadline is whatever slice of the caller's deadline is left.
     service.deadline = request.get("deadline")
     service.max_derivations = request.get("max_derivations")
-    result = service.translate(request["sentence"])
+
+    # Trace context (if the gateway is tracing): run this request under a
+    # short-lived local tracer parented to the gateway's worker_call span,
+    # and ship the finished records back in the reply for adoption.
+    trace_ctx = request.get("trace")
+    spans: list[dict] = []
+    if trace_ctx:
+        tracer = Tracer()
+        root = tracer.span(
+            "worker.translate",
+            trace_id=trace_ctx["trace_id"],
+            parent_id=trace_ctx["parent_id"],
+            warm=warm,
+        )
+        with root:
+            result = service.translate(request["sentence"], tracer=tracer)
+        spans = tracer.clear()
+    else:
+        result = service.translate(request["sentence"])
 
     top_k = request.get("top_k", 5)
     programs = [
@@ -103,6 +127,7 @@ def _build_reply(request: dict, services: dict) -> dict:
         "top_formula": top_formula,
         "warm": warm,
         "cached": result.cached,
+        "spans": spans,
     }
 
 

@@ -86,6 +86,7 @@ class NLyzeSession:
     workbook: Workbook
     config: TranslatorConfig | None = None
     deadline: float | None = None
+    tracer: object | None = None  # a repro.obs Tracer, threaded into asks
     steps: list[Step] = field(default_factory=list)
     _translator: Translator | None = field(default=None, repr=False)
     _service: TranslationService | None = field(default=None, repr=False)
@@ -101,7 +102,8 @@ class NLyzeSession:
         workbook state (values, formats, and selections change per step —
         the temporal context of §4)."""
         self._service = TranslationService(
-            self.workbook, config=self.config, deadline=self.deadline
+            self.workbook, config=self.config, deadline=self.deadline,
+            tracer=self.tracer,
         )
         self._translator = self._service.translator_for(
             self._service.tiers[0]

@@ -26,6 +26,7 @@ from ..dsl.excel import ExcelEmitter
 from ..dsl.paraphrase import paraphrase
 from ..dsl.types import TypeChecker
 from ..errors import BudgetExceededError, TranslationError
+from ..obs.trace import NULL_TRACER
 from ..runtime.budget import Budget
 from ..runtime.faults import fault_point
 from ..sheet import Workbook
@@ -113,7 +114,7 @@ class Translator:
     # -- public API --------------------------------------------------------------
 
     def translate(
-        self, sentence: str, budget: Budget | None = None
+        self, sentence: str, budget: Budget | None = None, tracer=None
     ) -> list[Candidate]:
         """A ranked list of candidate programs for ``sentence``.
 
@@ -123,29 +124,46 @@ class Translator:
         (across all spans, including the partially processed one) instead
         of raising.  Callers detect the switch via ``budget.exhausted``.
         An unlimited budget is behaviour-identical to no budget.
+
+        ``tracer`` (optional, :class:`repro.obs.Tracer`) records per-stage
+        spans — tokenize, then seeds/rules/synthesis per sentence span,
+        then ranking.  The default is the no-op tracer (docs/OBSERVABILITY.md).
         """
-        tokens = self.prepare_tokens(sentence)
-        self._validate_tokens(tokens)
-        if budget is None:
-            budget = Budget()
-        fault_point("tokenize")
-        n = len(tokens)
-        tmap: dict[tuple[int, int], list[Derivation]] = {}
+        tracer = tracer if tracer is not None else NULL_TRACER
+        with tracer.span("translate") as root:
+            with tracer.span("translate.tokenize"):
+                tokens = self.prepare_tokens(sentence)
+                self._validate_tokens(tokens)
+                fault_point("tokenize")
+            if budget is None:
+                budget = Budget()
+            n = len(tokens)
+            root.set(tokens=n)
+            tmap: dict[tuple[int, int], list[Derivation]] = {}
 
-        try:
-            for width in range(1, n + 1):
-                for i in range(0, n - width + 1):
-                    j = i + width
-                    budget.checkpoint("span")
-                    tmap[(i, j)] = self._translate_span(
-                        tokens, i, j, tmap, budget
-                    )
-        except BudgetExceededError:
-            return self._rank_anytime(tmap, tokens)
+            try:
+                for width in range(1, n + 1):
+                    for i in range(0, n - width + 1):
+                        j = i + width
+                        budget.checkpoint("span")
+                        tmap[(i, j)] = self._translate_span(
+                            tokens, i, j, tmap, budget, tracer
+                        )
+            except BudgetExceededError:
+                root.set(anytime=True)
+                with tracer.span("translate.rank", anytime=True) as rank:
+                    candidates = self._rank_anytime(tmap, tokens)
+                    rank.set(candidates=len(candidates))
+                    return candidates
 
-        fault_point("ranking")
-        final = tmap[(0, n)]
-        return self._rank(final, tokens)
+            fault_point("ranking")
+            final = tmap[(0, n)]
+            with tracer.span(
+                "translate.rank", derivations=len(final)
+            ) as rank:
+                candidates = self._rank(final, tokens)
+                rank.set(candidates=len(candidates))
+                return candidates
 
     # Guard rails for degenerate input: the DP is O(n^3) in sentence length,
     # so a runaway description must be rejected up front, and a description
@@ -231,50 +249,60 @@ class Translator:
         j: int,
         tmap: dict[tuple[int, int], list[Derivation]],
         budget: Budget | None = None,
+        tracer=None,
     ) -> list[Derivation]:
         if budget is None:
             budget = Budget()
+        if tracer is None:
+            tracer = NULL_TRACER
         derivations: list[Derivation] = []
         base: list[Derivation] = []
         new: list[Derivation] = []
 
         try:
             # 1. keyword-programming seeds
-            fault_point("seeds")
-            if j - i == 1:
-                token = tokens[i]
-                derivations += literal_seeds(token, i)
-                derivations += table_seeds(self.ctx, token, i)
-                if self.config.use_synthesis:
-                    derivations += operator_seeds(token, i)
-            derivations += column_seeds(self.ctx, tokens, i, j, 0)
-            derivations += value_seeds(self.ctx, tokens, i, j, 0)
-            if j - i == 4:
-                from .excel_input import formula_seeds
+            with tracer.span("translate.seeds", i=i, j=j) as span:
+                fault_point("seeds")
+                if j - i == 1:
+                    token = tokens[i]
+                    derivations += literal_seeds(token, i)
+                    derivations += table_seeds(self.ctx, token, i)
+                    if self.config.use_synthesis:
+                        derivations += operator_seeds(token, i)
+                derivations += column_seeds(self.ctx, tokens, i, j, 0)
+                derivations += value_seeds(self.ctx, tokens, i, j, 0)
+                if j - i == 4:
+                    from .excel_input import formula_seeds
 
-                derivations += formula_seeds(self.ctx, tokens, i, j)
-            budget.charge(len(derivations))
-            budget.checkpoint("seeds")
+                    derivations += formula_seeds(self.ctx, tokens, i, j)
+                budget.charge(len(derivations))
+                budget.checkpoint("seeds")
+                span.set(derivations=len(derivations))
 
             # 2. pattern rules
             if self.config.use_rules:
-                derivations += self.rule_translator.translate_span(
-                    tokens, i, j, tmap, budget=budget
-                )
-                budget.checkpoint("rules")
+                with tracer.span("translate.rules", i=i, j=j) as span:
+                    produced = self.rule_translator.translate_span(
+                        tokens, i, j, tmap, budget=budget
+                    )
+                    derivations += produced
+                    budget.checkpoint("rules")
+                    span.set(derivations=len(produced))
 
             # 3. union of sub-spans + synthesis closure
             if j - i >= 2:
                 base = self._dedup(tmap[(i, j - 1)] + tmap[(i + 1, j)])
                 if self.config.use_synthesis:
-                    left = [d for d in base if i in d.used]
-                    right = [d for d in base if (j - 1) in d.used]
-                    new = synthesize(
-                        base, left, right, self.checker,
-                        max_new=self.config.synth_max_new,
-                        budget=budget,
-                    )
-                    budget.checkpoint("synthesis")
+                    with tracer.span("translate.synthesis", i=i, j=j) as span:
+                        left = [d for d in base if i in d.used]
+                        right = [d for d in base if (j - 1) in d.used]
+                        new = synthesize(
+                            base, left, right, self.checker,
+                            max_new=self.config.synth_max_new,
+                            budget=budget,
+                        )
+                        budget.checkpoint("synthesis")
+                        span.set(derivations=len(new))
         except BudgetExceededError:
             # Anytime salvage: whatever this span produced before the trip
             # is still a valid (if incomplete) span translation.  Store it

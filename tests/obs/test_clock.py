@@ -1,0 +1,52 @@
+"""ManualClock — the deterministic timing seam."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.clock import ManualClock, monotonic, perf, wall
+
+
+def test_real_clocks_are_callables():
+    assert monotonic() <= monotonic()
+    assert perf() <= perf()
+    assert isinstance(wall(), float)
+
+
+def test_manual_clock_starts_where_told():
+    clock = ManualClock(start=41.5)
+    assert clock() == 41.5
+
+
+def test_advance_moves_time_forward():
+    clock = ManualClock()
+    assert clock() == 0.0
+    clock.advance(2.5)
+    assert clock() == 2.5
+    clock.advance(0.5)
+    assert clock() == 3.0
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        ManualClock().advance(-1.0)
+
+
+def test_tick_adds_on_every_read():
+    clock = ManualClock(tick=0.25)
+    assert clock() == 0.25
+    assert clock() == 0.5
+    # code measuring clock() - clock() sees a non-zero interval
+    start = clock()
+    assert clock() - start == 0.25
+
+
+def test_tick_rejects_negative():
+    with pytest.raises(ValueError):
+        ManualClock(tick=-0.1)
+
+
+def test_reads_counter():
+    clock = ManualClock()
+    clock(), clock(), clock()
+    assert clock.reads == 3

@@ -1,0 +1,150 @@
+"""Exporters: JSONL span logs, Chrome trace events, metrics text."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    span_duration_metrics,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.clock import ManualClock
+from repro.obs.export import (
+    SPAN_REQUIRED_FIELDS,
+    chrome_trace_events,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+
+def traced_tree():
+    clock = ManualClock(start=100.0, tick=0.5)
+    tracer = Tracer(clock=clock)
+    with tracer.span("root", request_id=1):
+        with tracer.span("child"):
+            pass
+        with tracer.span("failed") as span:
+            span.error("boom")
+    return tracer
+
+
+# -- JSONL -------------------------------------------------------------------------
+
+
+def test_jsonl_one_record_per_line_with_required_fields():
+    tracer = traced_tree()
+    buf = io.StringIO()
+    n = write_spans_jsonl(tracer, buf)
+    lines = buf.getvalue().strip().splitlines()
+    assert n == len(lines) == 3
+    for line in lines:
+        record = json.loads(line)
+        for field in SPAN_REQUIRED_FIELDS:
+            assert field in record
+
+
+def test_jsonl_accepts_raw_records_and_paths(tmp_path):
+    records = traced_tree().finished()
+    path = tmp_path / "spans.jsonl"
+    assert write_spans_jsonl(records, str(path)) == 3
+    assert len(path.read_text().strip().splitlines()) == 3
+
+
+def test_jsonl_serialises_non_json_attrs():
+    tracer = Tracer()
+    with tracer.span("s", weird=object()):
+        pass
+    buf = io.StringIO()
+    write_spans_jsonl(tracer, buf)  # must not raise
+    assert json.loads(buf.getvalue())["attrs"]["weird"]
+
+
+# -- Chrome trace events -----------------------------------------------------------
+
+
+def test_chrome_events_epoch_relative_microseconds():
+    events = chrome_trace_events(traced_tree())
+    slices = [e for e in events if e["ph"] == "X"]
+    assert len(slices) == 3
+    assert min(e["ts"] for e in slices) == 0.0  # axis starts at zero
+    for event in slices:
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+        assert "trace_id" in event["args"]
+
+
+def test_chrome_events_emit_process_name_metadata():
+    events = chrome_trace_events(traced_tree())
+    metas = [e for e in events if e["ph"] == "M"]
+    assert len(metas) == 1
+    assert metas[0]["name"] == "process_name"
+
+
+def test_chrome_events_mark_error_status():
+    events = chrome_trace_events(traced_tree())
+    [failed] = [e for e in events if e.get("name") == "failed"]
+    assert failed["args"]["status"] == "error"
+
+
+def test_chrome_events_empty_tracer():
+    assert chrome_trace_events(Tracer()) == []
+
+
+def test_write_chrome_trace_document(tmp_path):
+    path = tmp_path / "trace.json"
+    n = write_chrome_trace(traced_tree(), str(path))
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == n
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_write_trace_dispatches_on_extension(tmp_path):
+    tracer = traced_tree()
+    jsonl = tmp_path / "out.jsonl"
+    chrome = tmp_path / "out.json"
+    write_trace(tracer, str(jsonl))
+    write_trace(tracer, str(chrome))
+    assert json.loads(jsonl.read_text().splitlines()[0])["name"]
+    assert "traceEvents" in json.loads(chrome.read_text())
+
+
+# -- the trace -> metrics bridge ---------------------------------------------------
+
+
+def test_span_duration_metrics_by_name():
+    registry = span_duration_metrics(traced_tree())
+    h = registry.histogram("span_seconds")
+    assert h.count(name="root") == 1
+    assert h.count(name="child") == 1
+    assert h.sum(name="child") > 0
+    errors = registry.counter("span_errors_total")
+    assert errors.value(name="failed") == 1
+    assert errors.value(name="child") == 0
+
+
+def test_span_duration_metrics_into_existing_registry():
+    registry = MetricsRegistry()
+    assert span_duration_metrics(traced_tree(), registry) is registry
+
+
+# -- metrics text ------------------------------------------------------------------
+
+
+def test_write_metrics_renders_registry(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("c_total").inc()
+    path = tmp_path / "metrics.txt"
+    write_metrics(registry, str(path), extra_lines=["# built by test"])
+    text = path.read_text()
+    assert "c_total 1.0" in text
+    assert text.endswith("# built by test\n")
+
+
+def test_write_metrics_accepts_snapshot_mapping():
+    buf = io.StringIO()
+    write_metrics({"anything": {"nested": 1}}, buf)
+    assert json.loads(buf.getvalue()) == {"anything": {"nested": 1}}

@@ -1,0 +1,167 @@
+"""Structured logging: JSON formatter, REPRO_LOG parsing, timed blocks."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    ENV_VAR,
+    JsonFormatter,
+    TextFormatter,
+    configure,
+    configure_from_env,
+    fields,
+    get_logger,
+    timed,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_handlers():
+    """Each test gets a pristine ``repro`` logger and restores it after."""
+    root = get_logger()
+    saved = list(root.handlers), root.level, root.propagate
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    yield
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handlers, root.level, root.propagate = saved
+    for handler in handlers:
+        root.addHandler(handler)
+
+
+def capture(level="debug", json_format=True):
+    stream = io.StringIO()
+    configure(level=level, stream=stream, json_format=json_format, force=True)
+    return stream
+
+
+def test_get_logger_hierarchy():
+    assert get_logger().name == "repro"
+    assert get_logger("serve.pool").name == "repro.serve.pool"
+
+
+def test_fields_builds_extra_mapping():
+    assert fields(slot=3, warm=True) == {"fields": {"slot": 3, "warm": True}}
+
+
+def test_json_records_carry_structured_fields():
+    stream = capture()
+    get_logger("serve.pool").warning(
+        "worker crashed", extra=fields(slot=3, restarts=2)
+    )
+    record = json.loads(stream.getvalue())
+    assert record["level"] == "warning"
+    assert record["logger"] == "repro.serve.pool"
+    assert record["msg"] == "worker crashed"
+    assert record["slot"] == 3
+    assert record["restarts"] == 2
+    assert isinstance(record["ts"], float)
+
+
+def test_json_formatter_inlines_exceptions():
+    stream = capture()
+    try:
+        raise ValueError("bad")
+    except ValueError:
+        get_logger().error("failed", exc_info=True)
+    record = json.loads(stream.getvalue())
+    assert "ValueError: bad" in record["exc"]
+
+
+def test_json_formatter_handles_non_json_values():
+    stream = capture()
+    get_logger().info("msg", extra=fields(obj=object()))
+    assert json.loads(stream.getvalue())["obj"]  # str()-coerced, not a crash
+
+
+def test_text_formatter_appends_fields():
+    stream = capture(json_format=False)
+    get_logger().warning("crashed", extra=fields(slot=1))
+    line = stream.getvalue()
+    assert "crashed" in line and "[slot=1]" in line
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(line)
+
+
+def test_configure_is_idempotent_without_force():
+    stream = capture()
+    assert configure(stream=io.StringIO()) is None  # second call: no-op
+    get_logger().info("kept")
+    assert "kept" in stream.getvalue()
+
+
+def test_configure_force_replaces_handler():
+    first = capture()
+    second = capture()
+    get_logger().info("routed")
+    assert first.getvalue() == ""
+    assert "routed" in second.getvalue()
+
+
+def test_level_filtering():
+    stream = capture(level="warning")
+    log = get_logger()
+    log.debug("quiet")
+    log.info("quiet")
+    log.warning("loud")
+    lines = stream.getvalue().strip().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["msg"] == "loud"
+
+
+# -- REPRO_LOG parsing -------------------------------------------------------------
+
+
+def test_env_unset_leaves_logging_off():
+    assert configure_from_env({}) is False
+    assert not get_logger().handlers
+
+
+def test_env_level_enables_json():
+    assert configure_from_env({ENV_VAR: "debug"}) is True
+    root = get_logger()
+    assert root.level == logging.DEBUG
+    assert isinstance(root.handlers[0].formatter, JsonFormatter)
+
+
+def test_env_text_prefix_selects_text_formatter():
+    assert configure_from_env({ENV_VAR: "text:warning"}) is True
+    root = get_logger()
+    assert root.level == logging.WARNING
+    assert isinstance(root.handlers[0].formatter, TextFormatter)
+
+
+def test_env_bare_json_defaults_to_info():
+    assert configure_from_env({ENV_VAR: "json"}) is True
+    assert get_logger().level == logging.INFO
+
+
+def test_env_off_silences_even_warnings():
+    assert configure_from_env({ENV_VAR: "off"}) is False
+    root = get_logger()
+    assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+    assert root.propagate is False
+
+
+def test_env_unknown_level_falls_back_to_info():
+    assert configure_from_env({ENV_VAR: "shouting"}) is True
+    assert get_logger().level == logging.INFO
+
+
+# -- timed -------------------------------------------------------------------------
+
+
+def test_timed_logs_elapsed_at_debug():
+    stream = capture(level="debug")
+    with timed(get_logger("t"), "respawn", slot=2):
+        pass
+    record = json.loads(stream.getvalue())
+    assert record["msg"] == "respawn"
+    assert record["slot"] == 2
+    assert record["seconds"] >= 0

@@ -1,0 +1,236 @@
+"""MetricsRegistry: counters, gauges, histograms, labels, rendering."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.clock import ManualClock
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    snapshot_of,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+# -- counter -----------------------------------------------------------------------
+
+
+def test_counter_increments(registry):
+    c = registry.counter("requests_total")
+    c.inc()
+    c.inc(2.5)
+    assert c.value() == 3.5
+    assert c.total() == 3.5
+
+
+def test_counter_labels_are_independent_series(registry):
+    c = registry.counter("events_total")
+    c.inc(event="ok")
+    c.inc(event="ok")
+    c.inc(event="shed")
+    assert c.value(event="ok") == 2
+    assert c.value(event="shed") == 1
+    assert c.value(event="missing") == 0
+    assert c.total() == 3
+
+
+def test_counter_rejects_negative(registry):
+    with pytest.raises(ValueError):
+        registry.counter("c").inc(-1)
+
+
+def test_label_order_does_not_matter(registry):
+    c = registry.counter("c")
+    c.inc(a="1", b="2")
+    assert c.value(b="2", a="1") == 1
+
+
+# -- gauge -------------------------------------------------------------------------
+
+
+def test_gauge_set_inc_dec(registry):
+    g = registry.gauge("queue_depth")
+    g.set(5)
+    g.inc()
+    g.dec(2)
+    assert g.value() == 4
+
+
+def test_gauge_can_go_negative(registry):
+    g = registry.gauge("g")
+    g.dec(3)
+    assert g.value() == -3
+
+
+# -- histogram ---------------------------------------------------------------------
+
+
+def test_histogram_count_sum_mean(registry):
+    h = registry.histogram("latency_seconds")
+    for v in (0.001, 0.003, 0.002):
+        h.observe(v)
+    assert h.count() == 3
+    assert h.sum() == pytest.approx(0.006)
+    assert h.mean() == pytest.approx(0.002)
+
+
+def test_histogram_empty_mean_is_zero(registry):
+    assert registry.histogram("h").mean() == 0.0
+
+
+def test_histogram_bucketing(registry):
+    h = registry.histogram("h", buckets=(0.1, 1.0))
+    h.observe(0.05)   # <= 0.1
+    h.observe(0.5)    # <= 1.0
+    h.observe(99.0)   # +Inf
+    snap = h.snapshot()["series"][()]
+    assert snap["buckets"] == [1, 1, 1]
+
+
+def test_histogram_bounds_sorted_and_deduped(registry):
+    h = registry.histogram("h", buckets=(1.0, 0.1, 1.0))
+    assert h.bounds == (0.1, 1.0)
+
+
+def test_histogram_needs_buckets(registry):
+    with pytest.raises(ValueError):
+        registry.histogram("h", buckets=())
+
+
+def test_default_buckets_cover_latency_range():
+    assert DEFAULT_BUCKETS[0] <= 0.001
+    assert DEFAULT_BUCKETS[-1] >= 5.0
+
+
+def test_timer_observes_elapsed():
+    clock = ManualClock(tick=0.5)
+    registry = MetricsRegistry(clock)
+    with registry.timer("stage_seconds", stage="rank") as t:
+        pass
+    assert t.seconds == pytest.approx(0.5)
+    h = registry.histogram("stage_seconds")
+    assert h.count(stage="rank") == 1
+    assert h.sum(stage="rank") == pytest.approx(0.5)
+
+
+# -- registry ----------------------------------------------------------------------
+
+
+def test_get_or_create_returns_same_object(registry):
+    assert registry.counter("c") is registry.counter("c")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.histogram("h") is registry.histogram("h")
+
+
+def test_kind_conflict_raises(registry):
+    registry.counter("dual")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("dual")
+
+
+def test_snapshot_is_plain_data(registry):
+    import json
+
+    registry.counter("c", "a counter").inc(code="ok")
+    registry.gauge("g").set(7)
+    registry.histogram("h", buckets=(1.0,)).observe(0.5)
+    snap = registry.snapshot()
+    json.dumps(snap)  # JSON-safe throughout
+    assert snap["c"]["kind"] == "counter"
+    assert snap["c"]["series"]['{code="ok"}'] == 1
+    assert snap["g"]["series"][""] == 7
+    assert snap["h"]["series"][""]["count"] == 1
+
+
+def test_render_prometheus_text(registry):
+    registry.counter("requests_total", "total requests").inc(3, code="ok")
+    registry.gauge("depth").set(2)
+    registry.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+    text = registry.render()
+    assert "# HELP requests_total total requests" in text
+    assert "# TYPE requests_total counter" in text
+    assert 'requests_total{code="ok"} 3.0' in text
+    assert "depth 2.0" in text
+    assert "# TYPE lat_seconds histogram" in text
+    # cumulative le buckets, terminal +Inf equals count
+    assert 'lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{le="1.0"} 1' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "lat_seconds_sum 0.05" in text
+    assert "lat_seconds_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_render_histogram_with_labels(registry):
+    h = registry.histogram("s", buckets=(1.0,))
+    h.observe(0.5, name="rank")
+    text = registry.render()
+    assert 's_bucket{name="rank",le="1.0"} 1' in text
+    assert 's_bucket{name="rank",le="+Inf"} 1' in text
+    assert 's_sum{name="rank"} 0.5' in text
+
+
+# -- snapshot protocol -------------------------------------------------------------
+
+
+def test_snapshot_of_prefers_objects_own_snapshot():
+    class Thing:
+        def snapshot(self):
+            return {"x": 1}
+
+    assert snapshot_of(Thing()) == {"x": 1}
+
+
+def test_snapshot_of_dataclass_recurses():
+    import dataclasses
+
+    class Inner:
+        def snapshot(self):
+            return {"deep": True}
+
+    @dataclasses.dataclass
+    class Outer:
+        n: int
+        inner: Inner
+        items: list
+
+    out = snapshot_of(Outer(n=2, inner=Inner(), items=[Inner(), 5]))
+    assert out == {"n": 2, "inner": {"deep": True}, "items": [{"deep": True}, 5]}
+
+
+def test_snapshot_of_rejects_plain_objects():
+    with pytest.raises(TypeError):
+        snapshot_of(object())
+
+
+# -- thread safety -----------------------------------------------------------------
+
+
+def test_concurrent_increments_lose_nothing(registry):
+    """The race the old hand-rolled ``+= 1`` counters had."""
+    c = registry.counter("hot_total")
+    g = registry.gauge("hot_gauge")
+    h = registry.histogram("hot_seconds", buckets=(1.0,))
+    n, threads = 2000, 8
+
+    def hammer():
+        for _ in range(n):
+            c.inc(event="x")
+            g.inc()
+            h.observe(0.5)
+
+    pool = [threading.Thread(target=hammer) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    assert c.value(event="x") == n * threads
+    assert g.value() == n * threads
+    assert h.count() == n * threads

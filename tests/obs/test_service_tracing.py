@@ -1,0 +1,174 @@
+"""Instrumentation of the translator DP loop and the service ladder.
+
+These tests pin the span taxonomy documented in docs/OBSERVABILITY.md:
+what a traced in-process translation emits, how the tree hangs together,
+and that the stage timings are real numbers under a deterministic clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.obs import Tracer
+from repro.runtime import TranslationService
+from repro.translate import Translator
+
+from ..conftest import make_payroll
+
+SENTENCE = "sum the totalpay where the location is capitol hill"
+
+
+def tree(records):
+    """Map span_id -> record, and assert every parent link resolves."""
+    by_id = {r["span_id"]: r for r in records}
+    for record in records:
+        if record["parent_id"] is not None:
+            assert record["parent_id"] in by_id, (
+                f"dangling parent on {record['name']}"
+            )
+    return by_id
+
+
+def roots(records):
+    return [r for r in records if r["parent_id"] is None]
+
+
+# -- translator --------------------------------------------------------------------
+
+
+def test_translator_emits_stage_spans():
+    tracer = Tracer()
+    translator = Translator(make_payroll())
+    candidates = translator.translate(SENTENCE, tracer=tracer)
+    assert candidates
+    records = tracer.finished()
+    names = {r["name"] for r in records}
+    assert {"translate", "translate.tokenize", "translate.seeds",
+            "translate.rules", "translate.rank"} <= names
+    # the DP loop really runs per sentence-span: many seed/rule spans
+    assert len([r for r in records if r["name"] == "translate.seeds"]) > 5
+
+    by_id = tree(records)
+    [root] = roots(records)
+    assert root["name"] == "translate"
+    # every stage span sits inside the translate root's trace
+    assert {r["trace_id"] for r in records} == {root["trace_id"]}
+    for record in records:
+        if record is not root:
+            top = record
+            while top["parent_id"] is not None:
+                top = by_id[top["parent_id"]]
+            assert top is root
+
+
+def test_translator_span_attrs_carry_dp_coordinates():
+    tracer = Tracer()
+    Translator(make_payroll()).translate(SENTENCE, tracer=tracer)
+    seeds = [r for r in tracer.finished() if r["name"] == "translate.seeds"]
+    for record in seeds:
+        assert isinstance(record["attrs"]["i"], int)
+        assert isinstance(record["attrs"]["j"], int)
+        assert record["attrs"]["j"] > record["attrs"]["i"]
+
+
+def test_untraced_translation_unchanged():
+    """The default (NULL_TRACER) path produces identical candidates."""
+    workbook = make_payroll()
+    translator = Translator(workbook)
+    plain = translator.translate(SENTENCE)
+    tracer = Tracer()
+    traced = translator.translate(SENTENCE, tracer=tracer)
+    assert [(c.excel(workbook), c.score) for c in plain] == [
+        (c.excel(workbook), c.score) for c in traced
+    ]
+
+
+def test_stage_spans_nest_within_translate_window():
+    tracer = Tracer()
+    Translator(make_payroll()).translate(SENTENCE, tracer=tracer)
+    records = tracer.finished()
+    [root] = roots(records)
+    for record in records:
+        assert record["start"] >= root["start"]
+        assert record["end"] <= root["end"] + 1e-9
+
+
+# -- service -----------------------------------------------------------------------
+
+
+def test_service_request_wraps_tier_and_translate():
+    tracer = Tracer()
+    service = TranslationService(make_payroll())
+    result = service.translate(SENTENCE, tracer=tracer)
+    assert result.ok
+    records = tracer.finished()
+    [root] = roots(records)
+    assert root["name"] == "service.request"
+    assert root["attrs"]["tier"] == result.tier
+    assert root["attrs"]["cached"] is False
+    by_id = tree(records)
+    [tier_span] = [r for r in records if r["name"] == "service.tier"]
+    assert tier_span["parent_id"] == root["span_id"]
+    [translate] = [r for r in records if r["name"] == "translate"]
+    assert by_id[translate["parent_id"]]["name"] == "service.tier"
+
+
+def test_cached_request_emits_probe_hit_and_skips_translate():
+    tracer = Tracer()
+    service = TranslationService(make_payroll(), cache=ResultCache())
+    service.translate(SENTENCE)  # warm (untraced)
+    result = service.translate(SENTENCE, tracer=tracer)
+    assert result.cached
+    records = tracer.finished()
+    names = [r["name"] for r in records]
+    assert "translate" not in names  # hit short-circuits the DP loop
+    [probe] = [r for r in records if r["name"] == "cache.probe"]
+    assert probe["attrs"]["hit"] is True
+    [root] = roots(records)
+    assert root["attrs"]["cached"] is True
+
+
+def test_cold_request_emits_commit_span():
+    tracer = Tracer()
+    service = TranslationService(make_payroll(), cache=ResultCache())
+    service.translate(SENTENCE, tracer=tracer)
+    names = [r["name"] for r in tracer.finished()]
+    assert "cache.probe" in names
+    assert "cache.commit" in names
+
+
+def test_service_tracer_set_at_construction():
+    tracer = Tracer()
+    service = TranslationService(make_payroll(), tracer=tracer)
+    service.translate(SENTENCE)
+    assert any(r["name"] == "service.request" for r in tracer.finished())
+
+
+def test_per_request_tracer_overrides_service_default():
+    default = Tracer()
+    override = Tracer()
+    service = TranslationService(make_payroll(), tracer=default)
+    service.translate(SENTENCE, tracer=override)
+    assert default.finished() == []
+    assert any(r["name"] == "service.request" for r in override.finished())
+
+
+def test_failed_translation_marks_root_error():
+    tracer = Tracer()
+    service = TranslationService(make_payroll())
+    result = service.translate("", tracer=tracer)
+    assert not result.ok
+    [root] = [r for r in tracer.finished() if r["name"] == "service.request"]
+    assert root["status"] == "error"
+    assert root["attrs"]["error_code"] == result.error_code
+
+
+@pytest.mark.parametrize("sentence", [SENTENCE, "average the hours"])
+def test_one_request_one_trace(sentence):
+    tracer = Tracer()
+    service = TranslationService(make_payroll())
+    service.translate(sentence, tracer=tracer)
+    records = tracer.finished()
+    assert len({r["trace_id"] for r in records}) == 1
+    assert len(roots(records)) == 1

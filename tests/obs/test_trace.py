@@ -1,0 +1,284 @@
+"""The tracing core: nesting, error propagation, cross-process stitching."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+from repro.obs.clock import ManualClock
+from repro.obs.trace import new_trace_id
+
+
+def by_name(records, name):
+    return [r for r in records if r["name"] == name]
+
+
+# -- basic lifecycle ---------------------------------------------------------------
+
+
+def test_span_records_timing_with_manual_clock():
+    clock = ManualClock()
+    tracer = Tracer(clock=clock)
+    span = tracer.span("work")
+    clock.advance(1.5)
+    span.finish()
+    [record] = tracer.finished()
+    assert record["name"] == "work"
+    assert record["duration"] == pytest.approx(1.5)
+    assert record["end"] - record["start"] == pytest.approx(1.5)
+    assert record["status"] == "ok"
+
+
+def test_finish_is_idempotent():
+    clock = ManualClock()
+    tracer = Tracer(clock=clock)
+    span = tracer.span("once")
+    clock.advance(1.0)
+    span.finish()
+    clock.advance(5.0)
+    span.finish()  # no-op: no double record, end unchanged
+    [record] = tracer.finished()
+    assert record["duration"] == pytest.approx(1.0)
+    assert len(tracer.finished()) == 1
+
+
+def test_attrs_from_kwargs_and_set():
+    tracer = Tracer()
+    with tracer.span("s", i=3) as span:
+        span.set(j=7, rule="sum")
+    [record] = tracer.finished()
+    assert record["attrs"] == {"i": 3, "j": 7, "rule": "sum"}
+
+
+def test_attrs_coerced_to_json_safe():
+    tracer = Tracer()
+    with tracer.span("s", obj=object(), ok=True, none=None):
+        pass
+    [record] = tracer.finished()
+    assert isinstance(record["attrs"]["obj"], str)
+    assert record["attrs"]["ok"] is True
+    assert record["attrs"]["none"] is None
+
+
+# -- nesting -----------------------------------------------------------------------
+
+
+def test_with_blocks_nest_implicitly():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("child") as child:
+            with tracer.span("grandchild"):
+                pass
+    records = tracer.finished()
+    assert [r["name"] for r in records] == ["grandchild", "child", "root"]
+    gc, ch, rt = records
+    assert rt["parent_id"] is None
+    assert ch["parent_id"] == rt["span_id"]
+    assert gc["parent_id"] == ch["span_id"]
+    assert {r["trace_id"] for r in records} == {root.trace_id}
+    assert child.trace_id == root.trace_id
+
+
+def test_siblings_share_parent():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+    a, b = by_name(tracer.finished(), "a") + by_name(tracer.finished(), "b")
+    assert a["parent_id"] == root.span_id
+    assert b["parent_id"] == root.span_id
+
+
+def test_separate_roots_get_separate_traces():
+    tracer = Tracer()
+    with tracer.span("first"):
+        pass
+    with tracer.span("second"):
+        pass
+    first, second = tracer.finished()
+    assert first["trace_id"] != second["trace_id"]
+
+
+def test_explicit_parent_overrides_stack():
+    tracer = Tracer()
+    detached = tracer.span("detached")
+    with tracer.span("active"):
+        with tracer.span("child", parent=detached):
+            pass
+    detached.finish()
+    [child] = by_name(tracer.finished(), "child")
+    assert child["parent_id"] == detached.span_id
+    assert child["trace_id"] == detached.trace_id
+
+
+def test_unentered_span_does_not_join_stack():
+    """A span held open without ``with`` (the gateway pattern) must not
+    become the implicit parent of unrelated spans on this thread."""
+    tracer = Tracer()
+    held = tracer.span("held")
+    with tracer.span("other"):
+        pass
+    held.finish()
+    [other] = by_name(tracer.finished(), "other")
+    assert other["parent_id"] is None
+    assert other["trace_id"] != held.trace_id
+
+
+def test_thread_local_stacks_are_independent():
+    tracer = Tracer()
+    done = threading.Event()
+
+    def worker():
+        with tracer.span("threaded"):
+            pass
+        done.set()
+
+    with tracer.span("main-root"):
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    assert done.is_set()
+    [threaded] = by_name(tracer.finished(), "threaded")
+    # the other thread does not inherit this thread's active span
+    assert threaded["parent_id"] is None
+
+
+# -- errors ------------------------------------------------------------------------
+
+
+def test_exception_marks_error_and_propagates():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError, match="boom"):
+        with tracer.span("failing"):
+            raise RuntimeError("boom")
+    [record] = tracer.finished()
+    assert record["status"] == "error"
+    assert "RuntimeError" in record["attrs"]["error"]
+
+
+def test_explicit_error_mark():
+    tracer = Tracer()
+    with tracer.span("soft-fail") as span:
+        span.error("worker_crashed")
+    [record] = tracer.finished()
+    assert record["status"] == "error"
+    assert record["attrs"]["error"] == "worker_crashed"
+
+
+def test_exception_does_not_overwrite_explicit_error():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("s") as span:
+            span.error("first cause")
+            raise ValueError("second")
+    [record] = tracer.finished()
+    assert record["attrs"]["error"] == "first cause"
+
+
+# -- cross-process protocol --------------------------------------------------------
+
+
+def test_explicit_ids_for_cross_process_parentage():
+    """The worker side: open a span under ids that came over the wire."""
+    tracer = Tracer()
+    trace_id = new_trace_id()
+    with tracer.span("worker.translate", trace_id=trace_id,
+                     parent_id="feedbeef12345678"):
+        pass
+    [record] = tracer.finished()
+    assert record["trace_id"] == trace_id
+    assert record["parent_id"] == "feedbeef12345678"
+
+
+def test_adopt_offsets_foreign_timestamps():
+    theirs = Tracer(clock=ManualClock(start=1000.0, tick=1.0))
+    with theirs.span("remote"):
+        pass
+    ours = Tracer()
+    n = ours.adopt(theirs.clear(), align_to=5.0)
+    assert n == 1
+    [record] = ours.finished()
+    # earliest adopted start lands exactly at align_to; duration preserved
+    assert record["start"] == pytest.approx(5.0)
+    assert record["end"] - record["start"] == pytest.approx(
+        record["duration"]
+    )
+
+
+def test_adopt_without_offset_keeps_timestamps():
+    theirs = Tracer(clock=ManualClock(start=42.0))
+    theirs.span("r").finish()
+    ours = Tracer()
+    ours.adopt(theirs.clear())
+    [record] = ours.finished()
+    assert record["start"] == pytest.approx(42.0)
+
+
+def test_adopt_empty_is_zero():
+    assert Tracer().adopt([]) == 0
+
+
+def test_adopt_does_not_mutate_caller_records():
+    record = {"name": "r", "start": 10.0, "end": 11.0}
+    Tracer().adopt([record], offset=100.0)
+    assert record["start"] == 10.0
+
+
+# -- buffer bound ------------------------------------------------------------------
+
+
+def test_max_spans_bounds_buffer_and_counts_drops():
+    tracer = Tracer(max_spans=3)
+    for i in range(5):
+        tracer.span(f"s{i}").finish()
+    assert len(tracer.finished()) == 3
+    assert tracer.dropped == 2
+    # oldest kept, newest dropped
+    assert [r["name"] for r in tracer.finished()] == ["s0", "s1", "s2"]
+
+
+def test_clear_resets_buffer_and_drop_counter():
+    tracer = Tracer(max_spans=1)
+    tracer.span("a").finish()
+    tracer.span("b").finish()
+    drained = tracer.clear()
+    assert len(drained) == 1 and tracer.dropped == 0
+    assert tracer.finished() == []
+    tracer.span("c").finish()
+    assert [r["name"] for r in tracer.finished()] == ["c"]
+
+
+def test_max_spans_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(max_spans=0)
+
+
+# -- the null tracer ---------------------------------------------------------------
+
+
+def test_null_tracer_is_disabled_and_collects_nothing():
+    assert not NULL_TRACER.enabled
+    with NULL_TRACER.span("anything", i=1) as span:
+        span.set(j=2).error("ignored")
+    assert NULL_TRACER.finished() == []
+    assert NULL_TRACER.clear() == []
+    assert NULL_TRACER.adopt([{"name": "x", "start": 0.0}]) == 0
+    assert NULL_TRACER.current() is None
+
+
+def test_null_span_is_shared_and_falsy():
+    a = NULL_TRACER.span("a")
+    b = NULL_TRACER.span("b")
+    assert a is b
+    assert not a  # `if span:` guards work
+    assert a.as_dict() == {}
+
+
+def test_null_span_swallows_nothing():
+    with pytest.raises(KeyError):
+        with NULL_TRACER.span("s"):
+            raise KeyError("propagates")

@@ -8,6 +8,11 @@ gateway could not meet).
 
 ``REPRO_CHAOS_REQUESTS`` scales the load (default 200, the acceptance
 floor; CI sets it lower for speed).
+
+``REPRO_CHAOS_TRACE_DIR`` (optional) makes each storm run traced and
+dumps the span log there afterwards — CI sets it and uploads the files
+as an artifact when a chaos job fails, so a red storm leaves behind the
+full per-request trace trees instead of just an assertion message.
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ import threading
 
 import pytest
 
+from repro.obs import Tracer
+from repro.obs.export import write_spans_jsonl
 from repro.serve import TranslationGateway
 from repro.sheet import CellValue
 
@@ -42,8 +49,27 @@ def _other_payroll():
     return workbook
 
 
+@pytest.fixture
+def chaos_tracer(request):
+    """A tracer for the storm, dumped as a CI artifact when asked.
+
+    Tracing is only armed when ``REPRO_CHAOS_TRACE_DIR`` is set (the
+    default storm stays untraced, same as before this fixture existed).
+    The dump is unconditional once armed; CI's artifact upload step is
+    gated on job failure, so green runs cost nothing to keep.
+    """
+    out_dir = os.environ.get("REPRO_CHAOS_TRACE_DIR")
+    tracer = Tracer() if out_dir else None
+    yield tracer
+    if out_dir and tracer is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"{request.node.name}.spans.jsonl")
+        n = write_spans_jsonl(tracer, path)
+        print(f"chaos trace: {n} spans -> {path}")
+
+
 @pytest.mark.slow
-def test_random_worker_kills_lose_nothing():
+def test_random_worker_kills_lose_nothing(chaos_tracer):
     workbooks = [make_payroll(), _other_payroll()]
     rng = random.Random(20140622)  # NLyze's SIGMOD year, for reproducibility
     gateway = TranslationGateway(
@@ -54,6 +80,7 @@ def test_random_worker_kills_lose_nothing():
         breaker_threshold=10_000,
         restart_backoff=0.01,
         restart_backoff_cap=0.1,
+        tracer=chaos_tracer,
     )
     stop_killing = threading.Event()
 
@@ -105,7 +132,7 @@ def test_random_worker_kills_lose_nothing():
 
 
 @pytest.mark.slow
-def test_random_worker_kills_with_cache_enabled():
+def test_random_worker_kills_with_cache_enabled(chaos_tracer):
     """The chaos invariant must survive memoisation: with the cache warm
     and workers dying at random, nothing is lost, nothing is shed, cached
     repeats keep answering, and no crashed worker leaves a partial entry
@@ -120,6 +147,7 @@ def test_random_worker_kills_with_cache_enabled():
         restart_backoff=0.01,
         restart_backoff_cap=0.1,
         cache=True,
+        tracer=chaos_tracer,
     )
     stop_killing = threading.Event()
 
