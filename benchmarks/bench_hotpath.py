@@ -1,0 +1,152 @@
+"""Hot-path speedup bar — interning + memoisation must buy >= 2x.
+
+The DP optimisations (hash-consed ASTs, memoised type checking, derivation
+fast paths, the per-sentence seed index — docs/PERFORMANCE.md) are all
+gated on one switch, disabled by ``REPRO_NO_INTERN=1``.  This bench runs
+the same cold workload (an even subsample of the Table 2 test split, no
+result cache) in two fresh subprocesses — one per mode — and enforces:
+
+* **speedup**: optimised wall time must be >= 2x faster than the
+  de-optimised baseline (the pre-optimisation code paths, kept intact);
+* **identity**: both modes must serialise byte-identical rankings
+  (programs, scores, Excel emission) — the bench doubles as a smoke-level
+  differential; the full-split harness is ``tests/test_differential_intern``.
+
+Each run appends a row to ``BENCH_hotpath.json`` (override the location
+with ``REPRO_BENCH_OUT``), the benchmark trajectory CI uploads as an
+artifact.
+
+Run the measured child directly for one mode::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --child 48
+    REPRO_NO_INTERN=1 PYTHONPATH=src python benchmarks/bench_hotpath.py --child 48
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SPEEDUP_BAR = 2.0
+_SAMPLE = int(os.environ.get("REPRO_HOTPATH_SAMPLE", "48"))
+_ROUNDS = 2  # take the fastest round per mode (absorbs machine noise)
+
+
+def _child(n: int) -> dict:
+    """Translate an even n-sample of the test split; report time + digest."""
+    from repro.dataset import SHEET_ORDER, Corpus, build_sheet
+    from repro.dsl import ast
+    from repro.dsl.excel import ExcelEmitter
+    from repro.translate import Translator
+
+    test = Corpus.default().test
+    step = len(test) / n
+    sample = [test[int(k * step)] for k in range(n)]
+    workbooks = {s: build_sheet(s) for s in SHEET_ORDER}
+    translators = {s: Translator(workbooks[s]) for s in SHEET_ORDER}
+    # One warm-up translation per sheet: imports, rule parsing, and sheet
+    # indexing are one-time costs, not the per-request hot path.
+    for sheet_id, translator in translators.items():
+        translator.translate("sum " + workbooks[sheet_id].default_table.name)
+
+    digest = hashlib.sha256()
+    start = time.perf_counter()
+    for d in sample:
+        candidates = translators[d.sheet_id].translate(d.text)
+        for c in candidates:
+            emitted = ExcelEmitter(workbooks[d.sheet_id]).emit(c.program)
+            digest.update(
+                f"{d.sheet_id}\t{d.text}\t{c.program}\t{c.score!r}\t"
+                f"{emitted}\n".encode()
+            )
+    seconds = time.perf_counter() - start
+    return {
+        "n": n,
+        "seconds": seconds,
+        "per_translation_ms": seconds / n * 1000.0,
+        "sha256": digest.hexdigest(),
+        "hotpath": ast.hotpath_enabled(),
+    }
+
+
+def _run_mode(disabled: bool, n: int) -> dict:
+    env = dict(os.environ)
+    env["REPRO_NO_INTERN"] = "1" if disabled else ""
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    best: dict | None = None
+    for _ in range(_ROUNDS):
+        out = subprocess.run(
+            [sys.executable, __file__, "--child", str(n)],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        result = json.loads(out.stdout)
+        if best is None or result["seconds"] < best["seconds"]:
+            best = result
+    assert best is not None
+    assert best["hotpath"] is not disabled, "child did not honour the switch"
+    return best
+
+
+def _append_trajectory(row: dict) -> Path:
+    path = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_hotpath.json"))
+    trajectory: list[dict] = []
+    if path.exists():
+        try:
+            trajectory = json.loads(path.read_text())
+        except (OSError, ValueError):
+            trajectory = []
+    trajectory.append(row)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return path
+
+
+def test_hotpath_speedup_bar():
+    """Cold translation >= 2x faster with the hot path on, output identical."""
+    baseline = _run_mode(disabled=True, n=_SAMPLE)
+    optimised = _run_mode(disabled=False, n=_SAMPLE)
+    speedup = baseline["seconds"] / optimised["seconds"]
+    identical = baseline["sha256"] == optimised["sha256"]
+    row = {
+        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "n": _SAMPLE,
+        "baseline_s": round(baseline["seconds"], 4),
+        "optimised_s": round(optimised["seconds"], 4),
+        "baseline_ms_per_translation": round(
+            baseline["per_translation_ms"], 3
+        ),
+        "optimised_ms_per_translation": round(
+            optimised["per_translation_ms"], 3
+        ),
+        "speedup": round(speedup, 3),
+        "identical_output": identical,
+        "python": sys.version.split()[0],
+    }
+    path = _append_trajectory(row)
+    print(
+        f"\nhotpath: baseline {baseline['per_translation_ms']:.1f} ms -> "
+        f"optimised {optimised['per_translation_ms']:.1f} ms per translation "
+        f"({speedup:.2f}x, trajectory: {path})"
+    )
+    assert identical, (
+        "optimised and REPRO_NO_INTERN=1 rankings diverged "
+        f"({baseline['sha256'][:12]} vs {optimised['sha256'][:12]})"
+    )
+    assert speedup >= SPEEDUP_BAR, (
+        f"hot path is only {speedup:.2f}x faster than the de-optimised "
+        f"baseline (bar: {SPEEDUP_BAR}x)"
+    )
+
+
+if __name__ == "__main__":
+    if "--child" in sys.argv:
+        n = int(sys.argv[sys.argv.index("--child") + 1])
+        print(json.dumps(_child(n)))
+    else:
+        test_hotpath_speedup_bar()

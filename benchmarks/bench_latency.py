@@ -53,14 +53,28 @@ def test_latency(benchmark, translators, case):
     assert result  # every shape must produce candidates
 
 
+INTERACTIVE_BUDGET_S = 1.0
+
+
 def test_all_shapes_under_interactive_budget(benchmark, translators):
     """Soft real-time bound: every shape stays within one second (the
-    pure-Python tax on the longest verbose composition is ~0.5 s; the
-    bound leaves headroom for shared-machine noise)."""
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    documented interactive budget; the hot-path optimisations bring the
+    worst shape to tens of milliseconds, so the bound has an order of
+    magnitude of headroom for shared-machine noise)."""
     import time
 
-    for sheet, text in _CASES.values():
-        start = time.perf_counter()
-        translators[sheet].translate(text)
-        assert time.perf_counter() - start < 1.0, text
+    def run_all_shapes() -> dict[str, float]:
+        durations: dict[str, float] = {}
+        for case, (sheet, text) in _CASES.items():
+            start = time.perf_counter()
+            result = translators[sheet].translate(text)
+            durations[case] = time.perf_counter() - start
+            assert result, text  # a fast empty ranking would be cheating
+        return durations
+
+    durations = benchmark.pedantic(run_all_shapes, rounds=3, iterations=1)
+    for case, elapsed in durations.items():
+        assert elapsed < INTERACTIVE_BUDGET_S, (
+            f"{case!r} took {elapsed:.3f}s, over the "
+            f"{INTERACTIVE_BUDGET_S:.0f}s interactive budget"
+        )

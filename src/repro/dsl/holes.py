@@ -17,9 +17,21 @@ from . import ast
 from .types import TypeChecker
 
 
-def holes_of(expr: ast.Expr) -> list[ast.Hole]:
-    """All holes in ``expr``, in pre-order."""
-    return [node for node in expr.walk() if isinstance(node, ast.Hole)]
+def holes_of(expr: ast.Expr) -> tuple[ast.Hole, ...]:
+    """All holes in ``expr``, in pre-order.
+
+    Cached on the (immutable) node after the first call — ``comb_all``
+    probes the same receivers and fillers across every pair of the
+    synthesis closure, and with interned nodes the cache is computed once
+    per distinct expression for the whole process.
+    """
+    cached = expr.__dict__.get("_holes")
+    if cached is not None:
+        return cached
+    holes = tuple(node for node in expr.walk() if isinstance(node, ast.Hole))
+    if ast.hotpath_enabled():
+        object.__setattr__(expr, "_holes", holes)
+    return holes
 
 
 def hole_idents(expr: ast.Expr) -> set[int]:
@@ -96,7 +108,9 @@ def substitute(
             raise HoleError(f"no hole with ident {ident} in {expr}")
         if not consistent(replacement, hole.kind):
             return None
-    result = substitute_unchecked(expr, bindings)
+    # Interning before the Valid probe turns repeat substitutions (the same
+    # rule filled with the same bindings at another span) into cache hits.
+    result = ast.intern(substitute_unchecked(expr, bindings))
     if not checker.valid(result):
         return None
     return result

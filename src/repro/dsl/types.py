@@ -73,12 +73,31 @@ class TypeChecker:
         self.content_check = content_check
         self._cache: dict[tuple[ast.Expr, str | None], DslType] = {}
         self._values_cache: dict[str, dict[str, list[str]]] = {}
+        # Hot-path memos (active only while ast.hotpath_enabled()): verdict
+        # caches that spare the synthesis closure both the repeated tree
+        # walks and the repeated DslTypeError raises for candidates it has
+        # already judged.  Keys are expressions — structurally hashed, so
+        # with interning every probe is an O(1) identity-backed dict hit.
+        self._valid_cache: dict[ast.Expr, bool] = {}
+        self._fail_cache: dict[tuple[ast.Expr, str | None], str] = {}
+        self._program_cache: dict[ast.Expr, bool] = {}
 
     # -- public API --------------------------------------------------------
 
     def valid(self, expr: ast.Expr) -> bool:
         """The paper's ``Valid(e)``: True iff ``e`` is well-typed (holes are
         permitted and act as wildcards)."""
+        if ast.hotpath_enabled():
+            cached = self._valid_cache.get(expr)
+            if cached is not None:
+                return cached
+            try:
+                self.type_of(expr)
+                ok = True
+            except DslTypeError:
+                ok = False
+            self._valid_cache[expr] = ok
+            return ok
         try:
             self.type_of(expr)
             return True
@@ -87,6 +106,15 @@ class TypeChecker:
 
     def valid_program(self, expr: ast.Expr) -> bool:
         """True iff ``e`` is a complete (hole-free), well-typed program."""
+        if not ast.hotpath_enabled():
+            return self._compute_valid_program(expr)
+        cached = self._program_cache.get(expr)
+        if cached is None:
+            cached = self._compute_valid_program(expr)
+            self._program_cache[expr] = cached
+        return cached
+
+    def _compute_valid_program(self, expr: ast.Expr) -> bool:
         if any(isinstance(node, ast.Hole) for node in expr.walk()):
             return False
         try:
@@ -103,7 +131,17 @@ class TypeChecker:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        result = self._compute(expr, scope)
+        if ast.hotpath_enabled():
+            message = self._fail_cache.get(key)
+            if message is not None:
+                raise DslTypeError(message)
+            try:
+                result = self._compute(expr, scope)
+            except DslTypeError as exc:
+                self._fail_cache[key] = str(exc)
+                raise
+        else:
+            result = self._compute(expr, scope)
         self._cache[key] = result
         return result
 

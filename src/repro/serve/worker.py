@@ -133,6 +133,12 @@ def _build_reply(request: dict, services: dict) -> dict:
 
 def worker_main(conn, worker_id: int, worker_faults: str | None = None) -> None:
     """Process entry point: serve requests from ``conn`` until shutdown."""
+    # Honour REPRO_NO_INTERN even under fork: the parent imported the DSL
+    # before the env var may have been set, so re-read it here — this is
+    # what lets the differential harness run a de-optimised gateway.
+    from ..dsl import ast as _ast
+
+    _ast.sync_hotpath_from_env()
     if worker_faults:
         install(parse_plan(worker_faults))
     services: dict[str, tuple] = {}

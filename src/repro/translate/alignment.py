@@ -10,6 +10,7 @@ Ranges are half-open ``(l, u)`` over fragment-relative positions.
 
 from __future__ import annotations
 
+from ..dsl.ast import hotpath_enabled
 from .context import SheetContext
 from .patterns import MustPat, OptPat, Pattern
 from .tokenizer import Token
@@ -70,7 +71,21 @@ def quick_reject(
     template: tuple[Pattern, ...], fragment_words: frozenset[str]
 ) -> bool:
     """Cheap pre-check: a MustPat whose options all need words absent from
-    the fragment can never align (saves the backtracking search)."""
+    the fragment can never align (saves the backtracking search).
+
+    The hot path tests each option's precomputed word set against the
+    fragment with one C-level subset check; the legacy path (kept for the
+    ``REPRO_NO_INTERN`` baseline) walks the words through generators.
+    """
+    if hotpath_enabled():
+        for pattern in template:
+            if isinstance(pattern, MustPat):
+                for option_set in pattern.option_sets:
+                    if option_set <= fragment_words:
+                        break
+                else:
+                    return True
+        return False
     for pattern in template:
         if isinstance(pattern, MustPat):
             if not any(

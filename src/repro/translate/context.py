@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..dsl.ast import hotpath_enabled
 from ..sheet import Color, Workbook
 from ..sheet.address import column_letter_to_index
 from .lexicon import SpellCorrector, keyword_vocabulary
@@ -103,6 +104,14 @@ class SheetContext:
         self.corrector = SpellCorrector(
             self._vocabulary(), preferred=self._content_vocabulary()
         )
+        # n-gram → match memos (the per-sentence seed index).  A word span
+        # always resolves the same way against one sheet state, so the
+        # translator warms these at ``prepare_tokens`` time and every
+        # subsequent probe — seeds, rule alignment, neighbour joins — is a
+        # dict hit instead of a vocabulary scan.  Results are cached lists;
+        # callers must not mutate them.
+        self._column_match_cache: dict[tuple[str, ...], list[ColumnMatch]] = {}
+        self._value_match_cache: dict[tuple[str, ...], list[ValueMatch]] = {}
 
     # -- vocabulary -----------------------------------------------------------
 
@@ -129,13 +138,32 @@ class SheetContext:
 
     # -- columns -------------------------------------------------------------
 
+    # Soft cap on memoised spans; cleared wholesale when exceeded so a
+    # long-lived context over adversarial traffic cannot grow unboundedly.
+    _MATCH_CACHE_CAP = 65536
+
     def match_column(self, words: tuple[str, ...]) -> list[ColumnMatch]:
         """Columns a span of words may refer to.
 
         Direct matches (by squashed name) come first; if the span instead
         names a sheet *value*, the columns containing that value are
         returned with ``via_value=True`` (paper Algo 3, case C).
+        Memoised per span (see ``index_sentence``); callers must treat the
+        returned list as read-only.
         """
+        if not hotpath_enabled():
+            return self._match_column_uncached(words)
+        cached = self._column_match_cache.get(words)
+        if cached is None:
+            if len(self._column_match_cache) >= self._MATCH_CACHE_CAP:
+                self._column_match_cache.clear()
+            cached = self._match_column_uncached(words)
+            self._column_match_cache[words] = cached
+        return cached
+
+    def _match_column_uncached(
+        self, words: tuple[str, ...]
+    ) -> list[ColumnMatch]:
         if not words or len(words) > MAX_SPAN_WORDS:
             return []
         direct = self._direct_column(words)
@@ -230,7 +258,19 @@ class SheetContext:
     # -- values -----------------------------------------------------------------
 
     def match_value(self, words: tuple[str, ...]) -> list[ValueMatch]:
-        """Sheet values a span may refer to (plural forms included)."""
+        """Sheet values a span may refer to (plural forms included).
+        Memoised like :meth:`match_column`."""
+        if not hotpath_enabled():
+            return self._match_value_uncached(words)
+        cached = self._value_match_cache.get(words)
+        if cached is None:
+            if len(self._value_match_cache) >= self._MATCH_CACHE_CAP:
+                self._value_match_cache.clear()
+            cached = self._match_value_uncached(words)
+            self._value_match_cache[words] = cached
+        return cached
+
+    def _match_value_uncached(self, words: tuple[str, ...]) -> list[ValueMatch]:
         if not words or len(words) > self._max_value_words + 1:
             return []
         joined = " ".join(words)
@@ -244,6 +284,27 @@ class SheetContext:
                     for table, column in slots
                 ]
         return []
+
+    # -- per-sentence seed index -------------------------------------------------
+
+    def index_sentence(self, words: tuple[str, ...]) -> None:
+        """Precompute the column/value matches of every n-gram of the
+        sentence (widths up to the longest matchable span).
+
+        Called once from ``Translator.prepare_tokens``; afterwards the
+        O(n²) DP's seed, alignment-pattern, and neighbour-join probes for
+        any span of this sentence are single dict lookups.  A no-op when
+        the hot path is disabled.
+        """
+        if not hotpath_enabled():
+            return
+        n = len(words)
+        widest = max(MAX_SPAN_WORDS, self._max_value_words + 1)
+        for i in range(n):
+            for j in range(i + 1, min(n, i + widest) + 1):
+                span = words[i:j]
+                self.match_column(span)
+                self.match_value(span)
 
     def is_value_word(self, word: str) -> bool:
         """True when the word occurs inside some sheet value."""

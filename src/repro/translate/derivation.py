@@ -47,8 +47,20 @@ class Derivation:
     prod_score: float = field(init=False, default=1.0)
     swizzled: int = field(init=False, default=0)
     all_pairs: int = field(init=False, default=0)
+    # ``UsedW - UsedCW``: the words the synthesis disjointness condition
+    # compares (paper §3.2).  Precomputed — ``synthesize`` reads it per pair
+    # in the quadratic frontier scan.
+    used_non_column: frozenset[int] = field(
+        init=False, repr=False, compare=False, default=frozenset()
+    )
 
     def __post_init__(self) -> None:
+        # Hash-cons the expression (no-op under REPRO_NO_INTERN): every
+        # derivation created anywhere in the pipeline carries a canonical
+        # node, so downstream dedup/type-checker probes are identity-backed.
+        object.__setattr__(self, "expr", ast.intern(self.expr))
+        object.__setattr__(self, "used_non_column", self.used - self.used_cols)
+        object.__setattr__(self, "_key", (self.expr, self.used))
         object.__setattr__(self, "node_score", self._node_score())
         total, count = self._prod_parts()
         object.__setattr__(
@@ -62,18 +74,13 @@ class Derivation:
 
     def key(self) -> tuple:
         """Dedup key: structurally equal expressions over the same words are
-        interchangeable candidates."""
-        return (self.expr, self.used)
+        interchangeable candidates.  Computed eagerly in ``__post_init__`` —
+        the closure loops compare keys per pair."""
+        return self._key
 
     @property
     def children(self) -> tuple["Derivation", ...]:
         return self.rule_children + self.synth_children
-
-    @property
-    def used_non_column(self) -> frozenset[int]:
-        """``UsedW - UsedCW``: the words that the synthesis disjointness
-        condition compares (paper §3.2)."""
-        return self.used - self.used_cols
 
     # -- §3.4 production score ---------------------------------------------------
 

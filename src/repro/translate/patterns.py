@@ -25,7 +25,7 @@ alignment algorithm composes these into full-fragment alignments.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Protocol
 
 from ..errors import RuleParseError
@@ -52,6 +52,19 @@ class MustPat:
 
     options: tuple[tuple[str, ...], ...]
     ident: int | None = None
+    # Each option's words as a frozenset, precomputed once at rule-parse
+    # time: ``quick_reject`` runs per (rule, span) in the DP inner loop and
+    # a C-level subset test beats a python generator over the words.
+    option_sets: tuple[frozenset[str], ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "option_sets",
+            tuple(frozenset(option) for option in self.options),
+        )
 
     def ends(self, tokens, start, limit, ctx):
         seen = set()

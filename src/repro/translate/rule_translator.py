@@ -55,6 +55,18 @@ class RuleTranslator:
 
     # -- entry point ----------------------------------------------------------
 
+    def sentence_rules(self, tokens: list[Token]) -> list[Rule]:
+        """The rules that can possibly align with *some* fragment of the
+        sentence.
+
+        Every fragment's word set is a subset of the sentence's, so a rule
+        ``quick_reject``-ed against the whole sentence is rejected at every
+        span — computing the live set once per sentence removes the
+        per-(rule, span) template scans from the O(n²) DP inner loop.
+        """
+        words = frozenset(t.text for t in tokens)
+        return [r for r in self.rules if not quick_reject(r.template, words)]
+
     def translate_span(
         self,
         tokens: list[Token],
@@ -62,9 +74,12 @@ class RuleTranslator:
         end: int,
         tmap: SpanMap,
         budget: Budget | None = None,
+        rules: list[Rule] | None = None,
     ) -> list[Derivation]:
         """All rule-derived derivations for ``tokens[start:end]``.
 
+        ``rules`` (optional) restricts the scan to a precomputed live set
+        (see :meth:`sentence_rules`); the default scans the full rule set.
         A tripped ``budget`` stops the rule loop between rules; the
         derivations produced so far are returned so the anytime path can
         still rank them.
@@ -73,7 +88,7 @@ class RuleTranslator:
         fragment = tokens[start:end]
         fragment_words = frozenset(t.text for t in fragment)
         out: list[Derivation] = []
-        for rule in self.rules:
+        for rule in self.rules if rules is None else rules:
             if budget is not None and budget.exceeded("rules"):
                 break
             if quick_reject(rule.template, fragment_words):

@@ -51,7 +51,9 @@ def comb_all(
     for hole in holes_of(receiver.expr):
         if not consistent(filler.expr, hole.kind):
             continue
-        candidate = substitute_unchecked(receiver.expr, {hole.ident: filler.expr})
+        candidate = ast.intern(
+            substitute_unchecked(receiver.expr, {hole.ident: filler.expr})
+        )
         if not checker.valid(candidate):
             continue
         out.append(
@@ -88,7 +90,7 @@ def and_merge(
                 return None
         except DslTypeError:
             return None
-    expr = ast.And(a.expr, b.expr)
+    expr = ast.intern(ast.And(a.expr, b.expr))
     if not checker.valid(expr):
         return None
     # Implicit conjunction is closer to a (weak) rule application than to a
@@ -108,11 +110,28 @@ def and_merge(
 def _combine_pair(
     a: Derivation, b: Derivation, checker: TypeChecker
 ) -> list[Derivation]:
-    produced = comb_all(a, b, checker)
-    produced += comb_all(b, a, checker)
-    merged = and_merge(a, b, checker) or and_merge(b, a, checker)
-    if merged is not None:
-        produced.append(merged)
+    """All combinations of one pair, with the per-pair invariants hoisted.
+
+    Every constituent (``comb_all`` both ways, ``and_merge``) requires
+    word-disjointness, so one overlap test retires the pair; ``comb_all``
+    only produces when the receiver is open and the filler closed, and
+    ``and_merge`` only when both are closed, so the openness of each side
+    (cached on the node) selects exactly the calls that can produce.
+    Output and ordering are identical to the unconditional cascade.
+    """
+    if a.used_non_column & b.used_non_column:
+        return []
+    a_open = bool(holes_of(a.expr))
+    b_open = bool(holes_of(b.expr))
+    produced: list[Derivation] = []
+    if a_open and not b_open:
+        produced += comb_all(a, b, checker)
+    elif b_open and not a_open:
+        produced += comb_all(b, a, checker)
+    elif not a_open:  # both closed
+        merged = and_merge(a, b, checker) or and_merge(b, a, checker)
+        if merged is not None:
+            produced.append(merged)
     return produced
 
 

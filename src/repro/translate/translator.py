@@ -140,6 +140,11 @@ class Translator:
             n = len(tokens)
             root.set(tokens=n)
             tmap: dict[tuple[int, int], list[Derivation]] = {}
+            # Rules that can match some fragment of this sentence — the
+            # per-span quick-reject scan then only sees plausible rules.
+            active_rules = None
+            if self.config.use_rules and ast.hotpath_enabled():
+                active_rules = self.rule_translator.sentence_rules(tokens)
 
             try:
                 for width in range(1, n + 1):
@@ -147,7 +152,8 @@ class Translator:
                         j = i + width
                         budget.checkpoint("span")
                         tmap[(i, j)] = self._translate_span(
-                            tokens, i, j, tmap, budget, tracer
+                            tokens, i, j, tmap, budget, tracer,
+                            active_rules,
                         )
             except BudgetExceededError:
                 root.set(anytime=True)
@@ -225,6 +231,10 @@ class Translator:
                 if correction is not None and correction.distance > 0:
                     token = token.with_correction(correction.word)
             out.append(token)
+        # Warm the per-sentence n-gram seed index: every span the DP will
+        # probe for column/value matches becomes a dict hit (no-op when the
+        # hot path is disabled).
+        self.ctx.index_sentence(tuple(t.text for t in out))
         return out
 
     def _joins_with_neighbor(self, tokens: list[Token], k: int) -> bool:
@@ -250,6 +260,7 @@ class Translator:
         tmap: dict[tuple[int, int], list[Derivation]],
         budget: Budget | None = None,
         tracer=None,
+        active_rules=None,
     ) -> list[Derivation]:
         if budget is None:
             budget = Budget()
@@ -283,7 +294,8 @@ class Translator:
             if self.config.use_rules:
                 with tracer.span("translate.rules", i=i, j=j) as span:
                     produced = self.rule_translator.translate_span(
-                        tokens, i, j, tmap, budget=budget
+                        tokens, i, j, tmap, budget=budget,
+                        rules=active_rules,
                     )
                     derivations += produced
                     budget.checkpoint("rules")
