@@ -1,0 +1,169 @@
+"""Cluster — shard-scaling throughput and mid-storm kill failover.
+
+Two questions, measured on a test-split sample (all four sheets, so
+rendezvous routing spreads fingerprints):
+
+* **scaling** — the same storm through 1, 2, and 3 shards: throughput
+  per shard count, p50/p95 latency (more shards = more worker pools, so
+  cold throughput should not *fall* as shards are added);
+* **failover** — a 3-shard run where the busiest shard is SIGKILLed
+  mid-storm: the zero-loss bar from the chaos suite, plus the latency
+  price the survivors pay for absorbing the victim's share.
+
+Each full run appends a row to ``BENCH_cluster.json`` (override with
+``REPRO_BENCH_CLUSTER_OUT``), the trajectory CI uploads as an artifact.
+``REPRO_CLUSTER_SAMPLE`` sizes the storm (default 48).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dataset import Corpus
+from repro.evalkit import format_cluster, run_cluster
+
+SHARD_COUNTS = (1, 2, 3)
+WORKERS_PER_SHARD = 2
+DEADLINE = 60.0  # generous: any shed here would be a real bug
+_SAMPLE = int(os.environ.get("REPRO_CLUSTER_SAMPLE", "48"))
+
+
+def _run_all(corpus=None):
+    """One full bench pass: the scaling sweep plus the kill run."""
+    corpus = corpus or Corpus.default()
+    scaling = {
+        shards: run_cluster(
+            corpus,
+            sample=_SAMPLE,
+            shards=shards,
+            workers_per_shard=WORKERS_PER_SHARD,
+            deadline=DEADLINE,
+            kill=False,
+        )
+        for shards in SHARD_COUNTS
+    }
+    kill = run_cluster(
+        corpus,
+        sample=_SAMPLE,
+        shards=max(SHARD_COUNTS),
+        workers_per_shard=WORKERS_PER_SHARD,
+        deadline=DEADLINE,
+        kill=True,
+    )
+    return scaling, kill
+
+
+def _append_trajectory(row: dict) -> Path:
+    path = Path(os.environ.get("REPRO_BENCH_CLUSTER_OUT", "BENCH_cluster.json"))
+    trajectory: list[dict] = []
+    if path.exists():
+        try:
+            trajectory = json.loads(path.read_text())
+        except (OSError, ValueError):
+            trajectory = []
+    trajectory.append(row)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return path
+
+
+def _trajectory_row(scaling, kill) -> dict:
+    return {
+        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "n": _SAMPLE,
+        "workers_per_shard": WORKERS_PER_SHARD,
+        "scaling": {
+            str(shards): {
+                "throughput_rps": round(report.throughput, 2),
+                "ok_rate": round(report.ok_rate, 4),
+                "p50_ms": round(report.percentile_seconds(0.5) * 1000, 2),
+                "p95_ms": round(report.percentile_seconds(0.95) * 1000, 2),
+            }
+            for shards, report in scaling.items()
+        },
+        "kill": {
+            "shards": kill.shards,
+            "killed_shard": kill.killed_shard,
+            "throughput_rps": round(kill.throughput, 2),
+            "ok_rate": round(kill.ok_rate, 4),
+            "p50_ms": round(kill.percentile_seconds(0.5) * 1000, 2),
+            "p95_ms": round(kill.percentile_seconds(0.95) * 1000, 2),
+            "retries": kill.stats.retries if kill.stats else None,
+            "failovers": kill.stats.failovers if kill.stats else None,
+        },
+        "python": sys.version.split()[0],
+    }
+
+
+@pytest.fixture(scope="module")
+def reports(corpus):
+    scaling, kill = _run_all(corpus)
+    return scaling, kill
+
+
+def test_print_cluster(benchmark, reports):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    scaling, kill = reports
+    print()
+    for shards, report in scaling.items():
+        print(f"Cluster scaling — {shards} shard(s), no kill")
+        print(format_cluster(report))
+        print()
+    print("Cluster failover — busiest shard SIGKILLed mid-storm")
+    print(format_cluster(kill))
+    path = _append_trajectory(_trajectory_row(scaling, kill))
+    print(f"(trajectory: {path})")
+
+
+def test_zero_lost_requests_every_configuration(benchmark, reports):
+    """Every submitted request resolves to one coded result — with and
+    without a shard dying underneath the storm."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    scaling, kill = reports
+    for report in [*scaling.values(), kill]:
+        assert len(report.outcomes) == report.n
+        for outcome in report.outcomes:
+            assert outcome.ok or outcome.error_code is not None
+
+
+def test_healthy_runs_all_ok(benchmark, reports):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    scaling, _ = reports
+    for shards, report in scaling.items():
+        assert report.ok_rate == 1.0, f"{shards} shards: {report.code_histogram()}"
+        assert report.throughput > 0
+
+
+def test_kill_run_failed_over_and_still_served(benchmark, reports):
+    """The kill bit (health marked the victim down, requests failed over)
+    and the deadline was generous: the storm still resolves 100% ok."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, kill = reports
+    assert kill.killed_shard is not None
+    assert kill.ok_rate == 1.0, f"failures: {kill.code_histogram()}"
+    assert kill.stats is not None
+    assert kill.stats.live_shards == kill.shards - 1
+    for outcome in kill.outcomes:
+        if outcome.attempts > 1:
+            assert outcome.shard_id != kill.killed_shard
+
+
+if __name__ == "__main__":
+    scaling_reports, kill_report = _run_all()
+    for n_shards, shard_report in scaling_reports.items():
+        print(f"Cluster scaling — {n_shards} shard(s), no kill")
+        print(format_cluster(shard_report))
+        print()
+    print("Cluster failover — busiest shard SIGKILLed mid-storm")
+    print(format_cluster(kill_report))
+    out = _append_trajectory(_trajectory_row(scaling_reports, kill_report))
+    print(f"(trajectory: {out})")

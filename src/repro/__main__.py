@@ -5,14 +5,18 @@ Usage::
     python -m repro translate "sum the hours" --sheet payroll [--top 3]
     python -m repro translate "total the amount" --csv data.csv [...]
     python -m repro repl [--sheet payroll] [--csv data.csv ...]
-    python -m repro serve [--workers N] [--deadline MS]
-    python -m repro batch FILE [--workers N] [--deadline MS] [--repeat K]
+    python -m repro serve [--workers N] [--shards N] [--deadline MS]
+    python -m repro batch FILE [--workers N] [--shards N] [--deadline MS] [--repeat K]
     python -m repro corpus --dump out.txt [--seed 2014]
     python -m repro rules [--learned]
 
 ``serve`` and ``batch`` route requests through the crash-isolated
 :class:`repro.serve.TranslationGateway` (worker pool + admission control
 + per-workbook circuit breakers) instead of an in-process translator.
+With ``--shards N`` (N > 1) they route through a
+:class:`repro.cluster.ShardedCluster` instead: N gateways behind
+rendezvous routing, health-checked failover, and a shared cache tier
+(see docs/CLUSTER.md).
 
 Experiments live under ``python -m repro.evalkit`` (see README).
 """
@@ -139,7 +143,52 @@ def _print_gateway_stats(gateway) -> None:
         )
 
 
+def _print_cluster_stats(cluster) -> None:
+    stats = cluster.stats()
+    print(
+        f"# cluster: shards {stats.live_shards}/{len(stats.shards)} live, "
+        f"submitted={stats.submitted} ok={stats.ok} failed={stats.failed} "
+        f"retries={stats.retries} failovers={stats.failovers} "
+        f"rerouted={stats.rerouted} shard_down={stats.shard_down}"
+    )
+    if stats.shared_cache is not None:
+        sc = stats.shared_cache
+        print(
+            f"#   shared cache: hits={sc['hits']} misses={sc['misses']} "
+            f"puts={sc['puts']} size={sc['size']} "
+            f"codec_errors={sc['codec_errors']}"
+        )
+    if stats.hot is not None and stats.hot.hot_shards:
+        print(f"#   hot shards: {stats.hot.hot_shards}")
+    for shard in stats.shards:
+        gw = shard.gateway
+        print(
+            f"#   shard {shard.shard_id} [{shard.state}]: "
+            f"queue={gw.queue_depth} in_flight={gw.in_flight} "
+            f"ok={gw.ok} crashed={gw.crashed} restarts={gw.restarts}"
+        )
+
+
+def _print_stats(service) -> None:
+    if hasattr(service, "shards"):
+        _print_cluster_stats(service)
+    else:
+        _print_gateway_stats(service)
+
+
 def _make_gateway(args: argparse.Namespace, tracer=None):
+    if getattr(args, "shards", 1) > 1:
+        from .cluster import ShardedCluster
+
+        return ShardedCluster(
+            _workbook(args),
+            shards=args.shards,
+            workers_per_shard=args.workers,
+            queue_limit=args.queue_limit,
+            default_deadline=_deadline(args),
+            shared_cache=args.cache,
+            tracer=tracer,
+        )
     from .serve import TranslationGateway
 
     return TranslationGateway(
@@ -156,9 +205,15 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     """Line-oriented gateway service: one description in, one result out."""
     tracer = _make_tracer(args)
     gateway = _make_gateway(args, tracer=tracer)
+    if args.shards > 1:
+        banner = (
+            f"# cluster up: {args.shards} shards x {args.workers} workers"
+        )
+    else:
+        banner = f"# gateway up: {args.workers} workers"
     print(
-        f"# gateway up: {args.workers} workers, queue limit "
-        f"{args.queue_limit} (:stats for diagnostics, :quit to exit)",
+        f"{banner}, queue limit {args.queue_limit} "
+        f"(:stats for diagnostics, :quit to exit)",
         flush=True,
     )
     try:
@@ -173,7 +228,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             if line in (":quit", ":q"):
                 break
             if line == ":stats":
-                _print_gateway_stats(gateway)
+                _print_stats(gateway)
                 continue
             print(_render_gateway_result(gateway.translate(line)), flush=True)
     finally:
@@ -205,11 +260,17 @@ def _cmd_batch(args: argparse.Namespace) -> None:
         latencies = sorted(r.total_seconds for r in results)
         p = lambda q: latencies[min(len(latencies) - 1, int(q * len(latencies)))]
         stats = gateway.stats()
+        if hasattr(gateway, "shards"):
+            extra = (
+                f"retries {stats.retries}, failovers {stats.failovers}, "
+                f"shards {stats.live_shards}/{len(stats.shards)} live"
+            )
+        else:
+            extra = f"shed {stats.shed} ({stats.shed_rate:.1%}), crashed {stats.crashed}"
         print(
             f"# {len(results)} requests in {wall:.2f}s "
             f"({len(results) / wall:.1f} req/s), "
-            f"ok {sum(r.ok for r in results)}, shed {stats.shed} "
-            f"({stats.shed_rate:.1%}), crashed {stats.crashed}, "
+            f"ok {sum(r.ok for r in results)}, {extra}, "
             f"cache hits {stats.cache_hits} ({stats.cache_hit_rate:.1%}), "
             f"p50 {p(0.5) * 1000:.1f}ms, p95 {p(0.95) * 1000:.1f}ms"
         )
@@ -290,7 +351,11 @@ def main(argv: list[str] | None = None) -> None:
         p.add_argument("--sheet", choices=SHEET_ORDER, default="payroll")
         p.add_argument("--csv", nargs="*")
         p.add_argument("--workers", type=int, default=2,
-                       help="worker processes in the gateway pool")
+                       help="worker processes in the gateway pool "
+                            "(per shard when --shards > 1)")
+        p.add_argument("--shards", type=int, default=1,
+                       help="gateway shards; >1 serves through a "
+                            "fingerprint-sharded cluster with failover")
         p.add_argument("--queue-limit", type=int, default=64,
                        help="bounded admission queue depth")
         p.add_argument("--deadline", type=float, default=None, metavar="MS",

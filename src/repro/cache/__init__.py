@@ -15,13 +15,18 @@ strings, payloads are opaque, and both layers bring their own
 serialisation.
 """
 
+from .codec import CODEC_VERSION, decode_entry, encode_entry, store_key
 from .keys import CacheKey, normalise_sentence, options_signature
 from .result_cache import CacheStats, ResultCache
 
 __all__ = [
+    "CODEC_VERSION",
     "CacheKey",
     "CacheStats",
     "ResultCache",
+    "decode_entry",
+    "encode_entry",
     "normalise_sentence",
     "options_signature",
+    "store_key",
 ]

@@ -1,0 +1,178 @@
+"""Serialisable cache entries: the wire format of the shared cache tier.
+
+The in-process :class:`~repro.cache.result_cache.ResultCache` stores live
+Python objects, which is fine while every reader shares the process that
+wrote them.  A *shared* cache tier (``repro.cluster``) needs the opposite:
+an entry written by one gateway shard must be readable by any other shard
+— or by a future external store such as Redis — so the entry has to cross
+a byte boundary.  This module is that boundary.
+
+Design constraints, in order:
+
+* **self-describing and versioned** — every blob starts with a version
+  field; a reader that sees an unknown version treats the entry as a miss
+  instead of guessing;
+* **no pickle** — a shared tier is a trust boundary; entries are plain
+  JSON (UTF-8) so a poisoned store can corrupt *answers*, never execute
+  code;
+* **byte-exact round trips** — scores are floats and the differential
+  harness compares rankings byte-for-byte, so the codec must not perturb
+  them.  ``json`` serialises floats via ``repr`` (shortest round-trip
+  form), which Python guarantees to parse back to the identical double;
+* **strict on decode** — a blob that does not validate raises
+  :class:`~repro.errors.CacheCodecError` (``cache_codec_error``); the
+  shared tier converts that into a miss and drops the entry, so one
+  corrupt blob can never wedge serving.
+
+The payload schema is exactly the flat reply the gateway already commits
+to its front-end cache (``tier``, ``programs``, ``n_candidates``,
+``top_formula``, ``elapsed``, ``budget_spent``) — no DSL objects, no
+workbooks, nothing process-local.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from ..errors import CacheCodecError
+from .keys import CacheKey
+
+__all__ = [
+    "CODEC_VERSION",
+    "PAYLOAD_FIELDS",
+    "decode_entry",
+    "encode_entry",
+    "store_key",
+]
+
+CODEC_VERSION = 1
+
+# Field name -> accepted types, the full gateway reply payload schema.
+PAYLOAD_FIELDS: dict[str, tuple] = {
+    "tier": (str,),
+    "programs": (list, tuple),
+    "n_candidates": (int,),
+    "top_formula": (str, type(None)),
+    "elapsed": (int, float),
+    "budget_spent": (int,),
+}
+
+
+def store_key(key: CacheKey, namespace: str = "repro") -> str:
+    """Render a :class:`CacheKey` as a flat store key string.
+
+    The fingerprint comes first so a backing store can invalidate a whole
+    workbook with one prefix scan (``{namespace}:{fingerprint}:*``); the
+    sentence is digested so arbitrary user text never appears in a key.
+    """
+    sentence_digest = hashlib.sha256(key.sentence.encode("utf-8")).hexdigest()
+    return f"{namespace}:{key.fingerprint}:{sentence_digest[:24]}:{key.options}"
+
+
+def _check_payload(payload: Any) -> dict:
+    if not isinstance(payload, dict):
+        raise CacheCodecError(
+            f"payload must be a mapping, got {type(payload).__name__}"
+        )
+    if set(payload) != set(PAYLOAD_FIELDS):
+        missing = set(PAYLOAD_FIELDS) - set(payload)
+        extra = set(payload) - set(PAYLOAD_FIELDS)
+        raise CacheCodecError(
+            f"payload fields mismatch (missing={sorted(missing)}, "
+            f"unexpected={sorted(extra)})"
+        )
+    for name, types in PAYLOAD_FIELDS.items():
+        value = payload[name]
+        if not isinstance(value, types) or isinstance(value, bool):
+            raise CacheCodecError(
+                f"payload field {name!r} has type {type(value).__name__}, "
+                f"expected one of {[t.__name__ for t in types]}"
+            )
+    for i, pair in enumerate(payload["programs"]):
+        if (
+            not isinstance(pair, (list, tuple))
+            or len(pair) != 2
+            or not isinstance(pair[0], str)
+            or not isinstance(pair[1], (int, float))
+            or isinstance(pair[1], bool)
+        ):
+            raise CacheCodecError(
+                f"programs[{i}] must be a (program, score) pair, got {pair!r}"
+            )
+    return payload
+
+
+def encode_entry(key: CacheKey, payload: dict) -> bytes:
+    """Serialise one cache entry (key + reply payload) to bytes.
+
+    Raises :class:`~repro.errors.CacheCodecError` if the payload does not
+    match the reply schema — a malformed entry must fail at *commit* time
+    on the shard that produced it, never at read time on an innocent one.
+    """
+    _check_payload(payload)
+    record = {
+        "v": CODEC_VERSION,
+        "key": {
+            "sentence": key.sentence,
+            "fingerprint": key.fingerprint,
+            "options": key.options,
+        },
+        "payload": {
+            "tier": payload["tier"],
+            "programs": [[p, s] for p, s in payload["programs"]],
+            "n_candidates": payload["n_candidates"],
+            "top_formula": payload["top_formula"],
+            "elapsed": payload["elapsed"],
+            "budget_spent": payload["budget_spent"],
+        },
+    }
+    return json.dumps(
+        record, ensure_ascii=False, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def decode_entry(data: bytes) -> tuple[CacheKey, dict]:
+    """Parse a blob back into ``(CacheKey, payload)``.
+
+    The returned payload has the exact in-process shape the gateway cache
+    stores: ``programs`` is a tuple of ``(program, score)`` tuples.  Any
+    structural problem raises :class:`~repro.errors.CacheCodecError`.
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise CacheCodecError(
+            f"expected bytes, got {type(data).__name__}"
+        )
+    try:
+        record = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise CacheCodecError(f"undecodable cache entry: {exc}")
+    if not isinstance(record, dict):
+        raise CacheCodecError("cache entry is not a JSON object")
+    version = record.get("v")
+    if version != CODEC_VERSION:
+        raise CacheCodecError(f"unsupported codec version: {version!r}")
+    raw_key = record.get("key")
+    if (
+        not isinstance(raw_key, dict)
+        or not all(
+            isinstance(raw_key.get(f), str)
+            for f in ("sentence", "fingerprint", "options")
+        )
+    ):
+        raise CacheCodecError("malformed cache key in entry")
+    payload = _check_payload(record.get("payload"))
+    key = CacheKey(
+        sentence=raw_key["sentence"],
+        fingerprint=raw_key["fingerprint"],
+        options=raw_key["options"],
+    )
+    return key, {
+        "tier": payload["tier"],
+        "programs": tuple((p, s) for p, s in payload["programs"]),
+        "n_candidates": payload["n_candidates"],
+        "top_formula": payload["top_formula"],
+        "elapsed": payload["elapsed"],
+        "budget_spent": payload["budget_spent"],
+    }

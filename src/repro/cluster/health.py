@@ -1,0 +1,225 @@
+"""Shard health: heartbeat probes, suspicion, and the live-set the router eats.
+
+Failover needs one bit per shard — "may I route here?" — but producing
+that bit well takes three states:
+
+* **up** — probes succeed; the shard receives its rendezvous share;
+* **suspect** — at least one probe failed but fewer than
+  ``failure_threshold`` in a row.  A suspect shard *still receives
+  traffic*: a single failed probe is usually a blip, and yanking a shard
+  out of the route on one blip would stampede its fingerprints (and all
+  their warm state) to a cold shard and back;
+* **down** — ``failure_threshold`` consecutive probe failures.  The shard
+  leaves the live-set, its fingerprints re-route to their next rendezvous
+  choice, and the ``cluster_shard_healthy`` gauge drops to 0.  Probes
+  continue: a shard that comes back (probe succeeds) is promoted straight
+  to up and re-enters the route — rendezvous hashing guarantees its old
+  fingerprints come home without any rebalancing step.
+
+Two inputs besides the probe loop:
+
+* :meth:`HealthMonitor.mark_down` — a declarative kill switch.  The
+  cluster calls it from ``kill_shard`` and from request paths that see
+  whole-shard symptoms, so routing reacts in the same millisecond rather
+  than one probe interval later.
+* :meth:`HealthMonitor.note_success` — any successfully served request is
+  a free heartbeat; it clears suspicion without waiting for the prober.
+
+Everything is injectable (clock, sleep, probes) and :meth:`check_once`
+runs one probe round synchronously, so tests drive the full state machine
+without threads or wall-clock time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Mapping
+
+from ..obs.clock import Clock, monotonic
+from ..obs.log import fields as log_fields
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["DOWN", "HealthMonitor", "SUSPECT", "UP"]
+
+UP = "up"
+SUSPECT = "suspect"
+DOWN = "down"
+
+_log = get_logger("cluster.health")
+
+
+class HealthMonitor:
+    """Probe shards on a background thread; expose the live-set."""
+
+    def __init__(
+        self,
+        probes: Mapping[int, Callable[[], bool]],
+        interval: float = 0.25,
+        failure_threshold: int = 2,
+        clock: Clock = monotonic,
+        sleep: Callable[[float], None] | None = None,
+        metrics: MetricsRegistry | None = None,
+        on_down: Callable[[int], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.failure_threshold = failure_threshold
+        self.clock = clock
+        self.on_down = on_down
+        self._probes = dict(probes)
+        self._lock = threading.Lock()
+        self._state: dict[int, str] = {shard: UP for shard in self._probes}
+        self._failures: dict[int, int] = {shard: 0 for shard in self._probes}
+        self._last_change: dict[int, float] = {
+            shard: clock() for shard in self._probes
+        }
+        self._stop = threading.Event()
+        self._sleep = sleep
+        self._thread: threading.Thread | None = None
+        metrics = metrics if metrics is not None else MetricsRegistry(clock)
+        self._healthy_gauge = metrics.gauge(
+            "cluster_shard_healthy", "1 while the shard is routable, else 0"
+        )
+        self._probe_failures = metrics.counter(
+            "cluster_health_probe_failures_total", "failed shard health probes"
+        )
+        self._transitions = metrics.counter(
+            "cluster_shard_transitions_total", "shard health state changes"
+        )
+        for shard in self._probes:
+            self._healthy_gauge.set(1, shard=shard)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="repro-cluster-health"
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.check_once()
+            if self._sleep is not None:
+                self._sleep(self.interval)
+                if self._stop.is_set():
+                    return
+            elif self._stop.wait(self.interval):
+                return
+
+    # -- the state machine -------------------------------------------------------
+
+    def check_once(self) -> dict[int, str]:
+        """Run one probe round synchronously; returns the state snapshot.
+
+        Public so tests (and the cluster's own ``stats()``, when the
+        caller wants a fresh view) can drive the monitor without the
+        thread.
+        """
+        for shard, probe in self._probes.items():
+            try:
+                healthy = bool(probe())
+            except Exception:  # noqa: BLE001 - a probe bug reads as "down"
+                healthy = False
+            if healthy:
+                self.note_success(shard)
+            else:
+                self._note_probe_failure(shard)
+        return self.states()
+
+    def note_success(self, shard: int) -> None:
+        """A heartbeat: probe success or any successfully served request."""
+        with self._lock:
+            if shard not in self._state:
+                return
+            self._failures[shard] = 0
+            if self._state[shard] != UP:
+                self._transition(shard, UP)
+
+    def _note_probe_failure(self, shard: int) -> None:
+        fire = None
+        with self._lock:
+            if shard not in self._state:
+                return
+            self._probe_failures.inc(shard=shard)
+            self._failures[shard] += 1
+            if self._failures[shard] >= self.failure_threshold:
+                if self._state[shard] != DOWN:
+                    self._transition(shard, DOWN)
+                    fire = self.on_down
+            elif self._state[shard] == UP:
+                self._transition(shard, SUSPECT)
+        if fire is not None:
+            fire(shard)
+
+    def mark_down(self, shard: int) -> None:
+        """Declare a shard dead right now (no probes needed).
+
+        The cluster calls this on ``kill_shard`` and on whole-shard
+        request symptoms, so the router stops choosing the shard before
+        the next probe round.  The prober will keep it down while probes
+        fail and revive it when they succeed again.
+        """
+        fire = None
+        with self._lock:
+            if shard not in self._state:
+                return
+            self._failures[shard] = self.failure_threshold
+            if self._state[shard] != DOWN:
+                self._transition(shard, DOWN)
+                fire = self.on_down
+        if fire is not None:
+            fire(shard)
+
+    def _transition(self, shard: int, state: str) -> None:
+        """Record a state change (caller holds the lock)."""
+        old = self._state[shard]
+        self._state[shard] = state
+        self._last_change[shard] = self.clock()
+        self._transitions.inc(shard=shard, to=state)
+        self._healthy_gauge.set(0 if state == DOWN else 1, shard=shard)
+        _log.warning(
+            "shard health transition",
+            extra=log_fields(shard=shard, old=old, new=state),
+        )
+
+    # -- views -------------------------------------------------------------------
+
+    def states(self) -> dict[int, str]:
+        with self._lock:
+            return dict(self._state)
+
+    def state(self, shard: int) -> str:
+        with self._lock:
+            return self._state[shard]
+
+    def alive(self) -> set[int]:
+        """Shards the router may choose (up or merely suspect)."""
+        with self._lock:
+            return {
+                shard
+                for shard, state in self._state.items()
+                if state != DOWN
+            }
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "states": dict(self._state),
+                "consecutive_failures": dict(self._failures),
+                "failure_threshold": self.failure_threshold,
+                "interval": self.interval,
+            }

@@ -1,0 +1,162 @@
+"""Rendezvous (highest-random-weight) routing over gateway shards.
+
+The cluster routes every request by its workbook fingerprint, because the
+fingerprint is what all the shard-local state is keyed by: the worker-side
+translator caches, the gateway's warm-worker affinity, and the per-workbook
+circuit breakers.  Routing the same fingerprint to the same shard keeps
+all three hot; routing it anywhere else starts cold.
+
+Rendezvous hashing gives exactly the properties a shard router needs and
+nothing more:
+
+* **deterministic** — ``score(shard, fingerprint)`` is a pure hash, so
+  every front end (or a restarted one) computes the same route with no
+  coordination or shared state;
+* **minimal disruption** — when a shard dies, only the fingerprints whose
+  *top-ranked* shard it was move (to their second choice); every other
+  fingerprint keeps its shard.  A consistent-hash ring does the same but
+  needs virtual nodes to balance; rendezvous is balanced by construction;
+* **a built-in failover order** — :meth:`RendezvousRouter.preference`
+  ranks *all* shards per fingerprint, so "the next shard to try" is
+  well-defined and stable, which the retry path leans on.
+
+Hot-shard detection rides the same math in reverse: given the observed
+per-fingerprint request counts (the cluster feeds its
+``cluster_fingerprint_requests_total`` metric from every submit), project
+each fingerprint onto its current shard and flag shards whose projected
+load exceeds ``hot_factor`` x the fair share.  A hot shard is almost
+always one hot *fingerprint* (one giant tenant), so the report names the
+offending fingerprints — the operator-facing knob is "give that workbook
+its own shard", not "add shards".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Collection, Iterable, Mapping
+
+__all__ = ["HotShardReport", "RendezvousRouter", "detect_hot_shards"]
+
+
+def _score(shard_id: int, fingerprint: str) -> int:
+    digest = hashlib.sha256(f"{shard_id}|{fingerprint}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RendezvousRouter:
+    """Stateless fingerprint -> shard routing with a stable failover order."""
+
+    def __init__(self, shard_ids: Iterable[int], memo_capacity: int = 4096):
+        self.shard_ids = tuple(shard_ids)
+        if not self.shard_ids:
+            raise ValueError("router needs at least one shard")
+        if len(set(self.shard_ids)) != len(self.shard_ids):
+            raise ValueError("shard ids must be unique")
+        self._memo_capacity = memo_capacity
+        self._memo: dict[str, tuple[int, ...]] = {}
+        self._memo_lock = threading.Lock()
+
+    def preference(self, fingerprint: str) -> tuple[int, ...]:
+        """Every shard, ranked best-first for this fingerprint.
+
+        Memoised (bounded): production traffic repeats a small set of
+        fingerprints many times, and the ranking is immutable for the
+        life of the router.
+        """
+        with self._memo_lock:
+            ranked = self._memo.get(fingerprint)
+        if ranked is None:
+            ranked = tuple(
+                sorted(
+                    self.shard_ids,
+                    key=lambda shard: _score(shard, fingerprint),
+                    reverse=True,
+                )
+            )
+            with self._memo_lock:
+                if len(self._memo) >= self._memo_capacity:
+                    self._memo.pop(next(iter(self._memo)))
+                self._memo[fingerprint] = ranked
+        return ranked
+
+    def route(
+        self, fingerprint: str, alive: Collection[int] | None = None
+    ) -> int | None:
+        """The best live shard for ``fingerprint`` (``None`` if none live).
+
+        With every shard alive this is the fingerprint's home shard; with
+        some dead it is the highest-ranked survivor — the rendezvous
+        property guarantees fingerprints homed on live shards do not move.
+        """
+        for shard in self.preference(fingerprint):
+            if alive is None or shard in alive:
+                return shard
+        return None
+
+
+@dataclass
+class HotShardReport:
+    """Projected load per shard plus the shards (and culprits) over the bar."""
+
+    total: int = 0
+    fair_share: float = 0.0
+    hot_factor: float = 2.0
+    load: dict[int, int] = field(default_factory=dict)
+    hot_shards: list[int] = field(default_factory=list)
+    # hot shard -> its heaviest fingerprints, heaviest first
+    culprits: dict[int, list[tuple[str, int]]] = field(default_factory=dict)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "total": self.total,
+            "fair_share": self.fair_share,
+            "hot_factor": self.hot_factor,
+            "load": dict(self.load),
+            "hot_shards": list(self.hot_shards),
+            "culprits": {
+                shard: list(pairs) for shard, pairs in self.culprits.items()
+            },
+        }
+
+
+def detect_hot_shards(
+    traffic: Mapping[str, int],
+    router: RendezvousRouter,
+    alive: Collection[int] | None = None,
+    hot_factor: float = 2.0,
+    min_requests: int = 20,
+) -> HotShardReport:
+    """Project per-fingerprint traffic onto shards and flag the hot ones.
+
+    ``traffic`` is fingerprint -> request count (the cluster's observed
+    counters).  A shard is hot when its projected load exceeds
+    ``hot_factor`` x the fair share, once at least ``min_requests`` total
+    requests have been seen (below that, "hot" is just noise).
+    """
+    shards = [s for s in router.shard_ids if alive is None or s in alive]
+    report = HotShardReport(hot_factor=hot_factor)
+    if not shards:
+        return report
+    by_shard: dict[int, list[tuple[str, int]]] = {s: [] for s in shards}
+    for fingerprint, count in traffic.items():
+        shard = router.route(fingerprint, alive)
+        if shard is not None:
+            by_shard[shard].append((fingerprint, count))
+    report.total = sum(count for pairs in by_shard.values() for _, count in pairs)
+    report.fair_share = report.total / len(shards)
+    report.load = {
+        shard: sum(count for _, count in pairs)
+        for shard, pairs in by_shard.items()
+    }
+    if report.total < min_requests:
+        return report
+    for shard, pairs in by_shard.items():
+        if report.load[shard] > hot_factor * report.fair_share:
+            report.hot_shards.append(shard)
+            report.culprits[shard] = sorted(
+                pairs, key=lambda pair: pair[1], reverse=True
+            )[:5]
+    report.hot_shards.sort()
+    return report

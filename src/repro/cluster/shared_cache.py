@@ -1,0 +1,215 @@
+"""The shared cache tier: one memo across every gateway shard.
+
+Per-shard caches already make repeats cheap *on their own shard*; the
+shared tier makes a hit on any shard a hit everywhere.  It rides the
+exact ``(normalised sentence, workbook fingerprint, options signature)``
+keys the in-process caches use (:mod:`repro.cache.keys`) — same keys,
+same commit rules (clean, fully-searched, fault-free results only), same
+fingerprint-keyed invalidation — but stores every entry as *bytes*
+through :mod:`repro.cache.codec`, because a shared store is a process
+boundary even when, as here, the default backend happens to live in the
+front-end process.
+
+The backend is the four-method :class:`ByteStore` protocol (get / put /
+delete / scan).  :class:`InMemoryByteStore` is the built-in
+implementation — bounded, thread-safe, LRU — and the seam where a real
+networked store (Redis, memcached) plugs in without touching the tier
+logic.  Every read round-trips the codec, so a payload handed to one
+caller is never the object handed to another (no cross-request aliasing),
+and a corrupt blob decodes to a miss, is deleted, and is counted
+(``cluster_cache_codec_errors_total``) instead of poisoning serving.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Protocol, runtime_checkable
+
+from ..cache import CacheKey, decode_entry, encode_entry, store_key
+from ..errors import CacheCodecError
+from ..obs.clock import Clock, monotonic
+from ..obs.log import fields as log_fields
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["ByteStore", "InMemoryByteStore", "SharedCacheTier"]
+
+_log = get_logger("cluster.shared_cache")
+
+
+@runtime_checkable
+class ByteStore(Protocol):
+    """What the shared tier needs from a backing store: flat string keys,
+    opaque byte values, and a prefix scan for invalidation."""
+
+    def get(self, key: str) -> bytes | None: ...
+
+    def put(self, key: str, value: bytes) -> None: ...
+
+    def delete(self, key: str) -> bool: ...
+
+    def scan(self, prefix: str) -> list[str]: ...
+
+
+class InMemoryByteStore:
+    """Bounded thread-safe LRU byte store (the default, in-process backend)."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        # Insertion order doubles as recency order (moved-to-end on get).
+        self._data: dict[str, bytes] = {}
+
+    def get(self, key: str) -> bytes | None:
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                del self._data[key]
+                self._data[key] = value
+            return value
+
+    def put(self, key: str, value: bytes) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError("byte store values must be bytes")
+        with self._lock:
+            if key in self._data:
+                del self._data[key]
+            self._data[key] = bytes(value)
+            while len(self._data) > self.capacity:
+                del self._data[next(iter(self._data))]
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self._data.pop(key, None) is not None
+
+    def scan(self, prefix: str) -> list[str]:
+        with self._lock:
+            return [key for key in self._data if key.startswith(prefix)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+class SharedCacheTier:
+    """Codec-framed cache shared by every shard of a cluster."""
+
+    def __init__(
+        self,
+        store: ByteStore | None = None,
+        capacity: int = 8192,
+        namespace: str = "repro",
+        clock: Clock = monotonic,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.store = store if store is not None else InMemoryByteStore(capacity)
+        self.namespace = namespace
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry(clock)
+        m = self.metrics
+        self._hits = m.counter(
+            "cluster_cache_hits_total", "requests answered by the shared tier"
+        )
+        self._misses = m.counter(
+            "cluster_cache_misses_total", "shared-tier lookups that missed"
+        )
+        self._puts = m.counter(
+            "cluster_cache_puts_total", "entries committed to the shared tier"
+        )
+        self._invalidated = m.counter(
+            "cluster_cache_invalidated_total",
+            "shared-tier entries dropped by fingerprint invalidation",
+        )
+        self._codec_errors = m.counter(
+            "cluster_cache_codec_errors_total",
+            "shared-tier entries dropped because they failed to decode",
+        )
+
+    # -- the data path -----------------------------------------------------------
+
+    def _store_key(self, key: CacheKey) -> str:
+        return store_key(key, namespace=self.namespace)
+
+    def get(self, key: CacheKey) -> dict | None:
+        """The decoded payload for ``key``, or ``None``.
+
+        A blob that fails to decode — or that decodes to a *different*
+        key (a store bug or a colliding writer) — counts as a codec
+        error, is deleted, and reads as a miss.
+        """
+        flat = self._store_key(key)
+        blob = self.store.get(flat)
+        if blob is None:
+            self._misses.inc()
+            return None
+        try:
+            stored_key, payload = decode_entry(blob)
+            if stored_key != key:
+                raise CacheCodecError(
+                    f"entry under {flat!r} decodes to a different key"
+                )
+        except CacheCodecError as exc:
+            self._codec_errors.inc()
+            self._misses.inc()
+            self.store.delete(flat)
+            _log.warning(
+                "dropped undecodable shared-cache entry",
+                extra=log_fields(store_key=flat, error=str(exc)),
+            )
+            return None
+        self._hits.inc()
+        return payload
+
+    def put(self, key: CacheKey, payload: dict) -> None:
+        """Commit one clean reply payload (codec-validated at encode time)."""
+        blob = encode_entry(key, payload)
+        self.store.put(self._store_key(key), blob)
+        self._puts.inc()
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop every entry for one workbook fingerprint; returns count."""
+        prefix = f"{self.namespace}:{fingerprint}:"
+        dropped = 0
+        for flat in self.store.scan(prefix):
+            if self.store.delete(flat):
+                dropped += 1
+        if dropped:
+            self._invalidated.inc(dropped)
+        return dropped
+
+    # -- diagnostics -------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.total())
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.total())
+
+    @property
+    def puts(self) -> int:
+        return int(self._puts.total())
+
+    @property
+    def codec_errors(self) -> int:
+        return int(self._codec_errors.total())
+
+    def snapshot(self) -> dict[str, Any]:
+        hits, misses = self.hits, self.misses
+        lookups = hits + misses
+        out = {
+            "hits": hits,
+            "misses": misses,
+            "puts": self.puts,
+            "invalidated": int(self._invalidated.total()),
+            "codec_errors": self.codec_errors,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
+        try:
+            out["size"] = len(self.store)  # type: ignore[arg-type]
+        except TypeError:  # pragma: no cover - external stores may not size
+            out["size"] = None
+        return out

@@ -8,6 +8,7 @@ Usage::
     python -m repro.evalkit fig1
     python -m repro.evalkit userstudy
     python -m repro.evalkit clusters
+    python -m repro.evalkit cluster [--sample N]
     python -m repro.evalkit profile [--sample N]
     python -m repro.evalkit all [--sample N]
 """
@@ -70,6 +71,15 @@ def _gateway(args: argparse.Namespace) -> None:
     print(harness.format_gateway(result))
 
 
+def _cluster(args: argparse.Namespace) -> None:
+    corpus = Corpus.default()
+    result = harness.run_cluster(corpus, sample=args.sample or 60)
+    print(
+        "Cluster — sharded serving with a mid-storm shard kill (measured)"
+    )
+    print(harness.format_cluster(result))
+
+
 def _cache(args: argparse.Namespace) -> None:
     corpus = Corpus.default()
     result = harness.run_cache(corpus, sample=args.sample or 40)
@@ -99,8 +109,8 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "fig1", "userstudy",
-                 "clusters", "resilience", "gateway", "cache", "profile",
-                 "all"],
+                 "clusters", "resilience", "gateway", "cluster", "cache",
+                 "profile", "all"],
     )
     parser.add_argument(
         "--sample", type=int, default=None,
@@ -116,6 +126,7 @@ def main(argv: list[str] | None = None) -> None:
         "clusters": _clusters,
         "resilience": _resilience,
         "gateway": _gateway,
+        "cluster": _cluster,
         "cache": _cache,
         "profile": _profile,
     }

@@ -341,6 +341,155 @@ def format_gateway(report: GatewayReport) -> str:
 
 
 @dataclass
+class ShardClusterReport:
+    """One sharded-cluster storm: outcomes, failover counts, shard spread."""
+
+    n: int = 0
+    shards: int = 0
+    workers_per_shard: int = 0
+    killed_shard: int | None = None
+    wall_seconds: float = 0.0
+    outcomes: list = field(default_factory=list)  # ClusterResult, in order
+    stats: object | None = None  # closing ClusterStats
+
+    @property
+    def throughput(self) -> float:
+        return self.n / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def ok_rate(self) -> float:
+        return sum(r.ok for r in self.outcomes) / self.n if self.n else 0.0
+
+    def percentile_seconds(self, q: float) -> float:
+        if not self.outcomes:
+            return 0.0
+        latencies = sorted(r.total_seconds for r in self.outcomes)
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    def code_histogram(self) -> dict[str, int]:
+        histogram: dict[str, int] = {}
+        for outcome in self.outcomes:
+            code = outcome.error_code or "ok"
+            histogram[code] = histogram.get(code, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def shard_histogram(self) -> dict[object, int]:
+        """Requests served per shard (``None`` = the shared cache tier)."""
+        histogram: dict[object, int] = {}
+        for outcome in self.outcomes:
+            histogram[outcome.shard_id] = histogram.get(outcome.shard_id, 0) + 1
+        return dict(
+            sorted(histogram.items(), key=lambda kv: (kv[0] is None, kv[0]))
+        )
+
+
+def run_cluster(
+    corpus: Corpus | None = None,
+    sample: int | None = 60,
+    shards: int = 3,
+    workers_per_shard: int = 2,
+    deadline: float | None = 60.0,
+    queue_limit: int = 256,
+    kill: bool = True,
+) -> ShardClusterReport:
+    """The sharded cluster under storm load, with an optional shard kill.
+
+    Routes a test-split sample (all four sheets, so rendezvous routing
+    spreads fingerprints across shards) through
+    :class:`~repro.cluster.ShardedCluster`.  With ``kill=True`` the shard
+    serving the most fingerprints is SIGKILLed once it is mid-storm — the
+    report then shows the zero-loss failover bar the chaos suite enforces:
+    every request resolves, the survivors absorb the victim's share.
+    """
+    import time as _time
+
+    from ..cluster import ShardedCluster
+
+    corpus = corpus or Corpus.default()
+    descriptions = corpus.test
+    if sample is not None and sample < len(descriptions):
+        step = len(descriptions) / sample
+        descriptions = [descriptions[int(k * step)] for k in range(sample)]
+    descriptions = list(descriptions)
+    workbooks = {
+        sheet_id: build_sheet(sheet_id)
+        for sheet_id in {d.sheet_id for d in descriptions}
+    }
+    report = ShardClusterReport(
+        n=len(descriptions), shards=shards, workers_per_shard=workers_per_shard
+    )
+    cluster = ShardedCluster(
+        shards=shards,
+        workers_per_shard=workers_per_shard,
+        queue_limit=queue_limit,
+        default_deadline=deadline,
+        retry_backoff=0.01,
+        retry_backoff_cap=0.2,
+    )
+    try:
+        victim = None
+        if kill and shards > 1:
+            routed: dict[int, int] = {}
+            for workbook in workbooks.values():
+                home = cluster.router.route(workbook.fingerprint())
+                routed[home] = routed.get(home, 0) + 1
+            victim = max(routed, key=routed.get)
+        start = perf()
+        pendings = [
+            cluster.submit(d.text, workbooks[d.sheet_id])
+            for d in descriptions
+        ]
+        if victim is not None:
+            gateway = cluster.shards[victim].gateway
+            deadline_at = _time.monotonic() + 30.0
+            while _time.monotonic() < deadline_at:
+                snap = gateway.stats()
+                if snap.in_flight >= 1 and any(w.alive for w in snap.workers):
+                    break
+                _time.sleep(0.002)
+            cluster.kill_shard(victim)
+            report.killed_shard = victim
+        report.outcomes = [p.result(timeout=300.0) for p in pendings]
+        report.wall_seconds = perf() - start
+        report.stats = cluster.stats()
+    finally:
+        cluster.close(drain=False)
+    return report
+
+
+def format_cluster(report: ShardClusterReport) -> str:
+    stats = report.stats
+    kill_note = (
+        f"shard {report.killed_shard} SIGKILLed mid-storm"
+        if report.killed_shard is not None
+        else "no kill"
+    )
+    lines = [
+        f"{report.n} requests / {report.shards} shards x "
+        f"{report.workers_per_shard} workers / {kill_note}",
+        f"throughput {report.throughput:>6.1f} req/s   "
+        f"ok {report.ok_rate:.1%}",
+        f"latency p50 {report.percentile_seconds(0.5) * 1000:>7.1f}ms   "
+        f"p95 {report.percentile_seconds(0.95) * 1000:>7.1f}ms",
+        f"outcomes: {report.code_histogram()}",
+        f"served by: {report.shard_histogram()} (None = shared cache)",
+    ]
+    if stats is not None:
+        lines.append(
+            f"failover: retries {stats.retries}, failovers {stats.failovers}, "
+            f"rerouted {stats.rerouted}, live shards "
+            f"{stats.live_shards}/{len(stats.shards)}"
+        )
+        if stats.shared_cache is not None:
+            lines.append(
+                f"shared cache: hits {stats.cache_hits}, "
+                f"puts {stats.shared_cache['puts']}, "
+                f"codec errors {stats.shared_cache['codec_errors']}"
+            )
+    return "\n".join(lines)
+
+
+@dataclass
 class CacheReport:
     """A cold pass vs a warm (fully memoised) pass through one gateway."""
 

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time as _time
 from collections import deque
 from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from typing import Any, Iterable
@@ -145,12 +146,46 @@ class PendingResult:
     def __init__(self) -> None:
         self._event = threading.Event()
         self._result: GatewayResult | None = None
+        self._lock = threading.Lock()
+        self._callbacks: list = []
 
     def _resolve(self, result: GatewayResult) -> None:
-        if self._event.is_set():  # pragma: no cover - defensive
-            return
-        self._result = result
+        with self._lock:
+            if self._result is not None:  # pragma: no cover - defensive
+                return
+            self._result = result
+            callbacks, self._callbacks = self._callbacks, []
+        # Callbacks fire *before* the event: a waiter woken by result()
+        # may rely on every pre-resolution callback having completed
+        # (e.g. the chaos suites' exactly-once accounting).  Late
+        # registrations key off _result, so none are dropped in between.
+        for callback in callbacks:
+            self._fire(callback, result)
         self._event.set()
+
+    @staticmethod
+    def _fire(callback, result: GatewayResult) -> None:
+        try:
+            callback(result)
+        except Exception:  # noqa: BLE001 - a callback bug must not poison
+            # the firing thread (a gateway runner, or the submitter on the
+            # already-resolved path)
+            _log.exception("pending-result callback raised")
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(result)`` when this future resolves.
+
+        Fires immediately (on the calling thread) if already resolved;
+        otherwise fires exactly once on whichever thread resolves the
+        request.  Exceptions from the callback are logged, never raised.
+        This is the event-driven seam the cluster layer's retry/failover
+        logic hangs off — no thread-per-request waiting.
+        """
+        with self._lock:
+            if self._result is None:
+                self._callbacks.append(callback)
+                return
+        self._fire(callback, self._result)
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -280,6 +315,7 @@ class TranslationGateway:
         self._in_flight = 0
         self._closed = False
         self._stopping = False
+        self._aborting = False  # set by close() when drain gives up
         m = self.metrics
         self._events = m.counter(
             "gateway_events_total", "request lifecycle events by kind"
@@ -321,6 +357,7 @@ class TranslationGateway:
         workbook: Workbook | None = None,
         deadline: float | None | object = _UNSET,
         faults: str | None = None,
+        trace_parent=None,
     ) -> PendingResult:
         """Enqueue one request; always returns a resolvable future.
 
@@ -328,6 +365,10 @@ class TranslationGateway:
         ``default_deadline``; ``faults`` arms a ``REPRO_FAULTS``-style
         plan inside the worker for this request only (chaos-testing
         knob — this is how tests crash or hang a worker on demand).
+        ``trace_parent`` (a span from this gateway's own tracer) parents
+        the request's ``gateway.request`` span — the cluster layer passes
+        its per-attempt span here so a routed request yields one stitched
+        tree across cluster, gateway, and worker.
         """
         wb = workbook or self.default_workbook
         if wb is None:
@@ -359,6 +400,7 @@ class TranslationGateway:
             # finished by whichever thread resolves the request.
             span=self.tracer.span(
                 "gateway.request",
+                parent=trace_parent if self.tracer.enabled else None,
                 request_id=request_id,
                 fingerprint=fingerprint,
             ),
@@ -437,11 +479,18 @@ class TranslationGateway:
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self, drain: bool = True, timeout: float = 30.0) -> None:
-        """Stop the gateway.
+        """Stop the gateway.  On return, every outstanding
+        :class:`PendingResult` is resolved — none is left to block until
+        its own caller-side timeout.
 
-        ``drain=True`` serves every already-queued request first;
-        ``drain=False`` fails them with ``gateway_closed``.  In-flight
-        requests always run to completion either way.
+        ``drain=True`` tries to serve every already-queued request first;
+        ``drain=False`` fails them with ``gateway_closed`` immediately.
+        In-flight requests run to completion either way.  If a drain
+        cannot finish within ``timeout`` seconds (hung workers, a queue
+        deeper than the budget), the remaining *queued* requests are
+        resolved with ``gateway_closed`` and the pool is torn down, which
+        resolves the in-flight stragglers through the normal
+        crash-containment path (``worker_crashed``).
         """
         with self._cond:
             self._closed = True
@@ -456,8 +505,33 @@ class TranslationGateway:
                 self._queue_depth_gauge.set(0)
             self._stopping = True
             self._cond.notify_all()
+        deadline = _time.monotonic() + timeout
         for thread in self._runners:
-            thread.join(timeout=timeout)
+            thread.join(timeout=max(0.0, deadline - _time.monotonic()))
+        stragglers = any(thread.is_alive() for thread in self._runners)
+        if stragglers:
+            # The drain budget ran out: stop handing out work and resolve
+            # everything still queued, so no waiter outlives close().
+            with self._cond:
+                self._aborting = True
+                while self._queue:
+                    request = self._queue.popleft()
+                    self._reject(
+                        request, "gateway_closed",
+                        "gateway closed before dispatch (drain timed out)",
+                        "closed_rejected",
+                        count_submitted=False,  # counted at admission
+                    )
+                self._queue_depth_gauge.set(0)
+                self._cond.notify_all()
+            # Quarantine (not shutdown) while runners may still be inside
+            # call(): it SIGKILLs the processes — which resolves the hung
+            # in-flight requests as worker_crashed via pipe EOF — but
+            # leaves the parent pipe ends open, so no runner ever races a
+            # concurrently-closed handle.
+            self._pool.quarantine()
+            for thread in self._runners:
+                thread.join(timeout=5.0)
         self._pool.shutdown()
 
     def __enter__(self) -> "TranslationGateway":
@@ -480,6 +554,21 @@ class TranslationGateway:
             if self._pool.kill(s):
                 return True
         return False
+
+    def quarantine(self) -> int:
+        """Kill every worker and refuse respawns — whole-shard death.
+
+        Unlike :meth:`kill_worker`, the pool never comes back: queued and
+        future dispatches resolve promptly as ``worker_crashed`` (see
+        :meth:`~repro.serve.pool.WorkerPool.quarantine`).  This is the
+        primitive ``repro.cluster`` uses to emulate losing an entire
+        shard machine.  Returns the number of processes killed.
+        """
+        return self._pool.quarantine()
+
+    @property
+    def quarantined(self) -> bool:
+        return self._pool.quarantined
 
     # -- diagnostics ----------------------------------------------------------------
 
@@ -614,6 +703,8 @@ class TranslationGateway:
         """Block for the slot's next request (warm-affinity preferred)."""
         with self._cond:
             while True:
+                if self._aborting:
+                    return None
                 if self._queue:
                     request = self._take(slot)
                     self._in_flight += 1

@@ -15,9 +15,18 @@ Crash containment contract:
 * a dead slot is respawned lazily by :meth:`WorkerPool.ensure` with
   exponential backoff proportional to the slot's *consecutive* crash
   count (a successful call resets it), so a crash-looping workload
-  cannot melt the host with fork storms;
+  cannot melt the host with fork storms.  Each delay is jittered
+  (``restart_jitter``) so the slots of a crashed shard do not respawn in
+  lockstep and re-fork as one thundering herd;
 * :meth:`WorkerPool.kill` SIGKILLs a live worker on purpose — the chaos
-  tests use it as the external "segfault" injector.
+  tests use it as the external "segfault" injector;
+* :meth:`WorkerPool.quarantine` kills every worker *and* refuses all
+  future respawns: the pool behaves like a machine that just lost power.
+  ``ensure`` on a quarantined pool raises :class:`WorkerCrashed`, which
+  flows through the gateway's existing crash containment, so every
+  request routed at a dead shard resolves promptly with
+  ``worker_crashed`` instead of blocking — the hook
+  ``repro.cluster``'s shard-kill chaos rides on.
 
 The pool prefers the ``fork`` start method when the platform offers it
 (workers inherit the already-imported translation stack instead of
@@ -28,6 +37,8 @@ elsewhere.
 from __future__ import annotations
 
 import multiprocessing
+import random
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable
@@ -66,6 +77,20 @@ def pick_start_method(preferred: str | None = None) -> str:
 
 
 _log = get_logger("serve.pool")
+
+# Process-wide fork lock, shared by every pool in the parent.  With the
+# ``fork`` start method a child inherits every file descriptor open at
+# fork time — including the *child* end of another worker's pipe if some
+# runner thread is between ``Pipe()`` and its parent-side
+# ``child_conn.close()``.  A leaked child end is fatal to crash
+# containment: the parent's ``poll()`` on that pipe only sees EOF once
+# every copy of the child end is closed, so SIGKILLing the worker no
+# longer wakes its runner — the request blocks until its full timeout
+# instead of failing over promptly.  Holding this lock from pipe
+# creation through the parent-side close makes the window atomic across
+# all pools (a multi-shard cluster forks workers from many threads of
+# one parent).
+_FORK_LOCK = threading.Lock()
 
 
 @dataclass
@@ -136,14 +161,21 @@ class WorkerPool:
         start_method: str | None = None,
         restart_backoff: float = 0.05,
         restart_backoff_cap: float = 2.0,
+        restart_jitter: float = 0.5,
         sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
     ) -> None:
         if size < 1:
             raise ValueError("pool size must be >= 1")
+        if not 0.0 <= restart_jitter <= 1.0:
+            raise ValueError("restart_jitter must be within [0, 1]")
         self.worker_faults = worker_faults
         self.restart_backoff = restart_backoff
         self.restart_backoff_cap = restart_backoff_cap
+        self.restart_jitter = restart_jitter
         self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._quarantined = False
         self._ctx = multiprocessing.get_context(pick_start_method(start_method))
         self.handles = [WorkerHandle(slot) for slot in range(size)]
 
@@ -151,24 +183,54 @@ class WorkerPool:
     def size(self) -> int:
         return len(self.handles)
 
+    @property
+    def quarantined(self) -> bool:
+        return self._quarantined
+
     # -- lifecycle --------------------------------------------------------------
+
+    def backoff_delay(self, consecutive_crashes: int) -> float:
+        """Seconds to sleep before respawning after ``n`` consecutive crashes.
+
+        The deterministic envelope is ``min(cap, backoff * 2**(n-1))``;
+        the returned delay is that envelope scaled by a random factor in
+        ``[1 - restart_jitter, 1]``.  Without the jitter, every slot of a
+        shard whose workers were killed at once would sleep the *same*
+        exponential series and re-fork in lockstep — a thundering herd of
+        simultaneous forks on an already-struggling host.  The jitter
+        spreads the respawns while keeping the exponential growth (the
+        factor never drops the delay below half its envelope at the
+        default ``restart_jitter=0.5``).
+        """
+        if consecutive_crashes < 1 or self.restart_backoff <= 0:
+            return 0.0
+        envelope = min(
+            self.restart_backoff_cap,
+            self.restart_backoff * 2 ** (consecutive_crashes - 1),
+        )
+        if self.restart_jitter <= 0.0:
+            return envelope
+        return envelope * (1.0 - self.restart_jitter * self._rng.random())
 
     def ensure(self, slot: int) -> WorkerHandle:
         """The slot's handle, respawning the process first if it is dead.
 
         A respawn after ``n`` consecutive crashes sleeps
-        ``min(cap, backoff * 2**(n-1))`` before forking — exponential
-        backoff against crash loops.  The very first spawn is free.
+        :meth:`backoff_delay` before forking — jittered exponential
+        backoff against crash loops.  The very first spawn is free.  A
+        quarantined pool (see :meth:`quarantine`) never respawns: the
+        call raises :class:`WorkerCrashed` immediately.
         """
+        if self._quarantined:
+            raise WorkerCrashed(
+                f"worker {slot}: pool is quarantined (shard marked dead)"
+            )
         handle = self.handles[slot]
         if handle.alive:
             return handle
         self._retire(handle)
-        if handle.consecutive_crashes > 0 and self.restart_backoff > 0:
-            delay = min(
-                self.restart_backoff_cap,
-                self.restart_backoff * 2 ** (handle.consecutive_crashes - 1),
-            )
+        delay = self.backoff_delay(handle.consecutive_crashes)
+        if delay > 0:
             _log.warning(
                 "respawning crashed worker",
                 extra=log_fields(
@@ -178,15 +240,16 @@ class WorkerPool:
                 ),
             )
             self._sleep(delay)
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=worker_main,
-            args=(child_conn, slot, self.worker_faults),
-            daemon=True,
-            name=f"repro-gateway-worker-{slot}",
-        )
-        process.start()
-        child_conn.close()
+        with _FORK_LOCK:
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(child_conn, slot, self.worker_faults),
+                daemon=True,
+                name=f"repro-gateway-worker-{slot}",
+            )
+            process.start()
+            child_conn.close()
         handle.process = process
         handle.conn = parent_conn
         handle.restarts += 1
@@ -217,6 +280,27 @@ class WorkerPool:
             return False
         process.kill()
         return True
+
+    def quarantine(self) -> int:
+        """Kill every live worker and refuse all future respawns.
+
+        This is whole-shard death (power loss, OOM-killed host): requests
+        already dispatched die with their workers, and every later
+        ``ensure`` raises :class:`WorkerCrashed` without forking, so the
+        queue drains into prompt ``worker_crashed`` resolutions a cluster
+        front end can fail over.  Returns the number of processes killed.
+        Irreversible for the life of the pool.
+        """
+        self._quarantined = True
+        killed = 0
+        for handle in self.handles:
+            if self.kill(handle.slot):
+                killed += 1
+        _log.warning(
+            "pool quarantined",
+            extra=log_fields(killed=killed, size=self.size),
+        )
+        return killed
 
     def _retire(self, handle: WorkerHandle) -> None:
         if handle.process is not None:

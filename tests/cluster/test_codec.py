@@ -1,0 +1,113 @@
+"""The cache-entry codec: strict, versioned, byte-exact round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import (
+    CODEC_VERSION,
+    CacheKey,
+    decode_entry,
+    encode_entry,
+    store_key,
+)
+from repro.errors import CacheCodecError
+
+KEY = CacheKey(sentence="sum the hours", fingerprint="f" * 16, options="o" * 16)
+PAYLOAD = {
+    "tier": "full",
+    "programs": (("=SUM(D2:D13)", 0.9375), ("=SUM(D:D)", 0.25)),
+    "n_candidates": 7,
+    "top_formula": "=SUM(D2:D13)",
+    "elapsed": 0.0123,
+    "budget_spent": 4200,
+}
+
+
+def test_round_trip_is_exact():
+    key, payload = decode_entry(encode_entry(KEY, PAYLOAD))
+    assert key == KEY
+    assert payload == PAYLOAD
+    # programs come back as a tuple of tuples (the in-process shape)
+    assert isinstance(payload["programs"], tuple)
+    assert all(isinstance(pair, tuple) for pair in payload["programs"])
+
+
+def test_floats_survive_byte_for_byte():
+    """Scores must round-trip to the identical double: the differential
+    harness compares rankings byte-for-byte."""
+    awkward = [0.1, 1 / 3, 2.5e-17, 9007199254740993.0, float(2**60) + 0.5]
+    payload = dict(PAYLOAD, programs=[("=A1", s) for s in awkward])
+    _, decoded = decode_entry(encode_entry(KEY, payload))
+    for (_, got), want in zip(decoded["programs"], awkward):
+        assert got == want and repr(got) == repr(want)
+
+
+def test_encode_is_deterministic():
+    assert encode_entry(KEY, PAYLOAD) == encode_entry(KEY, PAYLOAD)
+
+
+def test_store_key_layout_supports_prefix_invalidation():
+    flat = store_key(KEY, namespace="ns")
+    assert flat.startswith(f"ns:{KEY.fingerprint}:")
+    # the raw sentence never appears in the store key
+    assert "sum the hours" not in flat
+    # same fingerprint, different sentence -> same invalidation prefix
+    other = store_key(
+        CacheKey("count the rows", KEY.fingerprint, KEY.options), namespace="ns"
+    )
+    assert other != flat
+    assert other.split(":")[:2] == flat.split(":")[:2]
+
+
+def test_encode_rejects_malformed_payloads():
+    for broken in [
+        {},  # everything missing
+        dict(PAYLOAD, extra=1),  # unexpected field
+        dict(PAYLOAD, tier=None),  # wrong type
+        dict(PAYLOAD, n_candidates=True),  # bool masquerading as int
+        dict(PAYLOAD, programs=[("=A1",)]),  # not a pair
+        dict(PAYLOAD, programs=[(1, 2.0)]),  # program not a string
+        dict(PAYLOAD, programs=[("=A1", True)]),  # bool score
+        "not a dict",
+    ]:
+        with pytest.raises(CacheCodecError):
+            encode_entry(KEY, broken)
+
+
+def test_decode_rejects_corrupt_blobs():
+    good = encode_entry(KEY, PAYLOAD)
+    for corrupt in [
+        b"",
+        b"\xff\xfe garbage",
+        b"[1,2,3]",
+        good[:-10],
+        "plain string",
+    ]:
+        with pytest.raises(CacheCodecError):
+            decode_entry(corrupt)
+
+
+def test_decode_rejects_unknown_version():
+    record = json.loads(encode_entry(KEY, PAYLOAD))
+    record["v"] = CODEC_VERSION + 1
+    with pytest.raises(CacheCodecError, match="version"):
+        decode_entry(json.dumps(record).encode())
+
+
+def test_decode_rejects_malformed_key():
+    record = json.loads(encode_entry(KEY, PAYLOAD))
+    record["key"]["fingerprint"] = 42
+    with pytest.raises(CacheCodecError, match="key"):
+        decode_entry(json.dumps(record).encode())
+
+
+def test_codec_error_is_coded():
+    try:
+        decode_entry(b"nope")
+    except CacheCodecError as exc:
+        assert exc.code == "cache_codec_error"
+    else:  # pragma: no cover
+        raise AssertionError("decode_entry accepted garbage")

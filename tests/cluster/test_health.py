@@ -1,0 +1,152 @@
+"""The health state machine, driven synchronously via ``check_once``."""
+
+from __future__ import annotations
+
+from repro.cluster import DOWN, SUSPECT, UP, HealthMonitor
+from repro.obs.clock import ManualClock
+from repro.obs.metrics import MetricsRegistry
+
+
+class FlippableProbe:
+    def __init__(self, healthy: bool = True) -> None:
+        self.healthy = healthy
+
+    def __call__(self) -> bool:
+        return self.healthy
+
+
+def make_monitor(n: int = 2, threshold: int = 2, metrics=None):
+    probes = {i: FlippableProbe() for i in range(n)}
+    monitor = HealthMonitor(
+        {i: p for i, p in probes.items()},
+        failure_threshold=threshold,
+        clock=ManualClock(),
+        metrics=metrics,
+    )
+    return monitor, probes
+
+
+def test_all_up_initially():
+    monitor, _ = make_monitor()
+    assert monitor.states() == {0: UP, 1: UP}
+    assert monitor.alive() == {0, 1}
+
+
+def test_one_failure_is_suspicion_not_death():
+    monitor, probes = make_monitor(threshold=2)
+    probes[0].healthy = False
+    monitor.check_once()
+    assert monitor.state(0) == SUSPECT
+    # a suspect shard is still routable
+    assert monitor.alive() == {0, 1}
+
+
+def test_threshold_consecutive_failures_is_down():
+    monitor, probes = make_monitor(threshold=3)
+    probes[1].healthy = False
+    for _ in range(3):
+        monitor.check_once()
+    assert monitor.state(1) == DOWN
+    assert monitor.alive() == {0}
+
+
+def test_success_clears_suspicion():
+    monitor, probes = make_monitor(threshold=3)
+    probes[0].healthy = False
+    monitor.check_once()
+    monitor.check_once()
+    assert monitor.state(0) == SUSPECT
+    probes[0].healthy = True
+    monitor.check_once()
+    assert monitor.state(0) == UP
+    # the failure streak reset: two fresh failures are suspicion again
+    probes[0].healthy = False
+    monitor.check_once()
+    monitor.check_once()
+    assert monitor.state(0) == SUSPECT
+
+
+def test_request_success_is_a_heartbeat():
+    monitor, probes = make_monitor(threshold=2)
+    probes[0].healthy = False
+    monitor.check_once()
+    monitor.note_success(0)  # a served request clears suspicion immediately
+    assert monitor.state(0) == UP
+    monitor.check_once()  # one more probe failure: back to suspect, not down
+    assert monitor.state(0) == SUSPECT
+
+
+def test_mark_down_is_immediate():
+    monitor, _ = make_monitor()
+    monitor.mark_down(0)
+    assert monitor.state(0) == DOWN
+    assert monitor.alive() == {1}
+
+
+def test_revival_on_probe_success():
+    monitor, probes = make_monitor(threshold=1)
+    probes[0].healthy = False
+    monitor.check_once()
+    assert monitor.state(0) == DOWN
+    probes[0].healthy = True
+    monitor.check_once()
+    assert monitor.state(0) == UP
+    assert monitor.alive() == {0, 1}
+
+
+def test_on_down_fires_once_per_transition():
+    fired = []
+    probes = {0: FlippableProbe(False)}
+    monitor = HealthMonitor(
+        probes, failure_threshold=1, clock=ManualClock(),
+        on_down=fired.append,
+    )
+    monitor.check_once()
+    monitor.check_once()  # still down: no second callback
+    assert fired == [0]
+    monitor.mark_down(0)  # already down: still no second callback
+    assert fired == [0]
+
+
+def test_probe_exception_reads_as_failure():
+    def broken() -> bool:
+        raise RuntimeError("probe bug")
+
+    monitor = HealthMonitor(
+        {0: broken}, failure_threshold=1, clock=ManualClock()
+    )
+    monitor.check_once()
+    assert monitor.state(0) == DOWN
+
+
+def test_health_gauge_tracks_routability():
+    metrics = MetricsRegistry(ManualClock())
+    monitor, probes = make_monitor(threshold=1, metrics=metrics)
+    gauge = metrics.gauge("cluster_shard_healthy")
+    assert gauge.value(shard=0) == 1
+    probes[0].healthy = False
+    monitor.check_once()
+    assert gauge.value(shard=0) == 0
+    assert gauge.value(shard=1) == 1
+    assert metrics.counter("cluster_health_probe_failures_total").total() == 1
+
+
+def test_background_thread_start_stop():
+    monitor, probes = make_monitor(threshold=1)
+    monitor.interval = 0.005
+    probes[0].healthy = False
+    monitor.start()
+    try:
+        from ..serve.waiters import wait_until
+
+        wait_until(lambda: monitor.state(0) == DOWN, timeout=5.0)
+    finally:
+        monitor.stop()
+    assert monitor.state(1) == UP
+
+
+def test_snapshot_shape():
+    monitor, _ = make_monitor()
+    snap = monitor.snapshot()
+    assert snap["states"] == {0: UP, 1: UP}
+    assert snap["failure_threshold"] == 2

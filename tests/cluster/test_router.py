@@ -1,0 +1,113 @@
+"""Rendezvous routing: determinism, balance, minimal disruption, hot shards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import RendezvousRouter, detect_hot_shards
+
+
+def _fingerprints(n: int) -> list[str]:
+    return [f"fingerprint-{i:04d}" for i in range(n)]
+
+
+def test_route_is_deterministic_across_instances():
+    a = RendezvousRouter([0, 1, 2])
+    b = RendezvousRouter([0, 1, 2])
+    for fp in _fingerprints(50):
+        assert a.route(fp) == b.route(fp)
+        assert a.preference(fp) == b.preference(fp)
+
+
+def test_preference_ranks_every_shard_once():
+    router = RendezvousRouter([0, 1, 2, 3])
+    for fp in _fingerprints(20):
+        ranked = router.preference(fp)
+        assert sorted(ranked) == [0, 1, 2, 3]
+        assert router.route(fp) == ranked[0]
+
+
+def test_load_is_roughly_balanced():
+    router = RendezvousRouter([0, 1, 2])
+    counts = {0: 0, 1: 0, 2: 0}
+    fps = _fingerprints(3000)
+    for fp in fps:
+        counts[router.route(fp)] += 1
+    fair = len(fps) / 3
+    for shard, count in counts.items():
+        assert 0.8 * fair < count < 1.2 * fair, (shard, counts)
+
+
+def test_minimal_disruption_on_shard_death():
+    """Killing one shard moves only the fingerprints homed on it; every
+    other fingerprint keeps its shard — the rendezvous property."""
+    router = RendezvousRouter([0, 1, 2])
+    fps = _fingerprints(500)
+    before = {fp: router.route(fp) for fp in fps}
+    alive = {0, 2}
+    for fp in fps:
+        after = router.route(fp, alive)
+        if before[fp] == 1:
+            # displaced fingerprints land on their second choice
+            assert after == next(
+                s for s in router.preference(fp) if s in alive
+            )
+        else:
+            assert after == before[fp]
+
+
+def test_route_with_no_live_shards():
+    router = RendezvousRouter([0, 1])
+    assert router.route("anything", alive=set()) is None
+
+
+def test_router_validates_shard_ids():
+    with pytest.raises(ValueError):
+        RendezvousRouter([])
+    with pytest.raises(ValueError):
+        RendezvousRouter([0, 0])
+
+
+def test_memo_is_bounded():
+    router = RendezvousRouter([0, 1], memo_capacity=8)
+    for fp in _fingerprints(100):
+        router.preference(fp)
+    assert len(router._memo) <= 8
+
+
+def test_detect_hot_shards_names_the_culprit():
+    router = RendezvousRouter([0, 1, 2])
+    whale = "the-one-giant-tenant"
+    traffic = {fp: 1 for fp in _fingerprints(30)}
+    traffic[whale] = 500
+    report = detect_hot_shards(traffic, router, hot_factor=2.0, min_requests=20)
+    hot = router.route(whale)
+    assert report.hot_shards == [hot]
+    assert report.culprits[hot][0] == (whale, 500)
+    assert report.total == 530
+    assert report.load[hot] >= 500
+
+
+def test_detect_hot_shards_quiet_below_min_requests():
+    router = RendezvousRouter([0, 1, 2])
+    report = detect_hot_shards({"a": 5}, router, min_requests=20)
+    assert report.hot_shards == []
+    assert report.total == 5
+
+
+def test_detect_hot_shards_balanced_traffic_is_not_hot():
+    router = RendezvousRouter([0, 1, 2])
+    traffic = {fp: 3 for fp in _fingerprints(300)}
+    report = detect_hot_shards(traffic, router, hot_factor=2.0)
+    assert report.hot_shards == []
+    snap = report.snapshot()
+    assert snap["total"] == 900 and snap["hot_shards"] == []
+
+
+def test_detect_hot_shards_projects_onto_survivors():
+    """With a shard dead, its traffic lands on the survivors' loads."""
+    router = RendezvousRouter([0, 1, 2])
+    traffic = {fp: 1 for fp in _fingerprints(300)}
+    report = detect_hot_shards(traffic, router, alive={0, 2})
+    assert set(report.load) == {0, 2}
+    assert sum(report.load.values()) == 300

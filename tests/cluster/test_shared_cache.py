@@ -1,0 +1,126 @@
+"""The shared cache tier: codec framing, LRU store, invalidation, quarantine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheKey, encode_entry
+from repro.cluster import ByteStore, InMemoryByteStore, SharedCacheTier
+
+
+def key(i: int = 0, fingerprint: str = "f" * 16) -> CacheKey:
+    return CacheKey(f"sentence {i}", fingerprint, "opts")
+
+
+PAYLOAD = {
+    "tier": "full",
+    "programs": (("=SUM(A:A)", 1.0),),
+    "n_candidates": 3,
+    "top_formula": "=SUM(A:A)",
+    "elapsed": 0.01,
+    "budget_spent": 10,
+}
+
+
+class TestInMemoryByteStore:
+    def test_satisfies_the_protocol(self):
+        assert isinstance(InMemoryByteStore(), ByteStore)
+
+    def test_get_put_delete(self):
+        store = InMemoryByteStore()
+        assert store.get("a") is None
+        store.put("a", b"1")
+        assert store.get("a") == b"1"
+        assert store.delete("a") is True
+        assert store.delete("a") is False
+        assert store.get("a") is None
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            InMemoryByteStore().put("a", "not bytes")
+
+    def test_lru_eviction(self):
+        store = InMemoryByteStore(capacity=2)
+        store.put("a", b"1")
+        store.put("b", b"2")
+        store.get("a")  # refresh a: b is now least recent
+        store.put("c", b"3")
+        assert store.get("b") is None
+        assert store.get("a") == b"1" and store.get("c") == b"3"
+        assert len(store) == 2
+
+    def test_scan_by_prefix(self):
+        store = InMemoryByteStore()
+        store.put("ns:f1:x", b"1")
+        store.put("ns:f1:y", b"2")
+        store.put("ns:f2:z", b"3")
+        assert sorted(store.scan("ns:f1:")) == ["ns:f1:x", "ns:f1:y"]
+
+
+class TestSharedCacheTier:
+    def test_miss_then_put_then_hit(self):
+        tier = SharedCacheTier()
+        assert tier.get(key()) is None
+        tier.put(key(), PAYLOAD)
+        got = tier.get(key())
+        assert got == PAYLOAD
+        assert (tier.hits, tier.misses, tier.puts) == (1, 1, 1)
+
+    def test_payload_is_never_aliased(self):
+        """Every read decodes fresh bytes: mutating one caller's payload
+        must not leak into the next caller's."""
+        tier = SharedCacheTier()
+        tier.put(key(), PAYLOAD)
+        first = tier.get(key())
+        first["tier"] = "mangled"
+        assert tier.get(key())["tier"] == "full"
+
+    def test_invalidate_by_fingerprint(self):
+        tier = SharedCacheTier()
+        tier.put(key(0, "aaa"), PAYLOAD)
+        tier.put(key(1, "aaa"), PAYLOAD)
+        tier.put(key(0, "bbb"), PAYLOAD)
+        assert tier.invalidate("aaa") == 2
+        assert tier.get(key(0, "aaa")) is None
+        assert tier.get(key(1, "aaa")) is None
+        assert tier.get(key(0, "bbb")) == PAYLOAD
+
+    def test_corrupt_blob_reads_as_miss_and_is_dropped(self):
+        store = InMemoryByteStore()
+        tier = SharedCacheTier(store=store)
+        tier.put(key(), PAYLOAD)
+        flat = store.scan("")[0]
+        store.put(flat, b"{corrupt json")
+        assert tier.get(key()) is None
+        assert tier.codec_errors == 1
+        # the bad blob is gone: the next read is a clean miss
+        assert store.get(flat) is None
+        assert tier.get(key()) is None
+        assert tier.codec_errors == 1
+
+    def test_key_mismatch_reads_as_codec_error(self):
+        """A blob stored under the wrong flat key (store bug, colliding
+        writer) must not be served as an answer for the wrong request."""
+        store = InMemoryByteStore()
+        tier = SharedCacheTier(store=store)
+        tier.put(key(0), PAYLOAD)
+        flat = store.scan("")[0]
+        store.put(flat, encode_entry(key(1), PAYLOAD))
+        assert tier.get(key(0)) is None
+        assert tier.codec_errors == 1
+
+    def test_snapshot_shape(self):
+        tier = SharedCacheTier()
+        tier.put(key(), PAYLOAD)
+        tier.get(key())
+        tier.get(key(99))
+        snap = tier.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1 and snap["puts"] == 1
+        assert snap["hit_rate"] == 0.5
+        assert snap["size"] == 1
+
+    def test_capacity_bounds_the_default_store(self):
+        tier = SharedCacheTier(capacity=4)
+        for i in range(10):
+            tier.put(key(i), PAYLOAD)
+        assert len(tier.store) == 4

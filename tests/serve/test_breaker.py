@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
@@ -82,6 +84,89 @@ class TestCircuitBreaker:
             CircuitBreaker(failure_threshold=0)
         with pytest.raises(ValueError):
             CircuitBreaker(reset_timeout=-1)
+
+
+class TestHalfOpenConcurrency:
+    """The half-open probe window raced by many threads at once.
+
+    The single-probe guarantee is only meaningful under concurrency: N
+    threads hitting ``allow()`` the instant the reset window elapses must
+    admit exactly one, every time, and recovery/reopening must behave the
+    same whether the competing requests arrive before or after the probe
+    reports back.
+    """
+
+    N_THREADS = 16
+
+    def _race_allow(self, breaker) -> list[bool]:
+        """N threads call ``allow()`` simultaneously; returns the votes."""
+        barrier = threading.Barrier(self.N_THREADS)
+        votes: list[bool] = [False] * self.N_THREADS
+
+        def contender(i: int) -> None:
+            barrier.wait()
+            votes[i] = breaker.allow()
+
+        threads = [
+            threading.Thread(target=contender, args=(i,))
+            for i in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads)
+        return votes
+
+    def test_exactly_one_probe_admitted_under_contention(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        votes = self._race_allow(breaker)
+        assert sum(votes) == 1, f"admitted {sum(votes)} probes, want 1"
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_reopens_the_floodgates(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert sum(self._race_allow(breaker)) == 1
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # closed again: every concurrent request flows
+        assert all(self._race_allow(breaker))
+
+    def test_probe_failure_relocks_against_the_crowd(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert sum(self._race_allow(breaker)) == 1
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == OPEN
+        # still inside the new reset window: nobody gets through
+        assert not any(self._race_allow(breaker))
+        clock.advance(1.0)
+        # next window: again exactly one probe, no matter the contention
+        assert sum(self._race_allow(breaker)) == 1
+
+    def test_repeated_windows_admit_one_probe_each(self, clock):
+        """Ten failure → wait → race cycles: the invariant holds every
+        cycle, not just the first (state must fully reset on reopen)."""
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=0.5, clock=clock
+        )
+        breaker.record_failure()
+        for _ in range(10):
+            clock.advance(0.5)
+            assert sum(self._race_allow(breaker)) == 1
+            breaker.record_failure()  # probe fails: reopen, window restarts
+            assert not breaker.allow()
 
 
 class TestBreakerBoard:

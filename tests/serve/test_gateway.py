@@ -230,6 +230,73 @@ class TestShutdown:
         assert queued.result(timeout=60.0).error_code == "gateway_closed"
         assert in_flight.result(timeout=60.0).ok
 
+    def test_drain_timeout_resolves_every_waiter(self, payroll_wb):
+        """Regression: a drain that cannot finish within its budget used to
+        return with queued/in-flight ``PendingResult``s still unresolved,
+        leaving callers to block until their own timeouts.  ``close`` must
+        resolve *everything* before returning: queued requests as
+        ``gateway_closed``, the hung in-flight one through pool teardown
+        (``worker_crashed``)."""
+        gateway = TranslationGateway(
+            payroll_wb, workers=1, request_timeout=300.0, **FAST
+        )
+        hung = gateway.submit("sum the hours", faults="tokenize:delay:120.0")
+        wait_dispatched(gateway)  # the hang occupies the only worker
+        queued = [gateway.submit("count the employees") for _ in range(3)]
+        gateway.close(drain=True, timeout=0.5)
+        # close() has returned: every future must already be resolved
+        assert hung.done()
+        assert all(p.done() for p in queued)
+        hung_result = hung.result(timeout=0.0)
+        assert not hung_result.ok
+        assert hung_result.error_code == "worker_crashed"
+        for pending in queued:
+            result = pending.result(timeout=0.0)
+            assert result.error_code == "gateway_closed"
+            assert "drain timed out" in result.error
+        stats = gateway.stats()
+        assert stats.completed == stats.submitted == 4
+        assert stats.in_flight == 0 and stats.queue_depth == 0
+
+
+class TestPendingResultCallbacks:
+    def test_callback_fires_once_on_resolution(self, payroll_wb):
+        with TranslationGateway(payroll_wb, workers=1, **FAST) as gateway:
+            fired = []
+            pending = gateway.submit("sum the hours")
+            pending.add_done_callback(fired.append)
+            result = pending.result(timeout=60.0)
+            assert fired == [result]
+
+    def test_callback_added_after_resolution_fires_immediately(
+        self, payroll_wb
+    ):
+        with TranslationGateway(payroll_wb, workers=1, **FAST) as gateway:
+            pending = gateway.submit("sum the hours")
+            result = pending.result(timeout=60.0)
+            fired = []
+            pending.add_done_callback(fired.append)
+            assert fired == [result]
+
+    def test_callback_exception_does_not_poison_resolution(self, payroll_wb):
+        with TranslationGateway(payroll_wb, workers=1, **FAST) as gateway:
+            pending = gateway.submit("sum the hours")
+            fired = []
+
+            def bad(result):
+                raise RuntimeError("callback bug")
+
+            pending.add_done_callback(bad)
+            pending.add_done_callback(fired.append)
+            result = pending.result(timeout=60.0)
+            assert result.ok
+            assert fired == [result]  # later callbacks still ran
+            # the already-resolved (immediate-fire) path contains the
+            # exception too — same contract regardless of timing
+            pending.add_done_callback(bad)
+            pending.add_done_callback(fired.append)
+            assert fired == [result, result]
+
 
 class TestStatsAccounting:
     def test_every_submit_is_completed_exactly_once(self, payroll_wb):
