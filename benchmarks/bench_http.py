@@ -1,0 +1,279 @@
+"""HTTP front end — open-loop Poisson load versus the backpressure ladder.
+
+The question: when offered load exceeds capacity, does the HTTP tier
+*shed* (fast ``503 Retry-After``) rather than *stall* (slow timeouts)?
+An open-loop generator fires requests at exponentially-distributed
+inter-arrival times regardless of completions — the honest way to
+measure a bounded queue, since closed-loop clients self-throttle and
+hide saturation.
+
+Three offered loads against a deliberately small deployment (2 workers,
+``queue_limit=16``, cache off, 1.5 s request deadline):
+
+* **light** — well under capacity: sheds ≈ 0, p95 near service time;
+* **heavy** — around capacity: queueing shows up in the tail;
+* **saturated** — far over capacity: a meaningful shed rate, and the
+  latency of *served* requests stays bounded because the queue cannot
+  grow.  No request may end in a timeout (504) or an unparseable
+  response.
+
+Each full run appends a row to ``BENCH_http.json`` (override with
+``REPRO_BENCH_HTTP_OUT``), the trajectory CI uploads as an artifact.
+``REPRO_HTTP_BENCH_SAMPLE`` sizes each storm (default 80 requests per
+load).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_http.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.http import HttpServer
+from repro.serve import TranslationGateway
+
+_SAMPLE = int(os.environ.get("REPRO_HTTP_BENCH_SAMPLE", "80"))
+WORKERS = 2
+QUEUE_LIMIT = 16
+DEADLINE_MS = 1500.0
+# Offered loads in requests/second.  Capacity with 2 workers and ~20-40 ms
+# per translation is on the order of 50-100 rps: 12 is comfortably under,
+# 60 is around it, 400 is far past it.
+OFFERED_RPS = (12.0, 60.0, 400.0)
+SENTENCES = [
+    "sum the hours",
+    "count the employees",
+    "average the rate",
+    "sum the totalpay for the capitol hill baristas",
+]
+
+
+class _BenchServer:
+    """A gateway + HTTP server pair on a daemon asyncio thread."""
+
+    def __init__(self) -> None:
+        self.gateway = TranslationGateway(
+            _payroll(),
+            workers=WORKERS,
+            queue_limit=QUEUE_LIMIT,
+            restart_backoff=0.01,
+            restart_backoff_cap=0.1,
+        )
+        self.server = HttpServer(self.gateway, max_connections=4096)
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="bench-http-server", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def main() -> None:
+            await self.server.start()
+            self.port = self.server.port
+            self._ready.set()
+            await self.server.serve_forever()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "_BenchServer":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("bench HTTP server never came up")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.server.request_stop()
+        self._thread.join(timeout=10)
+        self.gateway.close(drain=False)
+
+
+def _payroll():
+    from repro.dataset import build_sheet
+
+    return build_sheet("payroll")
+
+
+def _one_request(port: int, sentence: str) -> tuple[int, str | None]:
+    """Returns (status, error_code) for one unary translate call."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request(
+            "POST", "/translate",
+            body=json.dumps(
+                {"sentence": sentence, "deadline_ms": DEADLINE_MS}
+            ),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        payload = json.loads(response.read().decode("utf-8"))
+        code = (payload.get("result") or payload).get("error_code")
+        return response.status, code
+    finally:
+        conn.close()
+
+
+def run_load(port: int, rate: float, n: int, seed: int = 0x9015) -> dict:
+    """Open-loop storm: ``n`` arrivals at Poisson rate ``rate``/s."""
+    rng = random.Random(seed)
+    arrivals = []
+    t = 0.0
+    for _ in range(n):
+        t += rng.expovariate(rate)
+        arrivals.append(t)
+    results: list[tuple[int, str | None, float] | Exception] = [None] * n
+    threads = []
+
+    def fire(i: int, sentence: str) -> None:
+        started = time.perf_counter()
+        try:
+            status, code = _one_request(port, sentence)
+            results[i] = (status, code, time.perf_counter() - started)
+        except Exception as exc:  # noqa: BLE001 - recorded, then asserted
+            results[i] = exc
+
+    origin = time.perf_counter()
+    for i, at in enumerate(arrivals):
+        delay = origin + at - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        thread = threading.Thread(
+            target=fire, args=(i, SENTENCES[i % len(SENTENCES)]), daemon=True
+        )
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join(timeout=120)
+
+    failures = [r for r in results if isinstance(r, Exception) or r is None]
+    outcomes = [r for r in results if isinstance(r, tuple)]
+    served = [r for r in outcomes if r[0] in (200, 206)]
+    shed = [r for r in outcomes if r[0] == 503]
+    timeouts = [r for r in outcomes if r[0] == 504]
+    latencies = sorted(latency for _, _, latency in served) or [0.0]
+
+    def pct(q: float) -> float:
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    return {
+        "offered_rps": rate,
+        "n": n,
+        "failures": len(failures),
+        "served": len(served),
+        "shed": len(shed),
+        "timeouts": len(timeouts),
+        "shed_rate": len(shed) / n,
+        "p50_ms": round(pct(0.50) * 1000, 2),
+        "p95_ms": round(pct(0.95) * 1000, 2),
+        "p99_ms": round(pct(0.99) * 1000, 2),
+        "statuses": sorted({status for status, _, _ in outcomes}),
+    }
+
+
+def _run_all() -> list[dict]:
+    loads = []
+    for rate in OFFERED_RPS:
+        with _BenchServer() as bench:
+            # Warm the worker pool so the first storm doesn't pay
+            # translator construction costs.
+            for _ in range(2):
+                _one_request(bench.port, SENTENCES[0])
+            loads.append(run_load(bench.port, rate, _SAMPLE))
+    return loads
+
+
+def _append_trajectory(row: dict) -> Path:
+    path = Path(os.environ.get("REPRO_BENCH_HTTP_OUT", "BENCH_http.json"))
+    trajectory: list[dict] = []
+    if path.exists():
+        try:
+            trajectory = json.loads(path.read_text())
+        except (OSError, ValueError):
+            trajectory = []
+    trajectory.append(row)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return path
+
+
+def _trajectory_row(loads: list[dict]) -> dict:
+    return {
+        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "n_per_load": _SAMPLE,
+        "workers": WORKERS,
+        "queue_limit": QUEUE_LIMIT,
+        "deadline_ms": DEADLINE_MS,
+        "loads": loads,
+        "python": sys.version.split()[0],
+    }
+
+
+def _print_loads(loads: list[dict]) -> None:
+    header = (
+        f"{'offered rps':>12} {'served':>7} {'shed':>5} {'shed%':>7} "
+        f"{'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8}"
+    )
+    print(header)
+    for row in loads:
+        print(
+            f"{row['offered_rps']:>12.0f} {row['served']:>7} "
+            f"{row['shed']:>5} {row['shed_rate']:>7.1%} "
+            f"{row['p50_ms']:>8.1f} {row['p95_ms']:>8.1f} "
+            f"{row['p99_ms']:>8.1f}"
+        )
+
+
+@pytest.fixture(scope="module")
+def loads():
+    return _run_all()
+
+
+def test_print_http_loads(benchmark, loads):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("HTTP front end — open-loop Poisson storms")
+    _print_loads(loads)
+    path = _append_trajectory(_trajectory_row(loads))
+    print(f"(trajectory: {path})")
+
+
+def test_every_request_gets_a_wellformed_response(benchmark, loads):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for row in loads:
+        assert row["failures"] == 0, row
+        assert row["served"] + row["shed"] + row["timeouts"] <= row["n"]
+
+
+def test_saturation_sheds_rather_than_times_out(benchmark, loads):
+    """The backpressure contract at the socket: past capacity the bounded
+    queue converts overload into fast 503s, never into timeouts."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    saturated = loads[-1]
+    assert saturated["shed"] > 0, saturated
+    for row in loads:
+        assert row["timeouts"] == 0, row
+
+
+def test_light_load_mostly_served(benchmark, loads):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    light = loads[0]
+    assert light["shed_rate"] <= 0.10, light
+    assert light["served"] >= light["n"] * 0.9
+
+
+if __name__ == "__main__":
+    all_loads = _run_all()
+    print("HTTP front end — open-loop Poisson storms")
+    _print_loads(all_loads)
+    out = _append_trajectory(_trajectory_row(all_loads))
+    print(f"(trajectory: {out})")

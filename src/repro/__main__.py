@@ -6,6 +6,7 @@ Usage::
     python -m repro translate "total the amount" --csv data.csv [...]
     python -m repro repl [--sheet payroll] [--csv data.csv ...]
     python -m repro serve [--workers N] [--shards N] [--deadline MS]
+    python -m repro serve --http PORT [--host ADDR] [...]
     python -m repro batch FILE [--workers N] [--shards N] [--deadline MS] [--repeat K]
     python -m repro corpus --dump out.txt [--seed 2014]
     python -m repro rules [--learned]
@@ -201,10 +202,41 @@ def _make_gateway(args: argparse.Namespace, tracer=None):
     )
 
 
+def _serve_http(args: argparse.Namespace, gateway, tracer) -> None:
+    """Run the asyncio HTTP front end over the gateway until interrupted."""
+    import asyncio
+
+    from .http import HttpServer
+
+    server = HttpServer(gateway, host=args.host, port=args.http)
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"# http up: http://{args.host}:{server.port} "
+            f"(POST /translate, GET /healthz /metrics /stats /traces; "
+            f"Ctrl-C to exit)",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     """Line-oriented gateway service: one description in, one result out."""
     tracer = _make_tracer(args)
     gateway = _make_gateway(args, tracer=tracer)
+    if args.http is not None:
+        try:
+            _serve_http(args, gateway, tracer)
+        finally:
+            gateway.close(drain=True)
+            _write_obs(args, tracer, gateway.metrics)
+        return
     if args.shards > 1:
         banner = (
             f"# cluster up: {args.shards} shards x {args.workers} workers"
@@ -367,8 +399,14 @@ def main(argv: list[str] | None = None) -> None:
         add_obs_options(p)
 
     p = sub.add_parser(
-        "serve", help="line-oriented gateway service on stdin/stdout"
+        "serve", help="line-oriented gateway service on stdin/stdout "
+                      "(or HTTP with --http PORT)"
     )
+    p.add_argument("--http", type=int, default=None, metavar="PORT",
+                   help="serve HTTP instead of stdin/stdout (0 = ephemeral "
+                        "port; see docs/HTTP.md)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="HTTP bind address [default: 127.0.0.1]")
     add_gateway_options(p)
     p.set_defaults(func=_cmd_serve)
 

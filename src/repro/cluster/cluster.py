@@ -93,7 +93,7 @@ RETRYABLE_CODES = frozenset(
 
 _EVENTS = (
     "submitted", "completed", "ok", "failed", "cache_hits", "retries",
-    "failovers", "rerouted", "shard_down", "closed_rejected",
+    "failovers", "rerouted", "shard_down", "closed_rejected", "cancelled",
 )
 
 
@@ -174,6 +174,8 @@ class _ClusterRequest:
     last_failure: GatewayResult | None = None
     home_shard: int | None = None
     span: Any = None
+    cancelled: bool = False  # caller abandoned; stop retrying
+    inner: PendingResult | None = None  # the in-flight shard attempt
 
 
 class _RetryScheduler:
@@ -393,6 +395,7 @@ class ShardedCluster:
                 fingerprint=fingerprint,
             ),
         )
+        pending._canceller = lambda: self._cancel_request(request)
         with self._lock:
             if self._closed:
                 self._count("submitted")
@@ -512,6 +515,22 @@ class ShardedCluster:
                 return shard_id
         return None
 
+    def _cancel_request(self, request: _ClusterRequest) -> bool:
+        """The :meth:`PendingResult.cancel` path, lifted over routing.
+
+        Marks the request abandoned (a scheduled retry observes the flag
+        and resolves ``cancelled`` instead of dispatching) and forwards
+        the cancel to the in-flight shard attempt, whose gateway releases
+        its queue slot if the attempt is still waiting for a worker.
+        """
+        request.cancelled = True
+        inner = request.inner
+        if inner is not None and inner.cancel():
+            # The inner attempt resolves with code "cancelled"; it is not
+            # retryable, so _on_attempt_done finalizes the outer future.
+            return True
+        return False
+
     def _dispatch(self, request: _ClusterRequest) -> None:
         """Route one attempt (also the retry-scheduler entry point)."""
         with self._lock:
@@ -521,6 +540,12 @@ class ShardedCluster:
                 request, CLUSTER_CLOSED,
                 "cluster closed before the request could be (re)tried",
                 "closed_rejected",
+            )
+            return
+        if request.cancelled:
+            self._finalize_error(
+                request, "cancelled",
+                "cancelled by the caller between attempts", "cancelled",
             )
             return
         remaining: float | None = None
@@ -562,6 +587,7 @@ class ShardedCluster:
             faults=request.faults,
             trace_parent=attempt_span,
         )
+        request.inner = inner
         inner.add_done_callback(
             lambda result, shard=shard, span=attempt_span, t0=started: (
                 self._on_attempt_done(request, shard, span, t0, result)
@@ -594,7 +620,11 @@ class ShardedCluster:
         request.last_failure = result
         with self._lock:
             closed = self._closed
-        if closed or request.attempts >= self.config.attempts_limit:
+        if (
+            closed
+            or request.cancelled
+            or request.attempts >= self.config.attempts_limit
+        ):
             self._finalize(request, result, shard_id=shard.shard_id)
             return
         self._count("retries")
@@ -648,6 +678,8 @@ class ShardedCluster:
         )
         lifted.total_seconds = self.clock() - request.submitted_at
         buckets = ["completed", "ok" if lifted.ok else "failed"]
+        if lifted.error_code == "cancelled":
+            buckets.append("cancelled")
         if lifted.ok and request.attempts > 1:
             buckets.append("failovers")
         if rerouted:
@@ -780,6 +812,7 @@ class ClusterStats:
     rerouted: int
     shard_down: int
     closed_rejected: int
+    cancelled: int
     shards: list[ShardStats] = field(default_factory=list)
     shared_cache: dict | None = None
     hot: HotShardReport | None = None

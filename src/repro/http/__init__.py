@@ -1,0 +1,20 @@
+"""HTTP front end: asyncio server, wire protocol, anytime streaming.
+
+See docs/HTTP.md for the endpoint reference and the streaming protocol.
+"""
+
+from .protocol import Limits, ProtocolError, Request
+from .server import HttpConfig, HttpServer, status_for
+from .stream import AnytimeEmitter, ServiceStreamer, result_payload
+
+__all__ = [
+    "AnytimeEmitter",
+    "HttpConfig",
+    "HttpServer",
+    "Limits",
+    "ProtocolError",
+    "Request",
+    "ServiceStreamer",
+    "result_payload",
+    "status_for",
+]

@@ -1,0 +1,362 @@
+"""HTTP/1.1 wire protocol: hardened parsing, rendering, chunked bodies.
+
+This module is deliberately tiny and dependency-free (stdlib ``asyncio``
+streams only).  It implements exactly the subset the translation front
+end needs, with every limit explicit and tested:
+
+* request line + headers + ``Content-Length`` bodies (no request-side
+  chunked encoding — a client that sends ``Transfer-Encoding`` gets
+  ``501``);
+* byte budgets on every input dimension (request line, header block,
+  header count, body) so a hostile peer cannot balloon memory;
+* wall-clock budgets on header and body receipt so a slowloris writer
+  (one byte per second, forever) is cut off with ``408`` instead of
+  pinning a connection;
+* response rendering, including ``Transfer-Encoding: chunked`` framing
+  for the streaming NDJSON endpoint (docs/HTTP.md).
+
+Every parse failure raises :class:`ProtocolError` carrying the HTTP
+status and a machine-readable ``error_code`` — the server turns it into
+a well-formed coded response, mirroring the ``ReproError`` convention
+used everywhere else in the package.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "CHUNK_TERMINATOR",
+    "Limits",
+    "ProtocolError",
+    "Request",
+    "encode_chunk",
+    "read_request",
+    "render_response",
+    "start_response",
+    "BufferedConnection",
+]
+
+# HTTP reason phrases for every status the server emits.
+REASONS = {
+    200: "OK",
+    206: "Partial Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    414: "URI Too Long",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+CHUNK_TERMINATOR = b"0\r\n\r\n"
+
+_READ_SIZE = 65536
+
+
+@dataclass(frozen=True)
+class Limits:
+    """Input budgets for one connection (every axis bounded)."""
+
+    max_request_line: int = 8192
+    max_header_bytes: int = 32768
+    max_headers: int = 100
+    max_body_bytes: int = 1 << 20  # 1 MiB
+    header_timeout: float = 5.0  # request line + headers must land in this
+    body_timeout: float = 10.0  # the slowloris guard for bodies
+    keep_alive_timeout: float = 30.0  # idle wait for the next request
+
+
+class ProtocolError(Exception):
+    """A malformed or abusive request, mapped to one HTTP status."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+@dataclass
+class Request:
+    """One parsed request."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, str]
+    version: str
+    headers: dict[str, str]  # names lower-cased
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        token = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return token == "keep-alive"
+        return token != "close"
+
+
+class BufferedConnection:
+    """A pushback-capable buffered reader over an asyncio stream.
+
+    The pushback seam is what lets the server watch for client
+    disconnects *while* a request executes (read one chunk; EOF means
+    the client hung up, data means a pipelined request — push it back)
+    without losing bytes.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader) -> None:
+        self._reader = reader
+        self._buffer = b""
+        self._eof = False
+
+    def pushback(self, data: bytes) -> None:
+        self._buffer = data + self._buffer
+
+    async def read_any(self, timeout: float | None = None) -> bytes:
+        """Buffered bytes if any, else one read (``b""`` = clean EOF).
+
+        Raises :class:`asyncio.TimeoutError` if nothing arrives in
+        ``timeout`` seconds.
+        """
+        if self._buffer:
+            data, self._buffer = self._buffer, b""
+            return data
+        if self._eof:
+            return b""
+        data = await asyncio.wait_for(self._reader.read(_READ_SIZE), timeout)
+        if not data:
+            self._eof = True
+        return data
+
+    async def _fill(self, deadline: float, status: int, code: str) -> None:
+        """Read more bytes into the buffer or raise a coded timeout/EOF."""
+        if self._eof:
+            raise ProtocolError(400, "bad_request", "connection truncated")
+        loop = asyncio.get_running_loop()
+        remaining = deadline - loop.time()
+        if remaining <= 0:
+            raise ProtocolError(status, code, "client sent data too slowly")
+        try:
+            data = await asyncio.wait_for(
+                self._reader.read(_READ_SIZE), remaining
+            )
+        except asyncio.TimeoutError:
+            raise ProtocolError(
+                status, code, "client sent data too slowly"
+            ) from None
+        if not data:
+            self._eof = True
+            raise ProtocolError(400, "bad_request", "connection truncated")
+        self._buffer += data
+
+    async def read_line(
+        self,
+        limit: int,
+        deadline: float,
+        *,
+        over_limit_status: int = 431,
+        timeout_code: str = "header_timeout",
+    ) -> bytes:
+        """One CRLF-terminated line (terminator stripped, bare LF tolerated)."""
+        while True:
+            idx = self._buffer.find(b"\n")
+            if idx >= 0:
+                line, self._buffer = (
+                    self._buffer[:idx], self._buffer[idx + 1:]
+                )
+                return line.rstrip(b"\r")
+            if len(self._buffer) > limit:
+                raise ProtocolError(
+                    over_limit_status, "limit_exceeded",
+                    f"line exceeds {limit} bytes",
+                )
+            await self._fill(deadline, 408, timeout_code)
+
+    async def read_exactly(self, n: int, deadline: float) -> bytes:
+        """Exactly ``n`` body bytes (coded 400 on truncation, 408 on stall)."""
+        while len(self._buffer) < n:
+            await self._fill(deadline, 408, "body_timeout")
+        data, self._buffer = self._buffer[:n], self._buffer[n:]
+        return data
+
+
+def _parse_request_line(line: bytes, limits: Limits) -> tuple[str, str, str]:
+    if len(line) > limits.max_request_line:
+        raise ProtocolError(414, "uri_too_long", "request line too long")
+    try:
+        text = line.decode("ascii")
+    except UnicodeDecodeError:
+        raise ProtocolError(
+            400, "bad_request", "request line is not ASCII"
+        ) from None
+    parts = text.split()
+    if len(parts) != 3:
+        raise ProtocolError(400, "bad_request", "malformed request line")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ProtocolError(
+            400, "bad_request", f"unsupported protocol version {version!r}"
+        )
+    if not method.isalpha():
+        raise ProtocolError(400, "bad_request", "malformed method")
+    return method.upper(), target, version
+
+
+def _parse_headers(lines: list[bytes]) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for raw in lines:
+        name, sep, value = raw.partition(b":")
+        if not sep or not name or name != name.strip():
+            raise ProtocolError(
+                400, "bad_request", "malformed header line"
+            )
+        try:
+            key = name.decode("ascii").strip().lower()
+            headers[key] = value.decode("latin-1").strip()
+        except UnicodeDecodeError:
+            raise ProtocolError(
+                400, "bad_request", "header name is not ASCII"
+            ) from None
+    return headers
+
+
+async def read_request(
+    conn: BufferedConnection,
+    limits: Limits,
+    *,
+    idle_timeout: float | None = None,
+) -> Request | None:
+    """Parse one request off the connection.
+
+    Returns ``None`` on a clean EOF before the first byte (the client is
+    done with the keep-alive connection).  Raises :class:`ProtocolError`
+    for anything malformed, oversized, or too slow, and
+    :class:`asyncio.TimeoutError` when ``idle_timeout`` passes with no
+    first byte.
+    """
+    first = await conn.read_any(timeout=idle_timeout)
+    if first == b"":
+        return None
+    conn.pushback(first)
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + limits.header_timeout
+
+    line = await conn.read_line(
+        limits.max_request_line, deadline, over_limit_status=414
+    )
+    method, target, version = _parse_request_line(line, limits)
+
+    header_lines: list[bytes] = []
+    total = 0
+    while True:
+        raw = await conn.read_line(limits.max_header_bytes, deadline)
+        if raw == b"":
+            break
+        total += len(raw)
+        if total > limits.max_header_bytes or len(header_lines) >= limits.max_headers:
+            raise ProtocolError(
+                431, "limit_exceeded", "header block too large"
+            )
+        header_lines.append(raw)
+    headers = _parse_headers(header_lines)
+
+    if "transfer-encoding" in headers:
+        raise ProtocolError(
+            501, "not_implemented", "chunked request bodies are not supported"
+        )
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ProtocolError(
+                400, "bad_request", "malformed Content-Length"
+            ) from None
+        if length < 0:
+            raise ProtocolError(400, "bad_request", "negative Content-Length")
+        if length > limits.max_body_bytes:
+            raise ProtocolError(
+                413, "limit_exceeded",
+                f"body exceeds {limits.max_body_bytes} bytes",
+            )
+        body_deadline = loop.time() + limits.body_timeout
+        body = await conn.read_exactly(length, body_deadline)
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(
+        method=method,
+        target=target,
+        path=unquote(split.path) or "/",
+        query=query,
+        version=version,
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(
+    status: int,
+    headers: list[tuple[str, str]],
+) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines += [f"{name}: {value}" for name, value in headers]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    extra_headers: list[tuple[str, str]] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """A complete fixed-length response as bytes."""
+    headers: list[tuple[str, str]] = [
+        ("Content-Type", content_type),
+        ("Content-Length", str(len(body))),
+        ("Connection", "keep-alive" if keep_alive else "close"),
+    ]
+    headers.extend(extra_headers or [])
+    return _head(status, headers) + body
+
+
+def start_response(
+    status: int,
+    *,
+    content_type: str = "application/x-ndjson",
+    extra_headers: list[tuple[str, str]] | None = None,
+) -> bytes:
+    """The head of a chunked (streaming) response.
+
+    The body follows as :func:`encode_chunk` frames and ends with
+    :data:`CHUNK_TERMINATOR`.  Streaming responses always close the
+    connection afterwards — the terminator doubles as the end-of-results
+    marker the conformance suite asserts on.
+    """
+    headers: list[tuple[str, str]] = [
+        ("Content-Type", content_type),
+        ("Transfer-Encoding", "chunked"),
+        ("Connection", "close"),
+    ]
+    headers.extend(extra_headers or [])
+    return _head(status, headers)
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """One chunked-transfer frame (empty data encodes nothing, not EOF)."""
+    if not data:
+        return b""
+    return f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n"

@@ -39,6 +39,7 @@ from .clock import Clock, ManualClock, monotonic, perf
 from .export import (
     chrome_trace_events,
     span_duration_metrics,
+    spans_jsonl,
     write_chrome_trace,
     write_metrics,
     write_spans_jsonl,
@@ -81,6 +82,7 @@ __all__ = [
     "span_duration_metrics",
     "write_chrome_trace",
     "write_metrics",
+    "spans_jsonl",
     "write_spans_jsonl",
     "write_trace",
 ]

@@ -11,8 +11,12 @@ Three formats, three audiences:
   parent and its worker processes (each process a track, each span a
   complete ``"ph": "X"`` slice);
 * :func:`write_metrics` — Prometheus-style text exposition of a
-  :class:`~repro.obs.metrics.MetricsRegistry` (also what a future HTTP
-  ``/metrics`` endpoint would serve).
+  :class:`~repro.obs.metrics.MetricsRegistry` (the same text the HTTP
+  front end serves at ``GET /metrics``; see docs/HTTP.md).
+
+:func:`spans_jsonl` is the shared line renderer: the HTTP front end's
+``GET /traces`` endpoint streams exactly these lines, so a downloaded
+trace and a ``--trace-out`` file are interchangeable.
 
 All writers accept a path or an open text handle and are atomic enough
 for CI use (single ``write`` of a fully rendered string).
@@ -28,6 +32,7 @@ from .metrics import MetricsRegistry
 __all__ = [
     "chrome_trace_events",
     "span_duration_metrics",
+    "spans_jsonl",
     "write_chrome_trace",
     "write_metrics",
     "write_spans_jsonl",
@@ -60,15 +65,24 @@ def _write(path_or_handle: str | IO[str], text: str) -> None:
             handle.write(text)
 
 
+def spans_jsonl(spans: Any) -> list[str]:
+    """Render span records as JSONL lines (each ``\\n``-terminated).
+
+    One canonical renderer for every span-log surface: the
+    ``write_spans_jsonl`` file writer and the HTTP ``GET /traces``
+    stream both emit exactly these lines.
+    """
+    return [
+        json.dumps(record, sort_keys=True, default=str) + "\n"
+        for record in _records(spans)
+    ]
+
+
 def write_spans_jsonl(spans: Any, path: str | IO[str]) -> int:
     """Write one span record per line; returns the number written."""
-    records = _records(spans)
-    text = "".join(
-        json.dumps(record, sort_keys=True, default=str) + "\n"
-        for record in records
-    )
-    _write(path, text)
-    return len(records)
+    lines = spans_jsonl(spans)
+    _write(path, "".join(lines))
+    return len(lines)
 
 
 def chrome_trace_events(spans: Any) -> list[dict[str, Any]]:

@@ -29,6 +29,7 @@ from typing import Callable
 from ..cache import CacheKey, ResultCache, normalise_sentence, options_signature
 from ..errors import ReproError
 from ..obs.clock import perf
+from ..obs.log import get_logger
 from ..obs.trace import NULL_TRACER
 from ..sheet import Workbook
 from ..translate import Candidate, Translator, TranslatorConfig
@@ -49,6 +50,10 @@ __all__ = [
 INPUT_ERROR_CODES = frozenset(
     {"empty_description", "description_too_long", "symbols_only"}
 )
+
+_UNSET = object()
+
+_log = get_logger("runtime.service")
 
 
 @dataclass(frozen=True)
@@ -225,19 +230,42 @@ class TranslationService:
 
     # -- the request path -------------------------------------------------------
 
-    def translate(self, sentence: str, tracer=None) -> ServiceResult:
+    def translate(
+        self,
+        sentence: str,
+        tracer=None,
+        *,
+        deadline: float | None | object = _UNSET,
+        on_update: Callable[[str, list[Candidate]], None] | None = None,
+    ) -> ServiceResult:
         """Translate under the service guarantees (never raises).
 
         ``tracer`` overrides the service's tracer for this request (the
         gateway worker passes a per-request tracer whose records travel
-        back across the process boundary — docs/OBSERVABILITY.md)."""
+        back across the process boundary — docs/OBSERVABILITY.md).
+
+        ``deadline`` overrides the service-level deadline for this request
+        only (``None`` = unbounded), so one service instance can serve
+        concurrent requests with different budgets without mutating shared
+        state — the HTTP streaming path depends on this.
+
+        ``on_update`` is the anytime-improvement hook: called as
+        ``on_update(tier_name, candidates)`` with the current (partial)
+        ranking each time the translator's DP finishes a width row.  The
+        callback runs on the translating thread; exceptions from it are
+        logged, never propagated into the ladder (docs/HTTP.md).
+        """
         tracer = tracer if tracer is not None else self.tracer
+        if deadline is _UNSET:
+            deadline = self.deadline
         if self.faults is not None:
             with installed(self.faults):
-                return self._translate(sentence, tracer)
-        return self._translate(sentence, tracer)
+                return self._translate(sentence, tracer, deadline, on_update)
+        return self._translate(sentence, tracer, deadline, on_update)
 
-    def _translate(self, sentence: str, tracer) -> ServiceResult:
+    def _translate(
+        self, sentence: str, tracer, deadline: float | None, on_update
+    ) -> ServiceResult:
         start = self.clock()
         attempts: list[AttemptReport] = []
         spent = 0
@@ -259,7 +287,7 @@ class TranslationService:
         with tracer.span("service.request") as root:
             result = self._run_ladder(
                 sentence, start, attempts, spent, cache,
-                normalised, fingerprint, tracer,
+                normalised, fingerprint, tracer, deadline, on_update,
             )
             root.set(
                 tier=result.tier,
@@ -281,6 +309,8 @@ class TranslationService:
         normalised: str | None,
         fingerprint: str | None,
         tracer,
+        deadline: float | None,
+        on_update,
     ) -> ServiceResult:
         for k, tier in enumerate(self.tiers):
             key = None
@@ -314,15 +344,19 @@ class TranslationService:
                         attempts=attempts,
                         cached=True,
                     )
-            budget = self._budget_for(k, start)
+            budget = self._budget_for(k, start, deadline)
             t0 = self.clock()
             error: str | None = None
             code: str | None = None
             candidates: list[Candidate] = []
+            progress = None
+            if on_update is not None:
+                progress = self._progress_for(tier.name, on_update)
             with tracer.span("service.tier", tier=tier.name) as tier_span:
                 try:
                     candidates = self.translator_for(tier).translate(
-                        sentence, budget=budget, tracer=tracer
+                        sentence, budget=budget, tracer=tracer,
+                        progress=progress,
                     )
                 except ReproError as exc:
                     error, code = str(exc), exc.code
@@ -387,8 +421,8 @@ class TranslationService:
         code = last.error_code or "deadline_exhausted"
         error = last.error or (
             f"no complete translation within the "
-            f"{self.deadline * 1000:.0f} ms deadline"
-            if self.deadline is not None
+            f"{deadline * 1000:.0f} ms deadline"
+            if deadline is not None
             else "no complete translation within budget"
         )
         return ServiceResult(
@@ -403,15 +437,33 @@ class TranslationService:
             error=error,
         )
 
-    def _budget_for(self, k: int, start: float) -> Budget:
+    def _budget_for(
+        self, k: int, start: float, deadline: float | None | object = _UNSET
+    ) -> Budget:
         """An even split of the remaining deadline over the remaining
         tiers (the last tier inherits everything left)."""
-        if self.deadline is None:
+        if deadline is _UNSET:
+            deadline = self.deadline
+        if deadline is None:
             return Budget(max_derivations=self.max_derivations)
-        remaining = max(0.0, self.deadline - (self.clock() - start))
+        remaining = max(0.0, deadline - (self.clock() - start))
         slice_ = remaining / (len(self.tiers) - k)
         return Budget(
             deadline=slice_,
             max_derivations=self.max_derivations,
             clock=self.clock,
         )
+
+    @staticmethod
+    def _progress_for(tier_name: str, on_update) -> Callable:
+        """Wrap the caller's anytime hook: attach the tier name and keep
+        callback bugs out of the ladder (they are observability, not
+        translation)."""
+
+        def progress(candidates: list[Candidate]) -> None:
+            try:
+                on_update(tier_name, candidates)
+            except Exception:  # noqa: BLE001 - hook must not poison the rung
+                _log.exception("anytime on_update hook raised")
+
+        return progress

@@ -77,6 +77,7 @@ _log = get_logger("serve.gateway")
 _EVENTS = (
     "submitted", "completed", "ok", "failed", "shed", "crashed",
     "timed_out", "circuit_rejected", "closed_rejected", "cache_hits",
+    "cancelled",
 )
 
 
@@ -148,6 +149,9 @@ class PendingResult:
         self._result: GatewayResult | None = None
         self._lock = threading.Lock()
         self._callbacks: list = []
+        # Installed by the owner (gateway/cluster) before the request can
+        # resolve; called at most once, from cancel().
+        self._canceller = None
 
     def _resolve(self, result: GatewayResult) -> None:
         with self._lock:
@@ -190,6 +194,25 @@ class PendingResult:
     def done(self) -> bool:
         return self._event.is_set()
 
+    def cancel(self) -> bool:
+        """Abandon this request (best effort, e.g. the HTTP client hung up).
+
+        Returns ``True`` iff the request was withdrawn before it reached a
+        worker — its bounded-queue slot is released immediately and the
+        future resolves with error code ``cancelled``.  Returns ``False``
+        when the request already resolved or is executing on a worker
+        (worker processes are not preemptible mid-request; the eventual
+        result is simply dropped by the caller).  Safe to call from any
+        thread, and idempotent.
+        """
+        with self._lock:
+            if self._result is not None:
+                return False
+            canceller = self._canceller
+        if canceller is None:
+            return False
+        return bool(canceller())
+
     def result(self, timeout: float | None = None) -> GatewayResult:
         if not self._event.wait(timeout):
             raise TimeoutError("gateway request still pending")
@@ -230,6 +253,7 @@ class GatewayStats:
     circuit_rejected: int
     closed_rejected: int
     cache_hits: int
+    cancelled: int
     restarts: int
     avg_call_seconds: float
     registered_workbooks: int
@@ -405,6 +429,7 @@ class TranslationGateway:
                 fingerprint=fingerprint,
             ),
         )
+        pending._canceller = lambda: self._cancel_request(request)
         with self._cond:
             if self._closed:
                 self._reject(
@@ -645,6 +670,43 @@ class TranslationGateway:
         )
         self._close_span(request, result)
         request.pending._resolve(result)
+
+    def _cancel_request(self, request: _Request) -> bool:
+        """The :meth:`PendingResult.cancel` path: withdraw a queued request.
+
+        Succeeds only while the request is still waiting for dispatch —
+        removing it releases its bounded-queue slot to the next submit.
+        A request already executing on a worker is not withdrawable (the
+        worker finishes and its resolution is simply unobserved), and a
+        request already resolved is a no-op.
+        """
+        with self._cond:
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                return False
+            self._queue_depth_gauge.set(len(self._queue))
+        self._count("completed", "cancelled")
+        _log.debug(
+            "request cancelled before dispatch",
+            extra=log_fields(
+                request_id=request.id, fingerprint=request.fingerprint
+            ),
+        )
+        if request.queue_span is not None:
+            request.queue_span.error("cancelled").finish()
+        now = self.clock()
+        result = GatewayResult(
+            ok=False,
+            error_code="cancelled",
+            error="cancelled by the caller before dispatch",
+            fingerprint=request.fingerprint,
+            queue_seconds=now - request.submitted_at,
+            total_seconds=now - request.submitted_at,
+        )
+        self._close_span(request, result)
+        request.pending._resolve(result)
+        return True
 
     def _reject(
         self,

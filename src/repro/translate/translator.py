@@ -114,7 +114,11 @@ class Translator:
     # -- public API --------------------------------------------------------------
 
     def translate(
-        self, sentence: str, budget: Budget | None = None, tracer=None
+        self,
+        sentence: str,
+        budget: Budget | None = None,
+        tracer=None,
+        progress=None,
     ) -> list[Candidate]:
         """A ranked list of candidate programs for ``sentence``.
 
@@ -128,6 +132,15 @@ class Translator:
         ``tracer`` (optional, :class:`repro.obs.Tracer`) records per-stage
         spans — tokenize, then seeds/rules/synthesis per sentence span,
         then ranking.  The default is the no-op tracer (docs/OBSERVABILITY.md).
+
+        ``progress`` (optional, ``Callable[[list[Candidate]], None]``) is
+        the *anytime-improvement hook*: after each completed DP width row
+        it receives the current anytime ranking (the union of every
+        complete program derived so far, ranked by the ordinary scorer).
+        This is what streams the paper-§4 refining list over the wire
+        (docs/HTTP.md) — the final returned ranking is unchanged, and with
+        ``progress=None`` (the default) the path costs one ``is None``
+        check per row.
         """
         tracer = tracer if tracer is not None else NULL_TRACER
         with tracer.span("translate") as root:
@@ -155,6 +168,11 @@ class Translator:
                             tokens, i, j, tmap, budget, tracer,
                             active_rules,
                         )
+                    if progress is not None and width < n:
+                        # Anytime-improvement hook: the ranking over the
+                        # partial table.  Skipped for the final row, whose
+                        # ranking is the ordinary return value below.
+                        progress(self._rank_anytime(tmap, tokens))
             except BudgetExceededError:
                 root.set(anytime=True)
                 with tracer.span("translate.rank", anytime=True) as rank:

@@ -131,6 +131,15 @@ def test_shard_kill_loses_nothing_duplicates_nothing(chaos_tracer):
         killed = cluster.kill_shard(victim)
         assert killed >= 1, "the victim shard had no live workers to kill"
         results = [p.result(timeout=600.0) for p in pendings]
+        # At small storm sizes the queue can drain before the probe loop
+        # has failed the victim enough times to declare it down; wait for
+        # the transition while the monitor is still alive (``close``
+        # below stops probing, freezing the state wherever it is).
+        wait_until(
+            lambda: cluster.health.state(victim) == DOWN,
+            timeout=60.0,
+            message="victim shard never probed down",
+        )
     finally:
         cluster.close(drain=False)
 

@@ -1,0 +1,286 @@
+"""Harness for the HTTP suites: thread-hosted server, raw-socket client.
+
+Tests talk to a real TCP socket — no test client shims — because the
+protocol hardening under test (truncated bodies, slowloris writes,
+half-closed connections) only exists at the socket layer.  The backend,
+by contrast, is usually a :class:`FakeBackend`: endpoint and error-code
+conformance is about the mapping, not about real translation (the
+differential and chaos suites cover the real stack).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.http import HttpServer
+from repro.obs import MetricsRegistry
+from repro.serve.gateway import GatewayResult, PendingResult
+
+from ..conftest import make_payroll
+
+__all__ = [
+    "FakeBackend",
+    "HttpResponse",
+    "ServerThread",
+    "http_request",
+    "make_result",
+    "read_response",
+]
+
+
+def make_result(**overrides) -> GatewayResult:
+    """A plausible successful gateway result, field-overridable."""
+    base = dict(
+        ok=True,
+        tier="full",
+        programs=[("Sum(hours)", 0.9), ("Count(hours)", 0.4)],
+        n_candidates=2,
+        top_formula="=SUM(D2:D7)",
+        elapsed=0.01,
+        queue_seconds=0.001,
+        total_seconds=0.011,
+        worker_id=0,
+        fingerprint="f" * 12,
+    )
+    base.update(overrides)
+    return GatewayResult(**base)
+
+
+class FakeBackend:
+    """A scriptable ``submit()`` seam with the gateway's future semantics.
+
+    ``responder(sentence, **kwargs)`` builds each result.  With
+    ``hold=True`` futures stay pending until :meth:`release` — that is
+    how the disconnect/cancel tests freeze a request mid-flight.
+    """
+
+    def __init__(self, responder=None, workbook=None, hold: bool = False):
+        self.metrics = MetricsRegistry()
+        self.default_workbook = workbook
+        self.responder = responder or (lambda sentence, **kw: make_result())
+        self.hold = hold
+        self.submissions: list[tuple[str, dict]] = []
+        self.pending: list[tuple[PendingResult, str, dict]] = []
+        self.cancelled: list[str] = []
+        self._lock = threading.Lock()
+
+    def submit(self, sentence: str, **kwargs) -> PendingResult:
+        pending = PendingResult()
+        pending._canceller = lambda: self._cancel(pending, sentence)
+        with self._lock:
+            self.submissions.append((sentence, kwargs))
+            if self.hold:
+                self.pending.append((pending, sentence, kwargs))
+        if not self.hold:
+            pending._resolve(self.responder(sentence, **kwargs))
+        return pending
+
+    def _cancel(self, pending: PendingResult, sentence: str) -> bool:
+        with self._lock:
+            for i, (p, _, _) in enumerate(self.pending):
+                if p is pending:
+                    del self.pending[i]
+                    break
+            else:
+                return False
+            self.cancelled.append(sentence)
+        pending._resolve(
+            GatewayResult(
+                ok=False, error_code="cancelled",
+                error="cancelled by the caller before dispatch",
+            )
+        )
+        return True
+
+    def release(self) -> int:
+        """Resolve every held future; returns how many."""
+        with self._lock:
+            held, self.pending = self.pending, []
+        for pending, sentence, kwargs in held:
+            pending._resolve(self.responder(sentence, **kwargs))
+        return len(held)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "submitted": len(self.submissions),
+                "held": len(self.pending),
+                "cancelled": len(self.cancelled),
+            }
+
+
+class ServerThread:
+    """Host one :class:`HttpServer` on a private event-loop thread."""
+
+    def __init__(self, backend, **kwargs) -> None:
+        self._backend = backend
+        self._kwargs = kwargs
+        self._started = threading.Event()
+        self._failure: BaseException | None = None
+        self.server: HttpServer | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="http-server", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def main() -> None:
+            server = HttpServer(self._backend, **self._kwargs)
+            await server.start()
+            self.server = server
+            self._started.set()
+            await server.serve_forever()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # pragma: no cover - harness failure
+            self._failure = exc
+            self._started.set()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        assert self._started.wait(10), "server did not start"
+        if self._failure is not None:
+            raise self._failure
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None and self.server.port is not None
+        return self.server.port
+
+    def stop(self) -> None:
+        if self.server is not None:
+            self.server.request_stop()
+        self._thread.join(10)
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    reason: str
+    headers: dict[str, str]
+    body: bytes
+    chunked: bool = False
+    terminated: bool = False  # chunked stream ended with the 0-chunk
+    chunks: list[bytes] = field(default_factory=list)
+
+    def json(self):
+        return json.loads(self.body)
+
+    def ndjson(self) -> list[dict]:
+        return [
+            json.loads(line)
+            for line in self.body.decode("utf-8").splitlines()
+            if line
+        ]
+
+
+def read_response(reader, timeout: float = 10.0) -> HttpResponse:
+    """Parse one HTTP/1.1 response off a socket file object."""
+    status_line = reader.readline()
+    if not status_line:
+        raise ConnectionError("no status line (connection closed)")
+    status, reason = _split_status(status_line)
+    headers: dict[str, str] = {}
+    while True:
+        line = reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    chunked = headers.get("transfer-encoding", "").lower() == "chunked"
+    if chunked:
+        chunks: list[bytes] = []
+        terminated = False
+        while True:
+            size_line = reader.readline()
+            if not size_line:
+                break  # truncated stream: terminated stays False
+            size = int(size_line.strip() or b"0", 16)
+            if size == 0:
+                reader.readline()  # trailing CRLF
+                terminated = True
+                break
+            data = reader.read(size)
+            reader.read(2)  # CRLF
+            chunks.append(data)
+        return HttpResponse(
+            status=status, reason=reason, headers=headers,
+            body=b"".join(chunks), chunked=True,
+            terminated=terminated, chunks=chunks,
+        )
+    length = headers.get("content-length")
+    if length is not None:
+        body = reader.read(int(length))
+    else:
+        body = reader.read()
+    return HttpResponse(
+        status=status, reason=reason, headers=headers, body=body
+    )
+
+
+def _split_status(status_line: bytes) -> tuple[int, str]:
+    parts = status_line.decode("latin-1").rstrip("\r\n").split(" ", 2)
+    return int(parts[1]), parts[2] if len(parts) > 2 else ""
+
+
+def http_request(
+    port: int,
+    method: str,
+    path: str,
+    body: bytes | str | dict | None = None,
+    headers: dict[str, str] | None = None,
+    timeout: float = 10.0,
+    host: str = "127.0.0.1",
+) -> HttpResponse:
+    """One request over a fresh socket; returns the parsed response."""
+    if isinstance(body, dict):
+        body = json.dumps(body).encode("utf-8")
+    elif isinstance(body, str):
+        body = body.encode("utf-8")
+    lines = [f"{method} {path} HTTP/1.1", f"Host: {host}"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    if body is not None and "content-length" not in {
+        k.lower() for k in (headers or {})
+    }:
+        lines.append(f"Content-Length: {len(body)}")
+    raw = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + (body or b"")
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(raw)
+        with sock.makefile("rb") as reader:
+            return read_response(reader, timeout)
+
+
+@pytest.fixture
+def payroll_workbook():
+    return make_payroll()
+
+
+@pytest.fixture
+def make_server():
+    """Factory fixture: ``make_server(backend, **server_kwargs)``."""
+    servers: list[ServerThread] = []
+
+    def _make(backend, **kwargs) -> ServerThread:
+        server = ServerThread(backend, **kwargs).start()
+        servers.append(server)
+        return server
+
+    yield _make
+    for server in servers:
+        server.stop()
+
+
+@pytest.fixture
+def fake_server(make_server):
+    """A server over a plain always-succeeding FakeBackend."""
+    backend = FakeBackend()
+    server = make_server(backend)
+    return backend, server

@@ -1,0 +1,99 @@
+"""Disconnected HTTP clients release their gateway queue slots.
+
+The regression (docs/HTTP.md): a waiter abandoned by its HTTP client
+used to hold its bounded-queue slot until a worker served it into the
+void — a trickle of hang-ups could brown out the gateway.  Now the
+server's disconnect watch calls :meth:`PendingResult.cancel`, which
+withdraws queued requests immediately.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.serve import TranslationGateway
+
+from ..conftest import make_payroll
+from ..serve.waiters import wait_until
+from .conftest import FakeBackend, http_request
+
+
+def post_and_hang_up(port: int, body: dict) -> None:
+    """Send a complete request, read nothing, slam the connection."""
+    payload = json.dumps(body).encode()
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(
+            b"POST /translate HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s"
+            % (len(payload), payload)
+        )
+    # with-block exit closes the socket: the server sees EOF.
+
+
+def test_disconnect_cancels_held_backend_request(make_server):
+    backend = FakeBackend(hold=True)
+    server = make_server(backend)
+    post_and_hang_up(server.port, {"sentence": "sum the hours"})
+    wait_until(
+        lambda: backend.cancelled == ["sum the hours"],
+        message="disconnect never cancelled the pending request",
+    )
+    assert backend.snapshot()["held"] == 0
+    cancelled = backend.metrics.counter("http_cancelled_total")
+    wait_until(lambda: cancelled.total() >= 1.0)
+
+
+def test_connected_clients_are_never_cancelled(make_server):
+    backend = FakeBackend(hold=True)
+    server = make_server(backend)
+    import threading
+
+    responses = []
+
+    def call():
+        responses.append(
+            http_request(
+                server.port, "POST", "/translate",
+                body={"sentence": "count the employees"}, timeout=30,
+            )
+        )
+
+    t = threading.Thread(target=call)
+    t.start()
+    wait_until(lambda: backend.snapshot()["held"] == 1)
+    backend.release()
+    t.join(10)
+    assert backend.cancelled == []
+    assert responses[0].status == 200
+
+
+def test_disconnect_frees_real_gateway_queue_slot(make_server):
+    """End-to-end over a real gateway: pin the worker, queue a request,
+    hang up on it — the freed slot must admit a replacement instead of
+    shedding."""
+    workbook = make_payroll()
+    gateway = TranslationGateway(
+        workbook, workers=1, queue_limit=1,
+        restart_backoff=0.01, restart_backoff_cap=0.1,
+    )
+    try:
+        server = make_server(gateway)
+        # Pin the single worker with a delayed request (not via HTTP so
+        # nothing else occupies a connection).
+        gateway.submit("sum the hours", faults="tokenize:delay:2.0")
+        wait_until(lambda: gateway.stats().in_flight >= 1)
+        # Fill the single queue slot over HTTP, then hang up.
+        post_and_hang_up(server.port, {"sentence": "count the employees"})
+        wait_until(
+            lambda: gateway.stats().cancelled >= 1,
+            message="gateway never recorded the cancel",
+        )
+        # The slot is free: this request is admitted, not shed.
+        resp = http_request(
+            server.port, "POST", "/translate",
+            body={"sentence": "average the rate"}, timeout=60,
+        )
+        assert resp.json()["result"]["error_code"] != "shed_overload"
+        assert resp.status in (200, 206)
+    finally:
+        gateway.close(drain=False)

@@ -1,0 +1,275 @@
+"""Unit tests for the HTTP/1.1 parser: limits, timeouts, edge cases.
+
+These drive :func:`repro.http.protocol.read_request` directly over an
+in-memory ``StreamReader`` — no sockets — so every malformed input maps
+deterministically to its :class:`ProtocolError` status and code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.http.protocol import (
+    CHUNK_TERMINATOR,
+    BufferedConnection,
+    Limits,
+    ProtocolError,
+    encode_chunk,
+    read_request,
+    render_response,
+    start_response,
+)
+
+
+def parse(data: bytes, limits: Limits | None = None, feed_eof: bool = True):
+    """Run read_request over literal bytes; returns Request or raises."""
+
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        if feed_eof:
+            reader.feed_eof()
+        return await read_request(
+            BufferedConnection(reader), limits or Limits()
+        )
+
+    return asyncio.run(main())
+
+
+def parse_error(data: bytes, limits: Limits | None = None) -> ProtocolError:
+    with pytest.raises(ProtocolError) as info:
+        parse(data, limits)
+    return info.value
+
+
+# -- well-formed requests ------------------------------------------------------------
+
+
+def test_simple_get():
+    req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+    assert req.method == "GET"
+    assert req.path == "/healthz"
+    assert req.version == "HTTP/1.1"
+    assert req.headers == {"host": "x"}
+    assert req.body == b""
+    assert req.keep_alive
+
+
+def test_post_with_body_and_query():
+    req = parse(
+        b"POST /translate?limit=3&debug= HTTP/1.1\r\n"
+        b"Content-Length: 4\r\n\r\nabcd"
+    )
+    assert req.body == b"abcd"
+    assert req.query == {"limit": "3", "debug": ""}
+
+
+def test_header_names_lowercased_values_trimmed():
+    req = parse(b"GET / HTTP/1.1\r\nX-Thing:   padded   \r\n\r\n")
+    assert req.headers["x-thing"] == "padded"
+
+
+def test_percent_encoded_path_decoded():
+    req = parse(b"GET /a%20b HTTP/1.1\r\n\r\n")
+    assert req.path == "/a b"
+
+
+def test_bare_lf_line_endings_tolerated():
+    req = parse(b"GET / HTTP/1.1\nHost: x\n\n")
+    assert req.headers == {"host": "x"}
+
+
+def test_clean_eof_returns_none():
+    assert parse(b"") is None
+
+
+def test_connection_close_disables_keep_alive():
+    req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+    assert not req.keep_alive
+
+
+def test_http10_defaults_to_close():
+    assert not parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive
+    assert parse(
+        b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+    ).keep_alive
+
+
+def test_pipelined_second_request_stays_buffered():
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(
+            b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"
+        )
+        reader.feed_eof()
+        conn = BufferedConnection(reader)
+        first = await read_request(conn, Limits())
+        second = await read_request(conn, Limits())
+        third = await read_request(conn, Limits())
+        return first, second, third
+
+    first, second, third = asyncio.run(main())
+    assert (first.path, second.path, third) == ("/a", "/b", None)
+
+
+# -- malformed and abusive inputs ----------------------------------------------------
+
+
+def test_garbage_request_line_is_400():
+    err = parse_error(b"NOT A REQUEST LINE AT ALL\r\n\r\n")
+    assert (err.status, err.code) == (400, "bad_request")
+
+
+def test_unsupported_version_is_400():
+    assert parse_error(b"GET / HTTP/2\r\n\r\n").status == 400
+
+
+def test_non_ascii_request_line_is_400():
+    assert parse_error("GET /café HTTP/1.1\r\n\r\n".encode()).status == 400
+
+
+def test_overlong_request_line_is_414():
+    limits = Limits(max_request_line=64)
+    err = parse_error(b"GET /" + b"a" * 200 + b" HTTP/1.1\r\n\r\n", limits)
+    assert err.status == 414
+    assert err.code in ("uri_too_long", "limit_exceeded")
+
+
+def test_oversized_header_block_is_431():
+    limits = Limits(max_header_bytes=128)
+    data = b"GET / HTTP/1.1\r\n" + b"X-Pad: " + b"y" * 200 + b"\r\n\r\n"
+    assert parse_error(data, limits).status == 431
+
+
+def test_too_many_headers_is_431():
+    limits = Limits(max_headers=4)
+    headers = b"".join(b"X-%d: v\r\n" % i for i in range(10))
+    err = parse_error(b"GET / HTTP/1.1\r\n" + headers + b"\r\n", limits)
+    assert (err.status, err.code) == (431, "limit_exceeded")
+
+
+def test_malformed_header_line_is_400():
+    assert parse_error(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").status == 400
+
+
+def test_header_with_leading_space_is_400():
+    # Obsolete line folding is an attack vector; reject outright.
+    err = parse_error(b"GET / HTTP/1.1\r\nA: b\r\n  folded\r\n\r\n")
+    assert err.status == 400
+
+
+def test_bad_content_length_is_400():
+    assert parse_error(
+        b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"
+    ).status == 400
+    assert parse_error(
+        b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"
+    ).status == 400
+
+
+def test_oversized_body_is_413():
+    limits = Limits(max_body_bytes=8)
+    err = parse_error(
+        b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789", limits
+    )
+    assert (err.status, err.code) == (413, "limit_exceeded")
+
+
+def test_chunked_request_body_is_501():
+    err = parse_error(
+        b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+    )
+    assert (err.status, err.code) == (501, "not_implemented")
+
+
+def test_truncated_body_is_400():
+    err = parse_error(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+    assert (err.status, err.code) == (400, "bad_request")
+
+
+def test_truncated_headers_is_400():
+    assert parse_error(b"GET / HTTP/1.1\r\nHost: x").status == 400
+
+
+def test_slow_header_writer_is_408():
+    """A peer trickling headers slower than header_timeout gets 408."""
+
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"GET / HTTP/1.1\r\nX-Slow: ")
+        conn = BufferedConnection(reader)
+        limits = Limits(header_timeout=0.05)
+        with pytest.raises(ProtocolError) as info:
+            await read_request(conn, limits)
+        return info.value
+
+    err = asyncio.run(main())
+    assert (err.status, err.code) == (408, "header_timeout")
+
+
+def test_slow_body_writer_is_408():
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab")
+        conn = BufferedConnection(reader)
+        limits = Limits(body_timeout=0.05)
+        with pytest.raises(ProtocolError) as info:
+            await read_request(conn, limits)
+        return info.value
+
+    err = asyncio.run(main())
+    assert (err.status, err.code) == (408, "body_timeout")
+
+
+def test_idle_timeout_raises_asyncio_timeout():
+    async def main():
+        reader = asyncio.StreamReader()  # never fed
+        conn = BufferedConnection(reader)
+        with pytest.raises(asyncio.TimeoutError):
+            await read_request(conn, Limits(), idle_timeout=0.05)
+
+    asyncio.run(main())
+
+
+# -- response rendering --------------------------------------------------------------
+
+
+def test_render_response_roundtrip():
+    raw = render_response(200, b'{"a":1}')
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+    assert b"Content-Length: 7" in head
+    assert b"Connection: keep-alive" in head
+    assert body == b'{"a":1}'
+
+
+def test_render_response_close_and_extras():
+    raw = render_response(
+        503, b"{}", keep_alive=False, extra_headers=[("Retry-After", "2")]
+    )
+    assert b"HTTP/1.1 503 Service Unavailable" in raw
+    assert b"Connection: close" in raw
+    assert b"Retry-After: 2" in raw
+
+
+def test_chunked_framing():
+    head = start_response(200)
+    assert b"Transfer-Encoding: chunked" in head
+    assert b"Connection: close" in head
+    assert encode_chunk(b"hello") == b"5\r\nhello\r\n"
+    assert encode_chunk(b"") == b""
+    assert CHUNK_TERMINATOR == b"0\r\n\r\n"
+
+
+def test_pushback_read_any_roundtrip():
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"xyz")
+        conn = BufferedConnection(reader)
+        first = await conn.read_any()
+        conn.pushback(first)
+        return await conn.read_any()
+
+    assert asyncio.run(main()) == b"xyz"

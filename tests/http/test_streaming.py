@@ -1,0 +1,284 @@
+"""The streaming protocol: monotone updates, terminator, byte-identity.
+
+The deterministic tests drive a *scripted* service through the real
+:class:`ServiceStreamer`/:class:`HttpServer` stack, so chunk framing and
+ordering are asserted without translation noise; the integration test at
+the end runs real translation and proves the streamed final record is
+byte-identical to a direct in-process ``TranslationService`` call.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+from repro.http import AnytimeEmitter, ServiceStreamer, result_payload
+from repro.obs.clock import ManualClock
+from repro.runtime.service import ServiceResult, TranslationService
+from ..serve.waiters import wait_until
+
+from .conftest import FakeBackend, http_request, read_response
+
+
+class FakeCandidate:
+    """Just enough surface for ranking payloads: program, score, excel."""
+
+    def __init__(self, program: str, score: float) -> None:
+        self.program = program
+        self.score = score
+
+    def excel(self, workbook) -> str:
+        return f"={self.program}"
+
+
+def cands(*pairs) -> list[FakeCandidate]:
+    return [FakeCandidate(p, s) for p, s in pairs]
+
+
+def final_result(candidates, *, anytime=False, tier="full") -> ServiceResult:
+    return ServiceResult(
+        candidates=candidates,
+        tier=tier,
+        degraded=anytime,
+        anytime=anytime,
+        elapsed=0.5,
+        budget_spent=123,
+    )
+
+
+class ScriptedService:
+    """Replays a fixed on_update script, then returns a fixed result."""
+
+    def __init__(self, updates, final: ServiceResult) -> None:
+        self.updates = updates
+        self.final = final
+        self.workbook = object()
+        self.calls: list[tuple[str, float | None]] = []
+        self.gate: threading.Event | None = None  # pause before update #2
+
+    def translate(self, sentence, tracer=None, *, deadline=None, on_update=None):
+        self.calls.append((sentence, deadline))
+        for i, (tier, candidates) in enumerate(self.updates):
+            if self.gate is not None and i == 1:
+                self.gate.wait(10)
+            if on_update is not None:
+                on_update(tier, candidates)
+        return self.final
+
+
+# -- the monotone gate ---------------------------------------------------------------
+
+
+def test_emitter_emits_only_strict_improvements():
+    emitter = AnytimeEmitter(top_k=5)
+    a = emitter.offer("full", cands(("A", 0.3)))
+    b = emitter.offer("full", cands(("A", 0.3)))  # identical: suppressed
+    c = emitter.offer("full", cands(("B", 0.2)))  # worse: suppressed
+    d = emitter.offer("full", cands(("C", 0.4)))  # better top-1
+    e = emitter.offer("full", cands(("C", 0.4), ("D", 0.1)))  # longer tail
+    assert a is not None and a["seq"] == 1
+    assert b is None and c is None
+    assert d is not None and d["seq"] == 2
+    assert e is not None and e["seq"] == 3
+    assert emitter.updates == 3
+
+
+def test_emitter_skips_empty_rankings():
+    emitter = AnytimeEmitter(top_k=5)
+    assert emitter.offer("full", []) is None
+    assert emitter.updates == 0
+
+
+def test_emitter_truncates_programs_to_top_k():
+    emitter = AnytimeEmitter(top_k=2)
+    record = emitter.offer(
+        "full", cands(("A", 0.9), ("B", 0.5), ("C", 0.1))
+    )
+    assert record["programs"] == [["A", 0.9], ["B", 0.5]]
+    assert record["n_candidates"] == 3
+    assert record["top_score"] == 0.9
+
+
+def test_emitter_monotone_across_tiers():
+    emitter = AnytimeEmitter(top_k=5)
+    assert emitter.offer("full", cands(("A", 0.5))) is not None
+    assert emitter.offer("reduced", cands(("A", 0.4))) is None
+    assert emitter.offer("reduced", cands(("B", 0.6))) is not None
+
+
+# -- scripted end-to-end streams -----------------------------------------------------
+
+
+SCRIPT = [
+    ("full", cands(("A", 0.2))),
+    ("full", cands(("A", 0.2))),              # duplicate: suppressed
+    ("full", cands(("B", 0.5))),
+    ("full", cands(("B", 0.4))),              # regression: suppressed
+    ("full", cands(("B", 0.5), ("C", 0.3))),  # extended tail
+]
+FINAL = final_result(cands(("B", 0.5), ("C", 0.3)))
+
+
+def scripted_server(make_server, script=SCRIPT, final=FINAL, **server_kw):
+    service = ScriptedService(script, final)
+    streamer = ServiceStreamer(service=service)
+    server = make_server(FakeBackend(), streamer=streamer, **server_kw)
+    return service, server
+
+
+def stream(server, body):
+    return http_request(server.port, "POST", "/translate", body=body)
+
+
+def test_stream_chunk_framing_and_terminator(make_server):
+    _, server = scripted_server(make_server)
+    resp = stream(server, {"sentence": "s", "stream": True})
+    assert resp.status == 200
+    assert resp.chunked and resp.terminated
+    assert resp.headers["content-type"] == "application/x-ndjson"
+    assert resp.headers["connection"] == "close"
+    # One record per chunk, each newline-terminated.
+    assert all(chunk.endswith(b"\n") for chunk in resp.chunks)
+    records = resp.ndjson()
+    assert [r["event"] for r in records] == [
+        "update", "update", "update", "final"
+    ]
+
+
+def test_stream_updates_are_monotonically_non_worsening(make_server):
+    _, server = scripted_server(make_server)
+    records = stream(server, {"sentence": "s", "stream": True}).ndjson()
+    updates = [r for r in records if r["event"] == "update"]
+    assert [u["seq"] for u in updates] == [1, 2, 3]
+    keys = [tuple(score for _, score in u["programs"]) for u in updates]
+    assert keys == sorted(keys), "a later chunk ranked worse than an earlier one"
+    assert all(earlier < later for earlier, later in zip(keys, keys[1:]))
+
+
+def test_stream_final_record_shape_and_identity(make_server):
+    service, server = scripted_server(make_server)
+    records = stream(
+        server, {"sentence": "s", "stream": True, "deadline_ms": 5000}
+    ).ndjson()
+    final = records[-1]
+    assert final["event"] == "final"
+    assert final["status"] == 200
+    assert final["updates"] == 3
+    expected = result_payload(FINAL, service.workbook, 5)
+    assert json.dumps(final["result"], sort_keys=True) == json.dumps(
+        expected, sort_keys=True
+    )
+    assert final["serving"]["streamed"] is True
+    # The scripted deadline reached the service verbatim.
+    assert service.calls == [("s", 5.0)]
+
+
+def test_stream_with_injected_clock_reports_deterministic_timing(make_server):
+    clock = ManualClock()
+    _, server = scripted_server(make_server, clock=clock)
+    final = stream(server, {"sentence": "s", "stream": True}).ndjson()[-1]
+    # The server clock never advanced: serving time is exactly zero.
+    assert final["serving"]["total_seconds"] == 0.0
+    assert final["serving"]["elapsed"] == 0.5  # from the scripted result
+
+
+def test_stream_anytime_final_maps_to_206(make_server):
+    _, server = scripted_server(
+        make_server,
+        script=[("full", cands(("A", 0.2)))],
+        final=final_result(cands(("A", 0.2)), anytime=True),
+    )
+    final = stream(server, {"sentence": "s", "stream": True}).ndjson()[-1]
+    assert final["status"] == 206
+    assert final["result"]["anytime"] is True
+
+
+def test_stream_unbounded_requests_get_default_deadline(make_server):
+    service, server = scripted_server(make_server)
+    stream(server, {"sentence": "s", "stream": True})
+    # No deadline_ms: the stream default applies (never unbounded).
+    assert service.calls[0][1] == 10.0
+
+
+def test_stream_without_streamer_is_501(make_server):
+    server = make_server(FakeBackend())  # no workbook, no streamer
+    resp = stream(server, {"sentence": "s", "stream": True})
+    assert resp.status == 501
+    assert resp.json()["error_code"] == "not_implemented"
+
+
+def test_stream_service_exception_yields_error_record(make_server):
+    class Exploding(ScriptedService):
+        def translate(self, sentence, tracer=None, *, deadline=None, on_update=None):
+            raise RuntimeError("boom")
+
+    service = Exploding([], FINAL)
+    streamer = ServiceStreamer(service=service)
+    server = make_server(FakeBackend(), streamer=streamer)
+    resp = stream(server, {"sentence": "s", "stream": True})
+    assert resp.terminated
+    records = resp.ndjson()
+    assert records[-1]["event"] == "error"
+    assert records[-1]["error_code"] == "internal_error"
+
+
+def test_stream_client_disconnect_counts_and_recovers(make_server):
+    service = ScriptedService(SCRIPT, FINAL)
+    service.gate = threading.Event()
+    streamer = ServiceStreamer(service=service)
+    backend = FakeBackend()
+    server = make_server(backend, streamer=streamer)
+    body = json.dumps({"sentence": "s", "stream": True}).encode()
+    with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+        sock.sendall(
+            b"POST /translate HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s"
+            % (len(body), body)
+        )
+        sock.recv(4096)  # the status line + first chunk arrive
+    # Socket closed mid-stream; let the scripted service finish.
+    service.gate.set()
+    disconnects = backend.metrics.counter("http_disconnects_total")
+    wait_until(
+        lambda: disconnects.value(endpoint="/translate") >= 1.0
+        or disconnects.total() >= 1.0,
+        timeout=10,
+        message="disconnect never recorded",
+    )
+    # And the server still serves.
+    assert http_request(server.port, "GET", "/healthz").status == 200
+
+
+# -- real translation ----------------------------------------------------------------
+
+
+def test_stream_final_matches_in_process_service(make_server, payroll_workbook):
+    """The acceptance identity: the streamed final ``result`` object is
+    byte-identical to a direct in-process TranslationService call."""
+    sentence = "sum of hours where title is barista"
+    streamer = ServiceStreamer(payroll_workbook)
+    server = make_server(
+        FakeBackend(workbook=payroll_workbook), streamer=streamer
+    )
+    resp = stream(
+        server,
+        {"sentence": sentence, "stream": True, "deadline_ms": 30_000},
+    )
+    records = resp.ndjson()
+    assert resp.terminated
+    final = records[-1]
+    assert final["event"] == "final" and final["status"] == 200
+
+    service = TranslationService(payroll_workbook)
+    expected = result_payload(
+        service.translate(sentence), payroll_workbook, 5
+    )
+    assert json.dumps(final["result"], sort_keys=True) == json.dumps(
+        expected, sort_keys=True
+    )
+    # Anytime updates streamed ahead of the final are monotone too.
+    updates = [r for r in records if r["event"] == "update"]
+    assert updates, "real translation produced no anytime updates"
+    keys = [tuple(s for _, s in u["programs"]) for u in updates]
+    assert all(a < b for a, b in zip(keys, keys[1:]))
+    assert final["updates"] == len(updates)

@@ -1,0 +1,137 @@
+"""PendingResult.cancel(): abandoned requests release their queue slot.
+
+The regression this suite pins down: an HTTP client that disconnects
+used to leave its queued request occupying a bounded-queue slot until a
+worker finally served it into the void.  ``cancel()`` withdraws a
+*queued* request immediately (slot freed, future resolved with code
+``cancelled``); a request already executing on a worker is not
+preemptible and ``cancel()`` reports that with ``False``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ShardedCluster
+from repro.serve import TranslationGateway
+
+from ..conftest import make_payroll
+from .waiters import wait_until
+
+FAST = dict(restart_backoff=0.01, restart_backoff_cap=0.1)
+SLOW_FAULT = "tokenize:delay:1.5"  # pins the single worker for a while
+
+
+@pytest.fixture(scope="module")
+def payroll_wb():
+    return make_payroll()
+
+
+class TestGatewayCancel:
+    def test_cancel_queued_request_frees_the_slot(self, payroll_wb):
+        with TranslationGateway(
+            payroll_wb, workers=1, queue_limit=1, **FAST
+        ) as gateway:
+            # Pin the worker, then fill the single queue slot.
+            busy = gateway.submit("sum the hours", faults=SLOW_FAULT)
+            wait_until(
+                lambda: gateway.stats().in_flight >= 1,
+                message="first request never dispatched",
+            )
+            queued = gateway.submit("count the employees")
+            # Queue is full now: a third submit sheds.
+            shed = gateway.submit("average the rate").result(timeout=10)
+            assert shed.error_code == "shed_overload"
+
+            assert queued.cancel() is True
+            cancelled = queued.result(timeout=10)
+            assert cancelled.ok is False
+            assert cancelled.error_code == "cancelled"
+            assert cancelled.total_seconds >= 0.0
+
+            # The slot is free again: a new submit is admitted (not shed)
+            # and eventually served.
+            replacement = gateway.submit("sum the hours")
+            result = replacement.result(timeout=60)
+            assert result.error_code != "shed_overload"
+            assert result.ok
+
+            stats = gateway.stats()
+            assert stats.cancelled == 1
+            assert busy.result(timeout=60) is not None
+
+    def test_cancel_is_idempotent(self, payroll_wb):
+        with TranslationGateway(
+            payroll_wb, workers=1, queue_limit=4, **FAST
+        ) as gateway:
+            busy = gateway.submit("sum the hours", faults=SLOW_FAULT)
+            wait_until(lambda: gateway.stats().in_flight >= 1)
+            queued = gateway.submit("count the employees")
+            assert queued.cancel() is True
+            assert queued.cancel() is False  # already resolved
+            assert queued.result(timeout=10).error_code == "cancelled"
+            assert gateway.stats().cancelled == 1
+            busy.result(timeout=60)
+
+    def test_cancel_after_resolution_is_false(self, payroll_wb):
+        with TranslationGateway(payroll_wb, workers=1, **FAST) as gateway:
+            pending = gateway.submit("sum the hours")
+            result = pending.result(timeout=60)
+            assert result.ok
+            assert pending.cancel() is False
+
+    def test_cancel_dispatched_request_is_false(self, payroll_wb):
+        with TranslationGateway(payroll_wb, workers=1, **FAST) as gateway:
+            pending = gateway.submit("sum the hours", faults=SLOW_FAULT)
+            wait_until(lambda: gateway.stats().in_flight >= 1)
+            # Already on the worker: not preemptible.
+            assert pending.cancel() is False
+            assert pending.result(timeout=60) is not None
+
+    def test_cancelled_shows_in_metrics_counter(self, payroll_wb):
+        with TranslationGateway(
+            payroll_wb, workers=1, queue_limit=4, **FAST
+        ) as gateway:
+            busy = gateway.submit("sum the hours", faults=SLOW_FAULT)
+            wait_until(lambda: gateway.stats().in_flight >= 1)
+            queued = gateway.submit("count the employees")
+            assert queued.cancel()
+            assert gateway.stats().cancelled == 1
+            busy.result(timeout=60)
+
+
+class TestClusterCancel:
+    def test_cancel_queued_request_in_shard(self):
+        cluster = ShardedCluster(
+            make_payroll(), shards=1, workers_per_shard=1,
+            queue_limit=2, **FAST,
+        )
+        try:
+            busy = cluster.submit("sum the hours", faults=SLOW_FAULT)
+            wait_until(
+                lambda: cluster.stats().shards[0].gateway.in_flight >= 1,
+                message="pin request never dispatched",
+            )
+            queued = cluster.submit("count the employees")
+            assert queued.cancel() is True
+            result = queued.result(timeout=10)
+            assert result.error_code == "cancelled"
+            assert cluster.stats().cancelled >= 1
+            busy.result(timeout=60)
+        finally:
+            cluster.close(drain=False)
+
+    def test_cancelled_request_is_not_retried(self):
+        """``cancelled`` is terminal: it must never enter the retry loop
+        (it is deliberately not in RETRYABLE_CODES)."""
+        from repro.cluster.cluster import RETRYABLE_CODES
+
+        assert "cancelled" not in RETRYABLE_CODES
+
+    def test_cancel_resolved_cluster_request_is_false(self):
+        with ShardedCluster(
+            make_payroll(), shards=1, workers_per_shard=1, **FAST
+        ) as cluster:
+            pending = cluster.submit("sum the hours")
+            assert pending.result(timeout=60) is not None
+            assert pending.cancel() is False

@@ -98,6 +98,16 @@ def test_random_worker_kills_lose_nothing(chaos_tracer):
             )
             for i in range(N_REQUESTS)
         ]
+        # Land one deterministic kill while the queue is genuinely deep:
+        # respawns are lazy (a dead slot restarts on its next dispatch),
+        # so at small REPRO_CHAOS_REQUESTS the random killer's first kill
+        # can arrive after the queue drained and never cause a restart.
+        wait_until(
+            lambda: gateway.stats().in_flight >= 1
+            and any(w.alive for w in gateway.stats().workers),
+            message="storm never started",
+        )
+        gateway.kill_worker()
         chaos.start()
         results = [p.result(timeout=300.0) for p in pendings]
     finally:

@@ -1,0 +1,180 @@
+"""Direct unit coverage for shutdown orderings and breaker cache purges.
+
+``tests/serve/test_gateway.py`` proves the headline contracts (drain
+serves queued work, no-drain codes it, drain timeout resolves every
+waiter).  This module pins the *orderings and interactions* that were
+previously exercised only incidentally by chaos storms:
+
+* queued requests drain in FIFO submission order;
+* ``close`` is idempotent and safe in either drain mode after the first;
+* ``close(drain=False)`` accounts its rejections (``closed_rejected``)
+  and leaves the stats ledger balanced;
+* a request cancelled before ``close`` is not resolved a second time;
+* a breaker trip purges cached results for the tripping workbook
+  **only** — other fingerprints keep their entries;
+* after the reset window, a successful probe closes the breaker and the
+  purged entry is recomputed (miss) before it caches again (hit).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.dataset import build_sheet
+from repro.serve import GatewayConfig, TranslationGateway
+
+from ..conftest import make_payroll
+from .waiters import wait_until
+
+FAST = dict(restart_backoff=0.01, restart_backoff_cap=0.1)
+SLOW_FAULT = "tokenize:delay:0.5"
+
+
+@pytest.fixture(scope="module")
+def payroll_wb():
+    return make_payroll()
+
+
+class TestCloseOrderings:
+    def test_drain_serves_queued_in_fifo_order(self, payroll_wb):
+        gateway = TranslationGateway(payroll_wb, workers=1, **FAST)
+        order: list[int] = []
+        # Pin the worker so the next three requests queue up behind it.
+        busy = gateway.submit("sum the hours", faults=SLOW_FAULT)
+        wait_until(lambda: gateway.stats().in_flight >= 1)
+        sentences = ["count the employees", "average the rate", "sum the hours"]
+        pendings = []
+        for i, sentence in enumerate(sentences):
+            pending = gateway.submit(sentence)
+            pending.add_done_callback(lambda _r, i=i: order.append(i))
+            pendings.append(pending)
+        gateway.close(drain=True)
+        assert busy.result(timeout=0.0) is not None
+        assert [p.result(timeout=0.0).ok for p in pendings] == [True] * 3
+        assert order == [0, 1, 2], "drain must serve the queue FIFO"
+
+    def test_close_is_idempotent_across_drain_modes(self, payroll_wb):
+        gateway = TranslationGateway(payroll_wb, workers=1, **FAST)
+        pending = gateway.submit("sum the hours")
+        gateway.close(drain=True)
+        assert pending.result(timeout=0.0).ok
+        # A second close — in either mode — is a harmless no-op.
+        gateway.close(drain=False)
+        gateway.close(drain=True)
+        assert gateway.translate("sum the hours").error_code == "gateway_closed"
+
+    def test_no_drain_accounts_closed_rejected(self, payroll_wb):
+        gateway = TranslationGateway(payroll_wb, workers=1, **FAST)
+        busy = gateway.submit("sum the hours", faults=SLOW_FAULT)
+        wait_until(lambda: gateway.stats().in_flight >= 1)
+        queued = [gateway.submit("count the employees") for _ in range(3)]
+        gateway.close(drain=False)
+        for pending in queued:
+            assert pending.result(timeout=0.0).error_code == "gateway_closed"
+        assert busy.result(timeout=0.0).ok
+        stats = gateway.stats()
+        assert stats.closed_rejected == 3
+        assert stats.submitted == stats.completed == 4
+        assert stats.queue_depth == 0 and stats.in_flight == 0
+
+    def test_no_drain_resolves_queued_before_waiting_on_workers(self, payroll_wb):
+        """``drain=False`` must code the queue *immediately* — while the
+        in-flight request is still running — not after the pool settles."""
+        gateway = TranslationGateway(payroll_wb, workers=1, **FAST)
+        busy = gateway.submit("sum the hours", faults="tokenize:delay:1.0")
+        wait_until(lambda: gateway.stats().in_flight >= 1)
+        queued = gateway.submit("count the employees")
+        resolved_early = threading.Event()
+        queued.add_done_callback(
+            lambda _r: resolved_early.set() if not busy.done() else None
+        )
+        gateway.close(drain=False)
+        assert queued.result(timeout=0.0).error_code == "gateway_closed"
+        assert resolved_early.is_set(), (
+            "queued request was not failed until the in-flight one finished"
+        )
+        assert busy.result(timeout=0.0).ok
+
+    def test_cancelled_request_is_not_resolved_again_by_close(self, payroll_wb):
+        gateway = TranslationGateway(payroll_wb, workers=1, **FAST)
+        busy = gateway.submit("sum the hours", faults=SLOW_FAULT)
+        wait_until(lambda: gateway.stats().in_flight >= 1)
+        queued = gateway.submit("count the employees")
+        resolutions: list[str] = []
+        queued.add_done_callback(lambda r: resolutions.append(r.error_code))
+        assert queued.cancel() is True
+        gateway.close(drain=False)
+        assert resolutions == ["cancelled"]
+        stats = gateway.stats()
+        assert stats.cancelled == 1
+        assert stats.closed_rejected == 0
+        assert busy.result(timeout=0.0) is not None
+
+
+class TestBreakerPurge:
+    def _gateway(self, workbook, **overrides):
+        return TranslationGateway(
+            workbook,
+            GatewayConfig(
+                workers=1, cache=True, breaker_threshold=2,
+                breaker_reset=overrides.pop("breaker_reset", 60.0),
+                restart_backoff=0.01, restart_backoff_cap=0.1,
+            ),
+        )
+
+    def _trip(self, gateway, workbook):
+        for _ in range(2):
+            crashed = gateway.translate(
+                "sum the hours", workbook, faults="worker_crash:raise"
+            )
+            assert crashed.error_code == "worker_crashed"
+
+    def test_purge_is_scoped_to_the_tripping_fingerprint(self):
+        payroll, inventory = make_payroll(), build_sheet("inventory")
+        gateway = self._gateway(payroll)
+        try:
+            gateway.translate("sum the hours", payroll)
+            gateway.translate("count the name", inventory)
+            assert gateway.translate("count the name", inventory).cached
+            before = gateway.stats().cache.size
+            assert before >= 2
+
+            self._trip(gateway, payroll)
+
+            stats = gateway.stats()
+            open_keys = [k for k, s in stats.breakers.items() if s == "open"]
+            assert len(open_keys) == 1
+            assert stats.cache.invalidated >= 1
+            # The other workbook's entry survived the purge and still hits.
+            assert gateway.translate("count the name", inventory).cached
+            # The tripped workbook fast-fails without consulting the cache.
+            tripped = gateway.translate("sum the hours", payroll)
+            assert tripped.error_code == "circuit_open"
+        finally:
+            gateway.close(drain=False)
+
+    def test_probe_success_closes_and_cache_refills(self):
+        payroll = make_payroll()
+        gateway = self._gateway(payroll, breaker_reset=0.2)
+        try:
+            gateway.translate("sum the hours")
+            assert gateway.translate("sum the hours").cached
+            self._trip(gateway, payroll)
+            assert gateway.translate("sum the hours").error_code == (
+                "circuit_open"
+            )
+            wait_until(
+                lambda: gateway.translate("sum the hours", wait=60.0).ok,
+                timeout=30,
+                message="half-open probe never succeeded",
+            )
+            # The probe recomputed the purged entry (a miss), so the next
+            # identical request is a front-end hit again.
+            assert gateway.translate("sum the hours").cached
+            assert all(
+                state == "closed" for state in gateway.stats().breakers.values()
+            )
+        finally:
+            gateway.close(drain=True)
