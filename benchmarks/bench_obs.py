@@ -114,3 +114,126 @@ def test_enabled_overhead_bounded(translator):
     tracer = Tracer()
     on = median_of(lambda: translator.translate(_SENTENCE, tracer=tracer))
     assert on / off < 2.0, f"tracing on costs {on / off:.2f}x (bar is 2x)"
+
+
+# -- the telemetry plane: always on, so its bar is unconditional -----------------
+#
+# One served request pays the plane exactly three times: the worker records
+# its own view and encodes a delta blob (``_WorkerTelemetry.record``), the
+# gateway folds that blob (``TelemetryHub.fold``), and the gateway observes
+# the finished result (``TelemetryHub.observe`` -> windowed series + SLO
+# engine + tail sampler).  Summing the three measured per-call costs bounds
+# the whole per-request overhead, which docs/OBSERVABILITY.md caps at 5% of
+# a median translation.
+
+
+class _OkResult:
+    ok = True
+    error_code = None
+    tier = "full"
+    total_seconds = 0.02
+    degraded = anytime = cached = False
+    elapsed = 0.02
+    queue_seconds = 0.001
+    worker_id = 1
+    fingerprint = "f" * 12
+
+
+def _per_call_seconds(fn, n: int = 20_000) -> float:
+    import statistics
+    import time
+
+    samples = []
+    for _ in range(5):
+        start = time.perf_counter()
+        for i in range(n):
+            fn(i)
+        samples.append((time.perf_counter() - start) / n)
+    return statistics.median(samples)
+
+
+@pytest.fixture(scope="module")
+def telemetry_costs():
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.telemetry import DeltaTracker, TelemetryHub, encode_state
+
+    hub = TelemetryHub(metrics=MetricsRegistry(), scope="gateway")
+    result = _OkResult()
+    observe = _per_call_seconds(
+        lambda i: hub.observe(result, trace_id=f"t-{i}")
+    )
+
+    # The worker side: record one reply and ship the delta since the last.
+    worker = MetricsRegistry()
+    tracker = DeltaTracker(worker)
+    requests = worker.counter("worker_requests_total")
+    seconds = worker.histogram("worker_translate_seconds")
+
+    blobs: list[bytes] = []
+
+    def record(i):
+        requests.inc(worker="0", code="ok")
+        seconds.observe(0.02, worker="0", tier="full")
+        blobs.append(encode_state(tracker.delta()))
+
+    delta = _per_call_seconds(record, n=5_000)
+    blob = blobs[-1]
+    fold = _per_call_seconds(lambda i: hub.fold(blob), n=5_000)
+    return {"observe": observe, "delta": delta, "fold": fold}
+
+
+def test_hub_observe_cost(benchmark):
+    """Median cost of one ``TelemetryHub.observe`` (the gateway's share)."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.telemetry import TelemetryHub
+
+    hub = TelemetryHub(metrics=MetricsRegistry(), scope="gateway")
+    result = _OkResult()
+    counter = iter(range(10**9))
+
+    benchmark(lambda: hub.observe(result, trace_id=f"t-{next(counter)}"))
+
+
+def test_telemetry_overhead_under_five_percent(
+    benchmark, translator, telemetry_costs
+):
+    """The always-on bar: worker record+encode, gateway fold, gateway
+    observe — the plane's whole per-request cost — under 5% of a median
+    translation.  Appends the measured numbers to the ``BENCH_obs.json``
+    trajectory CI uploads."""
+    import json
+    import os
+    import sys
+    import time
+    from pathlib import Path
+
+    benchmark(translator.translate, _SENTENCE)
+    median = benchmark.stats.stats.median
+
+    per_request = sum(telemetry_costs.values())
+    overhead = per_request / median
+
+    row = {
+        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "observe_us": round(telemetry_costs["observe"] * 1e6, 2),
+        "worker_delta_us": round(telemetry_costs["delta"] * 1e6, 2),
+        "fold_us": round(telemetry_costs["fold"] * 1e6, 2),
+        "translate_ms": round(median * 1e3, 3),
+        "overhead_pct": round(overhead * 100, 3),
+        "python": sys.version.split()[0],
+    }
+    path = Path(os.environ.get("REPRO_BENCH_OBS_OUT", "BENCH_obs.json"))
+    trajectory: list[dict] = []
+    if path.exists():
+        try:
+            trajectory = json.loads(path.read_text())
+        except (OSError, ValueError):
+            trajectory = []
+    trajectory.append(row)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"\ntelemetry plane: {row}")
+
+    assert overhead < 0.05, (
+        f"telemetry adds {per_request * 1e6:.0f}us per request over a "
+        f"{median * 1e3:.1f}ms translation ({overhead:.2%}, bar is 5%)"
+    )

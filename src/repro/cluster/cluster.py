@@ -53,7 +53,9 @@ from ..cache import CacheKey, normalise_sentence, options_signature
 from ..obs.clock import Clock, monotonic
 from ..obs.log import fields as log_fields
 from ..obs.log import get_logger
+from ..obs.export import render_prometheus
 from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import TelemetryHub, merge_states
 from ..obs.trace import NULL_TRACER
 from ..serve import GatewayConfig, GatewayResult, PendingResult, TranslationGateway
 from ..sheet import Workbook
@@ -131,6 +133,14 @@ class ClusterConfig:
     # Hot-shard detection.
     hot_factor: float = 2.0
     hot_min_requests: int = 20
+    # The telemetry plane: on in every shard gateway (worker deltas fold
+    # into shard registries) and at the cluster front end (its own
+    # ``scope="cluster"`` series).  ``federated_state()`` merges all of
+    # it into one view.  Off only for differential/overhead harnesses.
+    telemetry: bool = True
+    # Override the stock objectives (repro.obs.telemetry.default_slos)
+    # for the cluster scope AND every shard gateway; a tuple of SloSpec.
+    slo_specs: tuple | None = None
 
     @property
     def attempts_limit(self) -> int:
@@ -176,6 +186,7 @@ class _ClusterRequest:
     span: Any = None
     cancelled: bool = False  # caller abandoned; stop retrying
     inner: PendingResult | None = None  # the in-flight shard attempt
+    trace_id: str | None = None  # telemetry-plane id (caller's or the span's)
 
 
 class _RetryScheduler:
@@ -292,6 +303,8 @@ class ShardedCluster:
             worker_faults=self.config.worker_faults,
             start_method=self.config.start_method,
             cache=False,  # the shared tier replaces per-shard front caches
+            telemetry=self.config.telemetry,
+            slo_specs=self.config.slo_specs,
         )
         # Each shard keeps its own metrics registry: gateway_* series must
         # stay shard-local (breaker state, queue depth, EMA), while the
@@ -348,6 +361,20 @@ class ShardedCluster:
             clock=clock,
             metrics=self.metrics,
         )
+        # The cluster's own telemetry scope: routed-request outcomes as
+        # the caller saw them (``scope="cluster"`` keeps these series
+        # disjoint from the shards' ``scope="gateway"`` series in the
+        # federated view, so nothing double-counts within a label set).
+        self.telemetry = (
+            TelemetryHub(
+                metrics=self.metrics,
+                scope="cluster",
+                deadline=self.config.default_deadline,
+                specs=self.config.slo_specs,
+            )
+            if self.config.telemetry
+            else None
+        )
         self._scheduler = _RetryScheduler()
         self.health.start()
 
@@ -359,12 +386,17 @@ class ShardedCluster:
         workbook: Workbook | None = None,
         deadline: float | None | object = _UNSET,
         faults: str | None = None,
+        *,
+        trace_id: str | None = None,
     ) -> PendingResult:
         """Route one request into the cluster; always returns a future.
 
         Same contract as the gateway's ``submit``, one level up: the
         future resolves to exactly one coded :class:`ClusterResult`, no
-        matter which shards die in between.
+        matter which shards die in between.  ``trace_id`` files the
+        request in the telemetry plane under a caller-chosen id (the
+        HTTP front end's ``X-Repro-Trace-Id``) and propagates to every
+        shard attempt.
         """
         wb = workbook or self.default_workbook
         if wb is None:
@@ -379,6 +411,12 @@ class ShardedCluster:
             cache_key = CacheKey(
                 normalise_sentence(sentence), fingerprint, self._cache_options
             )
+        span = self.tracer.span(
+            "cluster.request", trace_id=trace_id,
+            request_id=f"c{id(pending):x}", fingerprint=fingerprint,
+        )
+        if trace_id is None and self.tracer.enabled:
+            trace_id = span.trace_id
         request = _ClusterRequest(
             id=next(self._ids),
             sentence=sentence,
@@ -390,10 +428,8 @@ class ShardedCluster:
             pending=pending,
             cache_key=cache_key,
             home_shard=self.router.route(fingerprint),
-            span=self.tracer.span(
-                "cluster.request", request_id=f"c{id(pending):x}",
-                fingerprint=fingerprint,
-            ),
+            span=span,
+            trace_id=trace_id,
         )
         pending._canceller = lambda: self._cancel_request(request)
         with self._lock:
@@ -485,6 +521,11 @@ class ShardedCluster:
     def _count(self, *names: str) -> None:
         for name in names:
             self._events.inc(event=name)
+
+    def _observe(self, request: _ClusterRequest, result: ClusterResult) -> None:
+        """Feed the telemetry plane on any resolution path (never raises)."""
+        if self.telemetry is not None:
+            self.telemetry.observe(result, trace_id=request.trace_id)
 
     def _retry_delay(self, attempts: int) -> float:
         """Backoff before attempt ``attempts + 1``: exponential in the
@@ -586,6 +627,7 @@ class ShardedCluster:
             deadline=remaining,
             faults=request.faults,
             trace_parent=attempt_span,
+            trace_id=request.trace_id,
         )
         request.inner = inner
         inner.add_done_callback(
@@ -658,6 +700,7 @@ class ShardedCluster:
             attempts=0,
         )
         self._close_span(request, result)
+        self._observe(request, result)
         request.pending._resolve(result)
 
     def _finalize(
@@ -706,6 +749,7 @@ class ShardedCluster:
                 },
             )
         self._close_span(request, lifted)
+        self._observe(request, lifted)
         request.pending._resolve(lifted)
 
     def _finalize_error(
@@ -724,6 +768,7 @@ class ShardedCluster:
             rerouted=request.attempts > 1,
         )
         self._close_span(request, result)
+        self._observe(request, result)
         request.pending._resolve(result)
 
     def _close_span(self, request: _ClusterRequest, result: ClusterResult):
@@ -740,6 +785,55 @@ class ShardedCluster:
         ).finish()
 
     # -- diagnostics ----------------------------------------------------------------
+
+    def federated_state(self) -> dict[str, Any]:
+        """One merged metric state over the whole cluster.
+
+        The fold of the cluster registry (``cluster_*``, shared-cache,
+        health, and ``scope="cluster"`` telemetry series) with every
+        shard's gateway registry (``gateway_*``, folded ``worker_*``, and
+        ``scope="gateway"`` telemetry series): counters sum per label
+        set, histogram buckets add element-wise.  Exactly what a
+        per-shard scrape would sum to — the federated-equality test in
+        tests/cluster asserts this.
+        """
+        return merge_states(
+            self.metrics.export_state(),
+            *[
+                shard.gateway.metrics.export_state()
+                for shard in self.shards
+            ],
+        )
+
+    def federated_render(self) -> str:
+        """The federated state as Prometheus text (``GET /metrics``)."""
+        return render_prometheus(self.federated_state())
+
+    def slo_report(self) -> dict[str, Any] | None:
+        """The ``GET /slo`` document: the cluster scope's own report plus
+        each live shard's, or ``None`` with telemetry off."""
+        if self.telemetry is None:
+            return None
+        report = self.telemetry.slo_report()
+        report["shards"] = [
+            {
+                "shard_id": shard.shard_id,
+                "healthy": shard.healthy(),
+                **(shard.gateway.slo_report() or {}),
+            }
+            for shard in self.shards
+        ]
+        return report
+
+    def sampled_traces(self) -> list[str]:
+        """Tail-sampled trace JSONL from the cluster scope and every
+        shard (cluster lines first, then shards in id order)."""
+        if self.telemetry is None:
+            return []
+        lines = self.telemetry.sampler.jsonl()
+        for shard in self.shards:
+            lines.extend(shard.gateway.sampled_traces())
+        return lines
 
     def hot_shards(self) -> HotShardReport:
         """Project observed per-fingerprint traffic onto the live shards."""

@@ -10,6 +10,7 @@ Usage::
     python -m repro.evalkit clusters
     python -m repro.evalkit cluster [--sample N]
     python -m repro.evalkit profile [--sample N]
+    python -m repro.evalkit slo [--sample N]
     python -m repro.evalkit all [--sample N]
 """
 
@@ -94,6 +95,13 @@ def _profile(args: argparse.Namespace) -> None:
     print(harness.format_profile(result))
 
 
+def _slo(args: argparse.Namespace) -> None:
+    corpus = Corpus.default()
+    result = harness.run_slo(corpus, sample=args.sample or 60)
+    print("SLO — telemetry plane over live traffic + error burst (measured)")
+    print(harness.format_slo(result))
+
+
 def _clusters(args: argparse.Namespace) -> None:
     report = run_clusters(Corpus.default())
     print(
@@ -110,7 +118,7 @@ def main(argv: list[str] | None = None) -> None:
         "experiment",
         choices=["table1", "table2", "table3", "fig1", "userstudy",
                  "clusters", "resilience", "gateway", "cluster", "cache",
-                 "profile", "all"],
+                 "profile", "slo", "all"],
     )
     parser.add_argument(
         "--sample", type=int, default=None,
@@ -129,6 +137,7 @@ def main(argv: list[str] | None = None) -> None:
         "cluster": _cluster,
         "cache": _cache,
         "profile": _profile,
+        "slo": _slo,
     }
     if args.experiment == "all":
         for name in ["table1", "fig1", "table2", "table3", "userstudy",

@@ -724,3 +724,111 @@ def run_fig1() -> str:
     lines = [workbook.default_table.render(max_rows=6), ""]
     lines.append(step.render())
     return "\n".join(lines)
+
+
+@dataclass
+class SloLaneReport:
+    """One telemetry-plane pass: good traffic, an error burst, ``/slo``."""
+
+    n: int = 0
+    errors_injected: int = 0
+    workers: int = 0
+    wall_seconds: float = 0.0
+    ok: int = 0
+    report: dict = field(default_factory=dict)
+    sampled: list = field(default_factory=list)
+    error_ids: list = field(default_factory=list)
+
+    @property
+    def retained_error_ids(self) -> set:
+        import json as _json
+
+        return {
+            record["trace_id"]
+            for record in map(_json.loads, self.sampled)
+            if record.get("verdict") == "error"
+        }
+
+
+def run_slo(
+    corpus: Corpus | None = None,
+    sample: int | None = 60,
+    errors: int = 12,
+    workers: int = 2,
+) -> SloLaneReport:
+    """The telemetry plane end to end: serve a test-split sample through
+    a telemetry-on gateway, inject a fault burst under known trace ids,
+    and read back the ``/slo`` document and the tail-sampled traces.
+    """
+    from ..serve import TranslationGateway
+
+    corpus = corpus or Corpus.default()
+    descriptions = corpus.test
+    if sample is not None and sample < len(descriptions):
+        step = len(descriptions) / sample
+        descriptions = [descriptions[int(k * step)] for k in range(sample)]
+    workbooks = {
+        sheet_id: build_sheet(sheet_id)
+        for sheet_id in {d.sheet_id for d in descriptions}
+    }
+    lane = SloLaneReport(
+        n=len(descriptions), errors_injected=errors, workers=workers,
+        error_ids=[f"slo-err-{i}" for i in range(errors)],
+    )
+    gateway = TranslationGateway(workers=workers, queue_limit=512)
+    try:
+        start = perf()
+        pendings = [
+            gateway.submit(
+                d.text, workbooks[d.sheet_id], trace_id=f"slo-good-{i}"
+            )
+            for i, d in enumerate(descriptions)
+        ]
+        pendings += [
+            gateway.submit(
+                descriptions[0].text,
+                workbooks[descriptions[0].sheet_id],
+                faults="tokenize:raise:runtime",
+                trace_id=trace_id,
+            )
+            for trace_id in lane.error_ids
+        ]
+        outcomes = [p.result(timeout=120.0) for p in pendings]
+        lane.wall_seconds = perf() - start
+        lane.ok = sum(1 for r in outcomes if r.ok)
+        lane.report = gateway.slo_report() or {}
+        lane.sampled = gateway.sampled_traces()
+    finally:
+        gateway.close(drain=True)
+    return lane
+
+
+def format_slo(lane: SloLaneReport) -> str:
+    report = lane.report
+    lines = [
+        f"{lane.n} requests + {lane.errors_injected} injected errors / "
+        f"{lane.workers} workers / wall {lane.wall_seconds:.2f}s / "
+        f"ok {lane.ok}",
+        f"{'slo':<16} {'objective':>9} {'good':>6} {'bad':>5} "
+        f"{'burn(1h)':>9} {'budget':>7}  alerts",
+    ]
+    for slo in report.get("slos", []):
+        windows = slo["windows"]
+        fired = [a["rule"] for a in slo["alerts"] if a["fired"]]
+        lines.append(
+            f"{slo['name']:<16} {slo['objective']:>9.3f} "
+            f"{int(windows['6h']['good']):>6} {int(windows['6h']['bad']):>5} "
+            f"{windows['1h']['burn_rate']:>9.2f} "
+            f"{slo['budget_remaining']:>6.1%}  "
+            f"{','.join(fired) if fired else '-'}"
+        )
+    sampler = report.get("sampler", {})
+    retained = lane.retained_error_ids
+    lines.append(
+        f"sampler: {sampler.get('entries', 0)} traces / "
+        f"{sampler.get('bytes', 0)} of {sampler.get('max_bytes', 0)} bytes / "
+        f"errors retained {len(retained & set(lane.error_ids))}"
+        f"/{len(lane.error_ids)}"
+    )
+    lines.append(f"healthy: {report.get('healthy')}")
+    return "\n".join(lines)

@@ -4,7 +4,7 @@ See docs/HTTP.md for the endpoint reference and the streaming protocol.
 """
 
 from .protocol import Limits, ProtocolError, Request
-from .server import HttpConfig, HttpServer, status_for
+from .server import TRACE_HEADER, HttpConfig, HttpServer, status_for
 from .stream import AnytimeEmitter, ServiceStreamer, result_payload
 
 __all__ = [
@@ -15,6 +15,7 @@ __all__ = [
     "ProtocolError",
     "Request",
     "ServiceStreamer",
+    "TRACE_HEADER",
     "result_payload",
     "status_for",
 ]

@@ -7,11 +7,22 @@ port using nothing but stdlib ``asyncio`` streams:
   sentence, an optional per-request ``deadline_ms`` (mapped onto the
   runtime degradation ladder), and ``stream: true`` to switch to chunked
   NDJSON pushing the anytime ranking each time it improves;
-* ``GET /metrics`` — the shared :class:`~repro.obs.MetricsRegistry`'s
-  Prometheus text exposition (backend counters and the server's own);
+* ``GET /metrics`` — Prometheus text exposition; a cluster backend's
+  ``federated_render()`` merges every shard registry into one view,
+  otherwise the shared :class:`~repro.obs.MetricsRegistry` is used;
+* ``GET /slo`` — the backend's live SLO report (error budgets,
+  multi-window burn-rate alerts, recent traffic) as JSON;
 * ``GET /traces`` — finished span records as NDJSON;
+  ``?sampled=1`` streams the tail sampler's retained request records;
 * ``GET /stats`` — the backend's ``snapshot()`` as JSON;
 * ``GET /healthz`` — liveness.
+
+**Trace propagation.**  A well-formed incoming ``X-Repro-Trace-Id``
+header is honoured: it becomes the request's trace id end to end
+(gateway span, worker span, tail sample, histogram exemplar) and is
+echoed on the response.  ``POST /translate`` mints a fresh id when the
+client sent none, so every translation is traceable; the id also rides
+in the JSON body (``trace_id``) and in a stream's ``final`` record.
 
 **Backpressure is layered, never buffered.**  At the connection layer,
 an accept beyond ``max_connections`` is answered ``503`` and closed
@@ -32,7 +43,9 @@ served by an in-process :class:`~repro.http.stream.ServiceStreamer`
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
+import re
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -40,7 +53,7 @@ from typing import Any, Callable
 from ..obs.clock import monotonic
 from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry
-from ..obs.trace import NULL_TRACER
+from ..obs.trace import NULL_TRACER, new_trace_id
 from ..serve.gateway import GatewayResult
 from .protocol import (
     CHUNK_TERMINATOR,
@@ -55,7 +68,7 @@ from .protocol import (
 )
 from .stream import ServiceStreamer, result_payload
 
-__all__ = ["HttpConfig", "HttpServer", "status_for"]
+__all__ = ["HttpConfig", "HttpServer", "TRACE_HEADER", "status_for"]
 
 _log = get_logger("http.server")
 
@@ -72,6 +85,13 @@ INPUT_CODES = frozenset(
 
 _JSON = "application/json"
 _NDJSON = "application/x-ndjson"
+
+# The trace-propagation header (docs/HTTP.md).  Incoming values are
+# honoured only when they match this shape — anything else is replaced
+# with a fresh id rather than echoed, so a hostile header can neither
+# forge log lines nor smuggle bytes into the Prometheus exemplar export.
+TRACE_HEADER = "X-Repro-Trace-Id"
+_TRACE_ID_OK = re.compile(r"^[0-9a-zA-Z_-]{1,128}$")
 
 
 def status_for(
@@ -205,6 +225,12 @@ class HttpServer:
         self._protocol_errors = m.counter(
             "http_protocol_errors_total", "malformed/abusive requests by code"
         )
+        # Whether backend.submit accepts trace_id (gateway and cluster
+        # do; older backends and plain test doubles may not).  Inspected
+        # once so the hot path never pays signature reflection.
+        self._backend_takes_trace_id = _accepts_trace_id(
+            getattr(backend, "submit", None)
+        )
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -331,18 +357,47 @@ class HttpServer:
         writer: asyncio.StreamWriter,
     ) -> bool:
         """Handle one request; returns False to close the connection."""
+        # Valid incoming X-Repro-Trace-Id is echoed on every endpoint;
+        # /translate additionally mints one when the client sent none.
+        trace_id = _incoming_trace_id(request)
         route = (request.method, request.path)
         if route == ("POST", "/translate"):
-            return await self._translate(request, conn, writer)
+            return await self._translate(
+                request, conn, writer, trace_id or new_trace_id()
+            )
         if route == ("GET", "/healthz"):
             return await self._respond(
-                writer, request, 200, _json_bytes({"status": "ok"})
+                writer, request, 200, _json_bytes({"status": "ok"}),
+                trace_id=trace_id,
             )
         if route == ("GET", "/metrics"):
-            text = self.metrics.render().encode("utf-8")
+            # A cluster backend federates every shard registry into one
+            # exposition; anything else exposes the shared registry.
+            federated = getattr(self.backend, "federated_render", None)
+            text = (
+                federated() if federated is not None else self.metrics.render()
+            ).encode("utf-8")
             return await self._respond(
                 writer, request, 200, text,
                 content_type="text/plain; version=0.0.4",
+                trace_id=trace_id,
+            )
+        if route == ("GET", "/slo"):
+            report = None
+            slo = getattr(self.backend, "slo_report", None)
+            if slo is not None:
+                report = slo()
+            if report is None:
+                return await self._respond(
+                    writer, request, 404,
+                    _error_body(
+                        "not_found",
+                        "backend has no SLO engine (telemetry off?)",
+                    ),
+                    trace_id=trace_id,
+                )
+            return await self._respond(
+                writer, request, 200, _json_bytes(report), trace_id=trace_id
             )
         if route == ("GET", "/stats"):
             snapshot = getattr(self.backend, "snapshot", None)
@@ -350,13 +405,17 @@ class HttpServer:
                 return await self._respond(
                     writer, request, 404,
                     _error_body("not_found", "backend has no snapshot()"),
+                    trace_id=trace_id,
                 )
             return await self._respond(
-                writer, request, 200, _json_bytes(snapshot())
+                writer, request, 200, _json_bytes(snapshot()),
+                trace_id=trace_id,
             )
         if route == ("GET", "/traces"):
-            return await self._traces(request, writer)
-        known = {"/translate", "/healthz", "/metrics", "/stats", "/traces"}
+            return await self._traces(request, writer, trace_id)
+        known = {
+            "/translate", "/healthz", "/metrics", "/slo", "/stats", "/traces",
+        }
         if request.path in known:
             return await self._respond(
                 writer, request, 405,
@@ -364,10 +423,12 @@ class HttpServer:
                     "method_not_allowed",
                     f"{request.method} not supported on {request.path}",
                 ),
+                trace_id=trace_id,
             )
         return await self._respond(
             writer, request, 404,
             _error_body("not_found", f"no route for {request.path}"),
+            trace_id=trace_id,
         )
 
     async def _respond(
@@ -379,9 +440,13 @@ class HttpServer:
         *,
         content_type: str = _JSON,
         extra_headers: list[tuple[str, str]] | None = None,
+        trace_id: str | None = None,
     ) -> bool:
         self._count(status, request.path)
         keep = request.keep_alive
+        if trace_id is not None:
+            extra_headers = list(extra_headers or [])
+            extra_headers.append((TRACE_HEADER, trace_id))
         writer.write(
             render_response(
                 status, body,
@@ -394,19 +459,40 @@ class HttpServer:
         return keep
 
     async def _traces(
-        self, request: Request, writer: asyncio.StreamWriter
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        trace_id: str | None = None,
     ) -> bool:
-        """Stream finished span records as NDJSON (chunked).
+        """Stream trace records as NDJSON (chunked).
 
-        The lines come from :func:`repro.obs.spans_jsonl`, so a
-        downloaded trace is byte-compatible with a ``--trace-out`` span
-        log file.
+        Default mode streams finished span records from
+        :func:`repro.obs.spans_jsonl`, so a downloaded trace is
+        byte-compatible with a ``--trace-out`` span log file.
+        ``?sampled=1`` streams the tail sampler's retained request
+        records instead (every error/shed/slow request plus a
+        probabilistic slice of OK traffic) when the backend has one.
         """
         from ..obs.export import spans_jsonl
 
+        if request.query.get("sampled") in ("1", "true"):
+            sampled = getattr(self.backend, "sampled_traces", None)
+            if sampled is None:
+                return await self._respond(
+                    writer, request, 404,
+                    _error_body(
+                        "not_found",
+                        "backend has no tail sampler (telemetry off?)",
+                    ),
+                    trace_id=trace_id,
+                )
+            lines = list(sampled())  # \n-terminated JSONL already
+        else:
+            lines = list(spans_jsonl(self.tracer))
         self._count(200, request.path)
-        writer.write(start_response(200))
-        for line in spans_jsonl(self.tracer):
+        extra = [(TRACE_HEADER, trace_id)] if trace_id is not None else None
+        writer.write(start_response(200, extra_headers=extra))
+        for line in lines:
             writer.write(encode_chunk(line.encode("utf-8")))
             await writer.drain()
         writer.write(CHUNK_TERMINATOR)
@@ -473,17 +559,23 @@ class HttpServer:
         request: Request,
         conn: BufferedConnection,
         writer: asyncio.StreamWriter,
+        trace_id: str,
     ) -> bool:
         try:
             params = self._parse_translate(request)
         except ProtocolError as exc:
             self._protocol_errors.inc(code=exc.code)
             return await self._respond(
-                writer, request, exc.status, _error_body(exc.code, str(exc))
+                writer, request, exc.status, _error_body(exc.code, str(exc)),
+                trace_id=trace_id,
             )
         if params.stream:
-            return await self._translate_stream(request, params, writer)
-        return await self._translate_unary(request, params, conn, writer)
+            return await self._translate_stream(
+                request, params, writer, trace_id
+            )
+        return await self._translate_unary(
+            request, params, conn, writer, trace_id
+        )
 
     async def _translate_unary(
         self,
@@ -491,6 +583,7 @@ class HttpServer:
         params: _TranslateParams,
         conn: BufferedConnection,
         writer: asyncio.StreamWriter,
+        trace_id: str,
     ) -> bool:
         loop = asyncio.get_running_loop()
         kwargs: dict[str, Any] = {}
@@ -498,6 +591,8 @@ class HttpServer:
             kwargs["deadline"] = params.deadline
         if params.faults is not None:
             kwargs["faults"] = params.faults
+        if self._backend_takes_trace_id:
+            kwargs["trace_id"] = trace_id
         try:
             pending = self.backend.submit(params.sentence, **kwargs)
         except Exception as exc:  # noqa: BLE001 - surface, don't crash the conn
@@ -505,6 +600,7 @@ class HttpServer:
             return await self._respond(
                 writer, request, 500,
                 _error_body("internal_error", f"{type(exc).__name__}: {exc}"),
+                trace_id=trace_id,
             )
 
         future: asyncio.Future = loop.create_future()
@@ -524,7 +620,9 @@ class HttpServer:
         if result is None:  # client gone; nothing to write
             self._disconnects.inc(endpoint=request.path)
             return False
-        return await self._write_result(writer, request, params, result)
+        return await self._write_result(
+            writer, request, params, result, trace_id
+        )
 
     async def _await_result(self, pending, future, watcher, conn):
         """Wait for the backend, watching for a client disconnect.
@@ -578,6 +676,7 @@ class HttpServer:
         request: Request,
         params: _TranslateParams,
         result: Any,
+        trace_id: str,
     ) -> bool:
         status = status_for(
             result.ok, result.error_code, result.degraded, result.anytime
@@ -585,12 +684,14 @@ class HttpServer:
         body = {
             "result": _result_of(result, params.top_k),
             "serving": _serving_of(result),
+            "trace_id": trace_id,
         }
         extra = None
         if status == 503:
             extra = [("Retry-After", _retry_after(self.config))]
         return await self._respond(
-            writer, request, status, _json_bytes(body), extra_headers=extra
+            writer, request, status, _json_bytes(body), extra_headers=extra,
+            trace_id=trace_id,
         )
 
     # -- streaming ------------------------------------------------------------------
@@ -600,6 +701,7 @@ class HttpServer:
         request: Request,
         params: _TranslateParams,
         writer: asyncio.StreamWriter,
+        trace_id: str,
     ) -> bool:
         if self.streamer is None:
             return await self._respond(
@@ -608,6 +710,7 @@ class HttpServer:
                     "not_implemented",
                     "this server has no in-process streamer configured",
                 ),
+                trace_id=trace_id,
             )
         loop = asyncio.get_running_loop()
         updates: asyncio.Queue = asyncio.Queue()
@@ -639,10 +742,14 @@ class HttpServer:
         # record; the conformance suite asserts on it there.
         self._count(200, request.path)
         try:
-            writer.write(start_response(200))
+            writer.write(
+                start_response(
+                    200, extra_headers=[(TRACE_HEADER, trace_id)]
+                )
+            )
             await writer.drain()
             await self._pump_stream(
-                writer, request, params, work, updates, started
+                writer, request, params, work, updates, started, trace_id
             )
         except (ConnectionError, OSError):
             # Client hung up mid-stream.  The executor thread is bounded
@@ -652,7 +759,7 @@ class HttpServer:
         return False  # streams always close
 
     async def _pump_stream(
-        self, writer, request, params, work, updates, started
+        self, writer, request, params, work, updates, started, trace_id
     ) -> bool:
         while True:
             getter = asyncio.ensure_future(updates.get())
@@ -679,6 +786,7 @@ class HttpServer:
                 "event": "error",
                 "error_code": "internal_error",
                 "error": f"{type(exc).__name__}: {exc}",
+                "trace_id": trace_id,
             }
             writer.write(_chunk_of(final) + CHUNK_TERMINATOR)
             await writer.drain()
@@ -700,6 +808,7 @@ class HttpServer:
                 "cached": result.cached,
             },
             "updates": emitter.updates,
+            "trace_id": trace_id,
         }
         writer.write(_chunk_of(final) + CHUNK_TERMINATOR)
         await writer.drain()
@@ -723,6 +832,33 @@ def dataclass_replace(config: HttpConfig, **overrides: Any) -> HttpConfig:
     from dataclasses import replace
 
     return replace(config, **overrides)
+
+
+def _incoming_trace_id(request: Request) -> str | None:
+    """The client's ``X-Repro-Trace-Id`` if present and well-formed."""
+    value = request.headers.get(TRACE_HEADER.lower())
+    if value is not None and _TRACE_ID_OK.match(value):
+        return value
+    return None
+
+
+def _accepts_trace_id(fn: Any) -> bool:
+    """Whether ``fn`` can be called with a ``trace_id=`` keyword."""
+    if fn is None:
+        return False
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    for param in signature.parameters.values():
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if param.name == "trace_id" and param.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
 
 
 def _json_bytes(payload: Any) -> bytes:

@@ -23,6 +23,12 @@ through (docs/OBSERVABILITY.md):
 * **clocks** (:mod:`repro.obs.clock`) — the injectable monotonic clocks
   every timing component takes, with :class:`ManualClock` as the
   deterministic test seam.
+* **telemetry plane** (:mod:`repro.obs.telemetry`) — windowed
+  time-series (rate/quantile over the last N seconds), cross-process and
+  cross-shard metric federation over a versioned wire codec, declarative
+  SLOs with multi-window burn-rate alerts (``GET /slo``), and tail-based
+  trace sampling under a hard byte cap; bundled per serving scope by
+  :class:`~repro.obs.telemetry.TelemetryHub`.
 
 Quickstart::
 
@@ -38,6 +44,7 @@ Quickstart::
 from .clock import Clock, ManualClock, monotonic, perf
 from .export import (
     chrome_trace_events,
+    render_prometheus,
     span_duration_metrics,
     spans_jsonl,
     write_chrome_trace,
@@ -56,6 +63,15 @@ from .metrics import (
     SupportsSnapshot,
     snapshot_of,
 )
+from .telemetry import (
+    SloEngine,
+    SloSpec,
+    TailSampler,
+    TelemetryHub,
+    WindowedCounter,
+    WindowedHistogram,
+    merge_states,
+)
 from .trace import NULL_TRACER, NullTracer, Span, Tracer, new_trace_id
 
 __all__ = [
@@ -68,16 +84,24 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "SloEngine",
+    "SloSpec",
     "Span",
     "SupportsSnapshot",
+    "TailSampler",
+    "TelemetryHub",
     "Tracer",
+    "WindowedCounter",
+    "WindowedHistogram",
     "chrome_trace_events",
     "configure_logging",
     "fields",
     "get_logger",
+    "merge_states",
     "monotonic",
     "new_trace_id",
     "perf",
+    "render_prometheus",
     "snapshot_of",
     "span_duration_metrics",
     "write_chrome_trace",

@@ -25,12 +25,16 @@ for CI use (single ``write`` of a fully rendered string).
 from __future__ import annotations
 
 import json
+import re
 from typing import Any, IO, Iterable, Mapping
 
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, escape_label_value
 
 __all__ = [
     "chrome_trace_events",
+    "render_prometheus",
+    "sanitize_label_name",
+    "sanitize_metric_name",
     "span_duration_metrics",
     "spans_jsonl",
     "write_chrome_trace",
@@ -171,6 +175,120 @@ def span_duration_metrics(
         if record.get("status") == "error":
             errors.inc(name=record["name"])
     return registry
+
+
+# -- Prometheus text exposition ---------------------------------------------------
+
+# Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; label names drop the colon.
+_METRIC_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_INVALID_METRIC_CHAR = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LABEL_CHAR = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an arbitrary metric name into the exposition grammar.
+
+    Invalid characters become ``_``; a leading digit gets a ``_`` prefix.
+    Idempotent, and the identity on already-valid names — which is every
+    name this package registers, so sanitisation only ever fires for
+    user-supplied names (e.g. span-derived series)."""
+    if _METRIC_NAME_OK.match(name):
+        return name
+    name = _INVALID_METRIC_CHAR.sub("_", name) or "_"
+    if name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def sanitize_label_name(name: str) -> str:
+    """Coerce a label name into the exposition grammar (no colons)."""
+    if _LABEL_NAME_OK.match(name):
+        return name
+    name = _INVALID_LABEL_CHAR.sub("_", name) or "_"
+    if name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (quotes stay literal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_string(items: tuple[tuple[str, str], ...]) -> str:
+    if not items:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(value)}"' for name, value in items
+    )
+    return "{" + inner + "}"
+
+
+def _exemplar_suffix(exemplars: Mapping[Any, Any] | None, index: int) -> str:
+    """OpenMetrics-style exemplar: `` # {trace_id="..."} value``.
+
+    Keys may be ints (live registry) or strings (a state that crossed the
+    JSON wire codec); both are honoured."""
+    if not exemplars:
+        return ""
+    exemplar = exemplars.get(index)
+    if exemplar is None:
+        exemplar = exemplars.get(str(index))
+    if not exemplar:
+        return ""
+    trace_id = escape_label_value(str(exemplar.get("trace_id", "")))
+    return f' # {{trace_id="{trace_id}"}} {exemplar.get("value", 0.0)}'
+
+
+def render_prometheus(state: Mapping[str, Any]) -> str:
+    """Render a registry ``export_state()`` (or a federated merge of
+    several) as the Prometheus text exposition.
+
+    This is the single renderer behind ``MetricsRegistry.render()``, the
+    HTTP ``GET /metrics`` endpoint, and the cluster's federated view —
+    escaping, name sanitisation, and the cumulative-bucket invariants
+    (``le="+Inf"`` equals ``_count``; ``_sum``/``_count`` always emitted)
+    are enforced here once.  ``scripts/check_prom.py`` lints the output.
+    """
+    lines: list[str] = []
+    for name in sorted(state):
+        metric = state[name]
+        pname = sanitize_metric_name(name)
+        if metric.get("help"):
+            lines.append(f"# HELP {pname} {_escape_help(metric['help'])}")
+        lines.append(f"# TYPE {pname} {metric['kind']}")
+        all_series = sorted(
+            metric.get("series", ()),
+            key=lambda s: tuple(sorted((s.get("labels") or {}).items())),
+        )
+        for series in all_series:
+            items = tuple(
+                sorted(
+                    (sanitize_label_name(str(k)), str(v))
+                    for k, v in (series.get("labels") or {}).items()
+                )
+            )
+            labels = _label_string(items)
+            if metric["kind"] == "histogram":
+                cumulative = 0
+                bounds = [*metric.get("bounds", ()), float("inf")]
+                exemplars = series.get("exemplars")
+                for i, (bound, n) in enumerate(
+                    zip(bounds, series["buckets"])
+                ):
+                    cumulative += n
+                    le = "+Inf" if bound == float("inf") else repr(float(bound))
+                    with_le = _label_string(items + (("le", le),))
+                    lines.append(
+                        f"{pname}_bucket{with_le} {cumulative}"
+                        f"{_exemplar_suffix(exemplars, i)}"
+                    )
+                lines.append(f"{pname}_sum{labels} {series['sum']}")
+                lines.append(f"{pname}_count{labels} {series['count']}")
+            else:
+                lines.append(f"{pname}{labels} {series['value']}")
+    return "\n".join(lines) + "\n"
 
 
 def write_metrics(

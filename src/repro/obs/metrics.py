@@ -43,6 +43,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SupportsSnapshot",
+    "escape_label_value",
     "snapshot_of",
 ]
 
@@ -61,10 +62,21 @@ def _label_key(labels: Mapping[str, Any]) -> _LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def escape_label_value(value: str) -> str:
+    """Prometheus text-format label-value escaping.
+
+    The exposition format requires backslash, double-quote, and newline
+    escaped inside quoted label values; everything else passes through.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(key: _LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    inner = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in key)
     return "{" + inner + "}"
 
 
@@ -92,8 +104,32 @@ class _Metric:
             "series": series,
         }
 
+    def state(self) -> dict[str, Any]:
+        """The federation-facing structured view of this metric.
+
+        Unlike :meth:`snapshot` (whose series keys are pre-rendered
+        Prometheus label strings), ``state()`` keeps labels as plain
+        mappings so merged/folded views can be rebuilt and re-rendered
+        (:mod:`repro.obs.telemetry.federation`).  JSON-safe by
+        construction — this is what the telemetry wire codec ships.
+        """
+        with self._lock:
+            series = [
+                {"labels": dict(k), **self._state_value(v)}
+                for k, v in self._series.items()
+            ]
+        out = {"kind": self.kind, "help": self.help, "series": series}
+        out.update(self._state_extra())
+        return out
+
     def _export(self, value: Any) -> Any:
         return value
+
+    def _state_value(self, value: Any) -> dict[str, Any]:
+        return {"value": float(self._export(value))}
+
+    def _state_extra(self) -> dict[str, Any]:
+        return {}
 
 
 class Counter(_Metric):
@@ -158,24 +194,89 @@ class Histogram(_Metric):
             raise ValueError("histogram needs at least one bucket bound")
         self.bounds = bounds
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(
+        self, value: float, exemplar: str | None = None, **labels: Any
+    ) -> None:
+        """Record one observation; ``exemplar`` (a trace id) is retained
+        per bucket and emitted OpenMetrics-style in the text export, so a
+        scraped latency bucket links back to a concrete trace."""
         key = self._key(labels)
         with self._lock:
             series = self._series.get(key)
             if series is None:
-                series = self._series[key] = {
-                    "buckets": [0] * (len(self.bounds) + 1),
-                    "sum": 0.0,
-                    "count": 0,
+                series = self._series[key] = self._new_series()
+            self._record(series, float(value), exemplar)
+
+    def _new_series(self) -> dict:
+        return {
+            "buckets": [0] * (len(self.bounds) + 1),
+            "sum": 0.0,
+            "count": 0,
+        }
+
+    def _bucket_index(self, value: float) -> int:
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                return i
+        return len(self.bounds)  # +Inf
+
+    def _record(self, series: dict, value: float, exemplar: str | None) -> None:
+        index = self._bucket_index(value)
+        series["buckets"][index] += 1
+        series["sum"] += value
+        series["count"] += 1
+        if exemplar:
+            series.setdefault("exemplars", {})[index] = {
+                "trace_id": str(exemplar),
+                "value": value,
+            }
+
+    def merge_series(
+        self,
+        labels: Mapping[str, Any],
+        buckets: Iterable[int],
+        sum: float,
+        count: int,
+        exemplars: Mapping[Any, Mapping[str, Any]] | None = None,
+    ) -> None:
+        """Fold a foreign series (same bounds) into this histogram.
+
+        This is the federation entry point: a worker's delta or another
+        shard's snapshot adds bucket-wise.  Bounds must match — callers
+        that cannot guarantee it validate via the telemetry codec first.
+        """
+        buckets = [int(b) for b in buckets]
+        if len(buckets) != len(self.bounds) + 1:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge {len(buckets)} "
+                f"buckets into {len(self.bounds) + 1}"
+            )
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = self._new_series()
+            self._merge_into(series, buckets, float(sum), int(count), exemplars)
+
+    def _merge_into(
+        self,
+        series: dict,
+        buckets: list[int],
+        sum: float,
+        count: int,
+        exemplars: Mapping[Any, Mapping[str, Any]] | None,
+    ) -> None:
+        for i, n in enumerate(buckets):
+            series["buckets"][i] += n
+        series["sum"] += sum
+        series["count"] += count
+        if exemplars:
+            slot = series.setdefault("exemplars", {})
+            for index, exemplar in exemplars.items():
+                slot[int(index)] = {
+                    "trace_id": str(exemplar["trace_id"]),
+                    "value": float(exemplar["value"]),
                 }
-            for i, bound in enumerate(self.bounds):
-                if value <= bound:
-                    series["buckets"][i] += 1
-                    break
-            else:
-                series["buckets"][-1] += 1  # +Inf
-            series["sum"] += value
-            series["count"] += 1
 
     def count(self, **labels: Any) -> int:
         with self._lock:
@@ -195,11 +296,23 @@ class Histogram(_Metric):
             return series["sum"] / series["count"]
 
     def _export(self, series: dict) -> dict:
-        return {
+        out = {
             "buckets": list(series["buckets"]),
             "sum": series["sum"],
             "count": series["count"],
         }
+        exemplars = series.get("exemplars")
+        if exemplars:
+            out["exemplars"] = {
+                int(i): dict(e) for i, e in exemplars.items()
+            }
+        return out
+
+    def _state_value(self, series: dict) -> dict[str, Any]:
+        return self._export(series)
+
+    def _state_extra(self) -> dict[str, Any]:
+        return {"bounds": list(self.bounds)}
 
 
 class _Timer:
@@ -260,6 +373,40 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get(Histogram, name, help, buckets=buckets)
 
+    def windowed_counter(
+        self,
+        name: str,
+        help: str = "",
+        interval: float = 60.0,
+        horizon: float = 21600.0,
+    ) -> "Any":
+        """A counter that additionally answers rate-over-last-N-seconds
+        queries (:class:`repro.obs.telemetry.WindowedCounter`).  Exports
+        exactly like a plain counter; the ring is query-side only."""
+        from .telemetry.windows import WindowedCounter
+
+        return self._get(
+            WindowedCounter, name, help,
+            interval=interval, horizon=horizon, clock=self.clock,
+        )
+
+    def windowed_histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        interval: float = 10.0,
+        horizon: float = 600.0,
+    ) -> "Any":
+        """A histogram that additionally answers quantile-over-last-N-
+        seconds queries (:class:`repro.obs.telemetry.WindowedHistogram`)."""
+        from .telemetry.windows import WindowedHistogram
+
+        return self._get(
+            WindowedHistogram, name, help, buckets=buckets,
+            interval=interval, horizon=horizon, clock=self.clock,
+        )
+
     def timer(self, name: str, help: str = "", **labels: Any) -> _Timer:
         """``with registry.timer("stage_seconds"): ...`` → one observation."""
         return _Timer(self.histogram(name, help), self.clock, labels)
@@ -283,33 +430,22 @@ class MetricsRegistry:
             }
         return out
 
+    def export_state(self) -> dict[str, Any]:
+        """Every metric's :meth:`_Metric.state` keyed by name.
+
+        The structured form the telemetry plane federates: JSON-safe,
+        merge-able (:func:`repro.obs.telemetry.merge_states`), and
+        renderable back to Prometheus text
+        (:func:`repro.obs.export.render_prometheus`)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {metric.name: metric.state() for metric in metrics}
+
     def render(self) -> str:
         """Prometheus-style text exposition of every metric."""
-        with self._lock:
-            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
-        lines: list[str] = []
-        for metric in metrics:
-            snap = metric.snapshot()
-            if snap["help"]:
-                lines.append(f"# HELP {metric.name} {snap['help']}")
-            lines.append(f"# TYPE {metric.name} {snap['kind']}")
-            for key, value in sorted(snap["series"].items()):
-                labels = _render_labels(key)
-                if snap["kind"] == "histogram":
-                    cumulative = 0
-                    bounds = [*metric.bounds, float("inf")]
-                    for bound, n in zip(bounds, value["buckets"]):
-                        cumulative += n
-                        le = "+Inf" if bound == float("inf") else repr(bound)
-                        with_le = _render_labels(key + (("le", le),))
-                        lines.append(
-                            f"{metric.name}_bucket{with_le} {cumulative}"
-                        )
-                    lines.append(f"{metric.name}_sum{labels} {value['sum']}")
-                    lines.append(f"{metric.name}_count{labels} {value['count']}")
-                else:
-                    lines.append(f"{metric.name}{labels} {value}")
-        return "\n".join(lines) + "\n"
+        from .export import render_prometheus
+
+        return render_prometheus(self.export_state())
 
 
 @runtime_checkable

@@ -1,0 +1,196 @@
+"""Tail-based trace sampling: keep what's interesting, cap what it costs.
+
+Head sampling (decide at span start) throws away exactly the traces an
+operator wants: the 0.1% that errored, the one that took 4 s.  The
+:class:`TailSampler` decides *after* the request finishes, when the
+verdict is known:
+
+* **error** and **shed** traces are always retained;
+* **slow** traces (ok but above ``slow_threshold`` seconds) are always
+  retained;
+* **ok** traces are sampled at ``ok_rate`` (deterministic under an
+  injected ``rng``), keeping a background population for comparison;
+
+all under a hard byte budget: entries are stored as their rendered
+JSONL line, sizes are exact, and when the budget overflows the sampler
+evicts oldest-**ok**-first, touching interesting traces only when no ok
+entry remains.  The cap bounds worst-case memory during a chaos storm;
+the eviction order means a storm's error traces displace the ok
+background, never each other's evidence.
+
+The sampler feeds two surfaces: ``GET /traces?sampled=1`` streams the
+retained JSONL, and the exemplar on each latency observation
+(``*_bucket ... # {trace_id="..."}``) lets a scraped histogram link
+back to a retained trace.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from collections import OrderedDict
+from typing import Any, Mapping
+
+from ..clock import Clock, monotonic
+from ..metrics import MetricsRegistry
+
+__all__ = ["TailSampler"]
+
+VERDICTS = ("error", "shed", "slow", "ok")
+
+DEFAULT_MAX_BYTES = 2 * 1024 * 1024
+
+
+class TailSampler:
+    """Verdict-aware bounded retention of finished request traces."""
+
+    def __init__(
+        self,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        ok_rate: float = 0.05,
+        slow_threshold: float = 1.0,
+        rng: random.Random | None = None,
+        clock: Clock = monotonic,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if not 0.0 <= ok_rate <= 1.0:
+            raise ValueError("ok_rate must be in [0, 1]")
+        self.max_bytes = int(max_bytes)
+        self.ok_rate = float(ok_rate)
+        self.slow_threshold = float(slow_threshold)
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+        self._lock = threading.Lock()
+        # trace_id -> (verdict, size, rendered line); insertion-ordered,
+        # so "oldest" is the front.
+        self._entries: "OrderedDict[str, tuple[str, int, str]]" = OrderedDict()
+        self._bytes = 0
+        self._kept = {v: 0 for v in VERDICTS}
+        self._evicted = {v: 0 for v in VERDICTS}
+        self._unsampled_ok = 0
+        if metrics is not None:
+            self._sampled = metrics.counter(
+                "telemetry_sampled_traces_total",
+                "traces retained by the tail sampler",
+            )
+            self._evictions = metrics.counter(
+                "telemetry_sampler_evictions_total",
+                "entries evicted to stay under the byte cap",
+            )
+            self._gauge = metrics.gauge(
+                "telemetry_sampler_bytes", "bytes currently retained"
+            )
+        else:
+            self._sampled = self._evictions = self._gauge = None
+
+    def classify(
+        self, ok: bool, error_code: str | None, seconds: float | None
+    ) -> str:
+        if error_code == "shed_overload":
+            return "shed"
+        if not ok:
+            return "error"
+        if seconds is not None and seconds > self.slow_threshold:
+            return "slow"
+        return "ok"
+
+    def offer(
+        self, trace_id: str, verdict: str, record: Mapping[str, Any]
+    ) -> bool:
+        """Present one finished trace; returns True when retained.
+
+        ``record`` is whatever context the caller wants queryable later
+        (error code, tier, timings, span tree); it is rendered to its
+        JSONL line immediately so the byte accounting is exact.
+        """
+        if verdict not in VERDICTS:
+            raise ValueError(f"unknown verdict {verdict!r}")
+        if verdict == "ok" and self._rng.random() >= self.ok_rate:
+            with self._lock:
+                self._unsampled_ok += 1
+            return False
+        line = json.dumps(
+            {
+                "trace_id": trace_id,
+                "verdict": verdict,
+                "at": self._clock(),
+                **dict(record),
+            },
+            sort_keys=True,
+            default=str,
+        )
+        size = len(line.encode("utf-8"))
+        if size > self.max_bytes:
+            # A single oversize record would evict the whole buffer for
+            # one entry; drop it instead (counted as an eviction).
+            with self._lock:
+                self._evicted[verdict] += 1
+            if self._evictions is not None:
+                self._evictions.inc(verdict=verdict)
+            return False
+        with self._lock:
+            stale = self._entries.pop(trace_id, None)
+            if stale is not None:
+                self._bytes -= stale[1]
+                self._kept[stale[0]] -= 1
+            self._entries[trace_id] = (verdict, size, line)
+            self._bytes += size
+            self._kept[verdict] += 1
+            evicted = self._evict_locked()
+            retained = trace_id in self._entries
+        if self._sampled is not None:
+            self._sampled.inc(verdict=verdict)
+            for gone in evicted:
+                self._evictions.inc(verdict=gone)
+            self._gauge.set(self._bytes)
+        return retained
+
+    def _evict_locked(self) -> list[str]:
+        """Drop entries until under budget: oldest ok first, then oldest
+        of anything.  Returns the evicted verdicts for metric accounting."""
+        evicted: list[str] = []
+        while self._bytes > self.max_bytes and self._entries:
+            victim = None
+            for trace_id, (verdict, _, _) in self._entries.items():
+                if verdict == "ok":
+                    victim = trace_id
+                    break
+            if victim is None:
+                victim = next(iter(self._entries))
+            verdict, size, _ = self._entries.pop(victim)
+            self._bytes -= size
+            self._kept[verdict] -= 1
+            self._evicted[verdict] += 1
+            evicted.append(verdict)
+        return evicted
+
+    # -- read side -----------------------------------------------------------------
+
+    def traces(self) -> list[dict[str, Any]]:
+        """The retained records, oldest first."""
+        with self._lock:
+            lines = [line for _, _, line in self._entries.values()]
+        return [json.loads(line) for line in lines]
+
+    def jsonl(self) -> list[str]:
+        """The retained records as ``\\n``-terminated JSONL lines."""
+        with self._lock:
+            return [line + "\n" for _, _, line in self._entries.values()]
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "kept": dict(self._kept),
+                "evicted": dict(self._evicted),
+                "unsampled_ok": self._unsampled_ok,
+            }
+
+    def snapshot(self) -> Mapping[str, Any]:
+        return self.stats()

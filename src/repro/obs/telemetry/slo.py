@@ -1,0 +1,305 @@
+"""Declarative SLOs with error budgets and multi-window burn-rate alerts.
+
+An :class:`SloSpec` states an objective ("99% of requests succeed",
+"95% of tier-0 translations return within 120 ms", "under 2% of
+requests shed"); the :class:`SloEngine` classifies every finished
+request against each spec and answers, at any moment:
+
+* the good/bad counts and error rate over each alerting window,
+* the **burn rate** — error rate divided by the error budget
+  (``1 - objective``), so burn 1.0 means "spending budget exactly at
+  the rate that exhausts it at the period's end",
+* multi-window multi-burn-rate alerts in the Google SRE workbook shape:
+  a *fast* pair (5 m and 1 h both burning > 14.4×) catches sudden
+  storms in minutes, a *slow* pair (1 h and 6 h both > 6×) catches
+  simmering regressions; requiring **both** windows of a pair keeps a
+  brief blip from paging while the long window is still digesting an
+  old incident,
+* budget consumed/remaining over the longest configured window.
+
+Events land in one :class:`~repro.obs.telemetry.windows.WindowedCounter`
+(``slo_events_total{scope, slo, verdict}``), so the engine federates
+and renders like any other metric, and a :class:`ManualClock` makes the
+whole alert ladder deterministically testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from ..clock import Clock, monotonic
+from ..metrics import MetricsRegistry
+
+__all__ = [
+    "BurnRule",
+    "DEFAULT_BURN_RULES",
+    "SloEngine",
+    "SloSpec",
+    "default_slos",
+]
+
+# Error codes that reflect the caller's input, not service health: a bad
+# sentence costs no availability budget.
+INPUT_CODES = frozenset({
+    "translation_error", "type_error", "bad_request", "sheet_error",
+    "unknown_table", "unknown_column", "bad_address",
+})
+
+# Codes excluded from availability entirely (neither good nor bad): the
+# caller gave up or spent its own budget; the service did its job.
+NEUTRAL_CODES = frozenset({"cancelled", "deadline_exhausted"})
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """One multi-window burn-rate alert: fire when BOTH windows burn
+    faster than ``factor`` times the sustainable rate."""
+
+    name: str
+    long_seconds: float
+    short_seconds: float
+    factor: float
+
+
+# The SRE-workbook ladder: page on fast burn, ticket on slow burn.
+DEFAULT_BURN_RULES = (
+    BurnRule("fast", long_seconds=3600.0, short_seconds=300.0, factor=14.4),
+    BurnRule("slow", long_seconds=21600.0, short_seconds=3600.0, factor=6.0),
+)
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective.
+
+    ``kind`` selects the classifier:
+
+    * ``availability`` — bad when the request failed for a service
+      reason (input errors and neutral codes are excluded);
+    * ``latency`` — over successful requests of ladder rung ``tier``,
+      bad when latency exceeded ``threshold`` seconds;
+    * ``shed_rate`` — bad when the request was shed (queue full,
+      breaker open): an objective on admission, not completion.
+    """
+
+    name: str
+    kind: str
+    objective: float
+    threshold: float | None = None
+    tier: str | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("availability", "latency", "shed_rate"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.kind == "latency" and self.threshold is None:
+            raise ValueError("latency SLOs need a threshold")
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.objective
+
+    def classify(
+        self,
+        ok: bool,
+        error_code: str | None,
+        tier: str | None,
+        seconds: float | None,
+        shed: bool,
+    ) -> bool | None:
+        """True = good, False = bad, None = not in this SLO's population."""
+        if self.kind == "shed_rate":
+            return not shed
+        if self.kind == "latency":
+            if not ok or seconds is None:
+                return None
+            if self.tier is not None and tier != self.tier:
+                return None
+            return seconds <= self.threshold
+        if ok:
+            return True
+        if error_code in INPUT_CODES or error_code in NEUTRAL_CODES:
+            return None
+        return False
+
+    def as_dict(self) -> dict[str, Any]:
+        out = {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "budget": self.budget,
+        }
+        if self.threshold is not None:
+            out["threshold"] = self.threshold
+        if self.tier is not None:
+            out["tier"] = self.tier
+        if self.description:
+            out["description"] = self.description
+        return out
+
+
+def default_slos(latency_threshold: float = 0.5) -> tuple[SloSpec, ...]:
+    """The serving stack's stock objectives.
+
+    Availability at three nines of service health, p95-style latency per
+    degradation-ladder rung (``full`` is the interactive tier, so it
+    gets the tight threshold; degraded rungs already paid their latency
+    in search cuts, so they get half), and a shed ceiling.
+    ``latency_threshold`` scales the whole ladder.
+    """
+    return (
+        SloSpec(
+            "availability", "availability", 0.999,
+            description="non-input errors per finished request",
+        ),
+        SloSpec(
+            "latency_full", "latency", 0.95,
+            threshold=latency_threshold, tier="full",
+            description="full-fidelity rung under the deadline",
+        ),
+        SloSpec(
+            "latency_reduced", "latency", 0.95,
+            threshold=latency_threshold / 2, tier="reduced",
+            description="reduced rung under half the deadline",
+        ),
+        SloSpec(
+            "shed_rate", "shed_rate", 0.98,
+            description="requests admitted rather than shed",
+        ),
+    )
+
+
+class SloEngine:
+    """Classify finished requests and report budgets, burns, and alerts."""
+
+    def __init__(
+        self,
+        specs: Iterable[SloSpec] = (),
+        *,
+        metrics: MetricsRegistry | None = None,
+        clock: Clock | None = None,
+        scope: str = "gateway",
+        interval: float = 60.0,
+        burn_rules: Iterable[BurnRule] = DEFAULT_BURN_RULES,
+    ) -> None:
+        self.specs = tuple(specs) or default_slos()
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError("SLO spec names must be unique")
+        self.burn_rules = tuple(burn_rules)
+        self.scope = scope
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            clock=clock or monotonic
+        )
+        self._clock = clock or self.metrics.clock
+        horizon = max(
+            [rule.long_seconds for rule in self.burn_rules] or [21600.0]
+        )
+        self.horizon = horizon
+        self._events = self.metrics.windowed_counter(
+            "slo_events_total",
+            "good/bad events per SLO",
+            interval=interval,
+            horizon=horizon,
+        )
+
+    def record(
+        self,
+        *,
+        ok: bool,
+        error_code: str | None = None,
+        tier: str | None = None,
+        seconds: float | None = None,
+        shed: bool = False,
+    ) -> None:
+        """Classify one finished request against every spec."""
+        for spec in self.specs:
+            verdict = spec.classify(ok, error_code, tier, seconds, shed)
+            if verdict is None:
+                continue
+            self._events.inc(
+                scope=self.scope,
+                slo=spec.name,
+                verdict="good" if verdict else "bad",
+            )
+
+    # -- reporting -----------------------------------------------------------------
+
+    def _window(self, spec: SloSpec, seconds: float) -> dict[str, Any]:
+        good = self._events.window_sum(
+            seconds, scope=self.scope, slo=spec.name, verdict="good"
+        )
+        bad = self._events.window_sum(
+            seconds, scope=self.scope, slo=spec.name, verdict="bad"
+        )
+        total = good + bad
+        error_rate = bad / total if total else 0.0
+        return {
+            "seconds": seconds,
+            "good": good,
+            "bad": bad,
+            "total": total,
+            "error_rate": error_rate,
+            "burn_rate": error_rate / spec.budget,
+        }
+
+    @staticmethod
+    def _window_label(seconds: float) -> str:
+        if seconds % 3600 == 0:
+            return f"{int(seconds // 3600)}h"
+        if seconds % 60 == 0:
+            return f"{int(seconds // 60)}m"
+        return f"{int(seconds)}s"
+
+    def report(self) -> dict[str, Any]:
+        """The full ``/slo`` document: JSON-safe, deterministic order."""
+        window_seconds = sorted(
+            {rule.short_seconds for rule in self.burn_rules}
+            | {rule.long_seconds for rule in self.burn_rules}
+        )
+        slos = []
+        healthy = True
+        for spec in self.specs:
+            windows = {
+                self._window_label(seconds): self._window(spec, seconds)
+                for seconds in window_seconds
+            }
+            alerts = []
+            for rule in self.burn_rules:
+                long_w = self._window(spec, rule.long_seconds)
+                short_w = self._window(spec, rule.short_seconds)
+                fired = (
+                    long_w["total"] > 0
+                    and short_w["total"] > 0
+                    and long_w["burn_rate"] > rule.factor
+                    and short_w["burn_rate"] > rule.factor
+                )
+                alerts.append({
+                    "rule": rule.name,
+                    "factor": rule.factor,
+                    "long_window": self._window_label(rule.long_seconds),
+                    "short_window": self._window_label(rule.short_seconds),
+                    "long_burn_rate": long_w["burn_rate"],
+                    "short_burn_rate": short_w["burn_rate"],
+                    "fired": fired,
+                })
+                healthy = healthy and not fired
+            longest = self._window(spec, self.horizon)
+            consumed = (
+                longest["burn_rate"]  # = error_rate / budget: the budget
+                # fraction an equally-long SLO period would have spent.
+            )
+            slos.append({
+                **spec.as_dict(),
+                "windows": windows,
+                "alerts": alerts,
+                "budget_consumed": consumed,
+                "budget_remaining": max(0.0, 1.0 - consumed),
+            })
+        return {"scope": self.scope, "healthy": healthy, "slos": slos}
+
+    def snapshot(self) -> Mapping[str, Any]:
+        return self.report()

@@ -54,6 +54,7 @@ from ..obs.clock import Clock, monotonic
 from ..obs.log import fields as log_fields
 from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import TelemetryHub
 from ..obs.trace import NULL_TRACER
 from ..sheet import Workbook
 from ..translate import TranslatorConfig
@@ -104,6 +105,15 @@ class GatewayConfig:
     cache: bool = False
     cache_capacity: int = 4096
     cache_ttl: float | None = None  # seconds; None = entries never expire
+    # The telemetry plane (repro.obs.telemetry): always on by default —
+    # windowed series, SLO accounting, tail-sampled traces, and worker
+    # registry deltas folded from reply-pipe messages.  The off switch
+    # exists for the differential harness (byte-identical output proof)
+    # and the overhead benchmark, not for production configurations.
+    telemetry: bool = True
+    # Override the stock objectives (repro.obs.telemetry.default_slos);
+    # a tuple of SloSpec.  None = the defaults scaled to default_deadline.
+    slo_specs: tuple | None = None
 
 
 @dataclass
@@ -235,6 +245,9 @@ class _Request:
     # resolves the request.  ``queue_span`` covers admission → dispatch.
     span: Any = None
     queue_span: Any = None
+    # The id the telemetry plane files this request under: the caller's
+    # (e.g. an HTTP X-Repro-Trace-Id) when given, else the root span's.
+    trace_id: str | None = None
 
 
 @dataclass
@@ -363,6 +376,19 @@ class TranslationGateway:
         # (gauges guard single writes, not compound updates).
         self._ema_lock = threading.Lock()
         self._ema_call_seconds = 0.0
+        # The telemetry plane shares this registry, so the federated view
+        # and GET /metrics carry gateway_*, cache_*, telemetry_*, slo_*,
+        # and folded worker_* series side by side.
+        self.telemetry = (
+            TelemetryHub(
+                metrics=self.metrics,
+                scope="gateway",
+                deadline=self.config.default_deadline,
+                specs=self.config.slo_specs,
+            )
+            if self.config.telemetry
+            else None
+        )
         self._runners = [
             threading.Thread(
                 target=self._runner, args=(slot,), daemon=True,
@@ -382,6 +408,8 @@ class TranslationGateway:
         deadline: float | None | object = _UNSET,
         faults: str | None = None,
         trace_parent=None,
+        *,
+        trace_id: str | None = None,
     ) -> PendingResult:
         """Enqueue one request; always returns a resolvable future.
 
@@ -392,7 +420,10 @@ class TranslationGateway:
         ``trace_parent`` (a span from this gateway's own tracer) parents
         the request's ``gateway.request`` span — the cluster layer passes
         its per-attempt span here so a routed request yields one stitched
-        tree across cluster, gateway, and worker.
+        tree across cluster, gateway, and worker.  ``trace_id`` is the
+        caller-chosen id (e.g. an HTTP ``X-Repro-Trace-Id``) the request
+        is filed under in the telemetry plane and, when tracing is on and
+        no parent is given, the id of its span tree.
         """
         wb = workbook or self.default_workbook
         if wb is None:
@@ -410,6 +441,17 @@ class TranslationGateway:
                 normalise_sentence(sentence), fingerprint, self._cache_options
             )
         request_id = next(self._ids)
+        # The root span deliberately skips the with-statement: it is
+        # finished by whichever thread resolves the request.
+        span = self.tracer.span(
+            "gateway.request",
+            parent=trace_parent if self.tracer.enabled else None,
+            trace_id=trace_id if trace_parent is None else None,
+            request_id=request_id,
+            fingerprint=fingerprint,
+        )
+        if trace_id is None and self.tracer.enabled:
+            trace_id = span.trace_id
         request = _Request(
             id=request_id,
             sentence=sentence,
@@ -420,14 +462,8 @@ class TranslationGateway:
             faults=faults,
             pending=pending,
             cache_key=cache_key,
-            # The root span deliberately skips the with-statement: it is
-            # finished by whichever thread resolves the request.
-            span=self.tracer.span(
-                "gateway.request",
-                parent=trace_parent if self.tracer.enabled else None,
-                request_id=request_id,
-                fingerprint=fingerprint,
-            ),
+            span=span,
+            trace_id=trace_id,
         )
         pending._canceller = lambda: self._cancel_request(request)
         with self._cond:
@@ -623,6 +659,18 @@ class TranslationGateway:
         """The ``snapshot()`` protocol (same shape as ``stats().snapshot()``)."""
         return self.stats().snapshot()
 
+    def slo_report(self) -> dict[str, Any] | None:
+        """The ``GET /slo`` document, or ``None`` with telemetry off."""
+        if self.telemetry is None:
+            return None
+        return self.telemetry.slo_report()
+
+    def sampled_traces(self) -> list[str]:
+        """Tail-sampled trace records as JSONL lines (oldest first)."""
+        if self.telemetry is None:
+            return []
+        return self.telemetry.sampler.jsonl()
+
     # -- internals -----------------------------------------------------------------
 
     def _predicted_wait(self) -> float:
@@ -634,6 +682,11 @@ class TranslationGateway:
     def _count(self, *names: str) -> None:
         for name in names:
             self._events.inc(event=name)
+
+    def _observe(self, request: _Request, result: GatewayResult) -> None:
+        """Feed the telemetry plane on any resolution path (never raises)."""
+        if self.telemetry is not None:
+            self.telemetry.observe(result, trace_id=request.trace_id)
 
     def _close_span(self, request: _Request, result: GatewayResult) -> None:
         """Finish the request's root span with the outcome attached."""
@@ -669,6 +722,7 @@ class TranslationGateway:
             cached=True,
         )
         self._close_span(request, result)
+        self._observe(request, result)
         request.pending._resolve(result)
 
     def _cancel_request(self, request: _Request) -> bool:
@@ -705,6 +759,7 @@ class TranslationGateway:
             total_seconds=now - request.submitted_at,
         )
         self._close_span(request, result)
+        self._observe(request, result)
         request.pending._resolve(result)
         return True
 
@@ -739,6 +794,7 @@ class TranslationGateway:
             total_seconds=now - request.submitted_at,
         )
         self._close_span(request, result)
+        self._observe(request, result)
         request.pending._resolve(result)
 
     def _runner(self, slot: int) -> None:
@@ -826,6 +882,7 @@ class TranslationGateway:
             "config": self.config.translator_config,
             "faults": request.faults,
             "cache": self.config.cache,
+            "telemetry": self.telemetry is not None,
         }
         if self.tracer.enabled:
             # The worker opens its spans under the worker_call span; the
@@ -852,6 +909,12 @@ class TranslationGateway:
         else:
             duration = self.clock() - started
             call_span.set(warm=reply["warm"]).finish()
+            blob = reply.get("metrics")
+            if blob is not None and self.telemetry is not None:
+                # The worker's registry delta: fold it so this gateway's
+                # /metrics speaks for the whole process tree.  Undecodable
+                # blobs are counted and dropped inside the hub.
+                self.telemetry.fold(blob)
             spans = reply.get("spans")
             if spans:
                 # Worker clocks share no epoch with ours: shift the
@@ -974,4 +1037,5 @@ class TranslationGateway:
             self._in_flight -= 1
             self._in_flight_gauge.set(self._in_flight)
         self._close_span(request, result)
+        self._observe(request, result)
         request.pending._resolve(result)

@@ -66,15 +66,20 @@ class FakeBackend:
         self.responder = responder or (lambda sentence, **kw: make_result())
         self.hold = hold
         self.submissions: list[tuple[str, dict]] = []
+        self.trace_ids: list[str | None] = []  # one per submission, in order
         self.pending: list[tuple[PendingResult, str, dict]] = []
         self.cancelled: list[str] = []
         self._lock = threading.Lock()
 
     def submit(self, sentence: str, **kwargs) -> PendingResult:
+        # The server always propagates a trace id; record it on the side
+        # so golden assertions over the translation kwargs stay exact.
+        trace_id = kwargs.pop("trace_id", None)
         pending = PendingResult()
         pending._canceller = lambda: self._cancel(pending, sentence)
         with self._lock:
             self.submissions.append((sentence, kwargs))
+            self.trace_ids.append(trace_id)
             if self.hold:
                 self.pending.append((pending, sentence, kwargs))
         if not self.hold:

@@ -1,0 +1,145 @@
+"""Tail sampling: verdicts, the byte cap, eviction order, accounting."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.obs.clock import ManualClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import TailSampler
+
+
+def make_sampler(**kwargs):
+    kwargs.setdefault("clock", ManualClock(start=100.0))
+    kwargs.setdefault("rng", random.Random(7))
+    return TailSampler(**kwargs)
+
+
+# -- classification ------------------------------------------------------------------
+
+
+def test_classify_verdicts():
+    sampler = make_sampler(slow_threshold=1.0)
+    assert sampler.classify(False, "shed_overload", 0.0) == "shed"
+    assert sampler.classify(False, "worker_crashed", 0.1) == "error"
+    assert sampler.classify(True, None, 2.0) == "slow"
+    assert sampler.classify(True, None, 0.1) == "ok"
+
+
+def test_interesting_verdicts_always_retained():
+    sampler = make_sampler(ok_rate=0.0)
+    for i, verdict in enumerate(("error", "shed", "slow")):
+        assert sampler.offer(f"t-{i}", verdict, {}) is True
+    assert sampler.stats()["entries"] == 3
+
+
+def test_ok_sampled_probabilistically():
+    sampler = make_sampler(ok_rate=0.5, rng=random.Random(7))
+    kept = sum(
+        sampler.offer(f"t-{i}", "ok", {}) for i in range(1000)
+    )
+    assert 400 < kept < 600
+    stats = sampler.stats()
+    assert stats["unsampled_ok"] == 1000 - kept
+
+
+def test_ok_rate_zero_keeps_none():
+    sampler = make_sampler(ok_rate=0.0)
+    assert sampler.offer("t", "ok", {}) is False
+    assert sampler.stats()["entries"] == 0
+
+
+def test_unknown_verdict_rejected():
+    with pytest.raises(ValueError):
+        make_sampler().offer("t", "weird", {})
+
+
+# -- the byte cap --------------------------------------------------------------------
+
+
+def test_bytes_stay_under_cap_during_storm():
+    sampler = make_sampler(max_bytes=4096, ok_rate=1.0)
+    for i in range(200):
+        sampler.offer(f"err-{i}", "error", {"detail": "x" * 50})
+    stats = sampler.stats()
+    assert stats["bytes"] <= 4096
+    assert stats["entries"] > 0
+
+
+def test_eviction_prefers_oldest_ok():
+    sampler = make_sampler(max_bytes=600, ok_rate=1.0)
+    sampler.offer("ok-old", "ok", {"pad": "x" * 100})
+    sampler.offer("err-1", "error", {"pad": "x" * 100})
+    sampler.offer("err-2", "error", {"pad": "x" * 100})
+    sampler.offer("err-3", "error", {"pad": "x" * 100})
+    retained = {t["trace_id"] for t in sampler.traces()}
+    assert "ok-old" not in retained  # the ok background went first
+    assert {"err-1", "err-2", "err-3"} <= retained
+
+
+def test_errors_survive_storm_while_ok_displaced():
+    """100% of error traces retained while ok entries absorb eviction,
+    as long as the errors themselves fit the budget."""
+    sampler = make_sampler(max_bytes=20_000, ok_rate=1.0)
+    for i in range(50):
+        sampler.offer(f"ok-{i}", "ok", {"pad": "x" * 100})
+    for i in range(50):
+        sampler.offer(f"err-{i}", "error", {"pad": "x" * 100})
+    retained = {t["trace_id"] for t in sampler.traces()}
+    assert all(f"err-{i}" in retained for i in range(50))
+
+
+def test_oversize_single_record_dropped():
+    sampler = make_sampler(max_bytes=256)
+    assert sampler.offer("big", "error", {"pad": "x" * 1000}) is False
+    stats = sampler.stats()
+    assert stats["entries"] == 0
+    assert stats["evicted"]["error"] == 1
+
+
+def test_duplicate_trace_id_replaces_entry():
+    sampler = make_sampler()
+    sampler.offer("t-1", "ok" if False else "error", {"attempt": 1})
+    sampler.offer("t-1", "error", {"attempt": 2})
+    traces = sampler.traces()
+    assert len(traces) == 1
+    assert traces[0]["attempt"] == 2
+
+
+# -- read side -----------------------------------------------------------------------
+
+
+def test_jsonl_lines_roundtrip():
+    sampler = make_sampler()
+    sampler.offer("t-1", "error", {"code": "worker_crashed"})
+    lines = sampler.jsonl()
+    assert len(lines) == 1 and lines[0].endswith("\n")
+    record = json.loads(lines[0])
+    assert record["trace_id"] == "t-1"
+    assert record["verdict"] == "error"
+    assert record["code"] == "worker_crashed"
+    assert record["at"] == pytest.approx(100.0)
+
+
+def test_registry_metrics_track_sampler():
+    registry = MetricsRegistry()
+    sampler = make_sampler(max_bytes=600, ok_rate=1.0, metrics=registry)
+    sampler.offer("ok-1", "ok", {"pad": "x" * 100})
+    for i in range(4):
+        sampler.offer(f"err-{i}", "error", {"pad": "x" * 100})
+    sampled = registry.counter("telemetry_sampled_traces_total")
+    assert sampled.value(verdict="error") == 4
+    evictions = registry.counter("telemetry_sampler_evictions_total")
+    assert evictions.total() >= 1
+    gauge = registry.gauge("telemetry_sampler_bytes")
+    assert 0 < gauge.value() <= 600
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TailSampler(max_bytes=0)
+    with pytest.raises(ValueError):
+        TailSampler(ok_rate=1.5)

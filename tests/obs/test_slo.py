@@ -1,0 +1,178 @@
+"""The SLO engine: classification, budgets, multi-window burn alerts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.clock import ManualClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import SloEngine, SloSpec
+from repro.obs.telemetry.slo import default_slos
+
+
+def make_engine(specs, *, start=0.0):
+    clock = ManualClock(start=start)
+    registry = MetricsRegistry(clock=clock)
+    engine = SloEngine(specs, metrics=registry, clock=clock, scope="test")
+    return engine, clock
+
+
+def slo_named(report, name):
+    return next(s for s in report["slos"] if s["name"] == name)
+
+
+def alert_named(slo, rule):
+    return next(a for a in slo["alerts"] if a["rule"] == rule)
+
+
+# -- spec validation and classification ----------------------------------------------
+
+
+def test_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        SloSpec("x", "throughput", 0.99)
+
+
+def test_spec_rejects_degenerate_objective():
+    with pytest.raises(ValueError):
+        SloSpec("x", "availability", 1.0)
+
+
+def test_latency_spec_needs_threshold():
+    with pytest.raises(ValueError):
+        SloSpec("x", "latency", 0.95)
+
+
+def test_availability_classification():
+    spec = SloSpec("a", "availability", 0.99)
+    good = spec.classify(True, None, "full", 0.1, False)
+    bad = spec.classify(False, "worker_crashed", None, 0.1, False)
+    input_err = spec.classify(False, "translation_error", None, 0.1, False)
+    neutral = spec.classify(False, "cancelled", None, 0.1, False)
+    assert (good, bad, input_err, neutral) == (True, False, None, None)
+
+
+def test_latency_classification_scopes_to_tier():
+    spec = SloSpec("l", "latency", 0.95, threshold=0.2, tier="full")
+    assert spec.classify(True, None, "full", 0.1, False) is True
+    assert spec.classify(True, None, "full", 0.5, False) is False
+    assert spec.classify(True, None, "reduced", 0.5, False) is None
+    assert spec.classify(False, "worker_timeout", "full", 0.5, False) is None
+
+
+def test_shed_rate_counts_every_request():
+    spec = SloSpec("s", "shed_rate", 0.98)
+    assert spec.classify(True, None, "full", 0.1, False) is True
+    assert spec.classify(False, "shed_overload", None, 0.0, True) is False
+
+
+def test_default_slos_cover_the_ladder():
+    specs = default_slos(0.4)
+    by_name = {s.name: s for s in specs}
+    assert by_name["latency_full"].tier == "full"
+    assert by_name["latency_full"].threshold == pytest.approx(0.4)
+    assert by_name["latency_reduced"].threshold == pytest.approx(0.2)
+    assert by_name["availability"].objective == pytest.approx(0.999)
+
+
+def test_engine_rejects_duplicate_names():
+    with pytest.raises(ValueError):
+        SloEngine([
+            SloSpec("a", "availability", 0.99),
+            SloSpec("a", "shed_rate", 0.98),
+        ])
+
+
+# -- burn-rate alerting --------------------------------------------------------------
+
+
+def test_steady_good_traffic_is_healthy():
+    engine, clock = make_engine([SloSpec("a", "availability", 0.99)])
+    for _ in range(600):
+        engine.record(ok=True)
+        clock.advance(1.0)
+    report = engine.report()
+    assert report["healthy"] is True
+    slo = slo_named(report, "a")
+    assert all(not a["fired"] for a in slo["alerts"])
+    assert slo["windows"]["5m"]["error_rate"] == 0.0
+
+
+def test_fault_storm_trips_fast_burn_but_not_slow():
+    """A 10-minute total outage after 6 quiet hours: the fast pair
+    (5 m and 1 h) burns far past 14.4x, while the 6 h window has
+    digested enough good traffic to keep the slow pair green."""
+    engine, clock = make_engine([SloSpec("a", "availability", 0.99)])
+    # Six hours of healthy traffic at 1 rps.
+    for _ in range(21600):
+        engine.record(ok=True)
+        clock.advance(1.0)
+    # Ten minutes of pure worker crashes at 1 rps.
+    for _ in range(600):
+        engine.record(ok=False, error_code="worker_crashed")
+        clock.advance(1.0)
+    report = engine.report()
+    slo = slo_named(report, "a")
+    fast = alert_named(slo, "fast")
+    slow = alert_named(slo, "slow")
+    assert fast["fired"] is True
+    assert fast["short_burn_rate"] > 14.4  # 5m window: 100% errors
+    assert fast["long_burn_rate"] > 14.4  # 1h window: 600/3600 errors
+    # 6h window: 600 bad over ~21600 events -> burn ~2.8, under 6.
+    assert slow["fired"] is False
+    assert slow["long_burn_rate"] < 6.0
+    assert report["healthy"] is False
+
+
+def test_burn_requires_both_windows():
+    """A blip that saturates the short window alone never pages."""
+    engine, clock = make_engine([SloSpec("a", "availability", 0.99)])
+    # One hour of good traffic, then one minute of failures.
+    for _ in range(3600):
+        engine.record(ok=True)
+        clock.advance(1.0)
+    for _ in range(60):
+        engine.record(ok=False, error_code="worker_crashed")
+        clock.advance(1.0)
+    slo = slo_named(engine.report(), "a")
+    fast = alert_named(slo, "fast")
+    # Short window burns hot, long window hasn't crossed the bar.
+    assert fast["short_burn_rate"] > 14.4
+    assert fast["long_burn_rate"] < 14.4
+    assert fast["fired"] is False
+
+
+def test_input_errors_cost_no_budget():
+    engine, clock = make_engine([SloSpec("a", "availability", 0.99)])
+    for _ in range(100):
+        engine.record(ok=False, error_code="translation_error")
+        clock.advance(1.0)
+    slo = slo_named(engine.report(), "a")
+    assert slo["windows"]["5m"]["total"] == 0
+
+
+def test_budget_accounting():
+    engine, clock = make_engine([SloSpec("a", "availability", 0.99)])
+    for i in range(1000):
+        engine.record(ok=i % 100 != 0)  # exactly 1% bad
+        clock.advance(1.0)
+    slo = slo_named(engine.report(), "a")
+    assert slo["budget_consumed"] == pytest.approx(1.0)
+    assert slo["budget_remaining"] == pytest.approx(0.0)
+
+
+def test_report_shape_is_json_safe():
+    import json
+
+    engine, clock = make_engine(default_slos())
+    engine.record(ok=True, tier="full", seconds=0.1)
+    engine.record(ok=False, error_code="worker_crashed", seconds=0.2)
+    engine.record(ok=False, error_code="shed_overload", shed=True)
+    report = engine.report()
+    json.dumps(report)  # must not raise
+    assert {s["name"] for s in report["slos"]} == {
+        "availability", "latency_full", "latency_reduced", "shed_rate",
+    }
+    for slo in report["slos"]:
+        assert set(slo["windows"]) == {"5m", "1h", "6h"}
+        assert [a["rule"] for a in slo["alerts"]] == ["fast", "slow"]

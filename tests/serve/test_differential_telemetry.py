@@ -1,0 +1,93 @@
+"""Differential harness: the telemetry plane must never change an answer.
+
+Telemetry is always on in production, so its observation points sit
+directly in the request path — the gateway hub, the worker-side delta
+tracker riding reply-pipe messages, the SLO engine, the tail sampler.
+This harness runs the Table 2 test split through a telemetry-on gateway
+and a telemetry-off gateway and asserts every ranking-observable field
+serialises to identical bytes.  A telemetry bug that perturbs a score,
+reorders a candidate, or changes a tier anywhere fails this test.
+
+``REPRO_DIFF_LIMIT`` caps the number of descriptions (evenly subsampled;
+default: the full test split, which is what the acceptance bar requires).
+CI's quick lane sets a low limit; the slow lane and local runs take the
+full split.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.dataset import SHEET_ORDER, Corpus, build_sheet
+from repro.serve import GatewayConfig, TranslationGateway
+
+pytestmark = pytest.mark.slow
+
+_LIMIT = os.environ.get("REPRO_DIFF_LIMIT")
+
+
+@pytest.fixture(scope="module")
+def test_split():
+    descriptions = Corpus.default().test
+    if _LIMIT:
+        n = int(_LIMIT)
+        if 0 < n < len(descriptions):
+            step = len(descriptions) / n
+            descriptions = [descriptions[int(k * step)] for k in range(n)]
+    return descriptions
+
+
+def _serialise(result) -> bytes:
+    """Everything ranking-observable about a reply, as bytes.
+
+    Deliberately excludes serving diagnostics (timing, worker ids):
+    telemetry never touches the ranked answer, but the clock reads differ.
+    """
+    lines = [f"tier={result.tier} code={result.error_code}"]
+    lines += [f"{program}\t{score!r}" for program, score in result.programs]
+    lines.append(f"top_formula={result.top_formula}")
+    lines.append(f"n_candidates={result.n_candidates}")
+    return "\n".join(lines).encode()
+
+
+def _run_split(test_split, workbooks, telemetry: bool):
+    gateway = TranslationGateway(
+        config=GatewayConfig(
+            workers=2,
+            queue_limit=len(test_split) + 4,
+            telemetry=telemetry,
+            cache=False,  # every request does the full compute
+        )
+    )
+    try:
+        pendings = [
+            gateway.submit(d.text, workbooks[d.sheet_id]) for d in test_split
+        ]
+        results = [p.result(timeout=600.0) for p in pendings]
+        rendered = gateway.metrics.render()
+    finally:
+        gateway.close(drain=True)
+    return results, rendered
+
+
+def test_telemetry_on_equals_telemetry_off(test_split):
+    workbooks = {sheet_id: build_sheet(sheet_id) for sheet_id in SHEET_ORDER}
+    with_telemetry, on_metrics = _run_split(test_split, workbooks, True)
+    without_telemetry, off_metrics = _run_split(test_split, workbooks, False)
+
+    mismatches = []
+    for d, on, off in zip(test_split, with_telemetry, without_telemetry):
+        if _serialise(on) != _serialise(off):
+            mismatches.append((d.sheet_id, d.text))
+    assert not mismatches, (
+        f"{len(mismatches)}/{len(test_split)} rankings changed with "
+        f"telemetry on, e.g. {mismatches[:3]}"
+    )
+
+    # Sanity on the knob itself: the on pass really observed traffic and
+    # the off pass really skipped the plane.
+    assert "telemetry_requests_total" in on_metrics
+    assert "slo_events_total" in on_metrics
+    assert "telemetry_requests_total" not in off_metrics
