@@ -16,10 +16,19 @@ Each run appends a row to ``BENCH_hotpath.json`` (override the location
 with ``REPRO_BENCH_OUT``), the benchmark trajectory CI uploads as an
 artifact.
 
+A second bar covers the columnar sheet backend (``repro.sheet.columnar``,
+disabled by ``REPRO_NO_COLUMNAR=1``): the same subprocess A/B over a
+generated large-sheet workload (``repro.dataset.stress``), cold in the
+strict sense — a fresh ``Translator`` per request, so sheet indexing is
+inside the timed region.  Size and sample are tunable via
+``REPRO_LARGESHEET_ROWS`` / ``REPRO_LARGESHEET_SAMPLE``.
+
 Run the measured child directly for one mode::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py --child 48
     REPRO_NO_INTERN=1 PYTHONPATH=src python benchmarks/bench_hotpath.py --child 48
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --child-large 12
+    REPRO_NO_COLUMNAR=1 PYTHONPATH=src python benchmarks/bench_hotpath.py --child-large 12
 """
 
 from __future__ import annotations
@@ -33,7 +42,10 @@ import time
 from pathlib import Path
 
 SPEEDUP_BAR = 2.0
+LARGESHEET_SPEEDUP_BAR = 2.0
 _SAMPLE = int(os.environ.get("REPRO_HOTPATH_SAMPLE", "48"))
+_LARGE_ROWS = int(os.environ.get("REPRO_LARGESHEET_ROWS", "10000"))
+_LARGE_SAMPLE = int(os.environ.get("REPRO_LARGESHEET_SAMPLE", "12"))
 _ROUNDS = 2  # take the fastest round per mode (absorbs machine noise)
 
 
@@ -74,6 +86,47 @@ def _child(n: int) -> dict:
     }
 
 
+def _child_large(n: int) -> dict:
+    """Cold-translate n stress sentences against a large generated sheet.
+
+    Cold here means a fresh ``Translator`` per request: with the columnar
+    backend on, the first request pays the (revision-memoised) index
+    build and later ones probe it; with ``REPRO_NO_COLUMNAR=1`` every
+    request re-walks all rows — both are the real per-mode behaviours.
+    """
+    from repro.dataset import SHEET_ORDER, build_sheet, stress_sentences, \
+        stress_workbook
+    from repro.dsl.excel import ExcelEmitter
+    from repro.sheet import columnar_enabled
+    from repro.translate import Translator
+
+    workbook = stress_workbook(_LARGE_ROWS)
+    sentences = stress_sentences(workbook, count=n)
+    # Warm process one-time costs (imports, rule parsing) on a tiny sheet
+    # so the timed region measures the large-sheet path, not start-up.
+    Translator(build_sheet(SHEET_ORDER[0])).translate("sum the hours")
+
+    emitter = ExcelEmitter(workbook)
+    digest = hashlib.sha256()
+    start = time.perf_counter()
+    for text in sentences:
+        candidates = Translator(workbook).translate(text)
+        for c in candidates:
+            digest.update(
+                f"stress{_LARGE_ROWS}\t{text}\t{c.program}\t{c.score!r}\t"
+                f"{emitter.emit(c.program)}\n".encode()
+            )
+    seconds = time.perf_counter() - start
+    return {
+        "n": n,
+        "rows": _LARGE_ROWS,
+        "seconds": seconds,
+        "per_translation_ms": seconds / n * 1000.0,
+        "sha256": digest.hexdigest(),
+        "columnar": columnar_enabled(),
+    }
+
+
 def _run_mode(disabled: bool, n: int) -> dict:
     env = dict(os.environ)
     env["REPRO_NO_INTERN"] = "1" if disabled else ""
@@ -91,6 +144,26 @@ def _run_mode(disabled: bool, n: int) -> dict:
             best = result
     assert best is not None
     assert best["hotpath"] is not disabled, "child did not honour the switch"
+    return best
+
+
+def _run_large_mode(disabled: bool, n: int) -> dict:
+    env = dict(os.environ)
+    env["REPRO_NO_COLUMNAR"] = "1" if disabled else ""
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    best: dict | None = None
+    for _ in range(_ROUNDS):
+        out = subprocess.run(
+            [sys.executable, __file__, "--child-large", str(n)],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        result = json.loads(out.stdout)
+        if best is None or result["seconds"] < best["seconds"]:
+            best = result
+    assert best is not None
+    assert best["columnar"] is not disabled, "child did not honour the switch"
     return best
 
 
@@ -144,9 +217,54 @@ def test_hotpath_speedup_bar():
     )
 
 
+def test_columnar_largesheet_bar():
+    """Cold large-sheet translation >= 2x faster with the columnar
+    backend on, output byte-identical to the row-backed paths."""
+    baseline = _run_large_mode(disabled=True, n=_LARGE_SAMPLE)
+    optimised = _run_large_mode(disabled=False, n=_LARGE_SAMPLE)
+    speedup = baseline["seconds"] / optimised["seconds"]
+    identical = baseline["sha256"] == optimised["sha256"]
+    row = {
+        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "bench": "columnar_largesheet",
+        "rows": _LARGE_ROWS,
+        "n": _LARGE_SAMPLE,
+        "baseline_s": round(baseline["seconds"], 4),
+        "optimised_s": round(optimised["seconds"], 4),
+        "baseline_ms_per_translation": round(
+            baseline["per_translation_ms"], 3
+        ),
+        "optimised_ms_per_translation": round(
+            optimised["per_translation_ms"], 3
+        ),
+        "speedup": round(speedup, 3),
+        "identical_output": identical,
+        "python": sys.version.split()[0],
+    }
+    path = _append_trajectory(row)
+    print(
+        f"\ncolumnar ({_LARGE_ROWS} rows): baseline "
+        f"{baseline['per_translation_ms']:.1f} ms -> optimised "
+        f"{optimised['per_translation_ms']:.1f} ms per translation "
+        f"({speedup:.2f}x, trajectory: {path})"
+    )
+    assert identical, (
+        "columnar and REPRO_NO_COLUMNAR=1 rankings diverged "
+        f"({baseline['sha256'][:12]} vs {optimised['sha256'][:12]})"
+    )
+    assert speedup >= LARGESHEET_SPEEDUP_BAR, (
+        f"columnar backend is only {speedup:.2f}x faster on the "
+        f"{_LARGE_ROWS}-row sheet (bar: {LARGESHEET_SPEEDUP_BAR}x)"
+    )
+
+
 if __name__ == "__main__":
     if "--child" in sys.argv:
         n = int(sys.argv[sys.argv.index("--child") + 1])
         print(json.dumps(_child(n)))
+    elif "--child-large" in sys.argv:
+        n = int(sys.argv[sys.argv.index("--child-large") + 1])
+        print(json.dumps(_child_large(n)))
     else:
         test_hotpath_speedup_bar()
+        test_columnar_largesheet_bar()

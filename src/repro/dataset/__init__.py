@@ -13,13 +13,21 @@ from .generator import (
 )
 from .intents import Filter, Intent, build_gold
 from .sheets import SHEET_ORDER, build_sheet
+from .stress import (
+    DEFAULT_STRESS_SEED,
+    STRESS_SIZES,
+    stress_sentences,
+    stress_workbook,
+)
 from .tasks import Task, all_tasks, tasks_for_sheet, validate_tasks
 
 __all__ = [
     "CORPUS_SIZE",
     "Corpus",
     "DEFAULT_SEED",
+    "DEFAULT_STRESS_SEED",
     "Description",
+    "STRESS_SIZES",
     "Filter",
     "Intent",
     "SHEET_ORDER",
@@ -30,6 +38,8 @@ __all__ = [
     "generate_corpus",
     "generate_descriptions",
     "generate_user_study",
+    "stress_sentences",
+    "stress_workbook",
     "tasks_for_sheet",
     "user_study_descriptions",
     "validate_tasks",

@@ -1,0 +1,170 @@
+"""Deterministic large-sheet stress workbooks.
+
+The four evaluation sheets (:mod:`repro.dataset.sheets`) are small —
+half a dozen rows each — which is right for reproducing the paper's
+Table 2 but says nothing about the regimes the columnar backend
+(:mod:`repro.sheet.columnar`) targets: seed matching and content checks
+over 10k-100k-row tables.  This module generates those tables:
+
+* **deterministic** — every cell is a pure function of ``(rows, seed)``
+  (``random.Random``, no wall-clock anywhere), so fingerprints are stable
+  across runs and the bench A/B can assert byte-identical output;
+* **seeded value distributions** — a Zipf-ish skew over bounded value
+  pools (most rows reuse popular values, a long tail stays rare), the
+  shape real sheets have and the shape that makes the interned string
+  pool earn its keep;
+* **duplicated values across columns** — every region value also appears
+  in ``shipregion`` and in the side table's ``region`` column, so a bare
+  value span resolves to *multiple* (table, column) slots and the
+  paper's ResolveCol fallback is exercised at scale, not just on the
+  six-row payroll sheet.
+
+``stress_sentences`` derives a deterministic workload from the generated
+content (sentences referencing real values of the sheet), so callers
+never have to peek at the generator's internals.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..sheet import Table, ValueType, Workbook
+
+#: Row counts the evalkit experiment and the perf bench report on.
+STRESS_SIZES = (10_000, 100_000)
+
+DEFAULT_STRESS_SEED = 11
+
+# Multi-word region names: fixed pool, heavily duplicated across rows and
+# across the region/shipregion columns and the Couriers side table.
+_REGIONS = (
+    "north harbor", "east bay", "capitol ridge", "old town",
+    "south mesa", "west landing", "pine hollow", "cedar flats",
+    "lake union", "stone creek", "fox valley", "iron point",
+)
+
+_CATEGORIES = (
+    "grocery", "hardware", "apparel", "garden",
+    "electronics", "stationery", "toys", "pantry",
+)
+
+_COURIERS = (
+    "swiftship", "parcelrun", "cargomax", "redline",
+    "bluecrate", "overland",
+)
+
+_SYLLABLES = (
+    "ba", "re", "mo", "ta", "li", "no", "ker", "vin", "sol", "dra",
+    "fen", "gul", "ral", "tem", "os", "ca", "zen", "pir", "hul", "mar",
+)
+
+
+def _word(rng: random.Random, syllables: int) -> str:
+    return "".join(rng.choice(_SYLLABLES) for _ in range(syllables))
+
+
+def _pool(rng: random.Random, size: int, syllables: int) -> list[str]:
+    """``size`` distinct generated words."""
+    out: list[str] = []
+    seen: set[str] = set()
+    while len(out) < size:
+        word = _word(rng, syllables)
+        if word not in seen:
+            seen.add(word)
+            out.append(word)
+    return out
+
+
+def _skewed(rng: random.Random, pool: list[str]) -> str:
+    """Zipf-ish draw: rank r is ~1/(r+1) likely — a popular head plus a
+    long tail, like real categorical sheet columns."""
+    weights = [1.0 / (r + 1) for r in range(len(pool))]
+    return rng.choices(pool, weights=weights, k=1)[0]
+
+
+def stress_workbook(
+    rows: int, seed: int = DEFAULT_STRESS_SEED
+) -> Workbook:
+    """A deterministic ``rows``-row Orders workbook plus a Couriers side
+    table (lookup target; shares region values with the main table)."""
+    rng = random.Random(rows * 1_000_003 + seed)
+    # Distinct-value counts scale with the sheet (so the string pool and
+    # the spell-corrector vocabulary grow too) but stay bounded the way
+    # real categorical data is.
+    customers = _pool(rng, max(24, rows // 50), 3)
+    surnames = _pool(rng, max(12, rows // 200), 2)
+    products = _pool(rng, max(16, rows // 100), 2)
+
+    data: list[list[object]] = []
+    for _ in range(rows):
+        region = _skewed(rng, list(_REGIONS))
+        data.append([
+            f"{_skewed(rng, customers)} {_skewed(rng, surnames)}",
+            region,
+            # ~70% of shipments go to the order's own region; the rest
+            # land elsewhere — either way the *values* are shared between
+            # the two columns, which is what exercises ResolveCol.
+            region if rng.random() < 0.7 else _skewed(rng, list(_REGIONS)),
+            _skewed(rng, products),
+            _skewed(rng, list(_CATEGORIES)),
+            _skewed(rng, list(_COURIERS)),
+            round(rng.uniform(5.0, 500.0), 2),
+            rng.randint(1, 40),
+            round(rng.uniform(0.0, 0.3), 2),
+        ])
+    workbook = Workbook()
+    workbook.add_table(Table.from_data(
+        "Orders",
+        ["customer", "region", "shipregion", "product", "category",
+         "courier", "amount", "quantity", "discount"],
+        data,
+        types=[
+            ValueType.TEXT, ValueType.TEXT, ValueType.TEXT,
+            ValueType.TEXT, ValueType.TEXT, ValueType.TEXT,
+            ValueType.CURRENCY, ValueType.NUMBER, ValueType.NUMBER,
+        ],
+    ))
+    workbook.add_table(Table.from_data(
+        "Couriers",
+        ["courier", "region", "fee"],
+        [
+            [courier, _REGIONS[k % len(_REGIONS)],
+             round(4.0 + 1.5 * k, 2)]
+            for k, courier in enumerate(_COURIERS)
+        ],
+        types=[ValueType.TEXT, ValueType.TEXT, ValueType.CURRENCY],
+    ))
+    workbook.set_cursor("M2")
+    return workbook
+
+
+def stress_sentences(workbook: Workbook, count: int = 12) -> list[str]:
+    """A deterministic translation workload over a stress workbook.
+
+    Sentences reference values actually present in the sheet (read back
+    from fixed rows, so they are as deterministic as the workbook), and
+    cover the shapes the columnar layer serves: conditional reductions
+    over value spans, counting, ResolveCol-ambiguous bare values, and
+    plain column reductions.
+    """
+    table = workbook.default_table
+
+    def cell(i: int, name: str) -> str:
+        j = [c.name for c in table.columns].index(name)
+        return str(table.cell(i % table.n_rows, j).value.payload)
+
+    sentences = [
+        f"sum the amount for the {cell(0, 'region')} orders",
+        f"average the quantity where the region is {cell(7, 'region')}",
+        f"count the {cell(3, 'category')} rows",
+        f"how many orders are from {cell(11, 'region')}",
+        f"max amount for the {cell(5, 'product')} orders",
+        "total the amount",
+        f"min quantity where category is {cell(9, 'category')}",
+        f"sum the amount for {cell(2, 'customer')}",
+        "average the discount",
+        f"count the orders where shipregion is {cell(4, 'shipregion')}",
+        f"sum the quantity for the {cell(13, 'courier')} shipments",
+        f"average amount for {cell(17, 'product')}",
+    ]
+    return [sentences[k % len(sentences)] for k in range(count)]

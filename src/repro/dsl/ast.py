@@ -71,8 +71,17 @@ def set_hotpath(enabled: bool) -> None:
 
 def sync_hotpath_from_env() -> None:
     """Re-read ``REPRO_NO_INTERN`` — needed by forked gateway workers whose
-    parent imported this module before the env var was set."""
+    parent imported this module before the env var was set.
+
+    Also re-reads ``REPRO_NO_COLUMNAR`` (:mod:`repro.sheet.columnar`): the
+    columnar backend and the template intern tables ride the same fork
+    serialisation path into workers, so the two switches stay in sync from
+    one call site.
+    """
     set_hotpath(os.environ.get("REPRO_NO_INTERN", "") != "1")
+    from ..sheet.columnar import sync_columnar_from_env
+
+    sync_columnar_from_env()
 
 
 def intern_table_size() -> int:

@@ -19,6 +19,7 @@ import enum
 from dataclasses import dataclass
 
 from ..errors import DslTypeError, UnknownColumnError, UnknownTableError
+from ..sheet.columnar import columnar_enabled
 from ..sheet.values import ValueType
 from ..sheet.workbook import Workbook
 from . import ast
@@ -307,12 +308,22 @@ class TypeChecker:
                 continue
             table = self.workbook.table(ct.table)
             needle = str(literal.value.payload).strip().lower()
-            occurs = self._values_cache.get(ct.table)
-            if occurs is None:
-                occurs = table.distinct_text_values()
-                self._values_cache[ct.table] = occurs
             column_name = table.column(column.name).name
-            if column_name not in occurs.get(needle, ()):
+            if columnar_enabled():
+                # One pool probe + one distinct-id set test against the
+                # interned columnar index — the row walk below scans the
+                # whole table on the first probe per table, which dominates
+                # first-translate time on large sheets.
+                occurs_here = self.workbook.columnar_index().occurs_in(
+                    ct.table, needle, column_name
+                )
+            else:
+                occurs = self._values_cache.get(ct.table)
+                if occurs is None:
+                    occurs = table.distinct_text_values()
+                    self._values_cache[ct.table] = occurs
+                occurs_here = column_name in occurs.get(needle, ())
+            if not occurs_here:
                 raise DslTypeError(
                     f"value {needle!r} does not occur in column "
                     f"{column_name!r}"

@@ -11,6 +11,7 @@ Usage::
     python -m repro.evalkit cluster [--sample N]
     python -m repro.evalkit profile [--sample N]
     python -m repro.evalkit slo [--sample N]
+    python -m repro.evalkit largesheet [--rows R] [--sample N]
     python -m repro.evalkit all [--sample N]
 """
 
@@ -95,6 +96,17 @@ def _profile(args: argparse.Namespace) -> None:
     print(harness.format_profile(result))
 
 
+def _largesheet(args: argparse.Namespace) -> None:
+    result = harness.run_largesheet(
+        rows=args.rows, sample=args.sample
+    )
+    print(
+        "Large sheet — cold translation against a generated stress "
+        "workbook (measured)"
+    )
+    print(harness.format_largesheet(result))
+
+
 def _slo(args: argparse.Namespace) -> None:
     corpus = Corpus.default()
     result = harness.run_slo(corpus, sample=args.sample or 60)
@@ -118,11 +130,15 @@ def main(argv: list[str] | None = None) -> None:
         "experiment",
         choices=["table1", "table2", "table3", "fig1", "userstudy",
                  "clusters", "resilience", "gateway", "cluster", "cache",
-                 "profile", "slo", "all"],
+                 "profile", "slo", "largesheet", "all"],
     )
     parser.add_argument(
         "--sample", type=int, default=None,
         help="cap the number of evaluated descriptions (table2/table3)",
+    )
+    parser.add_argument(
+        "--rows", type=int, default=10_000,
+        help="stress workbook size for the largesheet experiment",
     )
     args = parser.parse_args(argv)
     runners = {
@@ -138,6 +154,7 @@ def main(argv: list[str] | None = None) -> None:
         "cache": _cache,
         "profile": _profile,
         "slo": _slo,
+        "largesheet": _largesheet,
     }
     if args.experiment == "all":
         for name in ["table1", "fig1", "table2", "table3", "userstudy",

@@ -832,3 +832,102 @@ def format_slo(lane: SloLaneReport) -> str:
     )
     lines.append(f"healthy: {report.get('healthy')}")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Large-sheet stress (the columnar backend's home regime)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LargeSheetReport:
+    """Cold translation against a generated large workbook.
+
+    "Cold" here is the serving-cold path: a fresh ``Translator`` per
+    request (as a gateway worker builds one on first contact with a
+    workbook fingerprint), result cache off.  The first request also pays
+    the columnar index build — the index is memoised per sheet revision,
+    which is exactly the production behaviour being measured.
+    """
+
+    rows: int = 0
+    n: int = 0
+    build_seconds: float = 0.0
+    first_ms: float = 0.0          # first request: index build + translate
+    median_ms: float = 0.0         # steady-state cold request
+    mean_ms: float = 0.0
+    answered: int = 0
+    columnar: bool = True
+    numpy: bool = False
+    distinct_values: int = 0
+    text_cells: int = 0
+
+
+def run_largesheet(
+    rows: int = 10_000,
+    sample: int | None = None,
+    seed: int | None = None,
+) -> LargeSheetReport:
+    """Translate a deterministic workload against a ``rows``-row stress
+    workbook (:mod:`repro.dataset.stress`) in the *current* columnar mode
+    (flip with ``REPRO_NO_COLUMNAR=1``; the perf bench runs the A/B)."""
+    from statistics import mean, median
+
+    from ..dataset.stress import (
+        DEFAULT_STRESS_SEED,
+        stress_sentences,
+        stress_workbook,
+    )
+    from ..sheet import columnar
+    from ..translate import Translator
+
+    report = LargeSheetReport(rows=rows)
+    report.columnar = columnar.columnar_enabled()
+    report.numpy = columnar.HAVE_NUMPY
+
+    start = perf()
+    workbook = stress_workbook(rows, seed=DEFAULT_STRESS_SEED if seed is None else seed)
+    report.build_seconds = perf() - start
+    sentences = stress_sentences(workbook, count=sample or 12)
+    report.n = len(sentences)
+
+    # Warm process-level one-time costs (imports, rule parsing) on a tiny
+    # sheet so they do not masquerade as per-request latency; the stress
+    # workbook itself stays cold.
+    Translator(build_sheet(SHEET_ORDER[0])).translate("sum the hours")
+
+    timings: list[float] = []
+    for text in sentences:
+        start = perf()
+        translator = Translator(workbook)
+        candidates = translator.translate(text)
+        timings.append((perf() - start) * 1000.0)
+        if candidates:
+            report.answered += 1
+    report.first_ms = timings[0]
+    report.median_ms = median(timings[1:] or timings)
+    report.mean_ms = mean(timings)
+    if report.columnar:
+        index = workbook.columnar_index()
+        report.distinct_values = index.n_values
+        report.text_cells = index.n_cells()
+    return report
+
+
+def format_largesheet(report: LargeSheetReport) -> str:
+    mode = "columnar" if report.columnar else "row-backed (REPRO_NO_COLUMNAR)"
+    lines = [
+        f"{report.rows} rows / {report.n} cold requests / {mode}"
+        + (", numpy" if report.columnar and report.numpy else ""),
+        f"workbook build {report.build_seconds:>6.2f}s   "
+        f"first request {report.first_ms:>8.1f}ms (includes index build)",
+        f"per request: median {report.median_ms:>7.1f}ms   "
+        f"mean {report.mean_ms:>7.1f}ms   "
+        f"answered {report.answered}/{report.n}",
+    ]
+    if report.columnar:
+        lines.append(
+            f"index: {report.distinct_values} distinct values over "
+            f"{report.text_cells} text cells"
+        )
+    return "\n".join(lines)

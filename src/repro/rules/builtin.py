@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from ..dsl import ast
 from ..sheet import CellValue, Color, FormatFn
+from ..sheet.columnar import columnar_enabled
 from ..translate.rules import RuleSet, make_rule
 
 _H = ast.Hole
@@ -81,7 +82,25 @@ _ROW_NOUNS = (
 )
 
 
+# Rules are frozen and templates are interned (repro.translate.patterns),
+# so one construction can serve every translator in the process; each call
+# still gets a fresh *mutable* RuleSet over the shared Rule objects.
+_BUILTIN: RuleSet | None = None
+
+
 def builtin_rules() -> RuleSet:
+    """The base rule set (a fresh RuleSet sharing one cached rule list
+    when the columnar/template optimisation layer is enabled; rebuilt from
+    scratch per call under ``REPRO_NO_COLUMNAR=1``)."""
+    global _BUILTIN
+    if not columnar_enabled():
+        return _build_rules()
+    if _BUILTIN is None:
+        _BUILTIN = _build_rules()
+    return RuleSet(list(_BUILTIN.rules))
+
+
+def _build_rules() -> RuleSet:
     """Construct the base rule set."""
     rules = RuleSet()
     add = rules.add

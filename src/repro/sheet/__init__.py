@@ -8,6 +8,13 @@ per-cell formatting, the active selection, and the cursor.
 from .address import CellAddress, column_index_to_letter, column_letter_to_index, is_cell_reference
 from .cell import Cell
 from .column import Column, infer_column_type
+from .columnar import (
+    HAVE_NUMPY,
+    ColumnarIndex,
+    columnar_enabled,
+    set_columnar,
+    sync_columnar_from_env,
+)
 from .formatting import CellFormat, Color, FormatFn
 from .table import Table
 from .values import CellValue, ValueType, parse_literal, parse_word_number
@@ -20,14 +27,19 @@ __all__ = [
     "CellValue",
     "Color",
     "Column",
+    "ColumnarIndex",
     "FormatFn",
+    "HAVE_NUMPY",
     "Table",
     "ValueType",
     "Workbook",
     "column_index_to_letter",
     "column_letter_to_index",
+    "columnar_enabled",
     "infer_column_type",
     "is_cell_reference",
     "parse_literal",
     "parse_word_number",
+    "set_columnar",
+    "sync_columnar_from_env",
 ]

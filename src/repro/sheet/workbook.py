@@ -20,6 +20,7 @@ from typing import Iterable, Sequence
 from ..errors import SheetError, UnknownTableError
 from .address import CellAddress
 from .cell import Cell, bump_revision, current_revision
+from .columnar import ColumnarIndex, columnar_enabled
 from .table import Table
 from .values import CellValue
 
@@ -34,6 +35,10 @@ class Workbook:
         self._selection: tuple[CellAddress, ...] = ()
         self._fp_digest: str | None = None
         self._fp_revision: int = -1
+        self._columnar: ColumnarIndex | None = None
+        self._columnar_revision: int = -1
+        self._text_values: dict[str, list[tuple[str, str]]] | None = None
+        self._text_values_revision: int = -1
 
     def _touch(self) -> None:
         """Record a workbook-level mutation (cursor, selection, tables).
@@ -310,9 +315,47 @@ class Workbook:
                 hits.append((table, table.column(name).name))
         return hits
 
+    def columnar_index(self) -> ColumnarIndex:
+        """The interned columnar view of this workbook's text content
+        (:mod:`repro.sheet.columnar`), memoised against the sheet revision
+        counter exactly like :meth:`fingerprint`: any mutation anywhere
+        forces a rebuild, so translators and type checkers can fetch it
+        per construction for free."""
+        # Revision captured *before* building: a concurrent mutation during
+        # the build leaves the memo conservatively stale, never wrongly
+        # fresh (same discipline as ``fingerprint``).
+        revision = current_revision()
+        if self._columnar is not None and self._columnar_revision == revision:
+            return self._columnar
+        index = ColumnarIndex(self)
+        self._columnar = index
+        self._columnar_revision = revision
+        return index
+
     def all_text_values(self) -> dict[str, list[tuple[str, str]]]:
         """lowercase text value -> [(table name, column name)] everywhere it
-        occurs; the translator's sheet-value lexicon."""
+        occurs; the translator's sheet-value lexicon.
+
+        Memoised against the sheet revision counter (and served straight
+        from the columnar index when that backend is enabled); callers must
+        treat the result as read-only.  With ``REPRO_NO_COLUMNAR=1`` the
+        original rebuild-per-call row walk is restored unchanged.
+        """
+        if not columnar_enabled():
+            return self._all_text_values_rows()
+        revision = current_revision()
+        if (
+            self._text_values is not None
+            and self._text_values_revision == revision
+        ):
+            return self._text_values
+        merged = self.columnar_index().all_text_values()
+        self._text_values = merged
+        self._text_values_revision = revision
+        return merged
+
+    def _all_text_values_rows(self) -> dict[str, list[tuple[str, str]]]:
+        """The row-backed lexicon build (the pre-columnar code path)."""
         merged: dict[str, list[tuple[str, str]]] = {}
         for table in self._tables.values():
             for value, columns in table.distinct_text_values().items():

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from ..dsl.ast import hotpath_enabled
 from ..sheet import Color, Workbook
 from ..sheet.address import column_letter_to_index
+from ..sheet.columnar import ColumnarIndex, columnar_enabled
 from .lexicon import SpellCorrector, keyword_vocabulary
 
 # Words that must never be "corrected" into sheet vocabulary.
@@ -92,18 +93,27 @@ class SheetContext:
             for column in table.column_names:
                 key = column.strip().lower().replace(" ", "")
                 self._columns.setdefault(key, []).append((table.name, column))
+        # Value lookups run against the interned columnar index when the
+        # backend is enabled — pool-id probes instead of a merged dict the
+        # context would otherwise rebuild per construction.  The row-backed
+        # build below is the REPRO_NO_COLUMNAR baseline, kept intact.
+        self._index: ColumnarIndex | None = None
         self._values: dict[str, list[tuple[str, str]]] = {}
-        for value, slots in workbook.all_text_values().items():
-            self._values[value] = list(slots)
-        self._max_value_words = max(
-            (len(v.split()) for v in self._values), default=1
-        )
-        self._value_words = set()
-        for value in self._values:
-            self._value_words.update(value.split())
-        self.corrector = SpellCorrector(
-            self._vocabulary(), preferred=self._content_vocabulary()
-        )
+        if columnar_enabled():
+            index = workbook.columnar_index()
+            self._index = index
+            self._max_value_words = index.max_value_words
+            self._value_words = index.value_words
+        else:
+            for value, slots in workbook.all_text_values().items():
+                self._values[value] = list(slots)
+            self._max_value_words = max(
+                (len(v.split()) for v in self._values), default=1
+            )
+            self._value_words = set()
+            for value in self._values:
+                self._value_words.update(value.split())
+        self.corrector = self._make_corrector()
         # n-gram → match memos (the per-sentence seed index).  A word span
         # always resolves the same way against one sheet state, so the
         # translator warms these at ``prepare_tokens`` time and every
@@ -114,6 +124,29 @@ class SheetContext:
         self._value_match_cache: dict[tuple[str, ...], list[ValueMatch]] = {}
 
     # -- vocabulary -----------------------------------------------------------
+
+    def _make_corrector(self) -> SpellCorrector:
+        """The spell corrector for this sheet state.
+
+        Construction sorts the whole vocabulary, which is material on large
+        sheets — so with the columnar backend the corrector is memoised on
+        the index (one per sheet revision and extra-vocabulary set, shared
+        by every context over the same state).  Behaviour is identical: the
+        corrector is stateless after construction and fully determined by
+        its vocabulary sets.
+        """
+        if self._index is None:
+            return SpellCorrector(
+                self._vocabulary(), preferred=self._content_vocabulary()
+            )
+        key = ("corrector", frozenset(self._extra_vocabulary))
+        corrector = self._index.derived.get(key)
+        if corrector is None:
+            corrector = SpellCorrector(
+                self._vocabulary(), preferred=self._content_vocabulary()
+            )
+            self._index.derived[key] = corrector
+        return corrector
 
     def _vocabulary(self) -> set[str]:
         return (
@@ -131,8 +164,7 @@ class SheetContext:
             vocab.add(key)
             for _, column in slots:
                 vocab.update(column.lower().split())
-        for value in self._values:
-            vocab.update(value.split())
+        vocab.update(self._value_words)
         vocab.update(c.value for c in Color if c is not Color.NONE)
         return vocab
 
@@ -274,10 +306,19 @@ class SheetContext:
         if not words or len(words) > self._max_value_words + 1:
             return []
         joined = " ".join(words)
+        index = self._index
         for candidate in (joined, joined[:-1] if joined.endswith("s") else None):
             if candidate is None:
                 continue
-            slots = self._values.get(candidate)
+            # Columnar: one string-pool probe plus the per-id slot memo;
+            # row-backed baseline: the merged-dict lookup.  Slot order is
+            # identical (tables in insertion order, columns in header
+            # order), so downstream seeds and rankings cannot diverge.
+            slots = (
+                index.slots(candidate)
+                if index is not None
+                else self._values.get(candidate)
+            )
             if slots:
                 return [
                     ValueMatch(candidate, table, column)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Protocol
 
 from ..errors import RuleParseError
+from ..sheet.columnar import columnar_enabled
 from .context import MAX_SPAN_WORDS, SheetContext
 from .tokenizer import Token
 
@@ -202,9 +203,41 @@ Template = tuple  # tuple[Pattern, ...]; kept as a plain tuple for hashability
 _HOLE_RE = re.compile(r"^%([LVCK]?)(\d+)$")
 _GROUP_RE = re.compile(r"^\(([^()]*)\)(\*!?)?$")
 
+# Cross-request template intern table (keyed like ``repro.dsl.ast.intern``):
+# the same concrete template text always yields the *same* tuple object, so
+# every rule set built from it — per-translator, per-worker, learned packs
+# re-using builtin templates — shares patterns and hits the compiled-
+# alignment table (:mod:`repro.translate.alignment`) by structure.  Capped
+# and cleared wholesale so adversarial rule churn cannot leak; clearing only
+# costs future sharing, never correctness.
+_TEMPLATE_TABLE: dict[str, tuple["Pattern", ...]] = {}
+_TEMPLATE_CAP = 4096
+
+
+def template_table_size() -> int:
+    return len(_TEMPLATE_TABLE)
+
 
 def parse_template(text: str) -> tuple[Pattern, ...]:
-    """Parse the concrete template syntax shown in the module docstring."""
+    """Parse the concrete template syntax shown in the module docstring.
+
+    Interned per template text (see ``_TEMPLATE_TABLE``) unless the
+    columnar/template optimisation layer is disabled via
+    ``REPRO_NO_COLUMNAR=1``, in which case every call re-parses — the
+    pre-optimisation behaviour.
+    """
+    if columnar_enabled():
+        cached = _TEMPLATE_TABLE.get(text)
+        if cached is None:
+            if len(_TEMPLATE_TABLE) >= _TEMPLATE_CAP:
+                _TEMPLATE_TABLE.clear()
+            cached = _parse_template(text)
+            _TEMPLATE_TABLE[text] = cached
+        return cached
+    return _parse_template(text)
+
+
+def _parse_template(text: str) -> tuple[Pattern, ...]:
     patterns: list[Pattern] = []
     for piece in _split_template(text):
         hole = _HOLE_RE.match(piece)

@@ -23,7 +23,8 @@ from ..dsl.types import TypeChecker
 from ..runtime.budget import Budget
 from ..runtime.faults import fault_point
 from ..sheet import CellValue
-from .alignment import align, quick_reject
+from ..sheet.columnar import columnar_enabled
+from .alignment import CompiledTemplate, align, compile_template, quick_reject
 from .context import SheetContext
 from .derivation import RULE, Derivation
 from .patterns import MustPat, OptPat
@@ -52,6 +53,15 @@ class RuleTranslator:
         self.ctx = ctx
         self.checker = checker
         self.max_alignments = max_alignments
+        # Compiled alignment automata, one per rule, fetched from the
+        # cross-request intern table (:func:`compile_template`) so repeated
+        # translator constructions — and forked workers — share them.
+        # Keyed by rule identity (``self.rules`` keeps them alive); probes
+        # in the DP inner loop are int-keyed dict hits, not tuple hashes.
+        self._compiled: dict[int, CompiledTemplate] = {}
+        if columnar_enabled():
+            for rule in rules:
+                self._compiled[id(rule)] = compile_template(rule.template)
 
     # -- entry point ----------------------------------------------------------
 
@@ -65,7 +75,17 @@ class RuleTranslator:
         per-(rule, span) template scans from the O(n²) DP inner loop.
         """
         words = frozenset(t.text for t in tokens)
-        return [r for r in self.rules if not quick_reject(r.template, words)]
+        return [
+            r for r in self.rules if not self._quick_reject(r, words)
+        ]
+
+    def _quick_reject(self, rule: Rule, words: frozenset[str]) -> bool:
+        compiled = (
+            self._compiled.get(id(rule)) if columnar_enabled() else None
+        )
+        if compiled is not None:
+            return compiled.quick_reject(words)
+        return quick_reject(rule.template, words)
 
     def translate_span(
         self,
@@ -88,14 +108,27 @@ class RuleTranslator:
         fragment = tokens[start:end]
         fragment_words = frozenset(t.text for t in fragment)
         out: list[Derivation] = []
+        compiled_for = self._compiled if columnar_enabled() else None
         for rule in self.rules if rules is None else rules:
             if budget is not None and budget.exceeded("rules"):
                 break
-            if quick_reject(rule.template, fragment_words):
-                continue
-            alignments = align(
-                rule.template, fragment, self.ctx, cap=self.max_alignments
+            compiled = (
+                compiled_for.get(id(rule)) if compiled_for is not None
+                else None
             )
+            if compiled is not None:
+                if compiled.quick_reject(fragment_words):
+                    continue
+                alignments = compiled.align(
+                    fragment, self.ctx, cap=self.max_alignments
+                )
+            else:
+                if quick_reject(rule.template, fragment_words):
+                    continue
+                alignments = align(
+                    rule.template, fragment, self.ctx,
+                    cap=self.max_alignments,
+                )
             for alignment in alignments:
                 produced = self._apply(rule, alignment, fragment, start, tmap)
                 if budget is not None:

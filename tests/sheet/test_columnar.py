@@ -1,0 +1,194 @@
+"""The columnar backend must be indistinguishable from the row walk.
+
+Property tests (hypothesis) build arbitrary workbooks — unicode values,
+whitespace, empties, plural-trap strings, values deliberately duplicated
+across columns and tables — and assert that every columnar lookup equals
+its row-backed counterpart in both ``REPRO_NO_COLUMNAR`` modes:
+
+* the merged value lexicon (``Workbook.all_text_values``), including the
+  slot-list *order* per value (it feeds seed and ranking order),
+* ``SheetContext.match_value`` / ``match_column`` over arbitrary spans,
+* the type checker's value-in-column content probe,
+* the derived vocabulary artefacts (value words, max span width).
+
+Deterministic unit tests cover the revision-memo behaviour and the
+escape-hatch switch itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import build_sheet
+from repro.sheet import (
+    CellValue,
+    Column,
+    Table,
+    ValueType,
+    Workbook,
+    columnar_enabled,
+    set_columnar,
+)
+from repro.translate.context import SheetContext
+
+# A pool with deliberate traps: empties-after-strip, plurals, multi-word
+# values, case/space variants that normalise together, unicode.
+_TRICKY = [
+    "", " ", "  chef  ", "chef", "chefs", "capitol hill",
+    "CAPITOL HILL", "a b c d e", "s", "ß", "Ünïcode véry", "0", "column",
+]
+_VALUES = st.one_of(st.sampled_from(_TRICKY), st.text(max_size=8))
+
+
+@pytest.fixture(autouse=True)
+def _restore_columnar():
+    was = columnar_enabled()
+    yield
+    set_columnar(was)
+
+
+@st.composite
+def workbooks(draw):
+    shared = draw(st.lists(_VALUES, min_size=1, max_size=5))
+    wb = Workbook()
+    for t in range(draw(st.integers(1, 3))):
+        n_cols = draw(st.integers(1, 4))
+        n_rows = draw(st.integers(0, 8))
+        dtypes = [
+            draw(st.sampled_from(
+                [ValueType.TEXT, ValueType.TEXT, ValueType.NUMBER]
+            ))
+            for _ in range(n_cols)
+        ]
+        columns = [
+            Column(f"col{t}{j}", dtypes[j]) for j in range(n_cols)
+        ]
+        rows = []
+        for _ in range(n_rows):
+            row = []
+            for j in range(n_cols):
+                if dtypes[j] is ValueType.TEXT:
+                    choice = draw(st.one_of(
+                        st.none(), st.sampled_from(shared), _VALUES
+                    ))
+                    row.append(
+                        CellValue.empty() if choice is None
+                        else CellValue.text(choice)
+                    )
+                else:
+                    row.append(CellValue.number(draw(st.integers(0, 5))))
+            rows.append(row)
+        wb.add_table(Table(f"T{t}", columns, rows))
+    return wb
+
+
+def _spans(workbook) -> list[tuple[str, ...]]:
+    """Probe spans: every value in the lexicon, its plural, its words, and
+    some junk — enough to hit every match branch."""
+    set_columnar(False)
+    lexicon = workbook._all_text_values_rows()
+    spans: list[tuple[str, ...]] = [("nosuchvalue",), ("chef", "hill")]
+    for value in list(lexicon)[:40]:
+        words = tuple(value.split())
+        if words:
+            spans.append(words)
+            spans.append(words[:-1] + (words[-1] + "s",))
+            spans.append((words[0],))
+    return spans
+
+
+@settings(max_examples=60, deadline=None)
+@given(workbooks())
+def test_lexicon_identical(wb):
+    """all_text_values: same keys, same slots, same slot order."""
+    set_columnar(False)
+    legacy = wb.all_text_values()
+    set_columnar(True)
+    columnar = wb.all_text_values()
+    assert {k: list(v) for k, v in columnar.items()} == legacy
+
+
+@settings(max_examples=60, deadline=None)
+@given(workbooks())
+def test_context_matches_identical(wb):
+    """match_value/match_column agree span-for-span, order included."""
+    spans = _spans(wb)
+    set_columnar(True)
+    ctx_col = SheetContext(wb)
+    set_columnar(False)
+    ctx_row = SheetContext(wb)
+    assert ctx_col._max_value_words == ctx_row._max_value_words
+    assert set(ctx_col._value_words) == set(ctx_row._value_words)
+    for span in spans:
+        set_columnar(True)
+        by_col = ctx_col.match_value(span)
+        by_col_c = ctx_col.match_column(span)
+        set_columnar(False)
+        assert by_col == ctx_row.match_value(span), span
+        assert by_col_c == ctx_row.match_column(span), span
+
+
+@settings(max_examples=60, deadline=None)
+@given(workbooks(), _VALUES)
+def test_occurs_probe_identical(wb, raw):
+    """The content-check probe: columnar occurs_in vs the row walk, for
+    every (table, column) and both in-lexicon and arbitrary needles."""
+    set_columnar(True)
+    index = wb.columnar_index()
+    needles = {raw.strip().lower()}
+    needles.update(list(index.all_text_values())[:20])
+    for table in wb.tables:
+        key = table.name.strip().lower()
+        occurs = table.distinct_text_values()
+        for column in table.column_names:
+            for needle in needles:
+                assert index.occurs_in(key, needle, column) == (
+                    column in occurs.get(needle, ())
+                ), (key, column, needle)
+
+
+def test_index_memoised_per_revision():
+    wb = build_sheet("payroll")
+    set_columnar(True)
+    first = wb.columnar_index()
+    assert wb.columnar_index() is first  # same revision -> same object
+    wb.table("Employees").cell(0, 0).value = CellValue.text("zoe")
+    second = wb.columnar_index()
+    assert second is not first
+    assert second.slots("zoe") == (("Employees", "name"),)
+    assert second.slots("alice") == ()
+
+
+def test_lexicon_memo_tracks_mutations():
+    wb = build_sheet("payroll")
+    set_columnar(True)
+    assert "alice" in wb.all_text_values()
+    wb.table("Employees").cell(0, 0).value = CellValue.text("zoe")
+    fresh = wb.all_text_values()
+    assert "zoe" in fresh and "alice" not in fresh
+
+
+def test_escape_hatch_switch():
+    set_columnar(False)
+    assert not columnar_enabled()
+    wb = build_sheet("payroll")
+    assert wb.all_text_values()["chef"] == [
+        ("Employees", "title"), ("PayRates", "title")
+    ]
+    set_columnar(True)
+    assert columnar_enabled()
+    assert wb.columnar_index().slots("chef") == (
+        ("Employees", "title"), ("PayRates", "title")
+    )
+
+
+def test_occurs_in_unknown_table_and_column():
+    wb = build_sheet("payroll")
+    set_columnar(True)
+    index = wb.columnar_index()
+    assert not index.occurs_in("nope", "chef", "title")
+    assert not index.occurs_in("employees", "chef", "nope")
+    assert not index.occurs_in("employees", "nope", "title")
+    assert index.occurs_in("employees", "chef", "title")
